@@ -1,0 +1,34 @@
+//! Workload-generator benchmarks (they run inside every experiment's
+//! setup, so regressions here distort the harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use dds_graph::gen;
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen/gnm-30k-edges", |b| {
+        b.iter(|| gen::gnm(black_box(5_000), 30_000, 7))
+    });
+    c.bench_function("gen/power-law-30k-edges", |b| {
+        b.iter(|| gen::power_law(black_box(5_000), 30_000, 2.2, 7))
+    });
+    c.bench_function("gen/planted-30k-edges", |b| {
+        b.iter(|| gen::planted(black_box(5_000), 30_000, 10, 12, 0.9, 7))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = generators;
+    config = config();
+    targets = bench_generators
+}
+criterion_main!(generators);

@@ -1,0 +1,59 @@
+//! Microbenchmarks of the performance-critical kernels: the flow decision,
+//! fixed-ratio peeling, and the `[x, y]`-core primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use dds_core::peel_at_rational_ratio;
+use dds_flow::decide;
+use dds_graph::{gen, StMask};
+use dds_num::Frac;
+use dds_xycore::{max_product_core, xy_core, y_max_core};
+
+fn bench_flow_decision(c: &mut Criterion) {
+    let g = gen::power_law(2_000, 12_000, 2.2, 1);
+    let alive = StMask::full(g.n());
+    c.bench_function("flow_decision/pl-2k-full-graph", |b| {
+        b.iter(|| decide(black_box(&g), &alive, 1, 1, Frac::new(5, 2)))
+    });
+    let core = xy_core(&g, 3, 3);
+    c.bench_function("flow_decision/pl-2k-on-core", |b| {
+        b.iter(|| decide(black_box(&g), &core, 1, 1, Frac::new(5, 2)))
+    });
+}
+
+fn bench_peel(c: &mut Criterion) {
+    let g = gen::power_law(3_000, 20_000, 2.2, 1);
+    c.bench_function("peel/pl-s-ratio-1-1", |b| {
+        b.iter(|| peel_at_rational_ratio(black_box(&g), 1, 1))
+    });
+    c.bench_function("peel/pl-s-ratio-1-10", |b| {
+        b.iter(|| peel_at_rational_ratio(black_box(&g), 1, 10))
+    });
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let g = gen::power_law(3_000, 20_000, 2.2, 1);
+    c.bench_function("xycore/peel-1-1", |b| b.iter(|| xy_core(black_box(&g), 1, 1)));
+    c.bench_function("xycore/peel-4-4", |b| b.iter(|| xy_core(black_box(&g), 4, 4)));
+    let full = StMask::full(g.n());
+    c.bench_function("xycore/y-max-sweep-x2", |b| {
+        b.iter(|| y_max_core(black_box(&g), &full, 2))
+    });
+    c.bench_function("xycore/max-product", |b| b.iter(|| max_product_core(black_box(&g))));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1_500))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_flow_decision, bench_peel, bench_cores
+}
+criterion_main!(kernels);

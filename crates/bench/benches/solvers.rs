@@ -1,0 +1,49 @@
+//! End-to-end solver benchmarks: one per algorithm family of the paper's
+//! evaluation (exact, core approximation, peeling approximations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use dds_core::{core_approx, parallel, DcExact, ExhaustivePeel, GridPeel};
+use dds_graph::gen;
+
+fn bench_exact(c: &mut Criterion) {
+    let xs = gen::power_law(300, 2_000, 2.2, 1);
+    c.bench_function("exact/dc-pl-xs", |b| {
+        b.iter(|| DcExact::new().solve(black_box(&xs)))
+    });
+    let planted = gen::planted(500, 1_500, 8, 10, 0.9, 1).graph;
+    c.bench_function("exact/dc-planted-500", |b| {
+        b.iter(|| DcExact::new().solve(black_box(&planted)))
+    });
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let s = gen::power_law(3_000, 20_000, 2.2, 1);
+    c.bench_function("approx/core-pl-s", |b| b.iter(|| core_approx(black_box(&s))));
+    c.bench_function("approx/grid01-pl-s", |b| {
+        b.iter(|| GridPeel::new(0.1).solve(black_box(&s)))
+    });
+    c.bench_function("approx/grid01-pl-s-4threads", |b| {
+        b.iter(|| parallel::grid_peel_parallel(black_box(&s), 0.1, 4))
+    });
+    let xs = gen::power_law(300, 2_000, 2.2, 1);
+    c.bench_function("approx/exhaustive-pl-xs", |b| {
+        b.iter(|| ExhaustivePeel.solve(black_box(&xs)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = solvers;
+    config = config();
+    targets = bench_exact, bench_approx
+}
+criterion_main!(solvers);

@@ -1,0 +1,454 @@
+//! The experiment suite (E1–E11): one function per table/figure of the
+//! reconstructed evaluation (`DESIGN.md §4`). Each prints an aligned table
+//! to stdout, writes the same data to `bench_results/<id>.csv`, and states
+//! the *expected shape* so `EXPERIMENTS.md` can record measured-vs-expected.
+
+use dds_core::{
+    core_approx, parallel, DcExact, ExactOptions, ExhaustivePeel, FlowExact, GridPeel,
+};
+use dds_graph::GraphStats;
+use dds_xycore::{max_product_core, skyline};
+
+use crate::report::{fmt_duration, time, Table};
+use crate::workloads::{exact_ladder, registry, Scale};
+
+/// Runs one experiment by id (`e1`…`e11`); `quick` shrinks workloads for
+/// smoke tests.
+///
+/// # Panics
+/// Panics on an unknown id.
+pub fn run(id: &str, quick: bool) {
+    match id {
+        "e1" => e1_datasets(quick),
+        "e2" => e2_exact_efficiency(quick),
+        "e3" => e3_network_sizes(quick),
+        "e4" => e4_ablation(quick),
+        "e5" => e5_approx_efficiency(quick),
+        "e6" => e6_quality(quick),
+        "e7" => e7_scalability(quick),
+        "e8" => e8_epsilon(quick),
+        "e9" => e9_case_study(quick),
+        "e10" => e10_cores(quick),
+        "e11" => e11_parallel(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e11)"),
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+
+/// E1 — dataset statistics table (the paper's "Table: datasets").
+pub fn e1_datasets(quick: bool) {
+    println!("\n=== E1: dataset statistics (expected: heavy tails on PL-*, planted density on PD-*)");
+    let mut t = Table::new(
+        "datasets",
+        &["name", "n", "m", "d+max", "d-max", "maxcore[x,y]", "x*y", "core_rho", "core_ms"],
+    );
+    for w in registry(Scale::L, quick) {
+        let s = GraphStats::compute(&w.graph);
+        let (core, dur) = time(|| max_product_core(&w.graph));
+        let (label, product, rho) = match core {
+            Some(c) => {
+                let d = c.mask.density(&w.graph);
+                (format!("[{},{}]", c.x, c.y), c.product().to_string(), format!("{:.3}", d.to_f64()))
+            }
+            None => ("-".into(), "0".into(), "0".into()),
+        };
+        t.row(vec![
+            w.name.clone(),
+            s.n.to_string(),
+            s.m.to_string(),
+            s.max_out_degree.to_string(),
+            s.max_in_degree.to_string(),
+            label,
+            product,
+            rho,
+            format!("{:.1}", dur.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e1_datasets");
+}
+
+/// E2 — exact-algorithm efficiency (the paper's headline figure: the
+/// divide-and-conquer exact solver vs the Θ(n²)-ratio flow baseline).
+pub fn e2_exact_efficiency(quick: bool) {
+    println!("\n=== E2: exact efficiency (expected: DcExact orders of magnitude faster; gap grows with n)");
+    let baseline_cap = if quick { 60 } else { 120 };
+    let mut t = Table::new(
+        "exact runtimes on the power-law ladder",
+        &["n", "m", "dc_ms", "dc_ratios", "base_ms", "base_ratios", "speedup"],
+    );
+    for (n, g) in exact_ladder(quick) {
+        let (dc, dc_t) = time(|| DcExact::new().solve(&g));
+        let (base_cell, base_ratio_cell, speed_cell) = if n <= baseline_cap {
+            let (base, base_t) = time(|| FlowExact.solve(&g));
+            assert_eq!(dc.solution.density, base.solution.density, "solvers disagree at n={n}");
+            (
+                format!("{:.1}", base_t.as_secs_f64() * 1e3),
+                base.ratios_solved.to_string(),
+                format!("{:.0}x", base_t.as_secs_f64() / dc_t.as_secs_f64().max(1e-9)),
+            )
+        } else {
+            ("skipped".into(), "-".into(), "-".into())
+        };
+        t.row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            format!("{:.1}", dc_t.as_secs_f64() * 1e3),
+            dc.ratios_solved.to_string(),
+            base_cell,
+            base_ratio_cell,
+            speed_cell,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(baseline skipped beyond n = {baseline_cap}: its Θ(n²) ratio count makes runs impractical, as in the paper)");
+    t.write_csv("e2_exact");
+}
+
+/// E3 — flow-network size across decisions (the paper's "network shrinks
+/// as the search converges" figure), with and without core pruning.
+pub fn e3_network_sizes(quick: bool) {
+    println!("\n=== E3: flow-network sizes (expected: core pruning shrinks networks by orders of magnitude)");
+    let w = registry(Scale::S, quick).into_iter().find(|w| w.name.starts_with("PD")).unwrap();
+    let g = &w.graph;
+    let mut t = Table::new(
+        format!("network nodes per decision on {} (n={})", w.name, g.n()),
+        &["variant", "decisions", "max_nodes", "mean_nodes", "first_8"],
+    );
+    for (label, core) in [("with core pruning", true), ("without", false)] {
+        let opts = ExactOptions { core_pruning: core, ..ExactOptions::default() };
+        let r = DcExact::with_options(opts).solve(g);
+        let nodes = &r.network_nodes;
+        let mean = if nodes.is_empty() {
+            0.0
+        } else {
+            nodes.iter().sum::<usize>() as f64 / nodes.len() as f64
+        };
+        t.row(vec![
+            label.into(),
+            nodes.len().to_string(),
+            nodes.iter().max().copied().unwrap_or(0).to_string(),
+            format!("{mean:.1}"),
+            format!("{:?}", &nodes[..nodes.len().min(8)]),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e3_netsize");
+}
+
+/// E4 — pruning-device ablation (the paper's "effect of each technique").
+pub fn e4_ablation(quick: bool) {
+    println!("\n=== E4: ablation (expected: γ-pruning largest, then core pruning; -dc collapses to the baseline)");
+    let variants: [(&str, ExactOptions); 5] = [
+        ("full", ExactOptions::default()),
+        ("-gamma", ExactOptions { gamma_pruning: false, ..Default::default() }),
+        ("-core", ExactOptions { core_pruning: false, ..Default::default() }),
+        ("-warm", ExactOptions { warm_start: false, ..Default::default() }),
+        ("-dc", ExactOptions { divide_and_conquer: false, ..Default::default() }),
+    ];
+    let mut t = Table::new(
+        "DcExact variants",
+        &["dataset", "variant", "ms", "ratios", "flows", "max_nodes"],
+    );
+    // The -dc and -gamma variants lose the device that keeps the ratio
+    // count tractable, so beyond this size they are skipped on the tier
+    // datasets (like the paper's timed-out baseline bars) and measured on
+    // the ladder rung below instead; E2 quantifies the same gap directly.
+    let slow_variant_cap = 150;
+    for w in registry(Scale::Xs, quick) {
+        let mut reference = None;
+        for (label, opts) in variants {
+            if matches!(label, "-dc" | "-gamma") && w.graph.n() > slow_variant_cap {
+                t.row(vec![
+                    w.name.clone(),
+                    label.into(),
+                    "skipped".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+            let (r, dur) = time(|| DcExact::with_options(opts).solve(&w.graph));
+            match &reference {
+                None => reference = Some(r.solution.density),
+                Some(d) => assert_eq!(*d, r.solution.density, "{label} changed the optimum"),
+            }
+            t.row(vec![
+                w.name.clone(),
+                label.into(),
+                format!("{:.1}", dur.as_secs_f64() * 1e3),
+                r.ratios_solved.to_string(),
+                r.flow_decisions.to_string(),
+                r.network_nodes.iter().max().copied().unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    // One rung where every variant (including -dc) is measurable.
+    let (n120, ladder_g) = exact_ladder(quick).into_iter().next().expect("ladder non-empty");
+    let mut reference = None;
+    for (label, opts) in variants {
+        let (r, dur) = time(|| DcExact::with_options(opts).solve(&ladder_g));
+        match &reference {
+            None => reference = Some(r.solution.density),
+            Some(d) => assert_eq!(*d, r.solution.density, "{label} changed the optimum"),
+        }
+        t.row(vec![
+            format!("PL-ladder-{n120}"),
+            label.into(),
+            format!("{:.1}", dur.as_secs_f64() * 1e3),
+            r.ratios_solved.to_string(),
+            r.flow_decisions.to_string(),
+            r.network_nodes.iter().max().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e4_ablation");
+}
+
+/// E5 — approximation efficiency across tiers (the paper's "CoreApprox up
+/// to orders of magnitude faster than peeling" figure).
+pub fn e5_approx_efficiency(quick: bool) {
+    println!("\n=== E5: approximation efficiency (expected: core ≪ grid ≪ exhaustive; exhaustive infeasible beyond XS)");
+    let mut t = Table::new(
+        "approximation runtimes",
+        &["dataset", "n", "m", "core_ms", "grid_ms", "exhaustive_ms"],
+    );
+    for w in registry(Scale::L, quick) {
+        let g = &w.graph;
+        let (core, core_t) = time(|| core_approx(g));
+        let (grid, grid_t) = time(|| GridPeel::new(0.1).solve(g));
+        let exhaustive_cell = if w.scale == Scale::Xs {
+            let (ex, ex_t) = time(|| ExhaustivePeel.solve(g));
+            assert!(ex.solution.density >= grid.solution.density);
+            format!("{:.1}", ex_t.as_secs_f64() * 1e3)
+        } else {
+            "skipped".into()
+        };
+        let _ = core;
+        t.row(vec![
+            w.name.clone(),
+            g.n().to_string(),
+            g.m().to_string(),
+            format!("{:.1}", core_t.as_secs_f64() * 1e3),
+            format!("{:.1}", grid_t.as_secs_f64() * 1e3),
+            exhaustive_cell,
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e5_approx");
+}
+
+/// E6 — approximation quality against the exact optimum (the paper's
+/// "observed ratios are near 1, far above the ½ guarantee").
+pub fn e6_quality(quick: bool) {
+    println!("\n=== E6: approximation quality (expected: all ≥ 0.5, typically ≥ 0.8)");
+    let mut t = Table::new(
+        "density relative to the exact optimum",
+        &["dataset", "rho_opt", "core", "grid(0.1)", "exhaustive"],
+    );
+    let max_scale = if quick { Scale::Xs } else { Scale::S };
+    for w in registry(max_scale, quick) {
+        let g = &w.graph;
+        let opt = DcExact::new().solve(g).solution.density;
+        let rel = |d: dds_num::Density| -> String {
+            if opt.is_zero() {
+                "1.000".into()
+            } else {
+                format!("{:.3}", d.to_f64() / opt.to_f64())
+            }
+        };
+        let core = core_approx(g).solution.density;
+        let grid = GridPeel::new(0.1).solve(g).solution.density;
+        let exhaustive = if w.scale == Scale::Xs {
+            rel(ExhaustivePeel.solve(g).solution.density)
+        } else {
+            "skipped".into()
+        };
+        assert!(2.0 * core.to_f64() + 1e-9 >= opt.to_f64(), "{}: guarantee broken", w.name);
+        t.row(vec![
+            w.name.clone(),
+            format!("{:.3}", opt.to_f64()),
+            rel(core),
+            rel(grid),
+            exhaustive,
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e6_quality");
+}
+
+/// E7 — scalability: runtime versus sampled edge fraction (the paper's
+/// near-linear scalability figure).
+pub fn e7_scalability(quick: bool) {
+    println!("\n=== E7: scalability vs edge fraction (expected: near-linear for both approximations)");
+    let w = registry(Scale::L, quick).into_iter().find(|w| w.name.starts_with("PL-l")).unwrap();
+    let mut t = Table::new(
+        format!("runtime on edge-sampled {}", w.name),
+        &["fraction", "m", "core_ms", "grid_ms"],
+    );
+    for percent in [20usize, 40, 60, 80, 100] {
+        let mut k = 0usize;
+        let sub = w.graph.filter_edges(|_, _| {
+            k += 1;
+            k % 100 < percent
+        });
+        let (_, core_t) = time(|| core_approx(&sub));
+        let (_, grid_t) = time(|| GridPeel::new(0.2).solve(&sub));
+        t.row(vec![
+            format!("{percent}%"),
+            sub.m().to_string(),
+            format!("{:.1}", core_t.as_secs_f64() * 1e3),
+            format!("{:.1}", grid_t.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e7_scalability");
+}
+
+/// E8 — `GridPeel` ε sensitivity (time/quality trade-off).
+pub fn e8_epsilon(quick: bool) {
+    println!("\n=== E8: GridPeel epsilon sweep (expected: time ~ 1/ε, quality non-increasing in ε)");
+    let w = registry(Scale::M, quick).into_iter().find(|w| w.name.starts_with("PL-m")).unwrap();
+    let g = &w.graph;
+    let mut t = Table::new(
+        format!("epsilon sweep on {}", w.name),
+        &["epsilon", "ratios", "ms", "density"],
+    );
+    for eps in [0.05, 0.1, 0.2, 0.5, 1.0] {
+        let (r, dur) = time(|| GridPeel::new(eps).solve(g));
+        t.row(vec![
+            format!("{eps}"),
+            r.ratios_tried.to_string(),
+            format!("{:.1}", dur.as_secs_f64() * 1e3),
+            format!("{:.4}", r.solution.density.to_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e8_epsilon");
+}
+
+/// E9 — case studies: planted-ring recovery and hub/authority separation
+/// (the paper's qualitative section).
+pub fn e9_case_study(quick: bool) {
+    println!("\n=== E9: case studies (expected: exact recovery of the planted block; hubs/authorities split)");
+    let (n, m) = if quick { (200, 1_000) } else { (2_000, 8_000) };
+    let planted = dds_graph::gen::planted(n, m, 8, 10, 1.0, 7);
+    let (r, dur) = time(|| DcExact::new().solve(&planted.graph));
+    let hit_s = r.solution.pair.s().iter().filter(|v| planted.pair.s().contains(v)).count();
+    let hit_t = r.solution.pair.t().iter().filter(|v| planted.pair.t().contains(v)).count();
+    let mut t = Table::new("planted-ring recovery", &["metric", "value"]);
+    t.row(vec!["planted density".into(), format!("{:.4}", planted.pair.density(&planted.graph).to_f64())]);
+    t.row(vec!["recovered density".into(), format!("{:.4}", r.solution.density.to_f64())]);
+    t.row(vec!["S recall".into(), format!("{hit_s}/{}", planted.pair.s().len())]);
+    t.row(vec!["T recall".into(), format!("{hit_t}/{}", planted.pair.t().len())]);
+    t.row(vec!["solve time".into(), fmt_duration(dur)]);
+    println!("{}", t.render());
+    t.write_csv("e9_case_study");
+
+    let w = registry(Scale::S, quick).into_iter().find(|w| w.name.starts_with("PL")).unwrap();
+    let g = &w.graph;
+    let sol = core_approx(g).solution;
+    let avg = |side: &[u32], f: &dyn Fn(u32) -> usize| {
+        side.iter().map(|&v| f(v) as f64).sum::<f64>() / side.len().max(1) as f64
+    };
+    let mut t = Table::new("hub/authority separation on the power-law tier", &["side", "size", "avg_out", "avg_in"]);
+    t.row(vec![
+        "S (hubs)".into(),
+        sol.pair.s().len().to_string(),
+        format!("{:.1}", avg(sol.pair.s(), &|v| g.out_degree(v))),
+        format!("{:.1}", avg(sol.pair.s(), &|v| g.in_degree(v))),
+    ]);
+    t.row(vec![
+        "T (authorities)".into(),
+        sol.pair.t().len().to_string(),
+        format!("{:.1}", avg(sol.pair.t(), &|v| g.out_degree(v))),
+        format!("{:.1}", avg(sol.pair.t(), &|v| g.in_degree(v))),
+    ]);
+    println!("{}", t.render());
+    t.write_csv("e9_hub_authority");
+}
+
+/// E10 — core-decomposition statistics (skyline extent, sweep costs).
+pub fn e10_cores(quick: bool) {
+    println!("\n=== E10: [x,y]-core decomposition (expected: skyline sweep ≫ double sweep; both grow ~linearly)");
+    let max_scale = if quick { Scale::S } else { Scale::M };
+    let mut t = Table::new(
+        "core decomposition",
+        &["dataset", "skyline_pts", "skyline_ms", "maxprod", "sweep_evals", "sweep_ms"],
+    );
+    for w in registry(max_scale, quick) {
+        let g = &w.graph;
+        let (sky_cell, sky_ms) = if w.scale <= Scale::S {
+            let (sky, d) = time(|| skyline(g));
+            (sky.len().to_string(), format!("{:.1}", d.as_secs_f64() * 1e3))
+        } else {
+            ("skipped".into(), "-".into())
+        };
+        let (best, d) = time(|| max_product_core(g));
+        let (prod, evals) = best.map_or((0, 0), |b| (b.product(), b.sweep_evals));
+        t.row(vec![
+            w.name.clone(),
+            sky_cell,
+            sky_ms,
+            prod.to_string(),
+            evals.to_string(),
+            format!("{:.1}", d.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e10_cores");
+}
+
+/// E11 — parallel speedup of the embarrassingly parallel solvers.
+pub fn e11_parallel(quick: bool) {
+    println!("\n=== E11: parallel speedup (expected: near-linear for grid peel up to core count)");
+    let w = registry(Scale::M, quick).into_iter().find(|w| w.name.starts_with("PL-m")).unwrap();
+    let g = &w.graph;
+    let mut t = Table::new(
+        format!("threads vs wall time on {}", w.name),
+        &["threads", "grid_ms", "grid_speedup", "core_ms"],
+    );
+    let mut grid_base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (_, grid_t) = time(|| parallel::grid_peel_parallel(g, 0.1, threads));
+        let base = *grid_base.get_or_insert(grid_t.as_secs_f64());
+        let (_, core_t) = time(|| parallel::core_approx_parallel(g, threads));
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.1}", grid_t.as_secs_f64() * 1e3),
+            format!("{:.2}x", base / grid_t.as_secs_f64().max(1e-9)),
+            format!("{:.1}", core_t.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e11_parallel");
+}
+
+#[cfg(test)]
+mod tests {
+    /// Smoke: every experiment runs end-to-end in quick mode.
+    /// (Split across two tests to parallelise the suite.)
+    #[test]
+    fn quick_mode_first_half() {
+        for id in &super::ALL[..5] {
+            super::run(id, true);
+        }
+    }
+
+    #[test]
+    fn quick_mode_second_half() {
+        for id in &super::ALL[5..] {
+            super::run(id, true);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        super::run("e99", true);
+    }
+}

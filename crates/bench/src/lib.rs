@@ -1,0 +1,16 @@
+//! Experiment harness and benchmark support for the DDS workspace.
+//!
+//! The binary (`cargo run -p dds-bench --release -- <experiment|all>`)
+//! regenerates the paper-style tables and figure series (experiments
+//! E1–E11 in `DESIGN.md §4`); the criterion benches under `benches/` cover
+//! the per-kernel microbenchmarks. Results print as aligned tables and are
+//! also written as CSV under `bench_results/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::{fmt_duration, time, Table};
+pub use workloads::{exact_ladder, registry, Scale, Workload};

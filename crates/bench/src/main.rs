@@ -1,0 +1,30 @@
+//! Experiment harness entry point.
+//!
+//! ```sh
+//! cargo run -p dds-bench --release -- all          # every experiment
+//! cargo run -p dds-bench --release -- e2 e5        # a subset
+//! cargo run -p dds-bench --release -- all --quick  # smoke-test sizes
+//! ```
+
+use dds_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if ids.is_empty() {
+        eprintln!("usage: dds-bench (all | e1..e11)... [--quick]");
+        std::process::exit(2);
+    }
+    let t0 = std::time::Instant::now();
+    for id in ids {
+        if id == "all" {
+            for e in experiments::ALL {
+                experiments::run(e, quick);
+            }
+        } else {
+            experiments::run(id, quick);
+        }
+    }
+    println!("\ntotal harness time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,135 @@
+//! Table/CSV reporting and timing helpers for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result with the wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed())
+}
+
+/// Human-readable duration (`µs`/`ms`/`s` with sensible precision).
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// An aligned text table that doubles as a CSV writer.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `bench_results/<file>.csv` (best
+    /// effort; IO failures only warn because results were already printed).
+    pub fn write_csv(&self, file: &str) {
+        let dir = PathBuf::from("bench_results");
+        if fs::create_dir_all(&dir).is_err() {
+            eprintln!("warn: cannot create bench_results/");
+            return;
+        }
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        let path = dir.join(format!("{file}.csv"));
+        if fs::write(&path, csv).is_err() {
+            eprintln!("warn: cannot write {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(12)).ends_with('s'));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, d) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Command implementations and argument parsing for the `dds` binary.
+
+use std::fmt;
+use std::io::Write;
+
+use dds_core::{
+    core_approx, parallel, top_k_dense_pairs, DcExact, DdsSolution, ExactOptions,
+    ExhaustivePeel, FlowExact, GridPeel, TopKSolver,
+};
+use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
+use dds_graph::{gen, DiGraph, GraphStats};
+use dds_xycore::{max_product_core, skyline, xy_core};
+
+/// Errors surfaced to the user with exit code 1.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown command/flag, missing value…).
+    Usage(String),
+    /// Failure loading/saving a graph.
+    Graph(dds_graph::GraphError),
+    /// Output stream failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl From<dds_graph::GraphError> for CliError {
+    fn from(e: dds_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+const USAGE: &str = "usage:
+  dds stats   <edge-list>
+  dds exact   <edge-list> [--baseline] [--no-core] [--no-gamma] [--no-warm] [--no-dc] [--verbose]
+  dds approx  <edge-list> [--algo core|grid|exhaustive] [--epsilon E] [--threads N]
+  dds core    <edge-list> (--xy X,Y | --max-product | --skyline)
+  dds peel    <edge-list> --ratio A/B
+  dds topk    <edge-list> --k K [--algo exact|core|grid]
+  dds dot     <edge-list> [--highlight]
+  dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha A] [--plant S,T,P] --out <file>
+  dds help";
+
+/// Entry point shared by `main` and the tests.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Some("stats") => cmd_stats(&mut it, out),
+        Some("exact") => cmd_exact(&mut it, out),
+        Some("approx") => cmd_approx(&mut it, out),
+        Some("core") => cmd_core(&mut it, out),
+        Some("peel") => cmd_peel(&mut it, out),
+        Some("topk") => cmd_topk(&mut it, out),
+        Some("dot") => cmd_dot(&mut it, out),
+        Some("gen") => cmd_gen(&mut it, out),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load(path: Option<&str>) -> Result<DiGraph, CliError> {
+    let path = path.ok_or_else(|| CliError::Usage("missing <edge-list> path".into()))?;
+    Ok(load_edge_list(path, &ParseOptions::default())?)
+}
+
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<&str>,
+) -> Result<T, CliError> {
+    let v = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
+}
+
+fn write_solution(out: &mut dyn Write, sol: &DdsSolution) -> Result<(), CliError> {
+    writeln!(out, "density     {}", sol.density)?;
+    writeln!(out, "|S| = {}, |T| = {}", sol.pair.s().len(), sol.pair.t().len())?;
+    writeln!(out, "S = {:?}", sol.pair.s())?;
+    writeln!(out, "T = {:?}", sol.pair.t())?;
+    Ok(())
+}
+
+fn cmd_stats<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let s = GraphStats::compute(&g);
+    writeln!(out, "vertices        {}", s.n)?;
+    writeln!(out, "edges           {}", s.m)?;
+    writeln!(out, "max out-degree  {}", s.max_out_degree)?;
+    writeln!(out, "max in-degree   {}", s.max_in_degree)?;
+    writeln!(out, "avg degree      {:.4}", s.avg_degree)?;
+    writeln!(out, "isolated        {}", s.isolated)?;
+    writeln!(out, "reciprocity     {:.4}", s.reciprocity)?;
+    Ok(())
+}
+
+fn cmd_exact<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut opts = ExactOptions::default();
+    let mut baseline = false;
+    let mut verbose = false;
+    for flag in it {
+        match flag {
+            "--baseline" => baseline = true,
+            "--no-core" => opts.core_pruning = false,
+            "--no-gamma" => opts.gamma_pruning = false,
+            "--no-warm" => opts.warm_start = false,
+            "--no-dc" => opts.divide_and_conquer = false,
+            "--verbose" => verbose = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let report = if baseline { FlowExact.solve(&g) } else { DcExact::with_options(opts).solve(&g) };
+    write_solution(out, &report.solution)?;
+    writeln!(out, "ratios solved        {}", report.ratios_solved)?;
+    writeln!(out, "flow decisions       {}", report.flow_decisions)?;
+    writeln!(out, "pruned (structural)  {}", report.ratios_pruned_structural)?;
+    writeln!(out, "pruned (gamma)       {}", report.ratios_pruned_gamma)?;
+    if let Some(w) = report.warm_start_density {
+        writeln!(out, "warm start density   {w:.6}")?;
+    }
+    if verbose {
+        writeln!(out, "network nodes per decision: {:?}", report.network_nodes)?;
+    }
+    Ok(())
+}
+
+fn cmd_approx<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut algo = "core".to_string();
+    let mut epsilon = 0.1f64;
+    let mut threads = 1usize;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--algo" => algo = parse_flag_value("--algo", it.next())?,
+            "--epsilon" => epsilon = parse_flag_value("--epsilon", it.next())?,
+            "--threads" => threads = parse_flag_value("--threads", it.next())?,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    match algo.as_str() {
+        "core" => {
+            let r = if threads > 1 {
+                parallel::core_approx_parallel(&g, threads)
+            } else {
+                core_approx(&g)
+            };
+            write_solution(out, &r.solution)?;
+            writeln!(out, "core            [{}, {}]", r.x, r.y)?;
+            writeln!(out, "certified range [{:.6}, {:.6}]", r.lower_bound, r.upper_bound)?;
+            writeln!(out, "guarantee       2-approximation")?;
+        }
+        "grid" => {
+            let r = if threads > 1 {
+                parallel::grid_peel_parallel(&g, epsilon, threads)
+            } else {
+                GridPeel::new(epsilon).solve(&g)
+            };
+            write_solution(out, &r.solution)?;
+            writeln!(out, "ratios tried    {}", r.ratios_tried)?;
+            writeln!(out, "guarantee       2(1+ε)-approximation, ε = {epsilon}")?;
+        }
+        "exhaustive" => {
+            let r = ExhaustivePeel.solve(&g);
+            write_solution(out, &r.solution)?;
+            writeln!(out, "ratios tried    {}", r.ratios_tried)?;
+            writeln!(out, "guarantee       2-approximation")?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (expected core|grid|exhaustive)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_core<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut xy: Option<(u64, u64)> = None;
+    let mut max_product = false;
+    let mut want_skyline = false;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--xy" => {
+                let v: String = parse_flag_value("--xy", it.next())?;
+                let (x, y) = v
+                    .split_once(',')
+                    .ok_or_else(|| CliError::Usage("--xy expects X,Y".into()))?;
+                xy = Some((
+                    x.parse().map_err(|_| CliError::Usage(format!("bad x {x:?}")))?,
+                    y.parse().map_err(|_| CliError::Usage(format!("bad y {y:?}")))?,
+                ));
+            }
+            "--max-product" => max_product = true,
+            "--skyline" => want_skyline = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    if let Some((x, y)) = xy {
+        let core = xy_core(&g, x, y);
+        writeln!(out, "[{x},{y}]-core: |S| = {}, |T| = {}", core.s_count(), core.t_count())?;
+        if !core.is_empty() {
+            writeln!(out, "density {}", core.density(&g))?;
+        }
+    } else if max_product {
+        match max_product_core(&g) {
+            Some(best) => {
+                writeln!(out, "max product core [{},{}], x·y = {}", best.x, best.y, best.product())?;
+                writeln!(
+                    out,
+                    "|S| = {}, |T| = {}, density {}",
+                    best.mask.s_count(),
+                    best.mask.t_count(),
+                    best.mask.density(&g)
+                )?;
+            }
+            None => writeln!(out, "graph has no edges; no core exists")?,
+        }
+    } else if want_skyline {
+        writeln!(out, "x\ty_max")?;
+        for p in skyline(&g) {
+            writeln!(out, "{}\t{}", p.x, p.y)?;
+        }
+    } else {
+        return Err(CliError::Usage(
+            "core needs one of --xy X,Y | --max-product | --skyline".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_peel<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut ratio: Option<(u64, u64)> = None;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--ratio" => {
+                let v: String = parse_flag_value("--ratio", it.next())?;
+                let (a, b) = v
+                    .split_once('/')
+                    .ok_or_else(|| CliError::Usage("--ratio expects A/B".into()))?;
+                ratio = Some((
+                    a.parse().map_err(|_| CliError::Usage(format!("bad numerator {a:?}")))?,
+                    b.parse().map_err(|_| CliError::Usage(format!("bad denominator {b:?}")))?,
+                ));
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let (a, b) = ratio.ok_or_else(|| CliError::Usage("peel needs --ratio A/B".into()))?;
+    if a == 0 || b == 0 {
+        return Err(CliError::Usage("ratio components must be positive".into()));
+    }
+    let sol = dds_core::peel_at_rational_ratio(&g, a, b);
+    write_solution(out, &sol)?;
+    Ok(())
+}
+
+fn cmd_topk<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut k = 3usize;
+    let mut algo = "exact".to_string();
+    while let Some(flag) = it.next() {
+        match flag {
+            "--k" => k = parse_flag_value("--k", it.next())?,
+            "--algo" => algo = parse_flag_value("--algo", it.next())?,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let solver = match algo.as_str() {
+        "exact" => TopKSolver::Exact,
+        "core" => TopKSolver::CoreApprox,
+        "grid" => TopKSolver::GridPeel(0.1),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (expected exact|core|grid)"
+            )))
+        }
+    };
+    let found = top_k_dense_pairs(&g, k, solver);
+    writeln!(out, "found {} vertex-disjoint dense pairs", found.len())?;
+    for (i, sol) in found.iter().enumerate() {
+        writeln!(out, "
+#{} density {}", i + 1, sol.density)?;
+        writeln!(out, "  S = {:?}", sol.pair.s())?;
+        writeln!(out, "  T = {:?}", sol.pair.t())?;
+    }
+    Ok(())
+}
+
+fn cmd_dot<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let g = load(it.next())?;
+    let mut highlight = false;
+    for flag in it {
+        match flag {
+            "--highlight" => highlight = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let pair = if highlight { Some(DcExact::new().solve(&g).solution.pair) } else { None };
+    write!(out, "{}", dds_graph::to_dot(&g, pair.as_ref()))?;
+    Ok(())
+}
+
+fn cmd_gen<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let family = it
+        .next()
+        .ok_or_else(|| CliError::Usage("gen needs a family: gnm|powerlaw|planted".into()))?
+        .to_string();
+    let mut n: Option<usize> = None;
+    let mut m: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut alpha = 2.2f64;
+    let mut plant: Option<(usize, usize, f64)> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--n" => n = Some(parse_flag_value("--n", it.next())?),
+            "--m" => m = Some(parse_flag_value("--m", it.next())?),
+            "--seed" => seed = parse_flag_value("--seed", it.next())?,
+            "--alpha" => alpha = parse_flag_value("--alpha", it.next())?,
+            "--plant" => {
+                let v: String = parse_flag_value("--plant", it.next())?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(CliError::Usage("--plant expects S,T,P".into()));
+                }
+                plant = Some((
+                    parts[0].parse().map_err(|_| CliError::Usage("bad plant S".into()))?,
+                    parts[1].parse().map_err(|_| CliError::Usage("bad plant T".into()))?,
+                    parts[2].parse().map_err(|_| CliError::Usage("bad plant P".into()))?,
+                ));
+            }
+            "--out" => out_path = Some(parse_flag_value("--out", it.next())?),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let n = n.ok_or_else(|| CliError::Usage("gen needs --n".into()))?;
+    let m = m.ok_or_else(|| CliError::Usage("gen needs --m".into()))?;
+    let graph = match family.as_str() {
+        "gnm" => gen::gnm(n, m, seed),
+        "powerlaw" => gen::power_law(n, m, alpha, seed),
+        "planted" => {
+            let (s, t, p) = plant.ok_or_else(|| {
+                CliError::Usage("planted family needs --plant S,T,P".into())
+            })?;
+            let planted = gen::planted(n, m, s, t, p, seed);
+            writeln!(out, "# planted S = {:?}", planted.pair.s())?;
+            writeln!(out, "# planted T = {:?}", planted.pair.t())?;
+            planted.graph
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family {other:?} (expected gnm|powerlaw|planted)"
+            )))
+        }
+    };
+    let path = out_path.ok_or_else(|| CliError::Usage("gen needs --out <file>".into()))?;
+    save_edge_list(&graph, &path)?;
+    writeln!(out, "wrote {} vertices, {} edges to {path}", graph.n(), graph.m())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).expect("command should succeed");
+        String::from_utf8(buf).unwrap()
+    }
+
+    fn run_err(args: &[&str]) -> CliError {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&args, &mut buf).expect_err("command should fail")
+    }
+
+    fn temp_graph() -> String {
+        let path = std::env::temp_dir().join(format!(
+            "dds_cli_test_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let g = dds_graph::gen::complete_bipartite(2, 3);
+        save_edge_list(&g, &path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("usage:"));
+        assert!(run_ok(&[]).contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(matches!(run_err(&["frobnicate"]), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn stats_reports_counts() {
+        let path = temp_graph();
+        let out = run_ok(&["stats", &path]);
+        assert!(out.contains("vertices        5"), "{out}");
+        assert!(out.contains("edges           6"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exact_finds_the_optimum() {
+        let path = temp_graph();
+        let out = run_ok(&["exact", &path]);
+        assert!(out.contains("6/√(2·3)"), "{out}");
+        let base = run_ok(&["exact", &path, "--baseline"]);
+        assert!(base.contains("6/√(2·3)"), "{base}");
+        let ablated = run_ok(&["exact", &path, "--no-core", "--no-gamma", "--verbose"]);
+        assert!(ablated.contains("network nodes"), "{ablated}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn approx_variants_run() {
+        let path = temp_graph();
+        for algo in ["core", "grid", "exhaustive"] {
+            let out = run_ok(&["approx", &path, "--algo", algo]);
+            assert!(out.contains("density"), "{algo}: {out}");
+        }
+        let par = run_ok(&["approx", &path, "--algo", "grid", "--threads", "2"]);
+        assert!(par.contains("ratios tried"), "{par}");
+        assert!(matches!(run_err(&["approx", &path, "--algo", "magic"]), CliError::Usage(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn core_subcommands() {
+        let path = temp_graph();
+        let out = run_ok(&["core", &path, "--xy", "3,2"]);
+        assert!(out.contains("|S| = 2, |T| = 3"), "{out}");
+        let out = run_ok(&["core", &path, "--max-product"]);
+        assert!(out.contains("x·y = 6"), "{out}");
+        let out = run_ok(&["core", &path, "--skyline"]);
+        assert!(out.lines().count() >= 3, "{out}");
+        assert!(matches!(run_err(&["core", &path]), CliError::Usage(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn peel_requires_ratio() {
+        let path = temp_graph();
+        let out = run_ok(&["peel", &path, "--ratio", "2/3"]);
+        assert!(out.contains("density"), "{out}");
+        assert!(matches!(run_err(&["peel", &path]), CliError::Usage(_)));
+        assert!(matches!(run_err(&["peel", &path, "--ratio", "0/3"]), CliError::Usage(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn topk_lists_disjoint_pairs() {
+        let path = temp_graph();
+        let out = run_ok(&["topk", &path, "--k", "2", "--algo", "exact"]);
+        assert!(out.contains("#1 density"), "{out}");
+        assert!(matches!(run_err(&["topk", &path, "--algo", "nope"]), CliError::Usage(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let path = temp_graph();
+        let out = run_ok(&["dot", &path]);
+        assert!(out.starts_with("digraph dds {"), "{out}");
+        let hi = run_ok(&["dot", &path, "--highlight"]);
+        assert!(hi.contains("crimson"), "{hi}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gen_writes_a_loadable_graph() {
+        let out_path = std::env::temp_dir().join(format!(
+            "dds_cli_gen_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let msg = run_ok(&["gen", "gnm", "--n", "20", "--m", "50", "--seed", "7", "--out", &out_str]);
+        assert!(msg.contains("wrote 20 vertices, 50 edges"), "{msg}");
+        let g = load_edge_list(&out_path, &ParseOptions::default()).unwrap();
+        assert_eq!((g.n(), g.m()), (20, 50));
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn gen_planted_emits_block_location() {
+        let out_path = std::env::temp_dir().join(format!(
+            "dds_cli_plant_{}_{:?}.txt",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let out_str = out_path.to_string_lossy().into_owned();
+        let msg = run_ok(&[
+            "gen", "planted", "--n", "30", "--m", "60", "--plant", "3,4,1.0", "--out", &out_str,
+        ]);
+        assert!(msg.contains("# planted S"), "{msg}");
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn missing_file_propagates_graph_error() {
+        assert!(matches!(
+            run_err(&["stats", "/definitely/not/here.txt"]),
+            CliError::Graph(_)
+        ));
+    }
+}

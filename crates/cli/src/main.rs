@@ -1,0 +1,33 @@
+//! `dds` — command-line interface for directed densest subgraph discovery.
+//!
+//! ```text
+//! dds stats   <edge-list>
+//! dds exact   <edge-list> [--baseline] [--no-core] [--no-gamma] [--no-warm] [--no-dc] [--verbose]
+//! dds approx  <edge-list> [--algo core|grid|exhaustive] [--epsilon ε] [--threads N]
+//! dds core    <edge-list> (--xy X,Y | --max-product | --skyline)
+//! dds peel    <edge-list> --ratio A/B
+//! dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha α]
+//!             [--plant S,T,P] --out <file>
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v` lines with `#`/`%` comments
+//! (SNAP/KONECT style). All logic lives in [`cli`]; `main` only wires up
+//! stdio so the whole surface is unit-testable.
+
+mod cli;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match cli::run(&args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dds: {e}");
+            eprintln!("run `dds help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `ExhaustivePeel`: peeling at **every** candidate ratio — the quadratic
+//! 2-approximation baseline the paper's `CoreApprox` is measured against.
+
+use dds_graph::DiGraph;
+use dds_num::candidate_ratios;
+
+use crate::approx::PeelResult;
+use crate::peel::peel_at_rational_ratio;
+use crate::DdsSolution;
+
+/// Charikar-style exhaustive peeling: one peel per reduced ratio `a/b`
+/// with `a, b ≤ n` (Θ(n²) ratios), exact rational side comparisons.
+///
+/// Because the sweep includes the optimum's own ratio `c*`, the best state
+/// is a true 2-approximation — at `Θ(n²·(n+m))` total cost, which is the
+/// gap `CoreApprox` closes. Keep this on small graphs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExhaustivePeel;
+
+impl ExhaustivePeel {
+    /// Maximum `n` accepted (the ratio set is quadratic in `n`).
+    pub const MAX_N: usize = 4096;
+
+    /// Runs the full sweep.
+    ///
+    /// # Panics
+    /// Panics if `g.n() > Self::MAX_N`.
+    #[must_use]
+    pub fn solve(&self, g: &DiGraph) -> PeelResult {
+        assert!(
+            g.n() <= Self::MAX_N,
+            "ExhaustivePeel is the quadratic baseline; n = {} is too large (max {}) — use GridPeel or core_approx",
+            g.n(),
+            Self::MAX_N
+        );
+        let mut best = DdsSolution::empty();
+        let ratios = candidate_ratios(g.n() as u64);
+        let ratios_tried = ratios.len();
+        for r in ratios {
+            best.improve_to(peel_at_rational_ratio(g, r.a(), r.b()));
+        }
+        PeelResult { solution: best, ratios_tried }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::brute_force_dds;
+    use dds_graph::gen;
+    use dds_num::Density;
+
+    #[test]
+    fn two_approximation_against_brute_force() {
+        for seed in 0..10 {
+            let g = gen::gnm(8, 22, seed);
+            let opt = brute_force_dds(&g).density;
+            let got = ExhaustivePeel.solve(&g).solution.density;
+            assert!(got <= opt);
+            // Exact half-approximation check.
+            let lhs = 4u128
+                * u128::from(got.edges)
+                * u128::from(got.edges)
+                * u128::from(opt.s)
+                * u128::from(opt.t);
+            let rhs = u128::from(opt.edges)
+                * u128::from(opt.edges)
+                * u128::from(got.s)
+                * u128::from(got.t);
+            assert!(lhs >= rhs, "seed={seed}: {got} vs {opt}");
+        }
+    }
+
+    #[test]
+    fn recovers_planted_fixtures_exactly() {
+        let g = gen::complete_bipartite(2, 5);
+        let r = ExhaustivePeel.solve(&g);
+        assert_eq!(r.solution.density, Density::new(10, 2, 5));
+        // n = 7 ⇒ 2·Σφ(k≤7) − 1 ratios.
+        assert_eq!(r.ratios_tried, dds_num::candidate_ratios(7).len());
+    }
+
+    #[test]
+    fn dominates_grid_peel() {
+        // Exhaustive includes every grid-reachable state's ratio, so it
+        // cannot do worse than a coarse grid.
+        let g = gen::gnm(24, 110, 5);
+        let exhaustive = ExhaustivePeel.solve(&g).solution.density;
+        let grid = crate::GridPeel::new(1.0).solve(&g).solution.density;
+        assert!(exhaustive >= grid);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = ExhaustivePeel.solve(&DiGraph::empty(0));
+        assert_eq!(r.solution, DdsSolution::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_graph_rejected() {
+        let _ = ExhaustivePeel.solve(&DiGraph::empty(5000));
+    }
+
+    use dds_graph::DiGraph;
+}

@@ -1,0 +1,20 @@
+//! Approximation algorithms: the paper's `CoreApprox` and the peeling
+//! baselines it is compared against.
+
+mod core_approx;
+mod exhaustive_peel;
+mod grid_peel;
+
+pub use core_approx::{core_approx, CoreApproxResult};
+pub use exhaustive_peel::ExhaustivePeel;
+pub use grid_peel::GridPeel;
+
+/// Result of a peeling-based approximation: the best state over all ratios
+/// tried, plus how many peels it cost.
+#[derive(Clone, Debug)]
+pub struct PeelResult {
+    /// The best pair found and its exact density.
+    pub solution: crate::DdsSolution,
+    /// Number of ratio peels executed.
+    pub ratios_tried: usize,
+}

@@ -1,0 +1,566 @@
+//! The exact-search driver: ratio-space traversal with pruning.
+//!
+//! Both exact solvers share one engine differing only in options:
+//!
+//! * [`FlowExact`] — the Khuller–Saha/Charikar-style baseline: solve
+//!   **every** reduced ratio `a/b` (`a, b ≤ n`, `Θ(n²)` of them) by
+//!   flow-based binary search. Correct because any optimum has such a
+//!   ratio, and the per-ratio optimum at the true ratio *is* `ρ_opt`.
+//! * [`DcExact`] — the paper's contribution: walk the Stern–Brocot tree of
+//!   ratios (mediant-first), and prune whole subtrees with three devices:
+//!
+//!   1. **structural band** — a pair with ratio `c'` has
+//!      `ρ ≤ min(d⁺max·√c', d⁻max/√c')` (each side's edges are bounded by
+//!      its size times the opposite max degree), so intervals entirely
+//!      outside `[ρ̃²/d⁺max², d⁻max²/ρ̃²]` are discarded with an exact
+//!      rational comparison, and test ratios are jumped into the band;
+//!   2. **γ transfer certificates** — a per-ratio certificate
+//!      "`β*(c₀) ≤ u`" implies, for every pair of ratio `c'`,
+//!      `ρ ≤ (u/√(a₀b₀))·γ(c₀, c')` with
+//!      `γ(c, c') = (√(c'/c) + √(c/c'))/2`; an interval whose endpoints
+//!      stay below the best density is pruned (computed in `f64` with a
+//!      relative safety margin — pruning is *conservative*, never
+//!      correctness-bearing);
+//!   3. **floors and cores** — each per-ratio search starts at the β-image
+//!      of the best density so far and runs its flows on
+//!      `[⌈β/2a⌉, ⌈β/2b⌉]`-cores (see `per_ratio`), so late ratios cost
+//!      little even when not pruned outright.
+//!
+//!   A warm start from [`core_approx`] seeds the best density at
+//!   `≥ ρ_opt/2` before any flow runs.
+//!
+//! Subtree pruning is lossless for enumeration: every reduced ratio
+//! strictly inside an interval is a Stern–Brocot descendant of the
+//! *simplest* ratio inside it, and descent only grows both components, so
+//! "simplest exceeds `n`" certifies the interval holds no candidate. The
+//! solved ratio itself may be chosen anywhere inside the interval — by
+//! default the simplest, but jumped into the structural density band when
+//! that clips the interval (see [`choose_test_ratio`]) — because the two
+//! child intervals still cover everything else.
+
+use std::collections::VecDeque;
+
+use dds_graph::DiGraph;
+use dds_num::{candidate_ratios, simplest_between, Frac, Ratio};
+
+use crate::approx::core_approx;
+use crate::exact::per_ratio::solve_ratio;
+use crate::DdsSolution;
+
+/// Toggles for the exact engine (the ablation axes of experiment E4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExactOptions {
+    /// Stern–Brocot divide-and-conquer instead of scanning all `Θ(n²)`
+    /// ratios.
+    pub divide_and_conquer: bool,
+    /// Run each flow decision on the guess-derived `[x, y]`-core.
+    pub core_pruning: bool,
+    /// Prune ratio intervals with γ transfer certificates.
+    pub gamma_pruning: bool,
+    /// Seed the best density with `core_approx` before any flow.
+    pub warm_start: bool,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            divide_and_conquer: true,
+            core_pruning: true,
+            gamma_pruning: true,
+            warm_start: true,
+        }
+    }
+}
+
+/// Full outcome of an exact run: the optimum plus instrumentation for the
+/// efficiency experiments (E2–E4).
+#[derive(Clone, Debug)]
+pub struct ExactReport {
+    /// The optimal pair and its exact density.
+    pub solution: DdsSolution,
+    /// Ratio intervals examined (divide-and-conquer) or ratios listed
+    /// (baseline).
+    pub ratios_considered: usize,
+    /// Ratios for which a per-ratio search actually ran.
+    pub ratios_solved: usize,
+    /// Intervals discarded by the structural density band.
+    pub ratios_pruned_structural: usize,
+    /// Intervals discarded by γ transfer certificates.
+    pub ratios_pruned_gamma: usize,
+    /// Total flow decisions executed.
+    pub flow_decisions: usize,
+    /// Flow-network node counts, one per decision in execution order
+    /// (experiment E3 plots the shrinkage).
+    pub network_nodes: Vec<usize>,
+    /// Flow-network edge counts, aligned with `network_nodes`.
+    pub network_edges: Vec<usize>,
+    /// Density of the warm-start solution, when one was used.
+    pub warm_start_density: Option<f64>,
+}
+
+impl ExactReport {
+    fn new() -> Self {
+        ExactReport {
+            solution: DdsSolution::empty(),
+            ratios_considered: 0,
+            ratios_solved: 0,
+            ratios_pruned_structural: 0,
+            ratios_pruned_gamma: 0,
+            flow_decisions: 0,
+            network_nodes: Vec::new(),
+            network_edges: Vec::new(),
+            warm_start_density: None,
+        }
+    }
+}
+
+/// A certificate `β*(c₀) ≤ u` re-expressed as a density bound
+/// `g₀ = u/√(a₀b₀)`, kept in `f64` with an upward safety margin.
+#[derive(Clone, Copy, Debug)]
+struct Certificate {
+    c0: f64,
+    g0: f64,
+}
+
+/// `γ(c, c') = (√(c'/c) + √(c/c'))/2`; `∞` at the virtual endpoints.
+fn gamma(c0: f64, c_prime: f64) -> f64 {
+    if c_prime <= 0.0 || c_prime.is_infinite() {
+        return f64::INFINITY;
+    }
+    0.5 * ((c_prime / c0).sqrt() + (c0 / c_prime).sqrt())
+}
+
+/// Relative margin applied to every f64 pruning comparison; densities and
+/// γ values carry ~1e-15 relative error, so 1e-9 is vastly conservative.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+fn gamma_prunes(certs: &[Certificate], cl: Ratio, cr: Ratio, best: f64) -> bool {
+    if best <= 0.0 {
+        return false;
+    }
+    let (cl_f, cr_f) = (cl.to_f64(), cr.to_f64());
+    certs.iter().any(|cert| {
+        let ub = cert.g0 * gamma(cert.c0, cl_f).max(gamma(cert.c0, cr_f));
+        ub * (1.0 + PRUNE_MARGIN) <= best * (1.0 - PRUNE_MARGIN)
+    })
+}
+
+/// The simplest ratio (componentwise-minimal) strictly inside `(cl, cr)`;
+/// endpoints may be the virtual `0` / `∞`. Every rational strictly inside
+/// the interval is a Stern–Brocot descendant of this one, so its components
+/// lower-bound all candidates inside — which makes "simplest exceeds `n`"
+/// a sound emptiness certificate for the whole interval.
+fn simplest_ratio_between(cl: Ratio, cr: Ratio) -> Ratio {
+    if cr.is_infinite() {
+        // Smallest integer strictly above cl.
+        let next = if cl.is_zero() { 1 } else { u64::try_from(cl.as_frac().floor()).expect("ratio fits u64") + 1 };
+        return Ratio::new(next, 1);
+    }
+    let lo = if cl.is_zero() { Frac::ZERO } else { cl.as_frac() };
+    let f = simplest_between(lo, cr.as_frac());
+    Ratio::new(
+        u64::try_from(f.num()).expect("positive numerator"),
+        u64::try_from(f.den()).expect("positive denominator"),
+    )
+}
+
+/// Picks the ratio to solve inside the open interval `(cl, cr)`, or `None`
+/// when the interval provably holds no viable candidate ratio.
+///
+/// Default choice: the simplest ratio inside (for Stern–Brocot-neighbour
+/// intervals this is the mediant). When the structural density band
+/// `[ρ̃²/d⁺max², d⁻max²/ρ̃²]` clips the interval, the choice jumps straight
+/// into the band — without this, a graph whose optimum sits at an extreme
+/// ratio (e.g. a star, c* = 1/k) forces a linear walk down the tree spine
+/// with one full ratio-solve per rung.
+fn choose_test_ratio(
+    cl: Ratio,
+    cr: Ratio,
+    best: &DdsSolution,
+    d_out_max: u64,
+    d_in_max: u64,
+    n: u64,
+) -> Option<Ratio> {
+    let simplest = simplest_ratio_between(cl, cr);
+    if simplest.a() > n || simplest.b() > n {
+        return None; // no achievable ratio inside
+    }
+    if best.density.is_zero() {
+        return Some(simplest);
+    }
+    // Clamp to the band (exact rationals; band endpoints are closed).
+    let rho2 = best.density.squared();
+    let band_lo = rho2 / Frac::new(i128::from(d_out_max) * i128::from(d_out_max), 1);
+    let band_hi = Frac::new(i128::from(d_in_max) * i128::from(d_in_max), 1) / rho2;
+    let lo = if cl.is_zero() { band_lo } else { band_lo.max(cl.as_frac()) };
+    let hi = if cr.is_infinite() { band_hi } else { band_hi.min(cr.as_frac()) };
+    let jump = if lo < hi {
+        simplest_between(lo, hi)
+    } else if lo == hi {
+        lo // the band ∩ interval is a single (rational) point
+    } else {
+        return Some(simplest); // structurally dead; the caller's band check decides
+    };
+    let (num, den) = match (u64::try_from(jump.num()), u64::try_from(jump.den())) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return Some(simplest),
+    };
+    if num == 0 || num > n || den > n {
+        return Some(simplest);
+    }
+    let c = Ratio::new(num, den);
+    if cl < c && c < cr {
+        Some(c)
+    } else {
+        Some(simplest)
+    }
+}
+
+/// Exact structural band check: no ratio strictly inside `(cl, cr)` can
+/// reach the best density ρ̃.
+///
+/// A pair with ratio `c' = |S|/|T|` has `|E| ≤ |S|·d⁺max`, so
+/// `ρ ≤ d⁺max·√c'` — prune when `(d⁺max)²·cr ≤ ρ̃²`. Symmetrically
+/// `|E| ≤ |T|·d⁻max` gives `ρ ≤ d⁻max/√c'` — prune when
+/// `(d⁻max)² ≤ ρ̃²·cl`. Both comparisons are exact rationals.
+fn structurally_pruned(cl: Ratio, cr: Ratio, best: &DdsSolution, d_out_max: u64, d_in_max: u64) -> bool {
+    if best.density.is_zero() {
+        return false;
+    }
+    let rho2 = best.density.squared();
+    let sq = |d: u64| Frac::new(i128::from(d) * i128::from(d), 1);
+    if !cl.is_zero() && !cl.is_infinite() && sq(d_in_max) <= rho2 * cl.as_frac() {
+        return true;
+    }
+    if !cr.is_infinite() && !cr.is_zero() && sq(d_out_max) * cr.as_frac() <= rho2 {
+        return true;
+    }
+    false
+}
+
+fn run_exact(g: &DiGraph, opts: ExactOptions) -> ExactReport {
+    let mut report = ExactReport::new();
+    let n = g.n() as u64;
+    let m = g.m() as u64;
+    if m == 0 {
+        return report;
+    }
+    let d_out_max = g.max_out_degree() as u64;
+    let d_in_max = g.max_in_degree() as u64;
+
+    if opts.warm_start {
+        let warm = core_approx(g);
+        report.warm_start_density = Some(warm.solution.density.to_f64());
+        report.solution.improve_to(warm.solution);
+    }
+
+    // Tight certificates are only worth their extra flows when the
+    // divide-and-conquer driver consumes them for γ-pruning.
+    let tighten = opts.divide_and_conquer && opts.gamma_pruning;
+    let solve_one = |a: u64, b: u64, report: &mut ExactReport| -> Frac {
+        let floor = if report.solution.density.is_zero() {
+            Frac::ZERO
+        } else {
+            report.solution.density.beta_lower_bound(a, b)
+        };
+        let seed = if report.solution.pair.is_empty() {
+            None
+        } else {
+            Some(report.solution.pair.clone())
+        };
+        let outcome = solve_ratio(g, a, b, floor, opts.core_pruning, tighten, seed.as_ref());
+        report.ratios_solved += 1;
+        report.flow_decisions += outcome.decisions.len();
+        for d in &outcome.decisions {
+            report.network_nodes.push(d.nodes);
+            report.network_edges.push(d.edges);
+        }
+        if let Some((pair, _)) = outcome.best {
+            report.solution.improve_to(DdsSolution::from_pair(g, pair));
+        }
+        outcome.certified_upper
+    };
+
+    if opts.divide_and_conquer {
+        let mut certs: Vec<Certificate> = Vec::new();
+        let mut queue: VecDeque<(Ratio, Ratio)> = VecDeque::new();
+        queue.push_back((Ratio::ZERO, Ratio::INFINITY));
+        while let Some((cl, cr)) = queue.pop_front() {
+            let Some(c) = choose_test_ratio(cl, cr, &report.solution, d_out_max, d_in_max, n)
+            else {
+                continue; // no achievable ratio remains inside (cl, cr)
+            };
+            report.ratios_considered += 1;
+            if structurally_pruned(cl, cr, &report.solution, d_out_max, d_in_max) {
+                report.ratios_pruned_structural += 1;
+                continue;
+            }
+            if opts.gamma_pruning
+                && gamma_prunes(&certs, cl, cr, report.solution.density.to_f64())
+            {
+                report.ratios_pruned_gamma += 1;
+                continue;
+            }
+            let upper = solve_one(c.a(), c.b(), &mut report);
+            let ab = (c.a() as f64) * (c.b() as f64);
+            certs.push(Certificate {
+                c0: c.to_f64(),
+                g0: (upper.to_f64() / ab.sqrt()) * (1.0 + PRUNE_MARGIN),
+            });
+            queue.push_back((cl, c));
+            queue.push_back((c, cr));
+        }
+    } else {
+        assert!(
+            g.n() <= 4096,
+            "the all-ratios baseline enumerates Θ(n²) ratios; n = {} is too large — enable divide_and_conquer",
+            g.n()
+        );
+        for r in candidate_ratios(n) {
+            report.ratios_considered += 1;
+            let _ = solve_one(r.a(), r.b(), &mut report);
+        }
+    }
+    report
+}
+
+/// The `Θ(n²)`-ratio exact baseline (flow binary search at every candidate
+/// ratio, no pruning devices). This is the algorithm the paper's exact
+/// solver is benchmarked against; expect it to be orders of magnitude
+/// slower than [`DcExact`] beyond toy sizes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowExact;
+
+impl FlowExact {
+    /// Solves exactly. See [`ExactReport`].
+    #[must_use]
+    pub fn solve(&self, g: &DiGraph) -> ExactReport {
+        run_exact(
+            g,
+            ExactOptions {
+                divide_and_conquer: false,
+                core_pruning: false,
+                gamma_pruning: false,
+                warm_start: false,
+            },
+        )
+    }
+}
+
+/// The paper's exact solver: divide-and-conquer over the ratio space with
+/// core-shrunk flow networks, γ certificates, and a `core_approx` warm
+/// start. All devices can be toggled via [`ExactOptions`] for ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DcExact {
+    /// Engine toggles (all enabled by [`Default`]).
+    pub options: ExactOptions,
+}
+
+impl DcExact {
+    /// Solver with all optimisations enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solver with explicit toggles (ablation studies).
+    #[must_use]
+    pub fn with_options(options: ExactOptions) -> Self {
+        DcExact { options }
+    }
+
+    /// Solves exactly. See [`ExactReport`].
+    #[must_use]
+    pub fn solve(&self, g: &DiGraph) -> ExactReport {
+        run_exact(g, self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::brute_force_dds;
+    use dds_graph::gen;
+    use dds_num::Density;
+
+    fn all_option_combos() -> Vec<ExactOptions> {
+        let mut out = Vec::new();
+        for dc in [false, true] {
+            for core in [false, true] {
+                for gamma in [false, true] {
+                    for warm in [false, true] {
+                        out.push(ExactOptions {
+                            divide_and_conquer: dc,
+                            core_pruning: core,
+                            gamma_pruning: gamma,
+                            warm_start: warm,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn fixtures_have_known_optima() {
+        let cases: Vec<(DiGraph, Density)> = vec![
+            (gen::complete_bipartite(2, 3), Density::new(6, 2, 3)),
+            (gen::out_star(4), Density::new(4, 1, 4)),
+            (gen::cycle(5), Density::new(1, 1, 1)),
+            (gen::path(4), Density::new(1, 1, 1)),
+            (gen::complete_bipartite(3, 3), Density::new(9, 3, 3)),
+        ];
+        for (g, want) in cases {
+            let got = DcExact::new().solve(&g);
+            assert_eq!(got.solution.density, want);
+            let base = FlowExact.solve(&g);
+            assert_eq!(base.solution.density, want);
+        }
+    }
+
+    #[test]
+    fn every_option_combo_matches_brute_force() {
+        for seed in 0..6 {
+            let g = gen::gnm(7, 18, seed);
+            let want = brute_force_dds(&g).density;
+            for opts in all_option_combos() {
+                let got = DcExact::with_options(opts).solve(&g);
+                assert_eq!(got.solution.density, want, "seed={seed} opts={opts:?}");
+                // The reported pair really has the reported density.
+                assert_eq!(got.solution.pair.density(&g), got.solution.density);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_matches_baseline_on_medium_graphs() {
+        for seed in 0..3 {
+            let g = gen::gnm(22, 90, seed);
+            let dc = DcExact::new().solve(&g);
+            let base = FlowExact.solve(&g);
+            assert_eq!(dc.solution.density, base.solution.density, "seed={seed}");
+        }
+        let g = gen::power_law(25, 110, 2.2, 1);
+        assert_eq!(
+            DcExact::new().solve(&g).solution.density,
+            FlowExact.solve(&g).solution.density
+        );
+    }
+
+    #[test]
+    fn planted_block_recovered_exactly() {
+        let p = gen::planted(60, 90, 4, 6, 1.0, 11);
+        let got = DcExact::new().solve(&p.graph);
+        // The planted complete block has density √24 ≈ 4.9; the sparse
+        // background cannot beat it, and the solver must return at least
+        // the planted density.
+        assert!(got.solution.density >= p.pair.density(&p.graph));
+        assert!(crate::validate::is_locally_maximal(&p.graph, &got.solution.pair));
+    }
+
+    #[test]
+    fn dc_solves_far_fewer_ratios_than_baseline() {
+        // Uniform graphs are the flat-envelope worst case for γ-pruning;
+        // expect a moderate factor there and a larger one on skewed
+        // graphs (matching the paper's dataset-dependent gains).
+        let g = gen::gnm(30, 160, 4);
+        let dc = DcExact::new().solve(&g);
+        let base = FlowExact.solve(&g);
+        assert_eq!(dc.solution.density, base.solution.density);
+        assert!(
+            dc.ratios_solved * 4 < base.ratios_solved,
+            "DC solved {} ratios vs baseline {}",
+            dc.ratios_solved,
+            base.ratios_solved
+        );
+        assert!(dc.flow_decisions < base.flow_decisions);
+
+        let g = gen::power_law(60, 400, 2.2, 4);
+        let dc = DcExact::new().solve(&g);
+        let base = FlowExact.solve(&g);
+        assert_eq!(dc.solution.density, base.solution.density);
+        assert!(
+            dc.ratios_solved * 10 < base.ratios_solved,
+            "power-law: DC solved {} ratios vs baseline {}",
+            dc.ratios_solved,
+            base.ratios_solved
+        );
+        assert!(dc.flow_decisions * 5 < base.flow_decisions);
+    }
+
+    #[test]
+    fn core_pruning_shrinks_networks_in_the_report() {
+        let p = gen::planted(50, 120, 4, 5, 1.0, 9);
+        let with = DcExact::new().solve(&p.graph);
+        let without = DcExact::with_options(ExactOptions {
+            core_pruning: false,
+            ..ExactOptions::default()
+        })
+        .solve(&p.graph);
+        assert_eq!(with.solution.density, without.solution.density);
+        let max_with = with.network_nodes.iter().max().copied().unwrap_or(0);
+        let max_without = without.network_nodes.iter().max().copied().unwrap_or(0);
+        assert!(
+            max_with <= max_without,
+            "core pruning must not grow networks ({max_with} vs {max_without})"
+        );
+    }
+
+    #[test]
+    fn structural_band_prunes_extreme_ratios_on_stars() {
+        // out_star(64): ρ_opt = 8 with c* = 1/64; d⁻max = 1 means any ratio
+        // above (d⁻max/ρ̃)² = 1/64 is structurally hopeless, so almost the
+        // whole Stern–Brocot tree dies without a single flow.
+        let g = gen::out_star(64);
+        let r = DcExact::new().solve(&g);
+        assert_eq!(r.solution.density, Density::new(64, 1, 64));
+        assert!(r.ratios_pruned_structural > 0, "band should fire");
+        assert!(
+            r.ratios_solved <= 8,
+            "star should need only a handful of ratio solves, got {}",
+            r.ratios_solved
+        );
+    }
+
+    #[test]
+    fn gamma_pruning_fires_and_preserves_the_answer() {
+        let g = gen::power_law(60, 360, 2.2, 12);
+        let with = DcExact::new().solve(&g);
+        assert!(with.ratios_pruned_gamma > 0, "γ certificates should prune intervals");
+        let without = DcExact::with_options(ExactOptions {
+            gamma_pruning: false,
+            ..ExactOptions::default()
+        })
+        .solve(&g);
+        assert_eq!(with.solution.density, without.solution.density);
+        assert!(with.ratios_solved < without.ratios_solved);
+    }
+
+    #[test]
+    fn warm_start_density_is_recorded_and_bounded() {
+        let g = gen::power_law(40, 220, 2.3, 8);
+        let r = DcExact::new().solve(&g);
+        let warm = r.warm_start_density.expect("warm start enabled");
+        assert!(warm <= r.solution.density.to_f64() + 1e-9);
+        assert!(2.0 * warm >= r.solution.density.to_f64() - 1e-9, "2-approx warm start");
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert_eq!(DcExact::new().solve(&DiGraph::empty(0)).solution, DdsSolution::empty());
+        assert_eq!(DcExact::new().solve(&DiGraph::empty(7)).solution, DdsSolution::empty());
+        assert_eq!(FlowExact.solve(&DiGraph::empty(7)).solution, DdsSolution::empty());
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let r = DcExact::new().solve(&g);
+        assert_eq!(r.solution.density, Density::new(1, 1, 1));
+        assert_eq!(r.solution.pair.s(), &[0]);
+        assert_eq!(r.solution.pair.t(), &[1]);
+    }
+
+    use dds_graph::DiGraph;
+}

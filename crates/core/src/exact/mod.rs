@@ -1,0 +1,7 @@
+//! Exact DDS solvers: the `O(n²)`-ratio flow baseline and the paper's
+//! divide-and-conquer search.
+
+mod engine;
+mod per_ratio;
+
+pub use engine::{DcExact, ExactOptions, ExactReport, FlowExact};

@@ -1,0 +1,221 @@
+//! Parallel variants of the embarrassingly parallel solvers.
+//!
+//! The paper notes that both the peeling sweeps and the core computations
+//! parallelise naturally; this module provides scoped-thread
+//! implementations (no extra dependencies) of:
+//!
+//! * [`grid_peel_parallel`] — grid points are independent peels; static
+//!   chunking over `threads` workers;
+//! * [`core_approx_parallel`] — the two `√m` sweeps of the max-product
+//!   core search, each chunked over `x`-ranges (every chunk re-derives its
+//!   own nested base from the full graph, trading a little redundant
+//!   peeling for independence).
+//!
+//! Both return results identical to their sequential counterparts (tested),
+//! so callers choose purely on wall-clock grounds (experiment E11).
+
+use std::thread;
+
+use dds_graph::{DiGraph, StMask};
+use dds_num::isqrt;
+use dds_xycore::{xy_core_within, y_max_core};
+
+use crate::approx::{CoreApproxResult, PeelResult};
+use crate::peel::peel_at_f64_ratio;
+use crate::{DdsSolution, GridPeel};
+
+/// Parallel [`GridPeel`]: identical output, grid points spread over
+/// `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0` or `epsilon` is not positive.
+#[must_use]
+pub fn grid_peel_parallel(g: &DiGraph, epsilon: f64, threads: usize) -> PeelResult {
+    assert!(threads > 0, "need at least one worker");
+    let grid = GridPeel::new(epsilon).grid(g.n());
+    let ratios_tried = grid.len();
+    if grid.is_empty() {
+        return PeelResult { solution: DdsSolution::empty(), ratios_tried };
+    }
+    let workers = threads.min(grid.len());
+    let chunk_size = grid.len().div_ceil(workers);
+    let mut locals: Vec<DdsSolution> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = grid
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut best = DdsSolution::empty();
+                    for &c in chunk {
+                        best.improve_to(peel_at_f64_ratio(g, c));
+                    }
+                    best
+                })
+            })
+            .collect();
+        for h in handles {
+            locals.push(h.join().expect("peel worker panicked"));
+        }
+    });
+    let mut best = DdsSolution::empty();
+    for local in locals {
+        best.improve_to(local);
+    }
+    PeelResult { solution: best, ratios_tried }
+}
+
+/// One orientation-chunk of the parallel max-product sweep: thresholds
+/// `x ∈ [lo, hi]` on graph `g` (already transposed for the reverse
+/// orientation). Returns the best `(x, y, mask)` in the chunk.
+fn sweep_chunk(g: &DiGraph, lo: u64, hi: u64) -> Option<(u64, u64, StMask)> {
+    let mut base = StMask::full(g.n());
+    let mut best: Option<(u64, u64, StMask)> = None;
+    let mut first = true;
+    for x in lo..=hi {
+        // Nested bases inside the chunk; the first peel jumps straight to
+        // threshold `lo`.
+        base = xy_core_within(g, &base, if first { lo } else { x }, 1);
+        first = false;
+        if base.is_empty() {
+            break;
+        }
+        let Some(r) = y_max_core(g, &base, x) else { break };
+        let product = x * r.y;
+        if best.as_ref().is_none_or(|(bx, by, _)| product > bx * by) {
+            best = Some((x, r.y, r.mask));
+        }
+        // Within-chunk early stop mirrors the sequential sweep.
+        if hi.saturating_mul(r.y) <= best.as_ref().map_or(0, |(bx, by, _)| bx * by) {
+            break;
+        }
+    }
+    best
+}
+
+/// Parallel `core_approx`: same certified 2-approximation, the two `√m`
+/// sweeps chunked across `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn core_approx_parallel(g: &DiGraph, threads: usize) -> CoreApproxResult {
+    assert!(threads > 0, "need at least one worker");
+    if g.m() == 0 {
+        return crate::core_approx(g);
+    }
+    let limit = (isqrt(g.m() as u128) as u64).max(1);
+    let rev = g.reverse();
+
+    // Split 1..=limit into contiguous chunks per orientation.
+    let per_orientation = threads.div_ceil(2).max(1);
+    let chunk = limit.div_ceil(per_orientation as u64).max(1);
+    let mut tasks: Vec<(bool, u64, u64)> = Vec::new();
+    for k in 0..per_orientation as u64 {
+        let lo = 1 + k * chunk;
+        if lo > limit {
+            break;
+        }
+        let hi = (lo + chunk - 1).min(limit);
+        tasks.push((false, lo, hi));
+        tasks.push((true, lo, hi));
+    }
+
+    let mut results: Vec<Option<(bool, u64, u64, StMask)>> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .iter()
+            .map(|&(reversed, lo, hi)| {
+                let graph = if reversed { &rev } else { g };
+                scope.spawn(move || {
+                    sweep_chunk(graph, lo, hi).map(|(x, y, mask)| (reversed, x, y, mask))
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut best: Option<(u64, u64, StMask)> = None;
+    for r in results.into_iter().flatten() {
+        let (reversed, x, y, mask) = r;
+        // Reverse-orientation results swap sides and thresholds back.
+        let (x, y, mask) = if reversed {
+            (y, x, StMask { in_s: mask.in_t, in_t: mask.in_s })
+        } else {
+            (x, y, mask)
+        };
+        if best.as_ref().is_none_or(|(bx, by, _)| x * y > bx * by) {
+            best = Some((x, y, mask));
+        }
+    }
+
+    match best {
+        None => crate::core_approx(g), // degenerate; sequential handles it
+        Some((x, y, mask)) => {
+            let solution = DdsSolution::from_pair(g, mask.to_pair());
+            let root = ((x * y) as f64).sqrt();
+            CoreApproxResult {
+                solution,
+                x,
+                y,
+                lower_bound: root,
+                upper_bound: 2.0 * root,
+                sweep_evals: 0, // not meaningful across workers
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{core_approx, GridPeel};
+    use dds_graph::gen;
+
+    #[test]
+    fn parallel_grid_peel_matches_sequential() {
+        let g = gen::power_law(150, 900, 2.2, 21);
+        let seq = GridPeel::new(0.2).solve(&g);
+        for threads in [1, 2, 4, 7] {
+            let par = grid_peel_parallel(&g, 0.2, threads);
+            assert_eq!(par.solution.density, seq.solution.density, "threads={threads}");
+            assert_eq!(par.ratios_tried, seq.ratios_tried);
+        }
+    }
+
+    #[test]
+    fn parallel_core_approx_matches_sequential_product() {
+        for seed in [3u64, 14, 159] {
+            let g = gen::gnm(120, 900, seed);
+            let seq = core_approx(&g);
+            for threads in [1, 2, 4] {
+                let par = core_approx_parallel(&g, threads);
+                // The maximum product is unique; the arg-max core need not
+                // be, so compare the certified quantities rather than the
+                // particular pair.
+                assert_eq!(par.x * par.y, seq.x * seq.y, "seed={seed} threads={threads}");
+                assert!(par.solution.density.to_f64() >= par.lower_bound - 1e-9);
+                assert!(!par.solution.pair.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_fixtures_and_degenerates() {
+        let g = gen::complete_bipartite(2, 3);
+        let par = core_approx_parallel(&g, 4);
+        assert_eq!(par.solution.density, core_approx(&g).solution.density);
+        let empty = DiGraph::empty(4);
+        assert!(core_approx_parallel(&empty, 2).solution.pair.is_empty());
+        assert!(grid_peel_parallel(&empty, 0.5, 3).solution.pair.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = grid_peel_parallel(&gen::path(3), 0.5, 0);
+    }
+
+    use dds_graph::DiGraph;
+}

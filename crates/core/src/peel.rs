@@ -1,0 +1,255 @@
+//! Greedy peeling at a fixed `|S|/|T|` ratio — the kernel of the
+//! Charikar/Khuller–Saha-style approximation algorithms.
+//!
+//! Given a target ratio `c`, the peel repeatedly removes the cheapest
+//! vertex: when `|S| ≥ c·|T|` the S-vertex with minimum current out-degree
+//! into `T`, otherwise the T-vertex with minimum current in-degree from
+//! `S`. The densest intermediate state is returned.
+//!
+//! **Guarantee** (classic, re-derived): run at the optimum's own ratio
+//! `c* = |S*|/|T*|`, the best intermediate state has `ρ ≥ ρ_opt / 2`.
+//! *Sketch:* consider the first step that removes a vertex of the optimal
+//! pair; just before it, every S-vertex of the current state has out-degree
+//! `≥ ρ_opt·√(t*/s*)/2`-ish and symmetric on T (by the optimum's
+//! local-optimality degree bounds), so the current state's density is at
+//! least half the optimum's. Since `c*` is unknown, callers sweep ratios:
+//! every candidate (`ExhaustivePeel`, 2-approx) or a geometric grid
+//! (`GridPeel`, `2(1+ε)`-approx because the grid point nearest `c*`
+//! distorts the weighting by at most `(1+ε)`).
+//!
+//! Cost per peel: `O(n + m + d_max)` using bucket queues over current
+//! degrees and a removal log that lets the best state be reconstructed
+//! without per-step snapshots.
+
+use dds_graph::{DiGraph, StMask, VertexId};
+use dds_num::Density;
+
+use crate::DdsSolution;
+
+/// Peels at the rational ratio `a/b`, comparing `|S|·b ≥ a·|T|` exactly.
+///
+/// # Panics
+/// Panics if `a == 0` or `b == 0`.
+#[must_use]
+pub fn peel_at_rational_ratio(g: &DiGraph, a: u64, b: u64) -> DdsSolution {
+    assert!(a > 0 && b > 0, "ratio components must be positive");
+    peel(g, |s, t| u128::from(s) * u128::from(b) >= u128::from(a) * u128::from(t))
+}
+
+/// Peels at an arbitrary positive ratio `c` (used for geometric grids where
+/// `c` is irrational; the side comparison is done in `f64`).
+///
+/// # Panics
+/// Panics unless `c` is finite and positive.
+#[must_use]
+pub fn peel_at_f64_ratio(g: &DiGraph, c: f64) -> DdsSolution {
+    assert!(c.is_finite() && c > 0.0, "ratio must be finite and positive");
+    peel(g, move |s, t| s as f64 >= c * t as f64)
+}
+
+/// Bucket queue over current degrees with lazy (stale-tolerant) entries.
+struct BucketQueue {
+    buckets: Vec<Vec<VertexId>>,
+    min: usize,
+}
+
+impl BucketQueue {
+    fn new(max_degree: usize) -> Self {
+        BucketQueue { buckets: vec![Vec::new(); max_degree + 1], min: 0 }
+    }
+
+    fn push(&mut self, v: VertexId, degree: usize) {
+        self.buckets[degree].push(v);
+        self.min = self.min.min(degree);
+    }
+
+    /// Pops the entry with the smallest *valid* degree; `is_current`
+    /// rejects stale entries (vertex removed or degree since decreased).
+    fn pop_min(&mut self, is_current: impl Fn(VertexId, usize) -> bool) -> Option<(VertexId, usize)> {
+        while self.min < self.buckets.len() {
+            while let Some(v) = self.buckets[self.min].pop() {
+                if is_current(v, self.min) {
+                    return Some((v, self.min));
+                }
+            }
+            self.min += 1;
+        }
+        None
+    }
+}
+
+fn peel(g: &DiGraph, prefer_s: impl Fn(u64, u64) -> bool) -> DdsSolution {
+    let n = g.n();
+    if n == 0 || g.m() == 0 {
+        return DdsSolution::empty();
+    }
+
+    let mut alive = StMask::full(n);
+    let mut deg_out = vec![0usize; n];
+    let mut deg_in = vec![0usize; n];
+    for u in 0..n as VertexId {
+        deg_out[u as usize] = g.out_degree(u);
+        deg_in[u as usize] = g.in_degree(u);
+    }
+    let mut s_queue = BucketQueue::new(g.max_out_degree());
+    let mut t_queue = BucketQueue::new(g.max_in_degree());
+    for v in 0..n as VertexId {
+        s_queue.push(v, deg_out[v as usize]);
+        t_queue.push(v, deg_in[v as usize]);
+    }
+
+    let mut s_count = n as u64;
+    let mut t_count = n as u64;
+    let mut edges = g.m() as u64;
+
+    // Removal log: (was_t_side, vertex), replayed to rebuild the best state.
+    let mut removals: Vec<(bool, VertexId)> = Vec::with_capacity(2 * n);
+    let mut best_density = Density::new(edges, s_count, t_count);
+    let mut best_prefix = 0usize;
+
+    while s_count > 0 && t_count > 0 {
+        if prefer_s(s_count, t_count) {
+            let (u, d) = s_queue
+                .pop_min(|v, d| alive.in_s[v as usize] && deg_out[v as usize] == d)
+                .expect("a live S vertex must exist while s_count > 0");
+            alive.in_s[u as usize] = false;
+            s_count -= 1;
+            edges -= d as u64;
+            removals.push((false, u));
+            for &v in g.out_neighbors(u) {
+                let v_us = v as usize;
+                if alive.in_t[v_us] {
+                    deg_in[v_us] -= 1;
+                    t_queue.push(v, deg_in[v_us]);
+                }
+            }
+        } else {
+            let (v, d) = t_queue
+                .pop_min(|w, d| alive.in_t[w as usize] && deg_in[w as usize] == d)
+                .expect("a live T vertex must exist while t_count > 0");
+            alive.in_t[v as usize] = false;
+            t_count -= 1;
+            edges -= d as u64;
+            removals.push((true, v));
+            for &u in g.in_neighbors(v) {
+                let u_us = u as usize;
+                if alive.in_s[u_us] {
+                    deg_out[u_us] -= 1;
+                    s_queue.push(u, deg_out[u_us]);
+                }
+            }
+        }
+        if s_count > 0 && t_count > 0 {
+            let d = Density::new(edges, s_count, t_count);
+            if d > best_density {
+                best_density = d;
+                best_prefix = removals.len();
+            }
+        }
+    }
+
+    // Rebuild the best state: full masks minus the first `best_prefix`
+    // removals.
+    let mut mask = StMask::full(n);
+    for &(t_side, v) in &removals[..best_prefix] {
+        if t_side {
+            mask.in_t[v as usize] = false;
+        } else {
+            mask.in_s[v as usize] = false;
+        }
+    }
+    let pair = mask.to_pair();
+    debug_assert_eq!(pair.density(g), best_density, "log replay must match tracking");
+    DdsSolution { pair, density: best_density }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::brute_force_dds;
+    use dds_graph::gen;
+
+    #[test]
+    fn finds_complete_bipartite_exactly() {
+        // At the true ratio 2/3, peeling recovers the optimum exactly.
+        let g = gen::complete_bipartite(2, 3);
+        let sol = peel_at_rational_ratio(&g, 2, 3);
+        assert_eq!(sol.density, Density::new(6, 2, 3));
+    }
+
+    #[test]
+    fn star_at_its_own_ratio() {
+        let g = gen::out_star(9);
+        let sol = peel_at_rational_ratio(&g, 1, 9);
+        assert_eq!(sol.density, Density::new(9, 1, 9));
+    }
+
+    #[test]
+    fn half_approximation_holds_at_every_ratio() {
+        for seed in 0..6 {
+            let g = gen::gnm(8, 24, seed);
+            let opt = brute_force_dds(&g).density;
+            for (a, b) in [(1, 1), (1, 2), (2, 1), (1, 8), (8, 1), (3, 5)] {
+                let got = peel_at_rational_ratio(&g, a, b).density;
+                // Guarantee only binds at c*; in practice any single ratio
+                // stays above ρ_opt/2 on these graphs only when c ≈ c*, so
+                // check the *sweep* maximum instead.
+                assert!(got <= opt, "peel cannot beat the optimum");
+            }
+            let sweep_best = dds_num::candidate_ratios(g.n() as u64)
+                .iter()
+                .map(|r| peel_at_rational_ratio(&g, r.a(), r.b()).density)
+                .max()
+                .unwrap();
+            // 2·(sweep best) ≥ ρ_opt ⟺ 4·e²·s_o·t_o ≥ e_o²·s·t.
+            let lhs = 4u128
+                * u128::from(sweep_best.edges)
+                * u128::from(sweep_best.edges)
+                * u128::from(opt.s)
+                * u128::from(opt.t);
+            let rhs = u128::from(opt.edges)
+                * u128::from(opt.edges)
+                * u128::from(sweep_best.s)
+                * u128::from(sweep_best.t);
+            assert!(lhs >= rhs, "seed={seed}: sweep best {sweep_best} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn f64_ratio_matches_rational_on_exact_values() {
+        let g = gen::gnm(30, 140, 11);
+        for (a, b) in [(1u64, 1u64), (2, 1), (1, 3)] {
+            let r = peel_at_rational_ratio(&g, a, b);
+            let f = peel_at_f64_ratio(&g, a as f64 / b as f64);
+            assert_eq!(r.density, f.density, "ratio {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        assert_eq!(peel_at_rational_ratio(&DiGraph::empty(0), 1, 1), DdsSolution::empty());
+        assert_eq!(peel_at_rational_ratio(&DiGraph::empty(5), 1, 1), DdsSolution::empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_peeled_first() {
+        // K_{2,2} plus two isolated vertices: the best state excludes them.
+        let g = DiGraph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let sol = peel_at_rational_ratio(&g, 1, 1);
+        assert_eq!(sol.density, Density::new(4, 2, 2));
+        assert_eq!(sol.pair.s(), &[0, 1]);
+        assert_eq!(sol.pair.t(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_ratio() {
+        let _ = peel_at_rational_ratio(&gen::path(3), 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nan_ratio() {
+        let _ = peel_at_f64_ratio(&gen::path(3), f64::NAN);
+    }
+}

@@ -1,0 +1,76 @@
+//! The common answer type returned by every solver.
+
+use dds_graph::{DiGraph, Pair};
+use dds_num::Density;
+
+/// A candidate or final answer to the DDS problem: the pair and its exact
+/// density.
+///
+/// Solvers compare solutions through [`Density`]'s exact ordering; ties are
+/// broken by whichever was found first, so two optimal pairs of equal
+/// density are both acceptable answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DdsSolution {
+    /// The `(S, T)` pair.
+    pub pair: Pair,
+    /// Its exact density in the input graph.
+    pub density: Density,
+}
+
+impl DdsSolution {
+    /// The empty solution (density zero) — the answer on edgeless graphs
+    /// and the identity for maxima.
+    #[must_use]
+    pub fn empty() -> Self {
+        DdsSolution { pair: Pair::new(Vec::new(), Vec::new()), density: Density::ZERO }
+    }
+
+    /// Wraps a pair, computing its exact density in `g`.
+    #[must_use]
+    pub fn from_pair(g: &DiGraph, pair: Pair) -> Self {
+        let density = pair.density(g);
+        DdsSolution { pair, density }
+    }
+
+    /// Replaces `self` with `candidate` when the candidate is strictly
+    /// denser; returns whether it improved.
+    pub fn improve_to(&mut self, candidate: DdsSolution) -> bool {
+        if candidate.density > self.density {
+            *self = candidate;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_graph::gen;
+
+    #[test]
+    fn empty_solution_is_zero() {
+        let s = DdsSolution::empty();
+        assert!(s.pair.is_empty());
+        assert!(s.density.is_zero());
+    }
+
+    #[test]
+    fn from_pair_computes_density() {
+        let g = gen::complete_bipartite(2, 3);
+        let s = DdsSolution::from_pair(&g, Pair::new(vec![0, 1], vec![2, 3, 4]));
+        assert_eq!(s.density, Density::new(6, 2, 3));
+    }
+
+    #[test]
+    fn improve_to_keeps_the_denser() {
+        let g = gen::complete_bipartite(2, 3);
+        let mut best = DdsSolution::empty();
+        let full = DdsSolution::from_pair(&g, Pair::new(vec![0, 1], vec![2, 3, 4]));
+        assert!(best.improve_to(full.clone()));
+        let weaker = DdsSolution::from_pair(&g, Pair::new(vec![0], vec![2]));
+        assert!(!best.improve_to(weaker));
+        assert_eq!(best, full);
+    }
+}

@@ -1,0 +1,167 @@
+//! Ground-truth reference: exhaustive DDS by subset enumeration.
+//!
+//! Exponential in `n` — exists purely so the property-test suites can pin
+//! the polynomial solvers against an answer whose correctness is beyond
+//! doubt.
+
+use dds_graph::{DiGraph, Pair, VertexId};
+use dds_num::Density;
+
+use crate::DdsSolution;
+
+/// Maximum vertex count accepted by [`brute_force_dds`]: `4^16` pair
+/// evaluations is the ceiling of what a test suite should spend.
+pub const BRUTE_FORCE_MAX_N: usize = 16;
+
+/// Exhaustively enumerates every non-empty `(S, T)` pair and returns a
+/// densest one (`O(4ⁿ · n)` via per-vertex adjacency bitmasks).
+///
+/// # Panics
+/// Panics if `g.n() > BRUTE_FORCE_MAX_N`.
+#[must_use]
+pub fn brute_force_dds(g: &DiGraph) -> DdsSolution {
+    let n = g.n();
+    assert!(
+        n <= BRUTE_FORCE_MAX_N,
+        "brute force is exponential; refusing n = {n} > {BRUTE_FORCE_MAX_N}"
+    );
+    if g.m() == 0 {
+        return DdsSolution::empty();
+    }
+
+    // adj[u] — bitmask of u's out-neighbours.
+    let adj: Vec<u32> = (0..n as VertexId)
+        .map(|u| g.out_neighbors(u).iter().fold(0u32, |acc, &v| acc | 1 << v))
+        .collect();
+
+    let mut best_density = Density::ZERO;
+    let mut best = (0u32, 0u32);
+    for s_bits in 1u32..(1u32 << n) {
+        let s_size = u64::from(s_bits.count_ones());
+        for t_bits in 1u32..(1u32 << n) {
+            let mut edges = 0u64;
+            let mut rest = s_bits;
+            while rest != 0 {
+                let u = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                edges += u64::from((adj[u] & t_bits).count_ones());
+            }
+            let d = Density::new(edges, s_size, u64::from(t_bits.count_ones()));
+            if d > best_density {
+                best_density = d;
+                best = (s_bits, t_bits);
+            }
+        }
+    }
+
+    let unpack = |bits: u32| (0..n as VertexId).filter(|&v| bits >> v & 1 == 1).collect();
+    DdsSolution {
+        pair: Pair::new(unpack(best.0), unpack(best.1)),
+        density: best_density,
+    }
+}
+
+/// Checks that a pair is *locally maximal*: removing any single vertex from
+/// either side does not increase the density. Every global optimum is
+/// locally maximal, so this is a cheap necessary condition used to sanity
+/// check solver outputs on graphs too large for [`brute_force_dds`].
+#[must_use]
+pub fn is_locally_maximal(g: &DiGraph, pair: &Pair) -> bool {
+    if pair.is_empty() {
+        return false;
+    }
+    let base = pair.density(g);
+    if pair.s().len() > 1 {
+        for &drop in pair.s() {
+            let reduced: Vec<VertexId> =
+                pair.s().iter().copied().filter(|&v| v != drop).collect();
+            if Pair::new(reduced, pair.t().to_vec()).density(g) > base {
+                return false;
+            }
+        }
+    }
+    if pair.t().len() > 1 {
+        for &drop in pair.t() {
+            let reduced: Vec<VertexId> =
+                pair.t().iter().copied().filter(|&v| v != drop).collect();
+            if Pair::new(pair.s().to_vec(), reduced).density(g) > base {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_graph::gen;
+
+    #[test]
+    fn complete_bipartite_optimum() {
+        let g = gen::complete_bipartite(2, 3);
+        let sol = brute_force_dds(&g);
+        assert_eq!(sol.density, Density::new(6, 2, 3));
+        assert_eq!(sol.pair.s(), &[0, 1]);
+        assert_eq!(sol.pair.t(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn star_optimum_is_whole_star() {
+        // ρ({0}, leaves) = k/√k = √k; any leaf subset does worse.
+        let g = gen::out_star(4);
+        let sol = brute_force_dds(&g);
+        assert_eq!(sol.density, Density::new(4, 1, 4));
+    }
+
+    #[test]
+    fn cycle_optimum_is_one() {
+        let g = gen::cycle(5);
+        let sol = brute_force_dds(&g);
+        // (V, V) has 5/√25 = 1; a single edge has 1/√1 = 1 too. Optimum 1.
+        assert_eq!(sol.density, Density::new(1, 1, 1));
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let sol = brute_force_dds(&g);
+        assert_eq!(sol.density, Density::new(1, 1, 1));
+        assert_eq!(sol.pair.s(), &[0]);
+        assert_eq!(sol.pair.t(), &[1]);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_solution() {
+        assert_eq!(brute_force_dds(&DiGraph::empty(4)), DdsSolution::empty());
+        assert_eq!(brute_force_dds(&DiGraph::empty(0)), DdsSolution::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn oversized_input_rejected() {
+        let _ = brute_force_dds(&DiGraph::empty(17));
+    }
+
+    #[test]
+    fn optimum_is_locally_maximal() {
+        for seed in 0..5 {
+            let g = gen::gnm(7, 18, seed);
+            let sol = brute_force_dds(&g);
+            assert!(is_locally_maximal(&g, &sol.pair), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn local_maximality_rejects_padded_pairs() {
+        // K_{2,3} plus an isolated vertex dragged into T.
+        let g = DiGraph::from_edges(
+            6,
+            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)],
+        )
+        .unwrap();
+        let padded = Pair::new(vec![0, 1], vec![2, 3, 4, 5]);
+        assert!(!is_locally_maximal(&g, &padded));
+        assert!(is_locally_maximal(&g, &Pair::new(vec![0, 1], vec![2, 3, 4])));
+    }
+}

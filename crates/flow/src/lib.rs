@@ -1,0 +1,21 @@
+//! Max-flow substrate for the exact DDS algorithms.
+//!
+//! Two layers:
+//!
+//! * [`dinic`] — a general-purpose Dinic's max-flow over `u128` capacities
+//!   with extraction of both the minimal and the maximal min-cut source
+//!   sides;
+//! * [`decision`] — the DDS-specific decision procedure: one min-cut
+//!   answers "is there a pair `(S, T)` whose ratio-weighted density exceeds
+//!   the guess β?", with exact rational capacities scaled to integers.
+//!
+//! See `DESIGN.md §2.3` for the derivation of the network and the β-space
+//! trick that keeps everything rational.
+
+#![warn(missing_docs)]
+
+pub mod decision;
+pub mod dinic;
+
+pub use decision::{beta_of_pair, decide, Decision, DecisionStats};
+pub use dinic::{EdgeId, FlowNetwork, MinCut};

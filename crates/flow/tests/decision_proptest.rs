@@ -1,0 +1,86 @@
+//! Property tests: the flow decision procedure against brute-force
+//! maximisation of the weighted objective.
+
+use dds_flow::{beta_of_pair, decide, Decision};
+use dds_graph::{GraphBuilder, Pair, StMask};
+use dds_num::Frac;
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = dds_graph::DiGraph> {
+    prop::collection::vec((0u32..7, 0u32..7), 1..24).prop_map(|edges| {
+        let mut b = GraphBuilder::with_min_vertices(7);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    })
+}
+
+/// Brute-force maximum of β*(S, T) over all non-empty pairs.
+fn brute_max_beta(g: &dds_graph::DiGraph, a: u64, b: u64) -> Frac {
+    let n = g.n();
+    let mut best = Frac::ZERO;
+    for s_bits in 1u32..(1 << n) {
+        for t_bits in 1u32..(1 << n) {
+            let s: Vec<u32> = (0..n as u32).filter(|&v| s_bits >> v & 1 == 1).collect();
+            let t: Vec<u32> = (0..n as u32).filter(|&v| t_bits >> v & 1 == 1).collect();
+            let beta = beta_of_pair(g, &Pair::new(s, t), a, b);
+            if beta > best {
+                best = beta;
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// decide() classifies every guess correctly relative to the brute
+    /// optimum: below ⇒ Exceeds with a genuinely better pair; at ⇒
+    /// boundary recovery; above ⇒ clean certificate.
+    #[test]
+    fn decision_classifies_guesses(
+        g in graph_strategy(),
+        a in 1u64..4,
+        b in 1u64..4,
+        num in 1i128..40,
+        den in 1i128..12,
+    ) {
+        prop_assume!(g.m() > 0);
+        let alive = StMask::full(g.n());
+        let best = brute_max_beta(&g, a, b);
+        prop_assume!(!best.is_zero());
+
+        // An arbitrary strictly positive guess.
+        let guess = Frac::new(num, den);
+        let (dec, _) = decide(&g, &alive, a, b, guess);
+        match dec {
+            Decision::Exceeds(pair) => {
+                let beta = beta_of_pair(&g, &pair, a, b);
+                prop_assert!(beta > guess, "returned pair must beat the guess");
+                prop_assert!(guess < best, "Exceeds implies the guess was below β*");
+            }
+            Decision::Certified { boundary } => {
+                prop_assert!(guess >= best, "certificate implies guess ≥ β*");
+                if let Some(pair) = boundary {
+                    prop_assert_eq!(beta_of_pair(&g, &pair, a, b), guess);
+                    prop_assert_eq!(guess, best, "boundary pair only exists at β* exactly");
+                }
+            }
+        }
+
+        // Probing exactly at the optimum must recover an optimal pair.
+        let (dec, _) = decide(&g, &alive, a, b, best);
+        match dec {
+            Decision::Certified { boundary: Some(pair) } => {
+                prop_assert_eq!(beta_of_pair(&g, &pair, a, b), best);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected boundary recovery at β*, got {other:?}"
+                )));
+            }
+        }
+    }
+}

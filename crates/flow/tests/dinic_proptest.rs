@@ -1,0 +1,89 @@
+//! Property tests: Dinic against a naive Edmonds–Karp reference.
+
+use dds_flow::FlowNetwork;
+use proptest::prelude::*;
+
+/// Reference max-flow: repeated BFS augmenting paths on an adjacency
+/// matrix. O(VE²) but bullet-proof for tiny instances.
+fn edmonds_karp(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u128 {
+    let mut cap = vec![vec![0u128; n]; n];
+    for &(u, v, c) in edges {
+        cap[u][v] += u128::from(c);
+    }
+    let mut flow = 0u128;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            return flow;
+        }
+        let mut bottleneck = u128::MAX;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dinic's flow value equals the reference on random networks, and the
+    /// reported min cut has exactly that capacity.
+    #[test]
+    fn dinic_matches_edmonds_karp(
+        n in 2usize..9,
+        edges in prop::collection::vec((0usize..8, 0usize..8, 0u64..50), 0..40),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = edges
+            .into_iter()
+            .map(|(u, v, c)| (u % n, v % n, c))
+            .filter(|&(u, v, _)| u != v)
+            .collect();
+        let (s, t) = (0, n - 1);
+
+        let want = edmonds_karp(n, &edges, s, t);
+
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, u128::from(c));
+        }
+        let got = net.max_flow(s, t);
+        prop_assert_eq!(got, want);
+
+        let min_side = net.min_cut_source_side(s);
+        prop_assert!(min_side[s]);
+        prop_assert!(!min_side[t]);
+        prop_assert_eq!(net.cut_capacity(&min_side), want);
+
+        let max_side = net.max_cut_source_side(t);
+        prop_assert!(max_side[s]);
+        prop_assert!(!max_side[t]);
+        prop_assert_eq!(net.cut_capacity(&max_side), want);
+
+        // Minimal side ⊆ maximal side.
+        for v in 0..n {
+            prop_assert!(!min_side[v] || max_side[v]);
+        }
+    }
+}

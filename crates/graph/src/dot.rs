@@ -1,0 +1,140 @@
+//! Graphviz DOT export, with optional `(S, T)` highlighting.
+
+use std::fmt::Write as _;
+
+use crate::{DiGraph, Pair, VertexId};
+
+/// Renders `g` as a Graphviz `digraph`. When a pair is supplied, `S`
+/// vertices are boxes, `T` vertices are filled ellipses, overlap vertices
+/// get both treatments, and `S → T` edges are bold — so the densest pair
+/// pops out of `dot -Tsvg` immediately.
+///
+/// Intended for case studies and documentation figures; not optimised for
+/// very large graphs (the output is `O(n + m)` text).
+#[must_use]
+pub fn to_dot(g: &DiGraph, highlight: Option<&Pair>) -> String {
+    let mut in_s = vec![false; g.n()];
+    let mut in_t = vec![false; g.n()];
+    if let Some(pair) = highlight {
+        for &u in pair.s() {
+            in_s[u as usize] = true;
+        }
+        for &v in pair.t() {
+            in_t[v as usize] = true;
+        }
+    }
+    let mut out = String::from("digraph dds {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for v in 0..g.n() {
+        let attrs = match (in_s[v], in_t[v]) {
+            (true, true) => " [shape=box, style=filled, fillcolor=plum]",
+            (true, false) => " [shape=box, style=filled, fillcolor=lightblue]",
+            (false, true) => " [style=filled, fillcolor=lightsalmon]",
+            (false, false) => "",
+        };
+        let _ = writeln!(out, "  {v}{attrs};");
+    }
+    for (u, v) in g.edges() {
+        let bold = in_s[u as usize] && in_t[v as usize];
+        let attrs = if bold { " [penwidth=2.5, color=crimson]" } else { "" };
+        let _ = writeln!(out, "  {u} -> {v}{attrs};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Labels the weakly connected components of `g` (edge direction ignored).
+///
+/// Returns `(labels, count)` where `labels[v] ∈ 0..count`; labels are
+/// assigned in order of first discovery, so output is deterministic.
+#[must_use]
+pub fn weakly_connected_components(g: &DiGraph) -> (Vec<u32>, usize) {
+    const UNSEEN: u32 = u32::MAX;
+    let mut label = vec![UNSEEN; g.n()];
+    let mut count = 0u32;
+    let mut stack: Vec<VertexId> = Vec::new();
+    for start in 0..g.n() as VertexId {
+        if label[start as usize] != UNSEEN {
+            continue;
+        }
+        label[start as usize] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+                if label[w as usize] == UNSEEN {
+                    label[w as usize] = count;
+                    stack.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn dot_contains_every_vertex_and_edge() {
+        let g = gen::complete_bipartite(2, 2);
+        let dot = to_dot(&g, None);
+        assert!(dot.starts_with("digraph dds {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for v in 0..4 {
+            assert!(dot.contains(&format!("  {v}")), "{dot}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.m());
+    }
+
+    #[test]
+    fn highlighting_marks_roles_and_pair_edges() {
+        let g = gen::complete_bipartite(2, 2);
+        let pair = Pair::new(vec![0, 1], vec![2, 3]);
+        let dot = to_dot(&g, Some(&pair));
+        assert_eq!(dot.matches("lightblue").count(), 2, "S boxes");
+        assert_eq!(dot.matches("lightsalmon").count(), 2, "T fills");
+        assert_eq!(dot.matches("crimson").count(), 4, "pair edges bold");
+    }
+
+    #[test]
+    fn overlap_vertices_get_the_combined_style() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+        let pair = Pair::new(vec![0, 1], vec![0, 1]);
+        let dot = to_dot(&g, Some(&pair));
+        assert_eq!(dot.matches("plum").count(), 2);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        // {0,1,2} cycle ⊎ {3→4} ⊎ isolated 5.
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn direction_is_ignored_for_weak_connectivity() {
+        // 0→1←2: weakly one component despite no directed path 0→2.
+        let g = DiGraph::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let (labels, count) = weakly_connected_components(&DiGraph::empty(0));
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+        let (_, count) = weakly_connected_components(&DiGraph::empty(4));
+        assert_eq!(count, 4, "isolated vertices are singleton components");
+    }
+
+    use crate::DiGraph;
+}

@@ -1,0 +1,83 @@
+//! Error type for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or (de)serializing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line of an edge list could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An edge referenced a vertex outside the declared vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The declared number of vertices.
+        n: usize,
+    },
+    /// The requested construction is impossible (e.g. more distinct edges
+    /// than a simple directed graph can hold).
+    Invalid(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Invalid(msg) => write!(f, "invalid graph construction: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
+        assert!(e.to_string().contains("vertex 9"));
+        let e = GraphError::Invalid("too many edges".into());
+        assert!(e.to_string().contains("too many edges"));
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e: GraphError = io::Error::other("inner").into();
+        assert!(e.source().is_some());
+        assert!(GraphError::Invalid("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Edge-list IO.
+//!
+//! The interchange format is the de-facto standard for graph corpora
+//! (SNAP/KONECT): one `source target` pair per line, whitespace separated,
+//! with `#` or `%` comment lines. Reading is buffered and reuses a single
+//! line buffer (no per-line allocation), per the workspace IO guidance.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{DiGraph, GraphBuilder, GraphError};
+
+/// Options controlling edge-list parsing.
+#[derive(Clone, Debug)]
+pub struct ParseOptions {
+    /// Lines starting with any of these bytes are skipped.
+    pub comment_prefixes: Vec<u8>,
+    /// Keep self-loops instead of dropping them.
+    pub keep_self_loops: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions { comment_prefixes: vec![b'#', b'%'], keep_self_loops: false }
+    }
+}
+
+/// Reads a directed edge list from `reader`.
+///
+/// # Errors
+/// [`GraphError::Parse`] with a 1-based line number on malformed lines
+/// (missing fields, trailing junk, non-numeric ids); [`GraphError::Io`] on
+/// read failures.
+pub fn read_edge_list<R: Read>(reader: R, opts: &ParseOptions) -> Result<DiGraph, GraphError> {
+    let mut reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new().keep_self_loops(opts.keep_self_loops);
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || opts.comment_prefixes.contains(&trimmed.as_bytes()[0]) {
+            // Honour the vertex count written by `write_edge_list`, so
+            // graphs with isolated vertices round-trip exactly.
+            if let Some(n) = parse_vertex_count_header(trimmed) {
+                builder.ensure_min_vertices(n);
+            }
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let u = parse_vertex(fields.next(), line_no, "source")?;
+        let v = parse_vertex(fields.next(), line_no, "target")?;
+        if fields.next().is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: format!("expected exactly two fields, got extra data in {trimmed:?}"),
+            });
+        }
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Recognises the `write_edge_list` header (`# directed graph: N vertices,
+/// M edges`) and returns `N`.
+fn parse_vertex_count_header(comment: &str) -> Option<usize> {
+    let mut tokens = comment.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        if let Some(&next) = tokens.peek() {
+            if next.trim_end_matches(',') == "vertices" {
+                return tok.parse().ok();
+            }
+        }
+    }
+    None
+}
+
+fn parse_vertex(field: Option<&str>, line: usize, role: &str) -> Result<u32, GraphError> {
+    let tok = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {role} vertex"),
+    })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid {role} vertex {tok:?}: {e}"),
+    })
+}
+
+/// Reads an edge list from a file path.
+///
+/// # Errors
+/// See [`read_edge_list`].
+pub fn load_edge_list<P: AsRef<Path>>(path: P, opts: &ParseOptions) -> Result<DiGraph, GraphError> {
+    read_edge_list(File::open(path)?, opts)
+}
+
+/// Writes `g` as an edge list (one `u\tv` line per edge, preceded by a
+/// header comment with the vertex/edge counts).
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed graph: {} vertices, {} edges", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` to a file path via [`write_edge_list`].
+///
+/// # Errors
+/// Propagates IO failures.
+pub fn save_edge_list<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<DiGraph, GraphError> {
+        read_edge_list(text.as_bytes(), &ParseOptions::default())
+    }
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let g = parse("0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert!(g.has_edge(2, 0));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse("# header\n% konect style\n\n  \n0\t1\n# trailing\n1 0\n").unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn handles_tabs_and_multiple_spaces() {
+        let g = parse("0\t\t1\n2   3\n").unwrap();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn rejects_missing_target() {
+        let err = parse("0 1\n7\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("target"), "{message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let err = parse("a b\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("source"), "{message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_extra_fields() {
+        let err = parse("0 1 5\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_policy() {
+        let g = parse("0 0\n0 1\n").unwrap();
+        assert_eq!(g.m(), 1, "default drops self-loops");
+        let opts = ParseOptions { keep_self_loops: true, ..Default::default() };
+        let g = read_edge_list("0 0\n0 1\n".as_bytes(), &opts).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn header_preserves_isolated_vertices() {
+        let g = DiGraph::from_edges(6, &[(0, 1)]).unwrap(); // vertices 2..5 isolated
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), &ParseOptions::default()).unwrap();
+        assert_eq!(g2.n(), 6);
+        assert_eq!(g, g2);
+        // Headers from other tools are ignored gracefully.
+        let g3 = parse("# some unrelated comment\n0 1\n").unwrap();
+        assert_eq!(g3.n(), 2);
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let g = DiGraph::from_edges(5, &[(0, 4), (4, 0), (1, 2), (3, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), &ParseOptions::default()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("dds_io_test_{}.txt", std::process::id()));
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path, &ParseOptions::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_edge_list("/nonexistent/definitely/missing.txt", &ParseOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

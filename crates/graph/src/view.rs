@@ -1,0 +1,260 @@
+//! Candidate answers: explicit `(S, T)` pairs and boolean masks.
+
+use dds_num::Density;
+
+use crate::{DiGraph, VertexId};
+
+/// An explicit candidate answer to the DDS problem: the vertex lists `S`
+/// (sources) and `T` (targets). `S` and `T` may overlap; both must be
+/// non-empty for a density to exist.
+///
+/// `Pair`s are the *output* type of every solver in `dds-core`; they are
+/// normalised (sorted, deduplicated) on construction so results compare
+/// structurally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pair {
+    s: Vec<VertexId>,
+    t: Vec<VertexId>,
+}
+
+impl Pair {
+    /// Creates a pair, sorting and deduplicating both sides.
+    #[must_use]
+    pub fn new(mut s: Vec<VertexId>, mut t: Vec<VertexId>) -> Self {
+        s.sort_unstable();
+        s.dedup();
+        t.sort_unstable();
+        t.dedup();
+        Pair { s, t }
+    }
+
+    /// The source side `S` (sorted, deduplicated).
+    #[must_use]
+    pub fn s(&self) -> &[VertexId] {
+        &self.s
+    }
+
+    /// The target side `T` (sorted, deduplicated).
+    #[must_use]
+    pub fn t(&self) -> &[VertexId] {
+        &self.t
+    }
+
+    /// `true` iff either side is empty (no density defined).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty() || self.t.is_empty()
+    }
+
+    /// Number of edges of `g` going from `S` to `T`.
+    ///
+    /// Marks `T` in a scratch bitmap and scans the out-lists of `S`
+    /// (`O(|S| + Σ d⁺(S))`).
+    #[must_use]
+    pub fn edges_between(&self, g: &DiGraph) -> u64 {
+        let mut in_t = vec![false; g.n()];
+        for &v in &self.t {
+            in_t[v as usize] = true;
+        }
+        let mut count = 0u64;
+        for &u in &self.s {
+            for &v in g.out_neighbors(u) {
+                if in_t[v as usize] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// The exact density `|E(S,T)| / sqrt(|S|·|T|)` of this pair in `g`.
+    ///
+    /// Returns [`Density::ZERO`] for pairs with an empty side.
+    #[must_use]
+    pub fn density(&self, g: &DiGraph) -> Density {
+        if self.is_empty() {
+            return Density::ZERO;
+        }
+        Density::new(self.edges_between(g), self.s.len() as u64, self.t.len() as u64)
+    }
+
+    /// Converts to mask form over a graph with `n` vertices.
+    #[must_use]
+    pub fn to_mask(&self, n: usize) -> StMask {
+        let mut mask = StMask::empty(n);
+        for &u in &self.s {
+            mask.in_s[u as usize] = true;
+        }
+        for &v in &self.t {
+            mask.in_t[v as usize] = true;
+        }
+        mask
+    }
+
+    /// Relabels the pair through `map` (`map[new] = old`), producing a pair
+    /// in the original id space. Used when solvers work on core-restricted
+    /// subgraphs.
+    #[must_use]
+    pub fn relabel(&self, map: &[VertexId]) -> Pair {
+        Pair::new(
+            self.s.iter().map(|&u| map[u as usize]).collect(),
+            self.t.iter().map(|&v| map[v as usize]).collect(),
+        )
+    }
+}
+
+/// Membership-mask form of an `(S, T)` pair over a fixed vertex range.
+///
+/// Peeling algorithms operate on masks (O(1) membership flips); convert to
+/// [`Pair`] for reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StMask {
+    /// `in_s[v]` — is `v` currently in `S`?
+    pub in_s: Vec<bool>,
+    /// `in_t[v]` — is `v` currently in `T`?
+    pub in_t: Vec<bool>,
+}
+
+impl StMask {
+    /// All-false masks over `n` vertices.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        StMask { in_s: vec![false; n], in_t: vec![false; n] }
+    }
+
+    /// Masks with every vertex on both sides (the starting state of every
+    /// peel).
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        StMask { in_s: vec![true; n], in_t: vec![true; n] }
+    }
+
+    /// Number of vertices in `S`.
+    #[must_use]
+    pub fn s_count(&self) -> usize {
+        self.in_s.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of vertices in `T`.
+    #[must_use]
+    pub fn t_count(&self) -> usize {
+        self.in_t.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` iff either side is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.s_count() == 0 || self.t_count() == 0
+    }
+
+    /// Number of edges of `g` from masked `S` to masked `T`.
+    #[must_use]
+    pub fn edges_between(&self, g: &DiGraph) -> u64 {
+        let mut count = 0u64;
+        for u in 0..g.n() {
+            if self.in_s[u] {
+                for &v in g.out_neighbors(u as VertexId) {
+                    if self.in_t[v as usize] {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Exact density of the masked pair ([`Density::ZERO`] if a side is
+    /// empty).
+    #[must_use]
+    pub fn density(&self, g: &DiGraph) -> Density {
+        let (s, t) = (self.s_count(), self.t_count());
+        if s == 0 || t == 0 {
+            return Density::ZERO;
+        }
+        Density::new(self.edges_between(g), s as u64, t as u64)
+    }
+
+    /// Converts to explicit list form.
+    #[must_use]
+    pub fn to_pair(&self) -> Pair {
+        let s = (0..self.in_s.len() as VertexId).filter(|&v| self.in_s[v as usize]).collect();
+        let t = (0..self.in_t.len() as VertexId).filter(|&v| self.in_t[v as usize]).collect();
+        Pair::new(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k23() -> DiGraph {
+        // Complete bipartite S = {0,1} → T = {2,3,4}.
+        DiGraph::from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap()
+    }
+
+    #[test]
+    fn pair_normalisation() {
+        let p = Pair::new(vec![3, 1, 3], vec![2, 2, 0]);
+        assert_eq!(p.s(), &[1, 3]);
+        assert_eq!(p.t(), &[0, 2]);
+    }
+
+    #[test]
+    fn density_of_complete_bipartite() {
+        let g = k23();
+        let p = Pair::new(vec![0, 1], vec![2, 3, 4]);
+        assert_eq!(p.edges_between(&g), 6);
+        // 6/√6 = √6 ≈ 2.449.
+        let d = p.density(&g);
+        assert_eq!(d, Density::new(6, 2, 3));
+        assert!((d.to_f64() - 6.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_sides_count_loops_only_if_present() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let p = Pair::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert_eq!(p.edges_between(&g), 3);
+        assert_eq!(p.density(&g), Density::new(3, 3, 3));
+    }
+
+    #[test]
+    fn empty_pair_density_is_zero() {
+        let g = k23();
+        assert_eq!(Pair::new(vec![], vec![1]).density(&g), Density::ZERO);
+        assert_eq!(Pair::new(vec![1], vec![]).density(&g), Density::ZERO);
+        assert!(Pair::new(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        let g = k23();
+        let p = Pair::new(vec![0, 1], vec![2, 4]);
+        let mask = p.to_mask(g.n());
+        assert_eq!(mask.s_count(), 2);
+        assert_eq!(mask.t_count(), 2);
+        assert_eq!(mask.to_pair(), p);
+        assert_eq!(mask.edges_between(&g), p.edges_between(&g));
+        assert_eq!(mask.density(&g), p.density(&g));
+    }
+
+    #[test]
+    fn full_and_empty_masks() {
+        let g = k23();
+        let full = StMask::full(g.n());
+        assert_eq!(full.edges_between(&g), 6);
+        assert!(!full.is_empty());
+        let empty = StMask::empty(g.n());
+        assert!(empty.is_empty());
+        assert_eq!(empty.density(&g), Density::ZERO);
+    }
+
+    #[test]
+    fn relabel_maps_back_to_original_ids() {
+        let map = vec![10, 20, 30];
+        let p = Pair::new(vec![0, 2], vec![1]);
+        let r = p.relabel(&map);
+        assert_eq!(r.s(), &[10, 30]);
+        assert_eq!(r.t(), &[20]);
+    }
+}

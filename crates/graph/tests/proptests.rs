@@ -1,0 +1,103 @@
+//! Property tests for the graph substrate.
+
+use dds_graph::io::{read_edge_list, write_edge_list, ParseOptions};
+use dds_graph::{GraphBuilder, Pair, VertexId};
+use proptest::prelude::*;
+
+/// Arbitrary edge list over at most `max_n` vertices.
+fn edges_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_n, 0..max_n), 0..max_m)
+}
+
+proptest! {
+    /// CSR invariants: degrees sum to m on both sides, adjacency sorted,
+    /// has_edge agrees with the edge iterator.
+    #[test]
+    fn csr_invariants(edges in edges_strategy(40, 200)) {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let out_sum: usize = (0..g.n() as VertexId).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..g.n() as VertexId).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.m());
+        prop_assert_eq!(in_sum, g.m());
+        for u in 0..g.n() as VertexId {
+            let row = g.out_neighbors(u);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+            for &v in row {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.in_neighbors(v).contains(&u));
+            }
+        }
+    }
+
+    /// Round trip: write → read reproduces the graph exactly.
+    #[test]
+    fn io_round_trip(edges in edges_strategy(30, 120)) {
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), &ParseOptions::default()).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// Pair density agrees with a naive double loop over has_edge.
+    #[test]
+    fn pair_edge_count_matches_naive(
+        edges in edges_strategy(20, 80),
+        s in prop::collection::vec(0u32..20, 1..8),
+        t in prop::collection::vec(0u32..20, 1..8),
+    ) {
+        let mut b = GraphBuilder::with_min_vertices(20);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let pair = Pair::new(s, t);
+        let naive: u64 = pair
+            .s()
+            .iter()
+            .map(|&u| pair.t().iter().filter(|&&v| g.has_edge(u, v)).count() as u64)
+            .sum();
+        prop_assert_eq!(pair.edges_between(&g), naive);
+    }
+
+    /// Induced subgraphs keep exactly the edges with both endpoints kept.
+    #[test]
+    fn induced_subgraph_edge_set(
+        edges in edges_strategy(25, 100),
+        keep_bits in prop::collection::vec(any::<bool>(), 25),
+    ) {
+        let mut b = GraphBuilder::with_min_vertices(25);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let (sub, map) = g.induced_subgraph(&keep_bits);
+        let expected: usize = g
+            .edges()
+            .filter(|&(u, v)| keep_bits[u as usize] && keep_bits[v as usize])
+            .count();
+        prop_assert_eq!(sub.m(), expected);
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(map[u as usize], map[v as usize]));
+        }
+    }
+}
+
+#[test]
+fn generators_are_deterministic() {
+    use dds_graph::gen;
+    assert_eq!(gen::gnm(64, 256, 1), gen::gnm(64, 256, 1));
+    assert_eq!(gen::power_law(64, 256, 2.3, 1), gen::power_law(64, 256, 2.3, 1));
+    let a = gen::planted(60, 120, 4, 5, 1.0, 2);
+    let b = gen::planted(60, 120, 4, 5, 1.0, 2);
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.pair, b.pair);
+}

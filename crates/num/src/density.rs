@@ -1,0 +1,218 @@
+//! Exact representation of directed densities `|E(S,T)| / sqrt(|S|·|T|)`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::isqrt;
+use crate::wide::cmp_prod;
+use crate::Frac;
+
+/// The density of a directed pair `(S, T)`, kept in exact form.
+///
+/// `Density { edges: e, s, t }` denotes `e / sqrt(s · t)`. The value is
+/// irrational in general, so instead of rounding we store the triple and
+/// implement a total order by comparing `e₁²·s₂·t₂` with `e₂²·s₁·t₁`
+/// through 256-bit products. This is what allows the exact algorithms to
+/// compare candidate subgraphs and search bounds without any numerical
+/// tolerance.
+///
+/// Equality is **mathematical**, consistent with the ordering: `5/√(5·5)`
+/// equals `1/√(1·1)`. Two different triples can therefore compare equal.
+#[derive(Clone, Copy, Debug)]
+pub struct Density {
+    /// Number of edges from `S` to `T`.
+    pub edges: u64,
+    /// `|S|` (≥ 1 except in [`Density::ZERO`]).
+    pub s: u64,
+    /// `|T|` (≥ 1 except in [`Density::ZERO`]).
+    pub t: u64,
+}
+
+impl Density {
+    /// The density of the empty pair (used as the identity for maxima).
+    pub const ZERO: Density = Density { edges: 0, s: 1, t: 1 };
+
+    /// Creates the density `edges / sqrt(s·t)`.
+    ///
+    /// # Panics
+    /// Panics if `s == 0` or `t == 0`.
+    #[must_use]
+    pub fn new(edges: u64, s: u64, t: u64) -> Self {
+        assert!(s > 0 && t > 0, "density requires non-empty S and T");
+        Density { edges, s, t }
+    }
+
+    /// `true` iff the value is 0 (no edges).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.edges == 0
+    }
+
+    /// Numeric value, for reporting only.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.edges as f64 / ((self.s as f64) * (self.t as f64)).sqrt()
+    }
+
+    /// The squared density as an exact rational `e² / (s·t)`.
+    #[must_use]
+    pub fn squared(self) -> Frac {
+        let e2 = u128::from(self.edges) * u128::from(self.edges);
+        let st = u128::from(self.s) * u128::from(self.t);
+        Frac::new(
+            i128::try_from(e2).expect("edges² fits i128"),
+            i128::try_from(st).expect("s·t fits i128"),
+        )
+    }
+
+    /// A rational **under-approximation** of `ρ·sqrt(a·b)` — the image of
+    /// this density in the β-space used by the per-ratio flow search for the
+    /// ratio `a/b` (see `dds-core::exact`).
+    ///
+    /// `ρ·sqrt(ab) = e·sqrt(ab·s·t)/(s·t)`; replacing the square root by
+    /// [`isqrt`] floors the value, which is exactly what a *lower* search
+    /// bound needs to stay sound.
+    ///
+    /// # Panics
+    /// Panics if `a·b·s·t` overflows `u128` or the resulting numerator
+    /// overflows `i128` (graphs handled here are far below those limits).
+    #[must_use]
+    pub fn beta_lower_bound(self, a: u64, b: u64) -> Frac {
+        let ab = u128::from(a)
+            .checked_mul(u128::from(b))
+            .expect("ratio product overflow");
+        let abst = ab
+            .checked_mul(u128::from(self.s))
+            .and_then(|v| v.checked_mul(u128::from(self.t)))
+            .expect("beta_lower_bound radicand overflow");
+        // Fixed-point scaling: isqrt(x · 4^k) / 2^k floors far less than
+        // isqrt(x) when x is small. Pick the largest k that cannot overflow.
+        let spare_bits = if abst == 0 { 126 } else { 127 - (128 - abst.leading_zeros()) };
+        let k = (spare_bits / 2).min(20);
+        let root = isqrt(abst << (2 * k));
+        let num = u128::from(self.edges)
+            .checked_mul(root)
+            .expect("beta_lower_bound numerator overflow");
+        let den = (u128::from(self.s) * u128::from(self.t)) << k;
+        Frac::new(
+            i128::try_from(num).expect("beta numerator fits i128"),
+            i128::try_from(den).expect("beta denominator fits i128"),
+        )
+    }
+}
+
+impl PartialEq for Density {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Density {}
+
+impl PartialOrd for Density {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Density {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // e₁/√(s₁t₁) vs e₂/√(s₂t₂)  ⟺  e₁²·s₂t₂ vs e₂²·s₁t₁ (all ≥ 0).
+        let e1 = u128::from(self.edges) * u128::from(self.edges);
+        let e2 = u128::from(other.edges) * u128::from(other.edges);
+        let st1 = u128::from(self.s) * u128::from(self.t);
+        let st2 = u128::from(other.s) * u128::from(other.t);
+        cmp_prod(e1, st2, e2, st1)
+    }
+}
+
+impl fmt::Display for Density {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/√({}·{}) ≈ {:.6}", self.edges, self.s, self.t, self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_f64_on_clear_cases() {
+        let a = Density::new(10, 4, 4); // 2.5
+        let b = Density::new(6, 2, 2); // 3.0
+        assert!(a < b);
+        assert!(Density::ZERO < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_resolves_irrational_ties_exactly() {
+        // 7/√(2·3) = 7/√6 ≈ 2.857738;  20/√(7·7) = 20/7 ≈ 2.857142 — f32
+        // would struggle, exact compare must say the first is larger.
+        let a = Density::new(7, 2, 3);
+        let b = Density::new(20, 7, 7);
+        assert!(a > b);
+        // 5/√(1·4) = 2.5 exactly equals 10/√(4·4) = 2.5.
+        assert_eq!(Density::new(5, 1, 4).cmp(&Density::new(10, 4, 4)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_survives_huge_values() {
+        let big = u64::MAX / 2;
+        let a = Density::new(big, big, big);
+        let b = Density::new(big, big, big - 1);
+        assert!(a < b, "shrinking T must increase density at equal edges");
+    }
+
+    #[test]
+    fn equality_is_mathematical() {
+        assert_eq!(Density::new(5, 5, 5), Density::new(1, 1, 1));
+        assert_eq!(Density::new(6, 2, 2), Density::new(3, 1, 1));
+        assert_ne!(Density::new(5, 5, 5), Density::new(2, 1, 1));
+        // Consistency: eq ⟺ cmp == Equal.
+        let a = Density::new(4, 2, 8);
+        let b = Density::new(2, 1, 2);
+        assert_eq!(a == b, a.cmp(&b) == Ordering::Equal);
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        assert!(Density::ZERO.is_zero());
+        assert!(Density::new(0, 5, 9).is_zero());
+        assert_eq!(Density::ZERO.cmp(&Density::new(0, 3, 3)), Ordering::Equal);
+        assert_eq!(Density::ZERO.to_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sides_rejected() {
+        let _ = Density::new(3, 0, 2);
+    }
+
+    #[test]
+    fn squared_value() {
+        assert_eq!(Density::new(6, 2, 3).squared(), Frac::new(36, 6));
+        assert_eq!(Density::new(0, 7, 1).squared(), Frac::ZERO);
+    }
+
+    #[test]
+    fn beta_lower_bound_is_a_lower_bound() {
+        // ρ = 5/√(2·3); for ratio a/b = 1/1, β = ρ·1 ≈ 2.0412.
+        let d = Density::new(5, 2, 3);
+        let lb = d.beta_lower_bound(1, 1);
+        assert!(lb.to_f64() <= d.to_f64());
+        assert!(lb.to_f64() > d.to_f64() - 1e-5, "bound should be tight");
+        // Perfect square radicand ⇒ exact value: ρ = 6/√(4·9) = 1, ratio 4/9:
+        // β = ρ·√36 = 6 exactly.
+        let d = Density::new(6, 4, 9);
+        assert_eq!(d.beta_lower_bound(4, 9), Frac::from(6u64));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Density::new(3, 2, 2);
+        let s = format!("{d}");
+        assert!(s.contains("3/√(2·2)"), "{s}");
+        assert!(s.contains("1.5"), "{s}");
+    }
+}

@@ -1,0 +1,322 @@
+//! Reduced `i128` rationals with exact ordering.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::gcd;
+use crate::wide::cmp_prod;
+
+/// A rational number `num / den` in lowest terms with `den > 0`.
+///
+/// `Frac` backs every decision made by the exact DDS algorithms (binary
+/// search bounds, flow-network guesses, core thresholds). Arithmetic reduces
+/// intermediates aggressively (cross-cancellation before multiplying) and
+/// panics on `i128` overflow rather than silently wrapping; the search code
+/// keeps magnitudes far below that limit (see `dds-core::exact`).
+///
+/// Ordering is exact: comparisons route through 256-bit products and never
+/// round.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frac {
+    num: i128,
+    den: i128,
+}
+
+impl Frac {
+    /// The value `0`.
+    pub const ZERO: Frac = Frac { num: 0, den: 1 };
+    /// The value `1`.
+    pub const ONE: Frac = Frac { num: 1, den: 1 };
+
+    /// Creates `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "Frac denominator must be non-zero");
+        let sign = if (num < 0) ^ (den < 0) { -1 } else { 1 };
+        let n = num.unsigned_abs();
+        let d = den.unsigned_abs();
+        // gcd(0, d) = d > 0 here, so plain division is well defined; keep
+        // the zero-numerator case canonical as 0/1.
+        let (n, d) = if n == 0 { (0, 1) } else { let g = gcd(n, d); (n / g, d / g) };
+        Frac {
+            num: sign * i128::try_from(n).expect("reduced numerator fits i128"),
+            den: i128::try_from(d).expect("reduced denominator fits i128"),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    #[must_use]
+    pub fn num(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    #[must_use]
+    pub fn den(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer `≤ self`.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `≥ self`.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -(-self).floor()
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Frac::new(self.den, self.num)
+    }
+
+    /// `self / 2` (cheap special case used by bisection).
+    #[must_use]
+    pub fn half(self) -> Self {
+        if self.num % 2 == 0 {
+            Frac { num: self.num / 2, den: self.den }
+        } else {
+            Frac {
+                num: self.num,
+                den: self.den.checked_mul(2).expect("Frac::half overflow"),
+            }
+        }
+    }
+
+    /// Best-effort conversion to `f64` (reporting only; never used for
+    /// decisions).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        // Direct cast is fine for the magnitudes the search produces; for
+        // very large limbs fall back to a quotient of rounded halves.
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked_mul_reduced(a: i128, b: i128) -> i128 {
+        a.checked_mul(b).expect("Frac arithmetic overflowed i128")
+    }
+}
+
+impl From<i128> for Frac {
+    fn from(v: i128) -> Self {
+        Frac { num: v, den: 1 }
+    }
+}
+
+impl From<u64> for Frac {
+    fn from(v: u64) -> Self {
+        Frac { num: i128::from(v), den: 1 }
+    }
+}
+
+impl PartialOrd for Frac {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Frac {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare num_a * den_b with num_b * den_a; split on signs first so
+        // the magnitude comparison can use unsigned 256-bit products.
+        let (a, b) = (self, other);
+        let lhs_neg = a.num < 0;
+        let rhs_neg = b.num < 0;
+        match (lhs_neg, rhs_neg) {
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
+        }
+        let mag = cmp_prod(
+            a.num.unsigned_abs(),
+            b.den.unsigned_abs(),
+            b.num.unsigned_abs(),
+            a.den.unsigned_abs(),
+        );
+        if lhs_neg {
+            mag.reverse()
+        } else {
+            mag
+        }
+    }
+}
+
+impl Add for Frac {
+    type Output = Frac;
+    fn add(self, rhs: Frac) -> Frac {
+        // a/b + c/d = (a·(d/g) + c·(b/g)) / (b·(d/g)) with g = gcd(b, d);
+        // pre-dividing keeps intermediates small.
+        let g = gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
+        let db = self.den / g;
+        let dd = rhs.den / g;
+        let num = Frac::checked_mul_reduced(self.num, dd)
+            .checked_add(Frac::checked_mul_reduced(rhs.num, db))
+            .expect("Frac addition overflowed i128");
+        let den = Frac::checked_mul_reduced(self.den, dd);
+        Frac::new(num, den)
+    }
+}
+
+impl Sub for Frac {
+    type Output = Frac;
+    fn sub(self, rhs: Frac) -> Frac {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Frac {
+    type Output = Frac;
+    fn neg(self) -> Frac {
+        Frac { num: -self.num, den: self.den }
+    }
+}
+
+impl Mul for Frac {
+    type Output = Frac;
+    fn mul(self, rhs: Frac) -> Frac {
+        // Cross-cancel before multiplying: (a/b)·(c/d) with g1 = gcd(a, d),
+        // g2 = gcd(c, b).
+        let g1 = gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()).max(1) as i128;
+        let g2 = gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()).max(1) as i128;
+        let num = Frac::checked_mul_reduced(self.num / g1, rhs.num / g2);
+        let den = Frac::checked_mul_reduced(self.den / g2, rhs.den / g1);
+        Frac::new(num, den)
+    }
+}
+
+impl Div for Frac {
+    type Output = Frac;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is intentional
+    fn div(self, rhs: Frac) -> Frac {
+        self * rhs.recip()
+    }
+}
+
+impl fmt::Debug for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Frac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces_and_normalizes_sign() {
+        assert_eq!(Frac::new(2, 4), Frac::new(1, 2));
+        assert_eq!(Frac::new(-2, 4), Frac::new(1, -2));
+        assert_eq!(Frac::new(-2, -4), Frac::new(1, 2));
+        assert_eq!(Frac::new(0, -7), Frac::ZERO);
+        let f = Frac::new(-6, 9);
+        assert_eq!((f.num(), f.den()), (-2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Frac::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Frac::new(3, 7);
+        let b = Frac::new(2, 5);
+        assert_eq!(a + b, Frac::new(29, 35));
+        assert_eq!(a - b, Frac::new(1, 35));
+        assert_eq!(a * b, Frac::new(6, 35));
+        assert_eq!(a / b, Frac::new(15, 14));
+        assert_eq!(a + Frac::ZERO, a);
+        assert_eq!(a * Frac::ONE, a);
+        assert_eq!(a - a, Frac::ZERO);
+        assert_eq!((a / a), Frac::ONE);
+    }
+
+    #[test]
+    fn half_and_double_paths() {
+        assert_eq!(Frac::new(4, 3).half(), Frac::new(2, 3));
+        assert_eq!(Frac::new(3, 4).half(), Frac::new(3, 8));
+        assert_eq!(Frac::ZERO.half(), Frac::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_exact_near_ties() {
+        // Adjacent Farey fractions differ by 1/(b1*b2); make sure we resolve
+        // them and their negations.
+        let a = Frac::new(355, 113);
+        let b = Frac::new(22, 7);
+        assert!(a < b);
+        assert!(-a > -b);
+        assert!(Frac::new(1, 3) < Frac::new(1, 2));
+        assert!(Frac::new(-1, 3) > Frac::new(-1, 2));
+        assert_eq!(Frac::new(10, 20).cmp(&Frac::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_with_huge_components() {
+        let big = i128::MAX / 3;
+        let a = Frac::new(big, big - 1); // slightly above 1
+        let b = Frac::new(big + 1, big); // slightly above 1, smaller excess
+        assert!(a > b, "cross products exceed i128 but must still compare");
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Frac::new(7, 2).floor(), 3);
+        assert_eq!(Frac::new(7, 2).ceil(), 4);
+        assert_eq!(Frac::new(-7, 2).floor(), -4);
+        assert_eq!(Frac::new(-7, 2).ceil(), -3);
+        assert_eq!(Frac::new(6, 2).floor(), 3);
+        assert_eq!(Frac::new(6, 2).ceil(), 3);
+        assert_eq!(Frac::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn recip_and_display() {
+        assert_eq!(Frac::new(3, 4).recip(), Frac::new(4, 3));
+        assert_eq!(Frac::new(-3, 4).recip(), Frac::new(-4, 3));
+        assert_eq!(format!("{}", Frac::new(3, 4)), "3/4");
+        assert_eq!(format!("{}", Frac::from(5i128)), "5");
+        assert_eq!(format!("{:?}", Frac::from(5i128)), "5/1");
+    }
+
+    #[test]
+    fn to_f64_tracks_value() {
+        assert!((Frac::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((Frac::new(-7, 2).to_f64() + 3.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,73 @@
+//! Floor integer square root on `u128`.
+
+/// Returns `⌊sqrt(n)⌋` for any `u128`.
+///
+/// Newton's method seeded from the bit length; converges in a handful of
+/// iterations and is exact (the loop maintains `x ≥ ⌊sqrt(n)⌋` and stops at
+/// the fixpoint).
+#[must_use]
+pub fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    // Initial guess: 2^⌈bits/2⌉ ≥ sqrt(n).
+    let shift = (128 - n.leading_zeros()).div_ceil(2);
+    let mut x = 1u128 << shift;
+    loop {
+        let next = (x + n / x) >> 1;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        let expected = [0u128, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 4];
+        for (n, want) in expected.iter().enumerate() {
+            assert_eq!(isqrt(n as u128), *want, "isqrt({n})");
+        }
+    }
+
+    #[test]
+    fn perfect_squares_and_neighbours() {
+        for r in [1u128, 2, 3, 10, 255, 256, 65_535, 1 << 32, (1 << 63) + 12_345] {
+            let sq = r * r;
+            assert_eq!(isqrt(sq), r);
+            assert_eq!(isqrt(sq - 1), r - 1);
+            if let Some(sq1) = sq.checked_add(1) {
+                assert_eq!(isqrt(sq1), r);
+            }
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(isqrt(u128::MAX), (1u128 << 64) - 1);
+        let r = (1u128 << 64) - 1;
+        assert_eq!(isqrt(r * r), r);
+    }
+
+    #[test]
+    fn invariant_holds_on_pseudorandom_inputs() {
+        // Cheap LCG so the test has no dependencies.
+        let mut state = 0x853c_49e6_748f_ea9bu128;
+        for _ in 0..2_000 {
+            state = state.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
+            let n = state;
+            let r = isqrt(n);
+            assert!(r * r <= n, "r² ≤ n for n={n}");
+            assert!(r + 1 > isqrt(n), "consistency");
+            let r1 = r + 1;
+            // (r+1)² > n, guarding against overflow at the top end.
+            if let Some(sq) = r1.checked_mul(r1) {
+                assert!(sq > n, "(r+1)² > n for n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Reduced non-negative ratios `a/b` indexing the `|S|/|T|` search space.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{gcd64, Frac};
+
+/// A reduced fraction `a/b` with `a, b ≥ 0`, not both zero.
+///
+/// `Ratio { a, b: 0 }` denotes `+∞` and `Ratio { a: 0, b }` denotes `0`;
+/// both appear only as the virtual endpoints of the Stern–Brocot tree that
+/// the exact search walks. Every *achievable* `|S|/|T|` ratio of an
+/// `n`-vertex graph is a `Ratio` with `a, b ∈ [1, n]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    a: u64,
+    b: u64,
+}
+
+impl Ratio {
+    /// The left endpoint `0/1` of the ratio space.
+    pub const ZERO: Ratio = Ratio { a: 0, b: 1 };
+    /// The right endpoint `1/0 = +∞` of the ratio space.
+    pub const INFINITY: Ratio = Ratio { a: 1, b: 0 };
+    /// The balanced ratio `1/1`.
+    pub const ONE: Ratio = Ratio { a: 1, b: 1 };
+
+    /// Creates the reduced ratio `a/b`.
+    ///
+    /// # Panics
+    /// Panics if both components are zero.
+    #[must_use]
+    pub fn new(a: u64, b: u64) -> Self {
+        assert!(a != 0 || b != 0, "ratio 0/0 is undefined");
+        let g = gcd64(a, b).max(1);
+        Ratio { a: a / g, b: b / g }
+    }
+
+    /// Numerator of the reduced form.
+    #[must_use]
+    pub fn a(self) -> u64 {
+        self.a
+    }
+
+    /// Denominator of the reduced form (0 for `+∞`).
+    #[must_use]
+    pub fn b(self) -> u64 {
+        self.b
+    }
+
+    /// `true` for the `+∞` endpoint.
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.b == 0
+    }
+
+    /// `true` for the `0` endpoint.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.a == 0
+    }
+
+    /// The Stern–Brocot mediant `(a₁+a₂)/(b₁+b₂)`.
+    ///
+    /// For Stern–Brocot *neighbours* the mediant is automatically in lowest
+    /// terms and is the minimum-denominator fraction strictly between them.
+    #[must_use]
+    pub fn mediant(self, other: Ratio) -> Ratio {
+        Ratio::new(self.a + other.a, self.b + other.b)
+    }
+
+    /// The reciprocal `b/a` (swaps the roles of S and T). Never panics: the
+    /// endpoints swap as `0 ↔ ∞`.
+    #[must_use]
+    pub fn recip(self) -> Ratio {
+        Ratio { a: self.b, b: self.a }
+    }
+
+    /// Exact conversion to a [`Frac`].
+    ///
+    /// # Panics
+    /// Panics on the `+∞` endpoint.
+    #[must_use]
+    pub fn as_frac(self) -> Frac {
+        assert!(!self.is_infinite(), "infinite ratio has no Frac form");
+        Frac::new(i128::from(self.a), i128::from(self.b))
+    }
+
+    /// Numeric value (`f64::INFINITY` for the right endpoint); reporting
+    /// only.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        if self.is_infinite() {
+            f64::INFINITY
+        } else {
+            self.a as f64 / self.b as f64
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a₁/b₁ vs a₂/b₂ ⟺ a₁·b₂ vs a₂·b₁; works for the 0 and ∞
+        // endpoints because they are 0/1 and 1/0.
+        let lhs = u128::from(self.a) * u128::from(other.b);
+        let rhs = u128::from(other.a) * u128::from(self.b);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}/{}", self.a, self.b)
+        }
+    }
+}
+
+/// Enumerates every reduced ratio `a/b` with `1 ≤ a, b ≤ n`, in increasing
+/// order of value.
+///
+/// This is the candidate set the `O(n²)`-ratio baselines iterate; its size
+/// is `Θ(n²)` (about `6n²/π² ≈ 0.61·n²`), which is exactly why the
+/// divide-and-conquer exact algorithm exists.
+#[must_use]
+pub fn candidate_ratios(n: u64) -> Vec<Ratio> {
+    let mut out = Vec::new();
+    for a in 1..=n {
+        for b in 1..=n {
+            if gcd64(a, b) == 1 {
+                out.push(Ratio { a, b });
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_accessors() {
+        let r = Ratio::new(6, 4);
+        assert_eq!((r.a(), r.b()), (3, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+        assert_eq!(Ratio::new(5, 0), Ratio::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "0/0")]
+    fn zero_zero_rejected() {
+        let _ = Ratio::new(0, 0);
+    }
+
+    #[test]
+    fn ordering_including_endpoints() {
+        let vals = [
+            Ratio::ZERO,
+            Ratio::new(1, 3),
+            Ratio::new(1, 2),
+            Ratio::ONE,
+            Ratio::new(3, 2),
+            Ratio::new(7, 2),
+            Ratio::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+        assert_eq!(Ratio::new(2, 4).cmp(&Ratio::new(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn mediant_walks_the_stern_brocot_tree() {
+        let root = Ratio::ZERO.mediant(Ratio::INFINITY);
+        assert_eq!(root, Ratio::ONE);
+        assert_eq!(Ratio::ZERO.mediant(root), Ratio::new(1, 2));
+        assert_eq!(root.mediant(Ratio::INFINITY), Ratio::new(2, 1));
+        // Mediant lies strictly between its parents.
+        let (lo, hi) = (Ratio::new(2, 3), Ratio::new(3, 4));
+        let m = lo.mediant(hi);
+        assert!(lo < m && m < hi);
+    }
+
+    #[test]
+    fn recip_swaps_sides() {
+        assert_eq!(Ratio::new(3, 7).recip(), Ratio::new(7, 3));
+        assert_eq!(Ratio::ZERO.recip(), Ratio::INFINITY);
+        assert_eq!(Ratio::INFINITY.recip(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn as_frac_and_to_f64() {
+        assert_eq!(Ratio::new(3, 4).as_frac(), Frac::new(3, 4));
+        assert!((Ratio::new(3, 4).to_f64() - 0.75).abs() < 1e-15);
+        assert!(Ratio::INFINITY.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn candidate_ratios_small() {
+        // n = 3: {1/3, 1/2, 2/3, 1/1, 3/2, 2/1, 3/1}.
+        let got = candidate_ratios(3);
+        let want: Vec<Ratio> = [(1, 3), (1, 2), (2, 3), (1, 1), (3, 2), (2, 1), (3, 1)]
+            .into_iter()
+            .map(|(a, b)| Ratio::new(a, b))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn candidate_ratios_are_sorted_unique_and_reduced() {
+        let got = candidate_ratios(12);
+        for w in got.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for r in &got {
+            assert_eq!(gcd64(r.a(), r.b()), 1);
+            assert!(r.a() >= 1 && r.a() <= 12 && r.b() >= 1 && r.b() <= 12);
+        }
+        // Farey-type count: 2·(Σ_{k≤n} φ(k)) − 1 = 2·46 − 1 = 91 for n = 12.
+        assert_eq!(got.len(), 91);
+    }
+}

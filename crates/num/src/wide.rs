@@ -1,0 +1,91 @@
+//! 256-bit helpers: widening multiplication and product comparison.
+//!
+//! The exact orderings in this crate compare products of `u128` values that
+//! can overflow 128 bits (e.g. `edges² · s · t` for [`Density`]). Instead of
+//! a big-integer dependency we split each factor into 64-bit limbs and
+//! compare the resulting `(hi, lo)` pairs.
+//!
+//! [`Density`]: crate::Density
+
+use std::cmp::Ordering;
+
+/// Full 256-bit product of two `u128` values as `(hi, lo)` limbs.
+#[must_use]
+pub fn mul_wide(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    // Sum the three contributions to the middle 128 bits, tracking carries.
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// Compares `a0 * a1` with `b0 * b1` exactly (no overflow, no rounding).
+#[must_use]
+pub fn cmp_prod(a0: u128, a1: u128, b0: u128, b1: u128) -> Ordering {
+    let a = mul_wide(a0, a1);
+    let b = mul_wide(b0, b1);
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(mul_wide(0, 0), (0, 0));
+        assert_eq!(mul_wide(1, 1), (0, 1));
+        assert_eq!(mul_wide(7, 6), (0, 42));
+        assert_eq!(mul_wide(u128::from(u64::MAX), u128::from(u64::MAX)), (0, u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn overflowing_products() {
+        // (2^127) * 2 = 2^128 -> hi = 1, lo = 0.
+        assert_eq!(mul_wide(1u128 << 127, 2), (1, 0));
+        // MAX * MAX = 2^256 - 2^129 + 1.
+        let (hi, lo) = mul_wide(u128::MAX, u128::MAX);
+        assert_eq!(lo, 1);
+        assert_eq!(hi, u128::MAX - 1);
+    }
+
+    #[test]
+    fn cmp_prod_agrees_with_exact_values() {
+        let cases = [
+            (3u128, 5u128, 4u128, 4u128),            // 15 < 16
+            (1 << 100, 1 << 100, 1 << 120, 1 << 79), // 2^200 > 2^199
+            (u128::MAX, 1, 1, u128::MAX),            // equal
+            (0, u128::MAX, 1, 1),                    // 0 < 1
+        ];
+        let expected = [Ordering::Less, Ordering::Greater, Ordering::Equal, Ordering::Less];
+        for ((a0, a1, b0, b1), want) in cases.into_iter().zip(expected) {
+            assert_eq!(cmp_prod(a0, a1, b0, b1), want, "{a0}*{a1} vs {b0}*{b1}");
+        }
+    }
+
+    #[test]
+    fn cmp_prod_symmetry() {
+        let vals = [0u128, 1, 2, 1 << 64, (1 << 64) + 3, u128::MAX / 3, u128::MAX];
+        for &a0 in &vals {
+            for &a1 in &vals {
+                for &b0 in &vals {
+                    for &b1 in &vals {
+                        let fwd = cmp_prod(a0, a1, b0, b1);
+                        let rev = cmp_prod(b0, b1, a0, a1);
+                        assert_eq!(fwd, rev.reverse());
+                        assert_eq!(cmp_prod(a1, a0, b0, b1), fwd, "commutativity");
+                    }
+                }
+            }
+        }
+    }
+}

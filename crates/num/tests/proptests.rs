@@ -1,0 +1,124 @@
+//! Property tests for the exact numeric kernels.
+
+use dds_num::{gcd, isqrt, simplest_between, Density, Frac, Ratio};
+use proptest::prelude::*;
+
+fn small_frac() -> impl Strategy<Value = Frac> {
+    (-2_000i128..2_000, 1i128..2_000).prop_map(|(n, d)| Frac::new(n, d))
+}
+
+fn nonneg_frac() -> impl Strategy<Value = Frac> {
+    (0i128..2_000, 1i128..2_000).prop_map(|(n, d)| Frac::new(n, d))
+}
+
+proptest! {
+    /// Field axioms (on the subdomain where i128 cannot overflow).
+    #[test]
+    fn frac_arithmetic_axioms(a in small_frac(), b in small_frac(), c in small_frac()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Frac::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    /// Ordering is total and agrees with f64 when far from ties.
+    #[test]
+    fn frac_ordering_consistency(a in small_frac(), b in small_frac()) {
+        let ord = a.cmp(&b);
+        prop_assert_eq!(b.cmp(&a), ord.reverse());
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if (fa - fb).abs() > 1e-6 {
+            prop_assert_eq!(fa < fb, ord == std::cmp::Ordering::Less);
+        }
+    }
+
+    /// floor/ceil bracket the value and differ only on non-integers.
+    #[test]
+    fn frac_floor_ceil(a in small_frac()) {
+        let fl = a.floor();
+        let ce = a.ceil();
+        prop_assert!(Frac::from(fl) <= a && a <= Frac::from(ce));
+        prop_assert!(ce - fl <= 1);
+        prop_assert_eq!(ce == fl, a == Frac::from(fl));
+    }
+
+    /// isqrt is the exact floor square root.
+    #[test]
+    fn isqrt_is_floor_sqrt(n in any::<u128>()) {
+        let r = isqrt(n);
+        prop_assert!(r.checked_mul(r).is_none_or(|sq| sq <= n) && r * r <= n);
+        if let Some(next_sq) = (r + 1).checked_mul(r + 1) {
+            prop_assert!(next_sq > n);
+        }
+    }
+
+    /// gcd divides both arguments and is maximal against a sample of
+    /// divisors.
+    #[test]
+    fn gcd_divides(a in 1u128..1_000_000, b in 1u128..1_000_000) {
+        let g = gcd(a, b);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        prop_assert_eq!(gcd(a / g, b / g), 1);
+    }
+
+    /// simplest_between: strictly inside, and minimal denominator among a
+    /// brute-force scan of simpler fractions.
+    #[test]
+    fn simplest_between_minimality(a in nonneg_frac(), b in nonneg_frac()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let got = simplest_between(lo, hi);
+        prop_assert!(lo < got && got < hi);
+        // No fraction with a smaller denominator fits inside.
+        for d in 1..got.den() {
+            let n_lo = (lo * Frac::from(d)).floor();
+            let n_hi = (hi * Frac::from(d)).ceil();
+            for n in n_lo..=n_hi {
+                let cand = Frac::new(n, d);
+                prop_assert!(!(lo < cand && cand < hi),
+                    "{cand:?} simpler than {got:?} in ({lo:?},{hi:?})");
+            }
+        }
+    }
+
+    /// Density ordering matches exact rational comparison of squares.
+    #[test]
+    fn density_order_matches_squared_compare(
+        e1 in 0u64..10_000, s1 in 1u64..100, t1 in 1u64..100,
+        e2 in 0u64..10_000, s2 in 1u64..100, t2 in 1u64..100,
+    ) {
+        let a = Density::new(e1, s1, t1);
+        let b = Density::new(e2, s2, t2);
+        // ρ_a vs ρ_b ⟺ ρ_a² vs ρ_b² for non-negative values.
+        prop_assert_eq!(a.cmp(&b), a.squared().cmp(&b.squared()));
+        prop_assert_eq!(a == b, a.squared() == b.squared());
+    }
+
+    /// β lower bound really lower-bounds ρ·√(ab) and is tight to 1e-5.
+    #[test]
+    fn beta_lower_bound_brackets(
+        e in 1u64..5_000, s in 1u64..200, t in 1u64..200,
+        a in 1u64..50, b in 1u64..50,
+    ) {
+        let d = Density::new(e, s, t);
+        let lb = d.beta_lower_bound(a, b).to_f64();
+        let exact = d.to_f64() * ((a as f64) * (b as f64)).sqrt();
+        prop_assert!(lb <= exact * (1.0 + 1e-12));
+        prop_assert!(lb >= exact * (1.0 - 1e-5), "bound too loose: {lb} vs {exact}");
+    }
+
+    /// Ratio mediants stay strictly between their parents.
+    #[test]
+    fn mediant_between_parents(a1 in 0u64..500, b1 in 1u64..500, a2 in 1u64..500, b2 in 0u64..500) {
+        let l = Ratio::new(a1, b1);
+        let r = Ratio::new(a2, b2);
+        prop_assume!(l < r);
+        let m = l.mediant(r);
+        prop_assert!(l < m && m < r);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for `[x, y]`-core peeling and decomposition.
+
+use dds_graph::{DiGraph, GraphBuilder, StMask, VertexId};
+use dds_xycore::{max_product_core, skyline, xy_core, xy_core_within, y_max_core};
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    prop::collection::vec((0..max_n, 0..max_n), 0..max_m).prop_map(move |edges| {
+        let mut b = GraphBuilder::with_min_vertices(max_n as usize);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    })
+}
+
+/// The defining fixpoint property of a core mask.
+fn is_fixpoint(g: &DiGraph, mask: &StMask, x: u64, y: u64) -> bool {
+    (0..g.n()).all(|v| {
+        let s_ok = !mask.in_s[v] || {
+            g.out_neighbors(v as VertexId)
+                .iter()
+                .filter(|&&w| mask.in_t[w as usize])
+                .count() as u64
+                >= x
+        };
+        let t_ok = !mask.in_t[v] || {
+            g.in_neighbors(v as VertexId)
+                .iter()
+                .filter(|&&w| mask.in_s[w as usize])
+                .count() as u64
+                >= y
+        };
+        s_ok && t_ok
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Peeling yields a fixpoint that contains every other fixpoint
+    /// (checked against a greedily grown witness, not full enumeration).
+    #[test]
+    fn core_is_a_fixpoint(g in graph_strategy(14, 70), x in 0u64..4, y in 0u64..4) {
+        let core = xy_core(&g, x, y);
+        prop_assert!(is_fixpoint(&g, &core, x, y));
+    }
+
+    /// Nesting in both parameters.
+    #[test]
+    fn cores_nest(g in graph_strategy(14, 70), x in 0u64..3, y in 0u64..3) {
+        let base = xy_core(&g, x, y);
+        for (dx, dy) in [(1, 0), (0, 1), (1, 1)] {
+            let tighter = xy_core(&g, x + dx, y + dy);
+            for v in 0..g.n() {
+                prop_assert!(!tighter.in_s[v] || base.in_s[v]);
+                prop_assert!(!tighter.in_t[v] || base.in_t[v]);
+            }
+        }
+    }
+
+    /// The core within a sub-mask is the intersection behaviourally: it is
+    /// a fixpoint inside the base and contained in the unrestricted core.
+    #[test]
+    fn core_within_restricts(g in graph_strategy(12, 60), x in 0u64..3, y in 0u64..3) {
+        let mut base = StMask::full(g.n());
+        for v in (0..g.n()).step_by(3) {
+            base.in_s[v] = false;
+        }
+        let inner = xy_core_within(&g, &base, x, y);
+        let outer = xy_core(&g, x, y);
+        prop_assert!(is_fixpoint(&g, &inner, x, y));
+        for v in 0..g.n() {
+            prop_assert!(!inner.in_s[v] || (outer.in_s[v] && base.in_s[v]));
+            prop_assert!(!inner.in_t[v] || outer.in_t[v]);
+        }
+    }
+
+    /// y_max agrees with the naive "peel until empty" loop.
+    #[test]
+    fn y_max_matches_naive(g in graph_strategy(12, 60), x in 0u64..4) {
+        let fast = y_max_core(&g, &StMask::full(g.n()), x);
+        let mut naive: Option<(u64, StMask)> = None;
+        for y in 1..=(g.m() as u64 + 1) {
+            let core = xy_core(&g, x, y);
+            if core.is_empty() {
+                break;
+            }
+            naive = Some((y, core));
+        }
+        match (fast, naive) {
+            (None, None) => {}
+            (Some(f), Some((ny, nmask))) => {
+                prop_assert_eq!(f.y, ny);
+                prop_assert_eq!(f.mask, nmask);
+            }
+            (f, n) => {
+                return Err(TestCaseError::fail(format!(
+                    "fast={:?} naive={:?}",
+                    f.map(|r| r.y),
+                    n.map(|r| r.0)
+                )));
+            }
+        }
+    }
+
+    /// The double sweep finds the true maximum skyline product, and its
+    /// core meets the sqrt(xy) density bound.
+    #[test]
+    fn max_product_agrees_with_skyline(g in graph_strategy(14, 80)) {
+        let sky = skyline(&g);
+        let best = max_product_core(&g);
+        match (sky.is_empty(), best) {
+            (true, None) => {}
+            (false, Some(b)) => {
+                let sky_max = sky.iter().map(|p| p.x * p.y).max().unwrap();
+                prop_assert_eq!(b.product(), sky_max);
+                let d = b.mask.density(&g);
+                let e2 = u128::from(d.edges) * u128::from(d.edges);
+                let bound = u128::from(b.product()) * u128::from(d.s) * u128::from(d.t);
+                prop_assert!(e2 >= bound, "density below sqrt(xy)");
+            }
+            (empty, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "skyline empty={empty} but max_product={:?}",
+                    b.map(|x| x.product())
+                )));
+            }
+        }
+    }
+}

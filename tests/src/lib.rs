@@ -1,0 +1,69 @@
+//! Shared helpers for the cross-crate integration test suite.
+
+use dds_num::Density;
+
+/// Asserts `k · approx ≥ opt` exactly (integer cross-multiplication):
+/// `k²·e_a²·s_o·t_o ≥ e_o²·s_a·t_a`.
+///
+/// # Panics
+/// Panics when the guarantee is violated.
+pub fn assert_within_factor(k: u64, approx: Density, opt: Density) {
+    assert!(approx <= opt, "approximation {approx} exceeds optimum {opt}");
+    let lhs = u128::from(k)
+        * u128::from(k)
+        * u128::from(approx.edges)
+        * u128::from(approx.edges)
+        * u128::from(opt.s)
+        * u128::from(opt.t);
+    let rhs = u128::from(opt.edges)
+        * u128::from(opt.edges)
+        * u128::from(approx.s)
+        * u128::from(approx.t);
+    assert!(lhs >= rhs, "{approx} is not within factor {k} of {opt}");
+}
+
+/// The workloads every integration test agrees to exercise: small enough
+/// for exact reference answers, diverse enough to hit the solvers'
+/// different regimes.
+#[must_use]
+pub fn small_workloads() -> Vec<(String, dds_graph::DiGraph)> {
+    use dds_graph::gen;
+    let mut out: Vec<(String, dds_graph::DiGraph)> = vec![
+        ("k23".into(), gen::complete_bipartite(2, 3)),
+        ("k44".into(), gen::complete_bipartite(4, 4)),
+        ("star8".into(), gen::out_star(8)),
+        ("cycle9".into(), gen::cycle(9)),
+        ("path7".into(), gen::path(7)),
+    ];
+    for seed in 0..4u64 {
+        out.push((format!("gnm-{seed}"), gen::gnm(18, 70, seed)));
+        out.push((format!("pl-{seed}"), gen::power_law(18, 70, 2.2, seed)));
+    }
+    out.push(("planted".into(), gen::planted(30, 50, 3, 4, 1.0, 5).graph));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_assertion_accepts_equality() {
+        let d = Density::new(4, 2, 2);
+        assert_within_factor(1, d, d);
+        assert_within_factor(2, Density::new(2, 2, 2), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "not within factor")]
+    fn factor_assertion_rejects_violations() {
+        assert_within_factor(2, Density::new(1, 2, 2), Density::new(8, 2, 2));
+    }
+
+    #[test]
+    fn workloads_are_nonempty_and_named() {
+        let w = small_workloads();
+        assert!(w.len() >= 10);
+        assert!(w.iter().all(|(name, g)| !name.is_empty() && g.n() > 0));
+    }
+}

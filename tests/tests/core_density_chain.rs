@@ -1,0 +1,90 @@
+//! Integration: the density-bound chain that powers the whole paper,
+//! verified end to end on real solver outputs:
+//!
+//! ```text
+//! sqrt(x·y)  ≤  ρ([x,y]-core)  ≤  ρ_opt  ≤  2·sqrt(P)
+//! ```
+
+use dds_core::DcExact;
+use dds_graph::gen;
+use dds_num::cmp_prod;
+use dds_xycore::{max_product_core, skyline, xy_core, y_max_core};
+use std::cmp::Ordering;
+
+/// `ρ(core)² ≥ x·y` checked in integers.
+fn density_at_least_sqrt(product: u64, d: dds_num::Density) -> bool {
+    let e2 = u128::from(d.edges) * u128::from(d.edges);
+    let xyst = u128::from(product) * u128::from(d.s) * u128::from(d.t);
+    cmp_prod(e2, 1, xyst, 1) != Ordering::Less
+}
+
+#[test]
+fn every_skyline_core_meets_its_lower_bound() {
+    for (name, g) in dds_tests::small_workloads() {
+        for p in skyline(&g) {
+            let core = xy_core(&g, p.x, p.y);
+            assert!(!core.is_empty(), "{name}: skyline point [{},{}] empty", p.x, p.y);
+            let d = core.density(&g);
+            assert!(
+                density_at_least_sqrt(p.x * p.y, d),
+                "{name}: [{},{}]-core density {d} < sqrt(xy)",
+                p.x,
+                p.y
+            );
+        }
+    }
+}
+
+#[test]
+fn optimum_is_bracketed_by_the_max_product_core() {
+    for (name, g) in dds_tests::small_workloads() {
+        if g.m() == 0 {
+            continue;
+        }
+        let best = max_product_core(&g).unwrap();
+        let opt = DcExact::new().solve(&g).solution.density;
+        // ρ_opt² ≤ 4·P exactly.
+        let rho2 = u128::from(opt.edges) * u128::from(opt.edges);
+        let bound = 4 * u128::from(best.product()) * u128::from(opt.s) * u128::from(opt.t);
+        assert!(
+            cmp_prod(rho2, 1, bound, 1) != Ordering::Greater,
+            "{name}: ρ_opt {opt} above 2·sqrt({})",
+            best.product()
+        );
+    }
+}
+
+#[test]
+fn optimum_lives_inside_its_own_degree_core() {
+    // The pruning lemma itself: the DDS is contained in the
+    // [⌈ρ/2·√(t/s)⌉, ⌈ρ/2·√(s/t)⌉]-core.
+    for (name, g) in dds_tests::small_workloads() {
+        let sol = DcExact::new().solve(&g).solution;
+        if sol.pair.is_empty() {
+            continue;
+        }
+        let (s, t) = (sol.pair.s().len() as u64, sol.pair.t().len() as u64);
+        let e = sol.density.edges;
+        // x = ⌈e/(2s)⌉ ≤ ⌈ρ√(t/s)/2⌉ since ρ√(t/s)/2 = e/(2s).
+        let x = e.div_ceil(2 * s);
+        let y = e.div_ceil(2 * t);
+        let core = xy_core(&g, x, y);
+        for &u in sol.pair.s() {
+            assert!(core.in_s[u as usize], "{name}: S vertex {u} outside the [{x},{y}]-core");
+        }
+        for &v in sol.pair.t() {
+            assert!(core.in_t[v as usize], "{name}: T vertex {v} outside the [{x},{y}]-core");
+        }
+    }
+}
+
+#[test]
+fn y_max_is_consistent_with_skyline_on_medium_graphs() {
+    let g = gen::power_law(150, 900, 2.2, 17);
+    let sky = skyline(&g);
+    assert!(!sky.is_empty());
+    for p in sky.iter().take(6) {
+        let via_sweep = y_max_core(&g, &dds_graph::StMask::full(g.n()), p.x).unwrap();
+        assert_eq!(via_sweep.y, p.y, "x={}", p.x);
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration: the exact solvers agree with ground truth and each other
+//! across crates.
+
+use dds_core::validate::{brute_force_dds, is_locally_maximal};
+use dds_core::{DcExact, ExactOptions, FlowExact};
+use dds_graph::gen;
+
+#[test]
+fn dc_exact_matches_brute_force_on_tiny_graphs() {
+    for seed in 0..12 {
+        let g = gen::gnm(8, 22, seed);
+        let want = brute_force_dds(&g).density;
+        let got = DcExact::new().solve(&g);
+        assert_eq!(got.solution.density, want, "seed={seed}");
+        assert_eq!(got.solution.pair.density(&g), want, "reported pair must realise it");
+    }
+}
+
+#[test]
+fn baseline_matches_brute_force_on_tiny_graphs() {
+    for seed in 0..6 {
+        let g = gen::power_law(8, 24, 2.1, seed);
+        let want = brute_force_dds(&g).density;
+        assert_eq!(FlowExact.solve(&g).solution.density, want, "seed={seed}");
+    }
+}
+
+#[test]
+fn dc_and_baseline_agree_on_all_workloads() {
+    for (name, g) in dds_tests::small_workloads() {
+        let dc = DcExact::new().solve(&g);
+        let base = FlowExact.solve(&g);
+        assert_eq!(dc.solution.density, base.solution.density, "{name}");
+        if !dc.solution.pair.is_empty() {
+            assert!(is_locally_maximal(&g, &dc.solution.pair), "{name}");
+        }
+    }
+}
+
+#[test]
+fn ablation_combos_agree_on_structured_graphs() {
+    let g = gen::planted(40, 80, 3, 5, 1.0, 7).graph;
+    let want = DcExact::new().solve(&g).solution.density;
+    for dc in [false, true] {
+        for core in [false, true] {
+            for gamma in [false, true] {
+                for warm in [false, true] {
+                    let opts = ExactOptions {
+                        divide_and_conquer: dc,
+                        core_pruning: core,
+                        gamma_pruning: gamma,
+                        warm_start: warm,
+                    };
+                    let got = DcExact::with_options(opts).solve(&g);
+                    assert_eq!(got.solution.density, want, "{opts:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_is_deterministic() {
+    let g = gen::power_law(40, 200, 2.3, 3);
+    let a = DcExact::new().solve(&g);
+    let b = DcExact::new().solve(&g);
+    assert_eq!(a.solution, b.solution);
+    assert_eq!(a.ratios_solved, b.ratios_solved);
+    assert_eq!(a.flow_decisions, b.flow_decisions);
+    assert_eq!(a.network_nodes, b.network_nodes);
+}
+
+#[test]
+fn report_instrumentation_is_consistent() {
+    let g = gen::gnm(25, 120, 9);
+    let r = DcExact::new().solve(&g);
+    assert_eq!(r.network_nodes.len(), r.flow_decisions);
+    assert_eq!(r.network_edges.len(), r.flow_decisions);
+    assert!(r.ratios_solved <= r.ratios_considered);
+    assert!(r.ratios_solved + r.ratios_pruned_gamma + r.ratios_pruned_structural <= r.ratios_considered);
+}
+
+#[test]
+fn exact_on_disconnected_graph_picks_the_denser_component() {
+    // Component A: K_{2,2} (density 2); component B: a 3-cycle (density 1).
+    let mut edges = vec![(0u32, 2u32), (0, 3), (1, 2), (1, 3)];
+    edges.extend([(4, 5), (5, 6), (6, 4)]);
+    let g = dds_graph::DiGraph::from_edges(7, &edges).unwrap();
+    let r = DcExact::new().solve(&g);
+    assert_eq!(r.solution.density.to_f64(), 2.0);
+    assert_eq!(r.solution.pair.s(), &[0, 1]);
+    assert_eq!(r.solution.pair.t(), &[2, 3]);
+}

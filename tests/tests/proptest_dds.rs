@@ -1,0 +1,65 @@
+//! Property tests pinning the full solver stack against ground truth.
+
+use dds_core::validate::brute_force_dds;
+use dds_core::{core_approx, DcExact, ExhaustivePeel, GridPeel};
+use dds_graph::GraphBuilder;
+use dds_tests::assert_within_factor;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = dds_graph::DiGraph> {
+    prop::collection::vec((0..max_n, 0..max_n), 0..max_m).prop_map(move |edges| {
+        let mut b = GraphBuilder::with_min_vertices(max_n as usize);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: DcExact equals exhaustive enumeration.
+    #[test]
+    fn dc_exact_equals_brute_force(g in graph_strategy(8, 30)) {
+        let want = brute_force_dds(&g).density;
+        let got = DcExact::new().solve(&g);
+        prop_assert_eq!(got.solution.density, want);
+        prop_assert_eq!(got.solution.pair.density(&g), want);
+    }
+
+    /// Approximation guarantees hold on arbitrary graphs.
+    #[test]
+    fn approximations_hold_their_guarantees(g in graph_strategy(8, 26)) {
+        let opt = brute_force_dds(&g).density;
+        assert_within_factor(2, core_approx(&g).solution.density, opt);
+        assert_within_factor(2, ExhaustivePeel.solve(&g).solution.density, opt);
+        let grid = GridPeel::new(0.1).solve(&g).solution.density;
+        prop_assert!(2.2 * grid.to_f64() + 1e-9 >= opt.to_f64());
+    }
+
+    /// Adding an edge never decreases the optimum; removing never raises it.
+    #[test]
+    fn optimum_is_monotone_in_edges(
+        g in graph_strategy(7, 20),
+        extra in (0u32..7, 0u32..7),
+    ) {
+        let base = DcExact::new().solve(&g).solution.density;
+        let mut b = GraphBuilder::with_min_vertices(7);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+        }
+        b.add_edge(extra.0, extra.1);
+        let bigger = b.build();
+        let denser = DcExact::new().solve(&bigger).solution.density;
+        prop_assert!(denser >= base);
+    }
+
+    /// Transposing the graph transposes the answer (ρ is invariant, S/T swap).
+    #[test]
+    fn optimum_is_invariant_under_transpose(g in graph_strategy(8, 26)) {
+        let fwd = DcExact::new().solve(&g).solution.density;
+        let rev = DcExact::new().solve(&g.reverse()).solution.density;
+        prop_assert_eq!(fwd, rev);
+    }
+}
