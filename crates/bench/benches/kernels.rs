@@ -35,13 +35,19 @@ fn bench_peel(c: &mut Criterion) {
 
 fn bench_cores(c: &mut Criterion) {
     let g = gen::power_law(3_000, 20_000, 2.2, 1);
-    c.bench_function("xycore/peel-1-1", |b| b.iter(|| xy_core(black_box(&g), 1, 1)));
-    c.bench_function("xycore/peel-4-4", |b| b.iter(|| xy_core(black_box(&g), 4, 4)));
+    c.bench_function("xycore/peel-1-1", |b| {
+        b.iter(|| xy_core(black_box(&g), 1, 1))
+    });
+    c.bench_function("xycore/peel-4-4", |b| {
+        b.iter(|| xy_core(black_box(&g), 4, 4))
+    });
     let full = StMask::full(g.n());
     c.bench_function("xycore/y-max-sweep-x2", |b| {
         b.iter(|| y_max_core(black_box(&g), &full, 2))
     });
-    c.bench_function("xycore/max-product", |b| b.iter(|| max_product_core(black_box(&g))));
+    c.bench_function("xycore/max-product", |b| {
+        b.iter(|| max_product_core(black_box(&g)))
+    });
 }
 
 fn config() -> Criterion {

@@ -21,7 +21,9 @@ fn bench_exact(c: &mut Criterion) {
 
 fn bench_approx(c: &mut Criterion) {
     let s = gen::power_law(3_000, 20_000, 2.2, 1);
-    c.bench_function("approx/core-pl-s", |b| b.iter(|| core_approx(black_box(&s))));
+    c.bench_function("approx/core-pl-s", |b| {
+        b.iter(|| core_approx(black_box(&s)))
+    });
     c.bench_function("approx/grid01-pl-s", |b| {
         b.iter(|| GridPeel::new(0.1).solve(black_box(&s)))
     });

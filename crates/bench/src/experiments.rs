@@ -3,9 +3,7 @@
 //! to stdout, writes the same data to `bench_results/<id>.csv`, and states
 //! the *expected shape* so `EXPERIMENTS.md` can record measured-vs-expected.
 
-use dds_core::{
-    core_approx, parallel, DcExact, ExactOptions, ExhaustivePeel, FlowExact, GridPeel,
-};
+use dds_core::{core_approx, parallel, DcExact, ExactOptions, ExhaustivePeel, FlowExact, GridPeel};
 use dds_graph::GraphStats;
 use dds_xycore::{max_product_core, skyline};
 
@@ -30,20 +28,34 @@ pub fn run(id: &str, quick: bool) {
         "e9" => e9_case_study(quick),
         "e10" => e10_cores(quick),
         "e11" => e11_parallel(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e11)"),
+        "e12" => e12_streaming(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e12)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
 pub fn e1_datasets(quick: bool) {
-    println!("\n=== E1: dataset statistics (expected: heavy tails on PL-*, planted density on PD-*)");
+    println!(
+        "\n=== E1: dataset statistics (expected: heavy tails on PL-*, planted density on PD-*)"
+    );
     let mut t = Table::new(
         "datasets",
-        &["name", "n", "m", "d+max", "d-max", "maxcore[x,y]", "x*y", "core_rho", "core_ms"],
+        &[
+            "name",
+            "n",
+            "m",
+            "d+max",
+            "d-max",
+            "maxcore[x,y]",
+            "x*y",
+            "core_rho",
+            "core_ms",
+        ],
     );
     for w in registry(Scale::L, quick) {
         let s = GraphStats::compute(&w.graph);
@@ -51,7 +63,11 @@ pub fn e1_datasets(quick: bool) {
         let (label, product, rho) = match core {
             Some(c) => {
                 let d = c.mask.density(&w.graph);
-                (format!("[{},{}]", c.x, c.y), c.product().to_string(), format!("{:.3}", d.to_f64()))
+                (
+                    format!("[{},{}]", c.x, c.y),
+                    c.product().to_string(),
+                    format!("{:.3}", d.to_f64()),
+                )
             }
             None => ("-".into(), "0".into(), "0".into()),
         };
@@ -78,17 +94,31 @@ pub fn e2_exact_efficiency(quick: bool) {
     let baseline_cap = if quick { 60 } else { 120 };
     let mut t = Table::new(
         "exact runtimes on the power-law ladder",
-        &["n", "m", "dc_ms", "dc_ratios", "base_ms", "base_ratios", "speedup"],
+        &[
+            "n",
+            "m",
+            "dc_ms",
+            "dc_ratios",
+            "base_ms",
+            "base_ratios",
+            "speedup",
+        ],
     );
     for (n, g) in exact_ladder(quick) {
         let (dc, dc_t) = time(|| DcExact::new().solve(&g));
         let (base_cell, base_ratio_cell, speed_cell) = if n <= baseline_cap {
             let (base, base_t) = time(|| FlowExact.solve(&g));
-            assert_eq!(dc.solution.density, base.solution.density, "solvers disagree at n={n}");
+            assert_eq!(
+                dc.solution.density, base.solution.density,
+                "solvers disagree at n={n}"
+            );
             (
                 format!("{:.1}", base_t.as_secs_f64() * 1e3),
                 base.ratios_solved.to_string(),
-                format!("{:.0}x", base_t.as_secs_f64() / dc_t.as_secs_f64().max(1e-9)),
+                format!(
+                    "{:.0}x",
+                    base_t.as_secs_f64() / dc_t.as_secs_f64().max(1e-9)
+                ),
             )
         } else {
             ("skipped".into(), "-".into(), "-".into())
@@ -112,14 +142,20 @@ pub fn e2_exact_efficiency(quick: bool) {
 /// as the search converges" figure), with and without core pruning.
 pub fn e3_network_sizes(quick: bool) {
     println!("\n=== E3: flow-network sizes (expected: core pruning shrinks networks by orders of magnitude)");
-    let w = registry(Scale::S, quick).into_iter().find(|w| w.name.starts_with("PD")).unwrap();
+    let w = registry(Scale::S, quick)
+        .into_iter()
+        .find(|w| w.name.starts_with("PD"))
+        .unwrap();
     let g = &w.graph;
     let mut t = Table::new(
         format!("network nodes per decision on {} (n={})", w.name, g.n()),
         &["variant", "decisions", "max_nodes", "mean_nodes", "first_8"],
     );
     for (label, core) in [("with core pruning", true), ("without", false)] {
-        let opts = ExactOptions { core_pruning: core, ..ExactOptions::default() };
+        let opts = ExactOptions {
+            core_pruning: core,
+            ..ExactOptions::default()
+        };
         let r = DcExact::with_options(opts).solve(g);
         let nodes = &r.network_nodes;
         let mean = if nodes.is_empty() {
@@ -144,10 +180,34 @@ pub fn e4_ablation(quick: bool) {
     println!("\n=== E4: ablation (expected: γ-pruning largest, then core pruning; -dc collapses to the baseline)");
     let variants: [(&str, ExactOptions); 5] = [
         ("full", ExactOptions::default()),
-        ("-gamma", ExactOptions { gamma_pruning: false, ..Default::default() }),
-        ("-core", ExactOptions { core_pruning: false, ..Default::default() }),
-        ("-warm", ExactOptions { warm_start: false, ..Default::default() }),
-        ("-dc", ExactOptions { divide_and_conquer: false, ..Default::default() }),
+        (
+            "-gamma",
+            ExactOptions {
+                gamma_pruning: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "-core",
+            ExactOptions {
+                core_pruning: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "-warm",
+            ExactOptions {
+                warm_start: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "-dc",
+            ExactOptions {
+                divide_and_conquer: false,
+                ..Default::default()
+            },
+        ),
     ];
     let mut t = Table::new(
         "DcExact variants",
@@ -183,12 +243,20 @@ pub fn e4_ablation(quick: bool) {
                 format!("{:.1}", dur.as_secs_f64() * 1e3),
                 r.ratios_solved.to_string(),
                 r.flow_decisions.to_string(),
-                r.network_nodes.iter().max().copied().unwrap_or(0).to_string(),
+                r.network_nodes
+                    .iter()
+                    .max()
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
             ]);
         }
     }
     // One rung where every variant (including -dc) is measurable.
-    let (n120, ladder_g) = exact_ladder(quick).into_iter().next().expect("ladder non-empty");
+    let (n120, ladder_g) = exact_ladder(quick)
+        .into_iter()
+        .next()
+        .expect("ladder non-empty");
     let mut reference = None;
     for (label, opts) in variants {
         let (r, dur) = time(|| DcExact::with_options(opts).solve(&ladder_g));
@@ -202,7 +270,12 @@ pub fn e4_ablation(quick: bool) {
             format!("{:.1}", dur.as_secs_f64() * 1e3),
             r.ratios_solved.to_string(),
             r.flow_decisions.to_string(),
-            r.network_nodes.iter().max().copied().unwrap_or(0).to_string(),
+            r.network_nodes
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -268,7 +341,11 @@ pub fn e6_quality(quick: bool) {
         } else {
             "skipped".into()
         };
-        assert!(2.0 * core.to_f64() + 1e-9 >= opt.to_f64(), "{}: guarantee broken", w.name);
+        assert!(
+            2.0 * core.to_f64() + 1e-9 >= opt.to_f64(),
+            "{}: guarantee broken",
+            w.name
+        );
         t.row(vec![
             w.name.clone(),
             format!("{:.3}", opt.to_f64()),
@@ -284,8 +361,13 @@ pub fn e6_quality(quick: bool) {
 /// E7 — scalability: runtime versus sampled edge fraction (the paper's
 /// near-linear scalability figure).
 pub fn e7_scalability(quick: bool) {
-    println!("\n=== E7: scalability vs edge fraction (expected: near-linear for both approximations)");
-    let w = registry(Scale::L, quick).into_iter().find(|w| w.name.starts_with("PL-l")).unwrap();
+    println!(
+        "\n=== E7: scalability vs edge fraction (expected: near-linear for both approximations)"
+    );
+    let w = registry(Scale::L, quick)
+        .into_iter()
+        .find(|w| w.name.starts_with("PL-l"))
+        .unwrap();
     let mut t = Table::new(
         format!("runtime on edge-sampled {}", w.name),
         &["fraction", "m", "core_ms", "grid_ms"],
@@ -311,8 +393,13 @@ pub fn e7_scalability(quick: bool) {
 
 /// E8 — `GridPeel` ε sensitivity (time/quality trade-off).
 pub fn e8_epsilon(quick: bool) {
-    println!("\n=== E8: GridPeel epsilon sweep (expected: time ~ 1/ε, quality non-increasing in ε)");
-    let w = registry(Scale::M, quick).into_iter().find(|w| w.name.starts_with("PL-m")).unwrap();
+    println!(
+        "\n=== E8: GridPeel epsilon sweep (expected: time ~ 1/ε, quality non-increasing in ε)"
+    );
+    let w = registry(Scale::M, quick)
+        .into_iter()
+        .find(|w| w.name.starts_with("PL-m"))
+        .unwrap();
     let g = &w.graph;
     let mut t = Table::new(
         format!("epsilon sweep on {}", w.name),
@@ -338,24 +425,54 @@ pub fn e9_case_study(quick: bool) {
     let (n, m) = if quick { (200, 1_000) } else { (2_000, 8_000) };
     let planted = dds_graph::gen::planted(n, m, 8, 10, 1.0, 7);
     let (r, dur) = time(|| DcExact::new().solve(&planted.graph));
-    let hit_s = r.solution.pair.s().iter().filter(|v| planted.pair.s().contains(v)).count();
-    let hit_t = r.solution.pair.t().iter().filter(|v| planted.pair.t().contains(v)).count();
+    let hit_s = r
+        .solution
+        .pair
+        .s()
+        .iter()
+        .filter(|v| planted.pair.s().contains(v))
+        .count();
+    let hit_t = r
+        .solution
+        .pair
+        .t()
+        .iter()
+        .filter(|v| planted.pair.t().contains(v))
+        .count();
     let mut t = Table::new("planted-ring recovery", &["metric", "value"]);
-    t.row(vec!["planted density".into(), format!("{:.4}", planted.pair.density(&planted.graph).to_f64())]);
-    t.row(vec!["recovered density".into(), format!("{:.4}", r.solution.density.to_f64())]);
-    t.row(vec!["S recall".into(), format!("{hit_s}/{}", planted.pair.s().len())]);
-    t.row(vec!["T recall".into(), format!("{hit_t}/{}", planted.pair.t().len())]);
+    t.row(vec![
+        "planted density".into(),
+        format!("{:.4}", planted.pair.density(&planted.graph).to_f64()),
+    ]);
+    t.row(vec![
+        "recovered density".into(),
+        format!("{:.4}", r.solution.density.to_f64()),
+    ]);
+    t.row(vec![
+        "S recall".into(),
+        format!("{hit_s}/{}", planted.pair.s().len()),
+    ]);
+    t.row(vec![
+        "T recall".into(),
+        format!("{hit_t}/{}", planted.pair.t().len()),
+    ]);
     t.row(vec!["solve time".into(), fmt_duration(dur)]);
     println!("{}", t.render());
     t.write_csv("e9_case_study");
 
-    let w = registry(Scale::S, quick).into_iter().find(|w| w.name.starts_with("PL")).unwrap();
+    let w = registry(Scale::S, quick)
+        .into_iter()
+        .find(|w| w.name.starts_with("PL"))
+        .unwrap();
     let g = &w.graph;
     let sol = core_approx(g).solution;
     let avg = |side: &[u32], f: &dyn Fn(u32) -> usize| {
         side.iter().map(|&v| f(v) as f64).sum::<f64>() / side.len().max(1) as f64
     };
-    let mut t = Table::new("hub/authority separation on the power-law tier", &["side", "size", "avg_out", "avg_in"]);
+    let mut t = Table::new(
+        "hub/authority separation on the power-law tier",
+        &["side", "size", "avg_out", "avg_in"],
+    );
     t.row(vec![
         "S (hubs)".into(),
         sol.pair.s().len().to_string(),
@@ -378,13 +495,23 @@ pub fn e10_cores(quick: bool) {
     let max_scale = if quick { Scale::S } else { Scale::M };
     let mut t = Table::new(
         "core decomposition",
-        &["dataset", "skyline_pts", "skyline_ms", "maxprod", "sweep_evals", "sweep_ms"],
+        &[
+            "dataset",
+            "skyline_pts",
+            "skyline_ms",
+            "maxprod",
+            "sweep_evals",
+            "sweep_ms",
+        ],
     );
     for w in registry(max_scale, quick) {
         let g = &w.graph;
         let (sky_cell, sky_ms) = if w.scale <= Scale::S {
             let (sky, d) = time(|| skyline(g));
-            (sky.len().to_string(), format!("{:.1}", d.as_secs_f64() * 1e3))
+            (
+                sky.len().to_string(),
+                format!("{:.1}", d.as_secs_f64() * 1e3),
+            )
         } else {
             ("skipped".into(), "-".into())
         };
@@ -406,7 +533,10 @@ pub fn e10_cores(quick: bool) {
 /// E11 — parallel speedup of the embarrassingly parallel solvers.
 pub fn e11_parallel(quick: bool) {
     println!("\n=== E11: parallel speedup (expected: near-linear for grid peel up to core count)");
-    let w = registry(Scale::M, quick).into_iter().find(|w| w.name.starts_with("PL-m")).unwrap();
+    let w = registry(Scale::M, quick)
+        .into_iter()
+        .find(|w| w.name.starts_with("PL-m"))
+        .unwrap();
     let g = &w.graph;
     let mut t = Table::new(
         format!("threads vs wall time on {}", w.name),
@@ -426,6 +556,72 @@ pub fn e11_parallel(quick: bool) {
     }
     println!("{}", t.render());
     t.write_csv("e11_parallel");
+}
+
+/// E12 — streaming maintenance: fraction of batches absorbed by the
+/// incremental certificate alone, per stream scenario.
+pub fn e12_streaming(quick: bool) {
+    println!(
+        "\n=== E12: streaming lazy re-solve (expected: churn ≥90% incremental, emerge re-solves while the block forms)"
+    );
+    let batch = if quick { 10 } else { 25 };
+    let mut t = Table::new(
+        format!("stream scenarios, batch = {batch} events, tolerance = 0.25"),
+        &[
+            "scenario",
+            "solver",
+            "events",
+            "epochs",
+            "resolves",
+            "incremental",
+            "density",
+            "max_factor",
+            "time",
+        ],
+    );
+    for scenario in crate::stream_workloads::stream_registry(quick) {
+        // The sliding window has no persistent optimum, so exact lazy
+        // re-solves degenerate there; the approximate engine is the right
+        // tool. Quick mode uses it everywhere to keep the smoke test fast.
+        let solver = if quick || scenario.name.starts_with("window") {
+            dds_stream::SolverKind::CoreApprox
+        } else {
+            dds_stream::SolverKind::Exact
+        };
+        let mut engine = dds_stream::StreamEngine::new(dds_stream::StreamConfig {
+            tolerance: 0.25,
+            slack: 2.0,
+            solver,
+        });
+        let (reports, d) = time(|| {
+            dds_stream::replay(
+                &mut engine,
+                &scenario.events,
+                dds_stream::BatchBy::Count(batch),
+            )
+        });
+        let epochs = reports.len();
+        let resolves = reports.iter().filter(|r| r.resolved).count();
+        let incremental = 100.0 * (epochs - resolves) as f64 / epochs.max(1) as f64;
+        let max_factor = reports
+            .iter()
+            .map(|r| r.certified_factor)
+            .fold(1.0f64, f64::max);
+        let last = reports.last().expect("non-empty scenario");
+        t.row(vec![
+            scenario.name.clone(),
+            format!("{solver:?}"),
+            scenario.events.len().to_string(),
+            epochs.to_string(),
+            resolves.to_string(),
+            format!("{incremental:.1}%"),
+            format!("{:.3}", last.density.to_f64()),
+            format!("{max_factor:.3}"),
+            fmt_duration(d),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e12_streaming");
 }
 
 #[cfg(test)]

@@ -10,7 +10,11 @@
 
 pub mod experiments;
 pub mod report;
+pub mod stream_workloads;
 pub mod workloads;
 
 pub use report::{fmt_duration, time, Table};
+pub use stream_workloads::{
+    churn, planted_emerge, sliding_window, stream_registry, StreamScenario,
+};
 pub use workloads::{exact_ladder, registry, Scale, Workload};

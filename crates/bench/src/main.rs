@@ -4,16 +4,36 @@
 //! cargo run -p dds-bench --release -- all          # every experiment
 //! cargo run -p dds-bench --release -- e2 e5        # a subset
 //! cargo run -p dds-bench --release -- all --quick  # smoke-test sizes
+//!
+//! # Write a stream-workload event file for `dds stream`:
+//! cargo run -p dds-bench --release -- stream-gen churn --events 100000 --out churn.events
 //! ```
 
-use dds_bench::experiments;
+use dds_bench::{experiments, stream_workloads};
+
+const USAGE: &str = "usage:
+  dds-bench (all | e1..e12)... [--quick]
+  dds-bench stream-gen (churn|window|emerge) --out <file>
+            [--events N] [--n N] [--m M] [--block S,T] [--seed S]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stream-gen") {
+        if let Err(msg) = stream_gen(&args[1..]) {
+            eprintln!("dds-bench: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if ids.is_empty() {
-        eprintln!("usage: dds-bench (all | e1..e11)... [--quick]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let t0 = std::time::Instant::now();
@@ -27,4 +47,55 @@ fn main() {
         }
     }
     println!("\ntotal harness time: {:?}", t0.elapsed());
+}
+
+/// `stream-gen <scenario> --out <file> [--events N] [--n N] [--m M]
+/// [--block S,T] [--seed S]` — writes a seeded event stream in the format
+/// `dds stream` replays.
+fn stream_gen(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    let scenario = it
+        .next()
+        .ok_or("stream-gen needs a scenario: churn|window|emerge")?;
+    let mut events = 100_000usize;
+    let mut n = 500usize;
+    let mut m = 2_500usize;
+    let mut block = (32usize, 32usize);
+    let mut seed = 0xDD5u64;
+    let mut out: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match flag {
+            "--events" => events = parse(value("--events")?, "--events")?,
+            "--n" => n = parse(value("--n")?, "--n")?,
+            "--m" => m = parse(value("--m")?, "--m")?,
+            "--seed" => seed = parse(value("--seed")?, "--seed")?,
+            "--block" => {
+                let v = value("--block")?;
+                let (s, t) = v.split_once(',').ok_or("--block expects S,T")?;
+                block = (parse(s, "--block S")?, parse(t, "--block T")?);
+            }
+            "--out" => out = Some(value("--out")?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let out = out.ok_or("stream-gen needs --out <file>")?;
+    let stream = match scenario {
+        "churn" => stream_workloads::churn(n, m, block, events, seed),
+        "window" => stream_workloads::sliding_window(n, m, events, seed),
+        "emerge" => stream_workloads::planted_emerge(n, m, block, events, seed),
+        other => {
+            return Err(format!(
+                "unknown scenario {other:?} (expected churn|window|emerge)"
+            ))
+        }
+    };
+    dds_stream::save_events(&stream, &out).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("wrote {} events ({scenario}) to {out}", stream.len());
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("invalid value {raw:?} for {flag}"))
 }

@@ -115,7 +115,11 @@ pub fn registry(max_scale: Scale, quick: bool) -> Vec<Workload> {
 /// times out beyond small datasets).
 #[must_use]
 pub fn exact_ladder(quick: bool) -> Vec<(usize, DiGraph)> {
-    let sizes: &[usize] = if quick { &[40, 60] } else { &[80, 120, 160, 240, 500, 1_000, 2_000] };
+    let sizes: &[usize] = if quick {
+        &[40, 60]
+    } else {
+        &[80, 120, 160, 240, 500, 1_000, 2_000]
+    };
     sizes
         .iter()
         .map(|&n| (n, gen::power_law(n, n * 6, 2.2, SEED ^ n as u64)))
@@ -140,8 +144,10 @@ mod tests {
 
     #[test]
     fn names_encode_family_and_tier() {
-        let names: Vec<String> =
-            registry(Scale::Xs, true).into_iter().map(|w| w.name).collect();
+        let names: Vec<String> = registry(Scale::Xs, true)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
         assert_eq!(names, vec!["UN-xs", "PL-xs", "PD-xs"]);
     }
 

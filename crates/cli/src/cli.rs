@@ -4,11 +4,12 @@ use std::fmt;
 use std::io::Write;
 
 use dds_core::{
-    core_approx, parallel, top_k_dense_pairs, DcExact, DdsSolution, ExactOptions,
-    ExhaustivePeel, FlowExact, GridPeel, TopKSolver,
+    core_approx, parallel, top_k_dense_pairs, DcExact, DdsSolution, ExactOptions, ExhaustivePeel,
+    FlowExact, GridPeel, TopKSolver,
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
+use dds_stream::{BatchBy, SolverKind, StreamConfig, StreamEngine};
 use dds_xycore::{max_product_core, skyline, xy_core};
 
 /// Errors surfaced to the user with exit code 1.
@@ -18,6 +19,8 @@ pub enum CliError {
     Usage(String),
     /// Failure loading/saving a graph.
     Graph(dds_graph::GraphError),
+    /// Failure loading/parsing an event stream.
+    Stream(dds_stream::StreamError),
     /// Output stream failure.
     Io(std::io::Error),
 }
@@ -27,8 +30,15 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Stream(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
+    }
+}
+
+impl From<dds_stream::StreamError> for CliError {
+    fn from(e: dds_stream::StreamError) -> Self {
+        CliError::Stream(e)
     }
 }
 
@@ -53,6 +63,7 @@ const USAGE: &str = "usage:
   dds topk    <edge-list> --k K [--algo exact|core|grid]
   dds dot     <edge-list> [--highlight]
   dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha A] [--plant S,T,P] --out <file>
+  dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
   dds help";
 
 /// Entry point shared by `main` and the tests.
@@ -71,6 +82,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("topk") => cmd_topk(&mut it, out),
         Some("dot") => cmd_dot(&mut it, out),
         Some("gen") => cmd_gen(&mut it, out),
+        Some("stream") => cmd_stream(&mut it, out),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -80,10 +92,7 @@ fn load(path: Option<&str>) -> Result<DiGraph, CliError> {
     Ok(load_edge_list(path, &ParseOptions::default())?)
 }
 
-fn parse_flag_value<T: std::str::FromStr>(
-    flag: &str,
-    value: Option<&str>,
-) -> Result<T, CliError> {
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&str>) -> Result<T, CliError> {
     let v = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
     v.parse()
         .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
@@ -91,7 +100,12 @@ fn parse_flag_value<T: std::str::FromStr>(
 
 fn write_solution(out: &mut dyn Write, sol: &DdsSolution) -> Result<(), CliError> {
     writeln!(out, "density     {}", sol.density)?;
-    writeln!(out, "|S| = {}, |T| = {}", sol.pair.s().len(), sol.pair.t().len())?;
+    writeln!(
+        out,
+        "|S| = {}, |T| = {}",
+        sol.pair.s().len(),
+        sol.pair.t().len()
+    )?;
     writeln!(out, "S = {:?}", sol.pair.s())?;
     writeln!(out, "T = {:?}", sol.pair.t())?;
     Ok(())
@@ -132,17 +146,29 @@ fn cmd_exact<'a>(
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
-    let report = if baseline { FlowExact.solve(&g) } else { DcExact::with_options(opts).solve(&g) };
+    let report = if baseline {
+        FlowExact.solve(&g)
+    } else {
+        DcExact::with_options(opts).solve(&g)
+    };
     write_solution(out, &report.solution)?;
     writeln!(out, "ratios solved        {}", report.ratios_solved)?;
     writeln!(out, "flow decisions       {}", report.flow_decisions)?;
-    writeln!(out, "pruned (structural)  {}", report.ratios_pruned_structural)?;
+    writeln!(
+        out,
+        "pruned (structural)  {}",
+        report.ratios_pruned_structural
+    )?;
     writeln!(out, "pruned (gamma)       {}", report.ratios_pruned_gamma)?;
     if let Some(w) = report.warm_start_density {
         writeln!(out, "warm start density   {w:.6}")?;
     }
     if verbose {
-        writeln!(out, "network nodes per decision: {:?}", report.network_nodes)?;
+        writeln!(
+            out,
+            "network nodes per decision: {:?}",
+            report.network_nodes
+        )?;
     }
     Ok(())
 }
@@ -172,7 +198,11 @@ fn cmd_approx<'a>(
             };
             write_solution(out, &r.solution)?;
             writeln!(out, "core            [{}, {}]", r.x, r.y)?;
-            writeln!(out, "certified range [{:.6}, {:.6}]", r.lower_bound, r.upper_bound)?;
+            writeln!(
+                out,
+                "certified range [{:.6}, {:.6}]",
+                r.lower_bound, r.upper_bound
+            )?;
             writeln!(out, "guarantee       2-approximation")?;
         }
         "grid" => {
@@ -216,8 +246,10 @@ fn cmd_core<'a>(
                     .split_once(',')
                     .ok_or_else(|| CliError::Usage("--xy expects X,Y".into()))?;
                 xy = Some((
-                    x.parse().map_err(|_| CliError::Usage(format!("bad x {x:?}")))?,
-                    y.parse().map_err(|_| CliError::Usage(format!("bad y {y:?}")))?,
+                    x.parse()
+                        .map_err(|_| CliError::Usage(format!("bad x {x:?}")))?,
+                    y.parse()
+                        .map_err(|_| CliError::Usage(format!("bad y {y:?}")))?,
                 ));
             }
             "--max-product" => max_product = true,
@@ -227,14 +259,25 @@ fn cmd_core<'a>(
     }
     if let Some((x, y)) = xy {
         let core = xy_core(&g, x, y);
-        writeln!(out, "[{x},{y}]-core: |S| = {}, |T| = {}", core.s_count(), core.t_count())?;
+        writeln!(
+            out,
+            "[{x},{y}]-core: |S| = {}, |T| = {}",
+            core.s_count(),
+            core.t_count()
+        )?;
         if !core.is_empty() {
             writeln!(out, "density {}", core.density(&g))?;
         }
     } else if max_product {
         match max_product_core(&g) {
             Some(best) => {
-                writeln!(out, "max product core [{},{}], x·y = {}", best.x, best.y, best.product())?;
+                writeln!(
+                    out,
+                    "max product core [{},{}], x·y = {}",
+                    best.x,
+                    best.y,
+                    best.product()
+                )?;
                 writeln!(
                     out,
                     "|S| = {}, |T| = {}, density {}",
@@ -272,8 +315,10 @@ fn cmd_peel<'a>(
                     .split_once('/')
                     .ok_or_else(|| CliError::Usage("--ratio expects A/B".into()))?;
                 ratio = Some((
-                    a.parse().map_err(|_| CliError::Usage(format!("bad numerator {a:?}")))?,
-                    b.parse().map_err(|_| CliError::Usage(format!("bad denominator {b:?}")))?,
+                    a.parse()
+                        .map_err(|_| CliError::Usage(format!("bad numerator {a:?}")))?,
+                    b.parse()
+                        .map_err(|_| CliError::Usage(format!("bad denominator {b:?}")))?,
                 ));
             }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
@@ -315,8 +360,13 @@ fn cmd_topk<'a>(
     let found = top_k_dense_pairs(&g, k, solver);
     writeln!(out, "found {} vertex-disjoint dense pairs", found.len())?;
     for (i, sol) in found.iter().enumerate() {
-        writeln!(out, "
-#{} density {}", i + 1, sol.density)?;
+        writeln!(
+            out,
+            "
+#{} density {}",
+            i + 1,
+            sol.density
+        )?;
         writeln!(out, "  S = {:?}", sol.pair.s())?;
         writeln!(out, "  T = {:?}", sol.pair.t())?;
     }
@@ -335,7 +385,11 @@ fn cmd_dot<'a>(
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
-    let pair = if highlight { Some(DcExact::new().solve(&g).solution.pair) } else { None };
+    let pair = if highlight {
+        Some(DcExact::new().solve(&g).solution.pair)
+    } else {
+        None
+    };
     write!(out, "{}", dds_graph::to_dot(&g, pair.as_ref()))?;
     Ok(())
 }
@@ -367,9 +421,15 @@ fn cmd_gen<'a>(
                     return Err(CliError::Usage("--plant expects S,T,P".into()));
                 }
                 plant = Some((
-                    parts[0].parse().map_err(|_| CliError::Usage("bad plant S".into()))?,
-                    parts[1].parse().map_err(|_| CliError::Usage("bad plant T".into()))?,
-                    parts[2].parse().map_err(|_| CliError::Usage("bad plant P".into()))?,
+                    parts[0]
+                        .parse()
+                        .map_err(|_| CliError::Usage("bad plant S".into()))?,
+                    parts[1]
+                        .parse()
+                        .map_err(|_| CliError::Usage("bad plant T".into()))?,
+                    parts[2]
+                        .parse()
+                        .map_err(|_| CliError::Usage("bad plant P".into()))?,
                 ));
             }
             "--out" => out_path = Some(parse_flag_value("--out", it.next())?),
@@ -382,9 +442,8 @@ fn cmd_gen<'a>(
         "gnm" => gen::gnm(n, m, seed),
         "powerlaw" => gen::power_law(n, m, alpha, seed),
         "planted" => {
-            let (s, t, p) = plant.ok_or_else(|| {
-                CliError::Usage("planted family needs --plant S,T,P".into())
-            })?;
+            let (s, t, p) = plant
+                .ok_or_else(|| CliError::Usage("planted family needs --plant S,T,P".into()))?;
             let planted = gen::planted(n, m, s, t, p, seed);
             writeln!(out, "# planted S = {:?}", planted.pair.s())?;
             writeln!(out, "# planted T = {:?}", planted.pair.t())?;
@@ -398,7 +457,141 @@ fn cmd_gen<'a>(
     };
     let path = out_path.ok_or_else(|| CliError::Usage("gen needs --out <file>".into()))?;
     save_edge_list(&graph, &path)?;
-    writeln!(out, "wrote {} vertices, {} edges to {path}", graph.n(), graph.m())?;
+    writeln!(
+        out,
+        "wrote {} vertices, {} edges to {path}",
+        graph.n(),
+        graph.m()
+    )?;
+    Ok(())
+}
+
+fn cmd_stream<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <event-file> path".into()))?;
+    let mut batch_by = BatchBy::Count(25);
+    let mut tolerance = 0.25f64;
+    let mut slack = 2.0f64;
+    let mut solver = SolverKind::Exact;
+    let mut log_every = 0usize;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--batch" => {
+                let n: usize = parse_flag_value("--batch", it.next())?;
+                if n == 0 {
+                    return Err(CliError::Usage("--batch must be positive".into()));
+                }
+                batch_by = BatchBy::Count(n);
+            }
+            "--time-window" => {
+                let w: u64 = parse_flag_value("--time-window", it.next())?;
+                if w == 0 {
+                    return Err(CliError::Usage("--time-window must be positive".into()));
+                }
+                batch_by = BatchBy::TimeWindow(w);
+            }
+            "--tolerance" => {
+                tolerance = parse_flag_value("--tolerance", it.next())?;
+                if tolerance.is_nan() || tolerance < 0.0 {
+                    return Err(CliError::Usage("--tolerance must be ≥ 0".into()));
+                }
+            }
+            "--slack" => {
+                slack = parse_flag_value("--slack", it.next())?;
+                if slack.is_nan() || slack < 0.0 {
+                    return Err(CliError::Usage("--slack must be ≥ 0".into()));
+                }
+            }
+            "--solver" => {
+                let v: String = parse_flag_value("--solver", it.next())?;
+                solver = match v.as_str() {
+                    "exact" => SolverKind::Exact,
+                    "approx" => SolverKind::CoreApprox,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown --solver {other:?} (expected exact|approx)"
+                        )))
+                    }
+                };
+            }
+            "--log-every" => log_every = parse_flag_value("--log-every", it.next())?,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let events = dds_stream::load_events(path)?;
+    let mut engine = StreamEngine::new(StreamConfig {
+        tolerance,
+        slack,
+        solver,
+    });
+    let started = std::time::Instant::now();
+    let reports = dds_stream::replay(&mut engine, &events, batch_by);
+    let wall = started.elapsed();
+
+    writeln!(
+        out,
+        "epoch      m    density      [lower, upper]      factor  mode"
+    )?;
+    let last_epoch = reports.last().map_or(0, |r| r.epoch);
+    for r in &reports {
+        let logged = r.resolved
+            || (log_every > 0 && r.epoch % log_every as u64 == 0)
+            || r.epoch == last_epoch;
+        if logged {
+            writeln!(
+                out,
+                "{:>5} {:>6}   {:>8.4}   [{:>8.4}, {:>8.4}]   {:>6.3}  {}",
+                r.epoch,
+                r.m,
+                r.density.to_f64(),
+                r.lower,
+                r.upper,
+                r.certified_factor,
+                if r.resolved { "RESOLVE" } else { "incremental" },
+            )?;
+        }
+    }
+
+    let epochs = reports.len();
+    let resolves = reports.iter().filter(|r| r.resolved).count();
+    let incremental = 100.0 * (epochs.saturating_sub(resolves)) as f64 / epochs.max(1) as f64;
+    let max_factor = reports
+        .iter()
+        .map(|r| r.certified_factor)
+        .fold(1.0f64, f64::max);
+    writeln!(out)?;
+    writeln!(
+        out,
+        "replayed {} events in {} epochs ({wall:.2?}): {} re-solves, {:.1}% incremental",
+        events.len(),
+        epochs,
+        resolves,
+        incremental,
+    )?;
+    writeln!(
+        out,
+        "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack})"
+    )?;
+    if let Some(last) = reports.last() {
+        writeln!(
+            out,
+            "final density {} over n = {}, m = {}",
+            last.density, last.n, last.m
+        )?;
+        if let Some(pair) = engine.witness() {
+            writeln!(
+                out,
+                "witness |S| = {}, |T| = {}",
+                pair.s().len(),
+                pair.t().len()
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -471,7 +664,10 @@ mod tests {
         }
         let par = run_ok(&["approx", &path, "--algo", "grid", "--threads", "2"]);
         assert!(par.contains("ratios tried"), "{par}");
-        assert!(matches!(run_err(&["approx", &path, "--algo", "magic"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["approx", &path, "--algo", "magic"]),
+            CliError::Usage(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -494,7 +690,10 @@ mod tests {
         let out = run_ok(&["peel", &path, "--ratio", "2/3"]);
         assert!(out.contains("density"), "{out}");
         assert!(matches!(run_err(&["peel", &path]), CliError::Usage(_)));
-        assert!(matches!(run_err(&["peel", &path, "--ratio", "0/3"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["peel", &path, "--ratio", "0/3"]),
+            CliError::Usage(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -503,7 +702,10 @@ mod tests {
         let path = temp_graph();
         let out = run_ok(&["topk", &path, "--k", "2", "--algo", "exact"]);
         assert!(out.contains("#1 density"), "{out}");
-        assert!(matches!(run_err(&["topk", &path, "--algo", "nope"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["topk", &path, "--algo", "nope"]),
+            CliError::Usage(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -525,7 +727,9 @@ mod tests {
             std::thread::current().id()
         ));
         let out_str = out_path.to_string_lossy().into_owned();
-        let msg = run_ok(&["gen", "gnm", "--n", "20", "--m", "50", "--seed", "7", "--out", &out_str]);
+        let msg = run_ok(&[
+            "gen", "gnm", "--n", "20", "--m", "50", "--seed", "7", "--out", &out_str,
+        ]);
         assert!(msg.contains("wrote 20 vertices, 50 edges"), "{msg}");
         let g = load_edge_list(&out_path, &ParseOptions::default()).unwrap();
         assert_eq!((g.n(), g.m()), (20, 50));
@@ -553,5 +757,110 @@ mod tests {
             run_err(&["stats", "/definitely/not/here.txt"]),
             CliError::Graph(_)
         ));
+    }
+
+    fn temp_events() -> String {
+        let path = std::env::temp_dir().join(format!(
+            "dds_cli_stream_{}_{:?}.events",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // K_{2,2} assembles, a noise edge arrives, then one K edge leaves.
+        let text = "# test stream\n\
+                    0 + 0 2\n1 + 0 3\n2 + 1 2\n3 + 1 3\n\
+                    4 + 7 8\n\
+                    5 - 1 3\n";
+        std::fs::write(&path, text).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn stream_replays_a_trajectory() {
+        let path = temp_events();
+        let out = run_ok(&["stream", &path, "--batch", "4"]);
+        assert!(out.contains("RESOLVE"), "first batch must solve: {out}");
+        assert!(out.contains("epochs"), "{out}");
+        assert!(out.contains("final density"), "{out}");
+        assert!(out.contains("witness |S|"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_accepts_time_windows_and_solver() {
+        let path = temp_events();
+        let out = run_ok(&[
+            "stream",
+            &path,
+            "--time-window",
+            "2",
+            "--solver",
+            "approx",
+            "--tolerance",
+            "0.5",
+            "--log-every",
+            "1",
+        ]);
+        assert!(
+            out.contains("incremental") || out.contains("RESOLVE"),
+            "{out}"
+        );
+        assert!(out.contains("tolerance 0.5"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_usage_errors() {
+        let path = temp_events();
+        assert!(matches!(run_err(&["stream"]), CliError::Usage(_)));
+        assert!(matches!(
+            run_err(&["stream", &path, "--batch", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--batch", "x"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--time-window", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--solver", "magic"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--tolerance", "-1"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--frobnicate"]),
+            CliError::Usage(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_parse_and_io_errors_propagate() {
+        assert!(matches!(
+            run_err(&["stream", "/definitely/not/here.events"]),
+            CliError::Stream(_)
+        ));
+        let path = std::env::temp_dir().join(format!(
+            "dds_cli_badstream_{}_{:?}.events",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, "0 + 1 2\n1 * 3 4\n").unwrap();
+        let err = run_err(&["stream", &path.to_string_lossy(), "--batch", "2"]);
+        match err {
+            CliError::Stream(e) => assert!(e.to_string().contains("line 2"), "{e}"),
+            other => panic!("expected stream error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn help_mentions_stream() {
+        assert!(run_ok(&["help"]).contains("dds stream"));
     }
 }

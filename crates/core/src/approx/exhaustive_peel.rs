@@ -39,7 +39,10 @@ impl ExhaustivePeel {
         for r in ratios {
             best.improve_to(peel_at_rational_ratio(g, r.a(), r.b()));
         }
-        PeelResult { solution: best, ratios_tried }
+        PeelResult {
+            solution: best,
+            ratios_tried,
+        }
     }
 }
 

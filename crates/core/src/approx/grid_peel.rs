@@ -33,7 +33,10 @@ impl GridPeel {
     /// Panics unless `epsilon` is finite and positive.
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive"
+        );
         GridPeel { epsilon }
     }
 
@@ -64,7 +67,10 @@ impl GridPeel {
         for c in grid {
             best.improve_to(peel_at_f64_ratio(g, c));
         }
-        PeelResult { solution: best, ratios_tried }
+        PeelResult {
+            solution: best,
+            ratios_tried,
+        }
     }
 }
 

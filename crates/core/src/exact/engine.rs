@@ -153,10 +153,18 @@ fn gamma_prunes(certs: &[Certificate], cl: Ratio, cr: Ratio, best: f64) -> bool 
 fn simplest_ratio_between(cl: Ratio, cr: Ratio) -> Ratio {
     if cr.is_infinite() {
         // Smallest integer strictly above cl.
-        let next = if cl.is_zero() { 1 } else { u64::try_from(cl.as_frac().floor()).expect("ratio fits u64") + 1 };
+        let next = if cl.is_zero() {
+            1
+        } else {
+            u64::try_from(cl.as_frac().floor()).expect("ratio fits u64") + 1
+        };
         return Ratio::new(next, 1);
     }
-    let lo = if cl.is_zero() { Frac::ZERO } else { cl.as_frac() };
+    let lo = if cl.is_zero() {
+        Frac::ZERO
+    } else {
+        cl.as_frac()
+    };
     let f = simplest_between(lo, cr.as_frac());
     Ratio::new(
         u64::try_from(f.num()).expect("positive numerator"),
@@ -192,8 +200,16 @@ fn choose_test_ratio(
     let rho2 = best.density.squared();
     let band_lo = rho2 / Frac::new(i128::from(d_out_max) * i128::from(d_out_max), 1);
     let band_hi = Frac::new(i128::from(d_in_max) * i128::from(d_in_max), 1) / rho2;
-    let lo = if cl.is_zero() { band_lo } else { band_lo.max(cl.as_frac()) };
-    let hi = if cr.is_infinite() { band_hi } else { band_hi.min(cr.as_frac()) };
+    let lo = if cl.is_zero() {
+        band_lo
+    } else {
+        band_lo.max(cl.as_frac())
+    };
+    let hi = if cr.is_infinite() {
+        band_hi
+    } else {
+        band_hi.min(cr.as_frac())
+    };
     let jump = if lo < hi {
         simplest_between(lo, hi)
     } else if lo == hi {
@@ -223,7 +239,13 @@ fn choose_test_ratio(
 /// `ρ ≤ d⁺max·√c'` — prune when `(d⁺max)²·cr ≤ ρ̃²`. Symmetrically
 /// `|E| ≤ |T|·d⁻max` gives `ρ ≤ d⁻max/√c'` — prune when
 /// `(d⁻max)² ≤ ρ̃²·cl`. Both comparisons are exact rationals.
-fn structurally_pruned(cl: Ratio, cr: Ratio, best: &DdsSolution, d_out_max: u64, d_in_max: u64) -> bool {
+fn structurally_pruned(
+    cl: Ratio,
+    cr: Ratio,
+    best: &DdsSolution,
+    d_out_max: u64,
+    d_in_max: u64,
+) -> bool {
     if best.density.is_zero() {
         return false;
     }
@@ -295,8 +317,7 @@ fn run_exact(g: &DiGraph, opts: ExactOptions) -> ExactReport {
                 report.ratios_pruned_structural += 1;
                 continue;
             }
-            if opts.gamma_pruning
-                && gamma_prunes(&certs, cl, cr, report.solution.density.to_f64())
+            if opts.gamma_pruning && gamma_prunes(&certs, cl, cr, report.solution.density.to_f64())
             {
                 report.ratios_pruned_gamma += 1;
                 continue;
@@ -456,7 +477,10 @@ mod tests {
         // background cannot beat it, and the solver must return at least
         // the planted density.
         assert!(got.solution.density >= p.pair.density(&p.graph));
-        assert!(crate::validate::is_locally_maximal(&p.graph, &got.solution.pair));
+        assert!(crate::validate::is_locally_maximal(
+            &p.graph,
+            &got.solution.pair
+        ));
     }
 
     #[test]
@@ -527,7 +551,10 @@ mod tests {
     fn gamma_pruning_fires_and_preserves_the_answer() {
         let g = gen::power_law(60, 360, 2.2, 12);
         let with = DcExact::new().solve(&g);
-        assert!(with.ratios_pruned_gamma > 0, "γ certificates should prune intervals");
+        assert!(
+            with.ratios_pruned_gamma > 0,
+            "γ certificates should prune intervals"
+        );
         let without = DcExact::with_options(ExactOptions {
             gamma_pruning: false,
             ..ExactOptions::default()
@@ -543,14 +570,26 @@ mod tests {
         let r = DcExact::new().solve(&g);
         let warm = r.warm_start_density.expect("warm start enabled");
         assert!(warm <= r.solution.density.to_f64() + 1e-9);
-        assert!(2.0 * warm >= r.solution.density.to_f64() - 1e-9, "2-approx warm start");
+        assert!(
+            2.0 * warm >= r.solution.density.to_f64() - 1e-9,
+            "2-approx warm start"
+        );
     }
 
     #[test]
     fn empty_and_edgeless_graphs() {
-        assert_eq!(DcExact::new().solve(&DiGraph::empty(0)).solution, DdsSolution::empty());
-        assert_eq!(DcExact::new().solve(&DiGraph::empty(7)).solution, DdsSolution::empty());
-        assert_eq!(FlowExact.solve(&DiGraph::empty(7)).solution, DdsSolution::empty());
+        assert_eq!(
+            DcExact::new().solve(&DiGraph::empty(0)).solution,
+            DdsSolution::empty()
+        );
+        assert_eq!(
+            DcExact::new().solve(&DiGraph::empty(7)).solution,
+            DdsSolution::empty()
+        );
+        assert_eq!(
+            FlowExact.solve(&DiGraph::empty(7)).solution,
+            DdsSolution::empty()
+        );
     }
 
     #[test]

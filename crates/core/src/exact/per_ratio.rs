@@ -50,7 +50,10 @@ pub(crate) struct RatioOutcome {
 
 /// `⌈β / k⌉` for positive `β`, as a core threshold.
 fn ceil_div(beta: Frac, k: u64) -> u64 {
-    let den = beta.den().checked_mul(i128::from(k)).expect("core threshold overflow");
+    let den = beta
+        .den()
+        .checked_mul(i128::from(k))
+        .expect("core threshold overflow");
     u64::try_from(Frac::new(beta.num(), den).ceil()).expect("core threshold fits u64")
 }
 
@@ -92,7 +95,11 @@ pub(crate) fn solve_ratio(
     );
     let max_den = i128::from(n) * i128::from(a + b);
 
-    let floor = if floor_beta.is_negative() { Frac::ZERO } else { floor_beta };
+    let floor = if floor_beta.is_negative() {
+        Frac::ZERO
+    } else {
+        floor_beta
+    };
     // Certify mode brackets β*(c) from 0; jump-starting the achieved lower
     // bound at a known pair's exact β-value (typically the incumbent best
     // pair, whose weighted-density bump dominates near its own ratio)
@@ -120,7 +127,10 @@ pub(crate) fn solve_ratio(
     let mut iterations = 0usize;
     while l < u {
         iterations += 1;
-        assert!(iterations < 200_000, "per-ratio search failed to converge (bug)");
+        assert!(
+            iterations < 200_000,
+            "per-ratio search failed to converge (bug)"
+        );
         let guess = match first_guess.take() {
             Some(f) if l < f && f < u => f,
             _ => {
@@ -186,7 +196,11 @@ pub(crate) fn solve_ratio(
             }
         }
     }
-    RatioOutcome { best, certified_upper: u, decisions }
+    RatioOutcome {
+        best,
+        certified_upper: u,
+        decisions,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +233,10 @@ mod tests {
             for tighten in [false, true] {
                 let out = solve_ratio(g, a, b, Frac::ZERO, core_pruning, tighten, None);
                 let got = out.best.as_ref().map_or(Frac::ZERO, |(_, beta)| *beta);
-                assert_eq!(got, want, "ratio {a}/{b} core={core_pruning} tighten={tighten}");
+                assert_eq!(
+                    got, want,
+                    "ratio {a}/{b} core={core_pruning} tighten={tighten}"
+                );
                 assert!(out.certified_upper >= want, "certificate must bound β*");
                 if let Some((pair, beta)) = &out.best {
                     assert_eq!(beta_of_pair(g, pair, a, b), *beta);
@@ -258,7 +275,15 @@ mod tests {
         assert!(out.best.is_none());
         assert!(out.certified_upper >= Frac::new(12, 5));
         // A floor just below it must still find the optimum.
-        let out = solve_ratio(&g, 1, 1, Frac::new(12, 5) - Frac::new(1, 1000), false, false, None);
+        let out = solve_ratio(
+            &g,
+            1,
+            1,
+            Frac::new(12, 5) - Frac::new(1, 1000),
+            false,
+            false,
+            None,
+        );
         assert_eq!(out.best.unwrap().1, Frac::new(12, 5));
         // Certify mode with a hopeless floor still produces a *tight*
         // certificate: β*(1/1) = 12/5, so the bound must sit within one
@@ -266,7 +291,10 @@ mod tests {
         let out = solve_ratio(&g, 1, 1, Frac::new(5, 2), false, true, None);
         assert!(out.best.is_none(), "floor filter still applies");
         assert!(out.certified_upper >= Frac::new(12, 5));
-        assert!(out.certified_upper < Frac::new(5, 2), "tight certificate expected");
+        assert!(
+            out.certified_upper < Frac::new(5, 2),
+            "tight certificate expected"
+        );
     }
 
     #[test]
@@ -278,9 +306,18 @@ mod tests {
         let floor = p.pair.density(g).beta_lower_bound(1, 1);
         let pruned = solve_ratio(g, 1, 1, floor, true, false, None);
         let unpruned = solve_ratio(g, 1, 1, floor, false, false, None);
-        let max_alive_pruned = pruned.decisions.iter().map(|d| d.alive_edges).max().unwrap_or(0);
-        let max_alive_unpruned =
-            unpruned.decisions.iter().map(|d| d.alive_edges).max().unwrap_or(0);
+        let max_alive_pruned = pruned
+            .decisions
+            .iter()
+            .map(|d| d.alive_edges)
+            .max()
+            .unwrap_or(0);
+        let max_alive_unpruned = unpruned
+            .decisions
+            .iter()
+            .map(|d| d.alive_edges)
+            .max()
+            .unwrap_or(0);
         assert!(
             max_alive_pruned < max_alive_unpruned,
             "core pruning should shrink the decision networks ({max_alive_pruned} vs {max_alive_unpruned})"

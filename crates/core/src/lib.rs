@@ -62,11 +62,11 @@
 
 mod approx;
 mod exact;
+pub mod parallel;
 mod peel;
 mod refine;
 mod result;
 mod topk;
-pub mod parallel;
 pub mod validate;
 
 pub use approx::{core_approx, CoreApproxResult, ExhaustivePeel, GridPeel, PeelResult};

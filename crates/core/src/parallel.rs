@@ -35,7 +35,10 @@ pub fn grid_peel_parallel(g: &DiGraph, epsilon: f64, threads: usize) -> PeelResu
     let grid = GridPeel::new(epsilon).grid(g.n());
     let ratios_tried = grid.len();
     if grid.is_empty() {
-        return PeelResult { solution: DdsSolution::empty(), ratios_tried };
+        return PeelResult {
+            solution: DdsSolution::empty(),
+            ratios_tried,
+        };
     }
     let workers = threads.min(grid.len());
     let chunk_size = grid.len().div_ceil(workers);
@@ -61,7 +64,10 @@ pub fn grid_peel_parallel(g: &DiGraph, epsilon: f64, threads: usize) -> PeelResu
     for local in locals {
         best.improve_to(local);
     }
-    PeelResult { solution: best, ratios_tried }
+    PeelResult {
+        solution: best,
+        ratios_tried,
+    }
 }
 
 /// One orientation-chunk of the parallel max-product sweep: thresholds
@@ -79,7 +85,9 @@ fn sweep_chunk(g: &DiGraph, lo: u64, hi: u64) -> Option<(u64, u64, StMask)> {
         if base.is_empty() {
             break;
         }
-        let Some(r) = y_max_core(g, &base, x) else { break };
+        let Some(r) = y_max_core(g, &base, x) else {
+            break;
+        };
         let product = x * r.y;
         if best.as_ref().is_none_or(|(bx, by, _)| product > bx * by) {
             best = Some((x, r.y, r.mask));
@@ -141,7 +149,14 @@ pub fn core_approx_parallel(g: &DiGraph, threads: usize) -> CoreApproxResult {
         let (reversed, x, y, mask) = r;
         // Reverse-orientation results swap sides and thresholds back.
         let (x, y, mask) = if reversed {
-            (y, x, StMask { in_s: mask.in_t, in_t: mask.in_s })
+            (
+                y,
+                x,
+                StMask {
+                    in_s: mask.in_t,
+                    in_t: mask.in_s,
+                },
+            )
         } else {
             (x, y, mask)
         };
@@ -179,7 +194,10 @@ mod tests {
         let seq = GridPeel::new(0.2).solve(&g);
         for threads in [1, 2, 4, 7] {
             let par = grid_peel_parallel(&g, 0.2, threads);
-            assert_eq!(par.solution.density, seq.solution.density, "threads={threads}");
+            assert_eq!(
+                par.solution.density, seq.solution.density,
+                "threads={threads}"
+            );
             assert_eq!(par.ratios_tried, seq.ratios_tried);
         }
     }
@@ -194,7 +212,11 @@ mod tests {
                 // The maximum product is unique; the arg-max core need not
                 // be, so compare the certified quantities rather than the
                 // particular pair.
-                assert_eq!(par.x * par.y, seq.x * seq.y, "seed={seed} threads={threads}");
+                assert_eq!(
+                    par.x * par.y,
+                    seq.x * seq.y,
+                    "seed={seed} threads={threads}"
+                );
                 assert!(par.solution.density.to_f64() >= par.lower_bound - 1e-9);
                 assert!(!par.solution.pair.is_empty());
             }

@@ -33,7 +33,9 @@ use crate::DdsSolution;
 #[must_use]
 pub fn peel_at_rational_ratio(g: &DiGraph, a: u64, b: u64) -> DdsSolution {
     assert!(a > 0 && b > 0, "ratio components must be positive");
-    peel(g, |s, t| u128::from(s) * u128::from(b) >= u128::from(a) * u128::from(t))
+    peel(g, |s, t| {
+        u128::from(s) * u128::from(b) >= u128::from(a) * u128::from(t)
+    })
 }
 
 /// Peels at an arbitrary positive ratio `c` (used for geometric grids where
@@ -43,7 +45,10 @@ pub fn peel_at_rational_ratio(g: &DiGraph, a: u64, b: u64) -> DdsSolution {
 /// Panics unless `c` is finite and positive.
 #[must_use]
 pub fn peel_at_f64_ratio(g: &DiGraph, c: f64) -> DdsSolution {
-    assert!(c.is_finite() && c > 0.0, "ratio must be finite and positive");
+    assert!(
+        c.is_finite() && c > 0.0,
+        "ratio must be finite and positive"
+    );
     peel(g, move |s, t| s as f64 >= c * t as f64)
 }
 
@@ -55,7 +60,10 @@ struct BucketQueue {
 
 impl BucketQueue {
     fn new(max_degree: usize) -> Self {
-        BucketQueue { buckets: vec![Vec::new(); max_degree + 1], min: 0 }
+        BucketQueue {
+            buckets: vec![Vec::new(); max_degree + 1],
+            min: 0,
+        }
     }
 
     fn push(&mut self, v: VertexId, degree: usize) {
@@ -65,7 +73,10 @@ impl BucketQueue {
 
     /// Pops the entry with the smallest *valid* degree; `is_current`
     /// rejects stale entries (vertex removed or degree since decreased).
-    fn pop_min(&mut self, is_current: impl Fn(VertexId, usize) -> bool) -> Option<(VertexId, usize)> {
+    fn pop_min(
+        &mut self,
+        is_current: impl Fn(VertexId, usize) -> bool,
+    ) -> Option<(VertexId, usize)> {
         while self.min < self.buckets.len() {
             while let Some(v) = self.buckets[self.min].pop() {
                 if is_current(v, self.min) {
@@ -159,8 +170,15 @@ fn peel(g: &DiGraph, prefer_s: impl Fn(u64, u64) -> bool) -> DdsSolution {
         }
     }
     let pair = mask.to_pair();
-    debug_assert_eq!(pair.density(g), best_density, "log replay must match tracking");
-    DdsSolution { pair, density: best_density }
+    debug_assert_eq!(
+        pair.density(g),
+        best_density,
+        "log replay must match tracking"
+    );
+    DdsSolution {
+        pair,
+        density: best_density,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +229,10 @@ mod tests {
                 * u128::from(opt.edges)
                 * u128::from(sweep_best.s)
                 * u128::from(sweep_best.t);
-            assert!(lhs >= rhs, "seed={seed}: sweep best {sweep_best} vs opt {opt}");
+            assert!(
+                lhs >= rhs,
+                "seed={seed}: sweep best {sweep_best} vs opt {opt}"
+            );
         }
     }
 
@@ -227,8 +248,14 @@ mod tests {
 
     #[test]
     fn empty_and_edgeless_graphs() {
-        assert_eq!(peel_at_rational_ratio(&DiGraph::empty(0), 1, 1), DdsSolution::empty());
-        assert_eq!(peel_at_rational_ratio(&DiGraph::empty(5), 1, 1), DdsSolution::empty());
+        assert_eq!(
+            peel_at_rational_ratio(&DiGraph::empty(0), 1, 1),
+            DdsSolution::empty()
+        );
+        assert_eq!(
+            peel_at_rational_ratio(&DiGraph::empty(5), 1, 1),
+            DdsSolution::empty()
+        );
     }
 
     #[test]

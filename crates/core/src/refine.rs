@@ -72,7 +72,11 @@ pub fn refine_to_component(g: &DiGraph, pair: &Pair) -> Pair {
     use std::collections::HashMap;
     let mut comps: HashMap<u32, (Vec<VertexId>, Vec<VertexId>, u64)> = HashMap::new();
     for &u in pair.s() {
-        let d = g.out_neighbors(u).iter().filter(|&&v| in_t[v as usize]).count() as u64;
+        let d = g
+            .out_neighbors(u)
+            .iter()
+            .filter(|&&v| in_t[v as usize])
+            .count() as u64;
         if d > 0 {
             let root = find(&mut parent, u);
             let entry = comps.entry(root).or_default();

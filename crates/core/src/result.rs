@@ -22,7 +22,10 @@ impl DdsSolution {
     /// and the identity for maxima.
     #[must_use]
     pub fn empty() -> Self {
-        DdsSolution { pair: Pair::new(Vec::new(), Vec::new()), density: Density::ZERO }
+        DdsSolution {
+            pair: Pair::new(Vec::new(), Vec::new()),
+            density: Density::ZERO,
+        }
     }
 
     /// Wraps a pair, computing its exact density in `g`.

@@ -63,7 +63,10 @@ pub fn top_k_dense_pairs(g: &DiGraph, k: usize, solver: TopKSolver) -> Vec<DdsSo
         for &v in lifted.s().iter().chain(lifted.t()) {
             keep[v as usize] = false;
         }
-        results.push(DdsSolution { pair: lifted, density: local.density });
+        results.push(DdsSolution {
+            pair: lifted,
+            density: local.density,
+        });
     }
     results
 }
@@ -100,7 +103,10 @@ mod tests {
         assert!(found.len() >= 2);
         // Densest first: 20/√20 = √20 ≈ 4.47, then 9/√9 = 3.
         assert_eq!(found[0].pair, Pair::new((0..4).collect(), (4..9).collect()));
-        assert_eq!(found[1].pair, Pair::new((10..13).collect(), (13..16).collect()));
+        assert_eq!(
+            found[1].pair,
+            Pair::new((10..13).collect(), (13..16).collect())
+        );
         assert!(found[0].density > found[1].density);
     }
 
@@ -131,8 +137,7 @@ mod tests {
         // K_{2,2} (density 2) plus one far-away edge (density 1): merging
         // them would only dilute (5/√9 < 2), so the rounds must separate
         // them and then run out of edges.
-        let g =
-            DiGraph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5)]).unwrap();
+        let g = DiGraph::from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 5)]).unwrap();
         let found = top_k_dense_pairs(&g, 10, TopKSolver::Exact);
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].density.to_f64(), 2.0);

@@ -73,8 +73,7 @@ pub fn is_locally_maximal(g: &DiGraph, pair: &Pair) -> bool {
     let base = pair.density(g);
     if pair.s().len() > 1 {
         for &drop in pair.s() {
-            let reduced: Vec<VertexId> =
-                pair.s().iter().copied().filter(|&v| v != drop).collect();
+            let reduced: Vec<VertexId> = pair.s().iter().copied().filter(|&v| v != drop).collect();
             if Pair::new(reduced, pair.t().to_vec()).density(g) > base {
                 return false;
             }
@@ -82,8 +81,7 @@ pub fn is_locally_maximal(g: &DiGraph, pair: &Pair) -> bool {
     }
     if pair.t().len() > 1 {
         for &drop in pair.t() {
-            let reduced: Vec<VertexId> =
-                pair.t().iter().copied().filter(|&v| v != drop).collect();
+            let reduced: Vec<VertexId> = pair.t().iter().copied().filter(|&v| v != drop).collect();
             if Pair::new(pair.s().to_vec(), reduced).density(g) > base {
                 return false;
             }
@@ -155,13 +153,12 @@ mod tests {
     #[test]
     fn local_maximality_rejects_padded_pairs() {
         // K_{2,3} plus an isolated vertex dragged into T.
-        let g = DiGraph::from_edges(
-            6,
-            &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
         let padded = Pair::new(vec![0, 1], vec![2, 3, 4, 5]);
         assert!(!is_locally_maximal(&g, &padded));
-        assert!(is_locally_maximal(&g, &Pair::new(vec![0, 1], vec![2, 3, 4])));
+        assert!(is_locally_maximal(
+            &g,
+            &Pair::new(vec![0, 1], vec![2, 3, 4])
+        ));
     }
 }

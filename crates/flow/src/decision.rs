@@ -108,7 +108,10 @@ pub fn decide(
     }
     if m_alive == 0 {
         // No alive edges: every non-empty pair has f < 0.
-        return (Decision::Certified { boundary: None }, DecisionStats::default());
+        return (
+            Decision::Certified { boundary: None },
+            DecisionStats::default(),
+        );
     }
     let mut t_index = vec![u32::MAX; n];
     let mut t_vertices: Vec<VertexId> = Vec::new();
@@ -140,11 +143,19 @@ pub fn decide(
     let t_node = |j: usize| 2 + ns + j;
     let mut net = FlowNetwork::new(2 + ns + nt);
     for (i, (&u, &d)) in s_vertices.iter().zip(&s_alive_deg).enumerate() {
-        net.add_edge(0, s_node(i), u128::from(d).checked_mul(k).expect("d·K overflow"));
+        net.add_edge(
+            0,
+            s_node(i),
+            u128::from(d).checked_mul(k).expect("d·K overflow"),
+        );
         net.add_edge(s_node(i), 1, cap_us_to_sink);
         for &v in g.out_neighbors(u) {
             if alive.in_t[v as usize] {
-                net.add_edge(s_node(i), t_node(t_index[v as usize] as usize), cap_s_to_t_edge);
+                net.add_edge(
+                    s_node(i),
+                    t_node(t_index[v as usize] as usize),
+                    cap_s_to_t_edge,
+                );
             }
         }
     }
@@ -158,22 +169,35 @@ pub fn decide(
         alive_edges: m_alive,
     };
 
-    let budget = u128::from(m_alive).checked_mul(k).expect("K·m overflowed u128");
+    let budget = u128::from(m_alive)
+        .checked_mul(k)
+        .expect("K·m overflowed u128");
     let flow = net.max_flow(0, 1);
     debug_assert!(flow <= budget, "cut can never exceed the trivial {{s}} cut");
 
     let extract = |side: &[bool]| -> Pair {
-        let s: Vec<VertexId> =
-            s_vertices.iter().enumerate().filter(|(i, _)| side[s_node(*i)]).map(|(_, &u)| u).collect();
-        let t: Vec<VertexId> =
-            t_vertices.iter().enumerate().filter(|(j, _)| side[t_node(*j)]).map(|(_, &v)| v).collect();
+        let s: Vec<VertexId> = s_vertices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| side[s_node(*i)])
+            .map(|(_, &u)| u)
+            .collect();
+        let t: Vec<VertexId> = t_vertices
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| side[t_node(*j)])
+            .map(|(_, &v)| v)
+            .collect();
         Pair::new(s, t)
     };
 
     if flow < budget {
         let side = net.min_cut_source_side(0);
         let pair = extract(&side);
-        debug_assert!(!pair.is_empty(), "positive objective implies non-empty pair");
+        debug_assert!(
+            !pair.is_empty(),
+            "positive objective implies non-empty pair"
+        );
         (Decision::Exceeds(pair), stats)
     } else {
         let side = net.max_cut_source_side(1);
@@ -216,10 +240,16 @@ mod tests {
     /// Brute-force maximum β* over all non-empty pairs within the mask.
     fn brute_max_beta(g: &DiGraph, alive: &StMask, a: u64, b: u64) -> Option<(Frac, Pair)> {
         let verts: Vec<VertexId> = (0..g.n() as VertexId).collect();
-        let s_opts: Vec<VertexId> =
-            verts.iter().copied().filter(|&v| alive.in_s[v as usize]).collect();
-        let t_opts: Vec<VertexId> =
-            verts.iter().copied().filter(|&v| alive.in_t[v as usize]).collect();
+        let s_opts: Vec<VertexId> = verts
+            .iter()
+            .copied()
+            .filter(|&v| alive.in_s[v as usize])
+            .collect();
+        let t_opts: Vec<VertexId> = verts
+            .iter()
+            .copied()
+            .filter(|&v| alive.in_t[v as usize])
+            .collect();
         let mut best: Option<(Frac, Pair)> = None;
         for s_bits in 1u32..(1 << s_opts.len()) {
             let s: Vec<VertexId> = s_opts
@@ -268,7 +298,9 @@ mod tests {
         // exactly that value.
         let (dec, _) = decide(g, &alive, a, b, best_beta);
         match dec {
-            Decision::Certified { boundary: Some(pair) } => {
+            Decision::Certified {
+                boundary: Some(pair),
+            } => {
                 assert_eq!(beta_of_pair(g, &pair, a, b), best_beta);
             }
             other => panic!("expected boundary recovery at the optimum, got {other:?}"),
@@ -315,7 +347,9 @@ mod tests {
         assert_eq!(best_pair.t(), &[4]);
         let (dec, _) = decide(&g, &alive, 1, 1, best_beta);
         match dec {
-            Decision::Certified { boundary: Some(pair) } => {
+            Decision::Certified {
+                boundary: Some(pair),
+            } => {
                 assert!(pair.t().iter().all(|&v| v == 4));
             }
             other => panic!("unexpected {other:?}"),

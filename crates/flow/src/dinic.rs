@@ -83,7 +83,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: u128) -> EdgeId {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
         let id = self.to.len();
         self.to.push(v as u32);
         self.cap.push(cap);
@@ -150,8 +153,11 @@ impl FlowNetwork {
             if u == t {
                 // Augment by the bottleneck, then retreat to just before
                 // the first saturated edge.
-                let bottleneck =
-                    path.iter().map(|&e| self.cap[e]).min().expect("non-empty path");
+                let bottleneck = path
+                    .iter()
+                    .map(|&e| self.cap[e])
+                    .min()
+                    .expect("non-empty path");
                 total += bottleneck;
                 for &e in &path {
                     self.cap[e] -= bottleneck;
@@ -235,7 +241,10 @@ impl FlowNetwork {
     /// Convenience: max flow plus the minimal source side.
     pub fn min_cut(&mut self, s: usize, t: usize) -> MinCut {
         let value = self.max_flow(s, t);
-        MinCut { value, source_side: self.min_cut_source_side(s) }
+        MinCut {
+            value,
+            source_side: self.min_cut_source_side(s),
+        }
     }
 
     /// Capacity of the cut induced by `source_side` (for verification:
@@ -251,7 +260,7 @@ impl FlowNetwork {
                 let e = e as usize;
                 // Only original forward edges (even index) carry capacity
                 // out of the cut.
-                if e % 2 == 0 && !source_side[self.to[e] as usize] {
+                if e.is_multiple_of(2) && !source_side[self.to[e] as usize] {
                     total += self.initial_cap[e];
                 }
             }

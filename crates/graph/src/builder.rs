@@ -34,7 +34,10 @@ impl GraphBuilder {
     /// are isolated.
     #[must_use]
     pub fn with_min_vertices(n: usize) -> Self {
-        GraphBuilder { min_vertices: n, ..Self::default() }
+        GraphBuilder {
+            min_vertices: n,
+            ..Self::default()
+        }
     }
 
     /// Keep self-loops instead of dropping them (default: drop).
@@ -135,7 +138,10 @@ mod tests {
     #[test]
     fn dedups_parallel_edges() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(0, 1).add_edge(1, 2).add_edge(0, 1);
+        b.add_edge(0, 1)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(0, 1);
         let g = b.build();
         assert_eq!(g.m(), 2);
         assert_eq!(b.dropped_parallel_edges(), 2);

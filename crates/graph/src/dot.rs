@@ -35,7 +35,11 @@ pub fn to_dot(g: &DiGraph, highlight: Option<&Pair>) -> String {
     }
     for (u, v) in g.edges() {
         let bold = in_s[u as usize] && in_t[v as usize];
-        let attrs = if bold { " [penwidth=2.5, color=crimson]" } else { "" };
+        let attrs = if bold {
+            " [penwidth=2.5, color=crimson]"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {u} -> {v}{attrs};");
     }
     out.push_str("}\n");

@@ -35,7 +35,10 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::Invalid(msg) => write!(f, "invalid graph construction: {msg}"),
         }
@@ -63,7 +66,10 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert_eq!(e.to_string(), "parse error at line 3: bad token");
         let e = GraphError::VertexOutOfRange { vertex: 9, n: 4 };
         assert!(e.to_string().contains("vertex 9"));

@@ -34,7 +34,10 @@ use crate::{DiGraph, GraphBuilder, Pair, VertexId};
 #[must_use]
 pub fn gnm(n: usize, m: usize, seed: u64) -> DiGraph {
     let max_edges = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= max_edges, "G(n,m): requested {m} edges but max is {max_edges}");
+    assert!(
+        m <= max_edges,
+        "G(n,m): requested {m} edges but max is {max_edges}"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_min_vertices(n);
     let mut seen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(m * 2);
@@ -163,12 +166,18 @@ pub fn planted(
     p_dense: f64,
     seed: u64,
 ) -> Planted {
-    assert!(s_size >= 1 && t_size >= 1, "planted block needs non-empty sides");
+    assert!(
+        s_size >= 1 && t_size >= 1,
+        "planted block needs non-empty sides"
+    );
     assert!(s_size + t_size <= n, "planted block must fit in the graph");
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let ids = random_permutation(n, &mut rng);
     let s: Vec<VertexId> = ids[..s_size].iter().map(|&v| v as VertexId).collect();
-    let t: Vec<VertexId> = ids[s_size..s_size + t_size].iter().map(|&v| v as VertexId).collect();
+    let t: Vec<VertexId> = ids[s_size..s_size + t_size]
+        .iter()
+        .map(|&v| v as VertexId)
+        .collect();
 
     let background = gnm(n, background_m, seed);
     let mut builder = GraphBuilder::with_min_vertices(n);
@@ -182,7 +191,10 @@ pub fn planted(
             }
         }
     }
-    Planted { graph: builder.build(), pair: Pair::new(s, t) }
+    Planted {
+        graph: builder.build(),
+        pair: Pair::new(s, t),
+    }
 }
 
 /// Complete bipartite digraph: all edges from `S = {0..s}` to
@@ -279,7 +291,11 @@ mod tests {
     fn power_law_shape() {
         let g = power_law(300, 1500, 2.2, 11);
         assert_eq!(g.n(), 300);
-        assert!(g.m() >= 1400, "should reach close to target edges, got {}", g.m());
+        assert!(
+            g.m() >= 1400,
+            "should reach close to target edges, got {}",
+            g.m()
+        );
         // Heavy tail: the max out-degree should far exceed the mean.
         let mean = g.m() as f64 / g.n() as f64;
         assert!(

@@ -33,7 +33,13 @@ impl DiGraph {
         debug_assert_eq!(out_offsets.len(), n + 1);
         debug_assert_eq!(in_offsets.len(), n + 1);
         debug_assert_eq!(out_targets.len(), in_sources.len());
-        DiGraph { n, out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Builds a graph with `n` vertices from an edge list, using default
@@ -46,10 +52,16 @@ impl DiGraph {
         let mut b = GraphBuilder::with_min_vertices(n);
         for &(u, v) in edges {
             if u as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u.into(), n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u.into(),
+                    n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v.into(), n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v.into(),
+                    n,
+                });
             }
             b.add_edge(u, v);
         }
@@ -109,13 +121,19 @@ impl DiGraph {
     /// Maximum out-degree over all vertices (0 for the empty graph).
     #[must_use]
     pub fn max_out_degree(&self) -> usize {
-        (0..self.n).map(|u| self.out_offsets[u + 1] - self.out_offsets[u]).max().unwrap_or(0)
+        (0..self.n)
+            .map(|u| self.out_offsets[u + 1] - self.out_offsets[u])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum in-degree over all vertices (0 for the empty graph).
     #[must_use]
     pub fn max_in_degree(&self) -> usize {
-        (0..self.n).map(|v| self.in_offsets[v + 1] - self.in_offsets[v]).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.in_offsets[v + 1] - self.in_offsets[v])
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` iff the edge `u → v` exists (binary search on the sorted

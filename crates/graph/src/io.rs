@@ -22,7 +22,10 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> Self {
-        ParseOptions { comment_prefixes: vec![b'#', b'%'], keep_self_loops: false }
+        ParseOptions {
+            comment_prefixes: vec![b'#', b'%'],
+            keep_self_loops: false,
+        }
     }
 }
 
@@ -188,7 +191,10 @@ mod tests {
     fn self_loop_policy() {
         let g = parse("0 0\n0 1\n").unwrap();
         assert_eq!(g.m(), 1, "default drops self-loops");
-        let opts = ParseOptions { keep_self_loops: true, ..Default::default() };
+        let opts = ParseOptions {
+            keep_self_loops: true,
+            ..Default::default()
+        };
         let g = read_edge_list("0 0\n0 1\n".as_bytes(), &opts).unwrap();
         assert_eq!(g.m(), 2);
     }
@@ -228,8 +234,11 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        let err = load_edge_list("/nonexistent/definitely/missing.txt", &ParseOptions::default())
-            .unwrap_err();
+        let err = load_edge_list(
+            "/nonexistent/definitely/missing.txt",
+            &ParseOptions::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
     }
 }

@@ -47,7 +47,11 @@ impl GraphStats {
             max_in_degree: g.max_in_degree(),
             avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
             isolated,
-            reciprocity: if m == 0 { 0.0 } else { reciprocal as f64 / m as f64 },
+            reciprocity: if m == 0 {
+                0.0
+            } else {
+                reciprocal as f64 / m as f64
+            },
         }
     }
 }

@@ -75,7 +75,11 @@ impl Pair {
         if self.is_empty() {
             return Density::ZERO;
         }
-        Density::new(self.edges_between(g), self.s.len() as u64, self.t.len() as u64)
+        Density::new(
+            self.edges_between(g),
+            self.s.len() as u64,
+            self.t.len() as u64,
+        )
     }
 
     /// Converts to mask form over a graph with `n` vertices.
@@ -119,14 +123,20 @@ impl StMask {
     /// All-false masks over `n` vertices.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        StMask { in_s: vec![false; n], in_t: vec![false; n] }
+        StMask {
+            in_s: vec![false; n],
+            in_t: vec![false; n],
+        }
     }
 
     /// Masks with every vertex on both sides (the starting state of every
     /// peel).
     #[must_use]
     pub fn full(n: usize) -> Self {
-        StMask { in_s: vec![true; n], in_t: vec![true; n] }
+        StMask {
+            in_s: vec![true; n],
+            in_t: vec![true; n],
+        }
     }
 
     /// Number of vertices in `S`.
@@ -177,8 +187,12 @@ impl StMask {
     /// Converts to explicit list form.
     #[must_use]
     pub fn to_pair(&self) -> Pair {
-        let s = (0..self.in_s.len() as VertexId).filter(|&v| self.in_s[v as usize]).collect();
-        let t = (0..self.in_t.len() as VertexId).filter(|&v| self.in_t[v as usize]).collect();
+        let s = (0..self.in_s.len() as VertexId)
+            .filter(|&v| self.in_s[v as usize])
+            .collect();
+        let t = (0..self.in_t.len() as VertexId)
+            .filter(|&v| self.in_t[v as usize])
+            .collect();
         Pair::new(s, t)
     }
 }

@@ -95,7 +95,10 @@ proptest! {
 fn generators_are_deterministic() {
     use dds_graph::gen;
     assert_eq!(gen::gnm(64, 256, 1), gen::gnm(64, 256, 1));
-    assert_eq!(gen::power_law(64, 256, 2.3, 1), gen::power_law(64, 256, 2.3, 1));
+    assert_eq!(
+        gen::power_law(64, 256, 2.3, 1),
+        gen::power_law(64, 256, 2.3, 1)
+    );
     let a = gen::planted(60, 120, 4, 5, 1.0, 2);
     let b = gen::planted(60, 120, 4, 5, 1.0, 2);
     assert_eq!(a.graph, b.graph);

@@ -30,7 +30,11 @@ pub struct Density {
 
 impl Density {
     /// The density of the empty pair (used as the identity for maxima).
-    pub const ZERO: Density = Density { edges: 0, s: 1, t: 1 };
+    pub const ZERO: Density = Density {
+        edges: 0,
+        s: 1,
+        t: 1,
+    };
 
     /// Creates the density `edges / sqrt(s·t)`.
     ///
@@ -87,7 +91,11 @@ impl Density {
             .expect("beta_lower_bound radicand overflow");
         // Fixed-point scaling: isqrt(x · 4^k) / 2^k floors far less than
         // isqrt(x) when x is small. Pick the largest k that cannot overflow.
-        let spare_bits = if abst == 0 { 126 } else { 127 - (128 - abst.leading_zeros()) };
+        let spare_bits = if abst == 0 {
+            126
+        } else {
+            127 - (128 - abst.leading_zeros())
+        };
         let k = (spare_bits / 2).min(20);
         let root = isqrt(abst << (2 * k));
         let num = u128::from(self.edges)
@@ -128,7 +136,14 @@ impl Ord for Density {
 
 impl fmt::Display for Density {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/√({}·{}) ≈ {:.6}", self.edges, self.s, self.t, self.to_f64())
+        write!(
+            f,
+            "{}/√({}·{}) ≈ {:.6}",
+            self.edges,
+            self.s,
+            self.t,
+            self.to_f64()
+        )
     }
 }
 
@@ -153,7 +168,10 @@ mod tests {
         let b = Density::new(20, 7, 7);
         assert!(a > b);
         // 5/√(1·4) = 2.5 exactly equals 10/√(4·4) = 2.5.
-        assert_eq!(Density::new(5, 1, 4).cmp(&Density::new(10, 4, 4)), Ordering::Equal);
+        assert_eq!(
+            Density::new(5, 1, 4).cmp(&Density::new(10, 4, 4)),
+            Ordering::Equal
+        );
     }
 
     #[test]

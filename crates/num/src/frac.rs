@@ -41,7 +41,12 @@ impl Frac {
         let d = den.unsigned_abs();
         // gcd(0, d) = d > 0 here, so plain division is well defined; keep
         // the zero-numerator case canonical as 0/1.
-        let (n, d) = if n == 0 { (0, 1) } else { let g = gcd(n, d); (n / g, d / g) };
+        let (n, d) = if n == 0 {
+            (0, 1)
+        } else {
+            let g = gcd(n, d);
+            (n / g, d / g)
+        };
         Frac {
             num: sign * i128::try_from(n).expect("reduced numerator fits i128"),
             den: i128::try_from(d).expect("reduced denominator fits i128"),
@@ -98,7 +103,10 @@ impl Frac {
     #[must_use]
     pub fn half(self) -> Self {
         if self.num % 2 == 0 {
-            Frac { num: self.num / 2, den: self.den }
+            Frac {
+                num: self.num / 2,
+                den: self.den,
+            }
         } else {
             Frac {
                 num: self.num,
@@ -129,7 +137,10 @@ impl From<i128> for Frac {
 
 impl From<u64> for Frac {
     fn from(v: u64) -> Self {
-        Frac { num: i128::from(v), den: 1 }
+        Frac {
+            num: i128::from(v),
+            den: 1,
+        }
     }
 }
 
@@ -191,7 +202,10 @@ impl Sub for Frac {
 impl Neg for Frac {
     type Output = Frac;
     fn neg(self) -> Frac {
-        Frac { num: -self.num, den: self.den }
+        Frac {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -36,7 +36,17 @@ mod tests {
 
     #[test]
     fn perfect_squares_and_neighbours() {
-        for r in [1u128, 2, 3, 10, 255, 256, 65_535, 1 << 32, (1 << 63) + 12_345] {
+        for r in [
+            1u128,
+            2,
+            3,
+            10,
+            255,
+            256,
+            65_535,
+            1 << 32,
+            (1 << 63) + 12_345,
+        ] {
             let sq = r * r;
             assert_eq!(isqrt(sq), r);
             assert_eq!(isqrt(sq - 1), r - 1);
@@ -58,7 +68,9 @@ mod tests {
         // Cheap LCG so the test has no dependencies.
         let mut state = 0x853c_49e6_748f_ea9bu128;
         for _ in 0..2_000 {
-            state = state.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
+            state = state
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add(0x1405_7b7e_f767_814f);
             let n = state;
             let r = isqrt(n);
             assert!(r * r <= n, "r² ≤ n for n={n}");

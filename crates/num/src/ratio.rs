@@ -73,7 +73,10 @@ impl Ratio {
     /// endpoints swap as `0 ↔ ∞`.
     #[must_use]
     pub fn recip(self) -> Ratio {
-        Ratio { a: self.b, b: self.a }
+        Ratio {
+            a: self.b,
+            b: self.a,
+        }
     }
 
     /// Exact conversion to a [`Frac`].

@@ -45,7 +45,10 @@ mod tests {
         assert_eq!(mul_wide(0, 0), (0, 0));
         assert_eq!(mul_wide(1, 1), (0, 1));
         assert_eq!(mul_wide(7, 6), (0, 42));
-        assert_eq!(mul_wide(u128::from(u64::MAX), u128::from(u64::MAX)), (0, u64::MAX as u128 * u64::MAX as u128));
+        assert_eq!(
+            mul_wide(u128::from(u64::MAX), u128::from(u64::MAX)),
+            (0, u64::MAX as u128 * u64::MAX as u128)
+        );
     }
 
     #[test]
@@ -66,7 +69,12 @@ mod tests {
             (u128::MAX, 1, 1, u128::MAX),            // equal
             (0, u128::MAX, 1, 1),                    // 0 < 1
         ];
-        let expected = [Ordering::Less, Ordering::Greater, Ordering::Equal, Ordering::Less];
+        let expected = [
+            Ordering::Less,
+            Ordering::Greater,
+            Ordering::Equal,
+            Ordering::Less,
+        ];
         for ((a0, a1, b0, b1), want) in cases.into_iter().zip(expected) {
             assert_eq!(cmp_prod(a0, a1, b0, b1), want, "{a0}*{a1} vs {b0}*{b1}");
         }
@@ -74,7 +82,15 @@ mod tests {
 
     #[test]
     fn cmp_prod_symmetry() {
-        let vals = [0u128, 1, 2, 1 << 64, (1 << 64) + 3, u128::MAX / 3, u128::MAX];
+        let vals = [
+            0u128,
+            1,
+            2,
+            1 << 64,
+            (1 << 64) + 3,
+            u128::MAX / 3,
+            u128::MAX,
+        ];
         for &a0 in &vals {
             for &a1 in &vals {
                 for &b0 in &vals {

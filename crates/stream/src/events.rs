@@ -1,0 +1,277 @@
+//! Edge-stream event model and timestamped event-file IO.
+//!
+//! The on-disk format is line-oriented, in the same whitespace-tolerant
+//! spirit as the SNAP/KONECT edge lists `dds-graph::io` reads:
+//!
+//! ```text
+//! # comments with '#' or '%'
+//! <time> + <u> <v>      insert edge u → v
+//! <time> - <u> <v>      delete edge u → v
+//! ```
+//!
+//! Timestamps are non-negative integers in arbitrary units; replay only
+//! requires them to be non-decreasing when batching by time window.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dds_graph::VertexId;
+
+/// One edge mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Add the edge `u → v` (a no-op if already present or a self-loop).
+    Insert(VertexId, VertexId),
+    /// Remove the edge `u → v` (a no-op if absent).
+    Delete(VertexId, VertexId),
+}
+
+/// An [`Event`] with its stream timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Stream time in arbitrary units (must be non-decreasing for
+    /// time-window batching).
+    pub time: u64,
+    /// The mutation itself.
+    pub event: Event,
+}
+
+/// A group of events applied atomically by [`crate::StreamEngine::apply`]:
+/// bounds are updated per event, but the re-solve decision is made once
+/// per batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Batch {
+    /// Events in application order.
+    pub events: Vec<TimedEvent>,
+}
+
+impl Batch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Builds a batch from timestamped events.
+    #[must_use]
+    pub fn from_events(events: Vec<TimedEvent>) -> Self {
+        Batch { events }
+    }
+
+    /// Appends an insertion (timestamp 0 — convenience for tests/examples).
+    pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.events.push(TimedEvent {
+            time: 0,
+            event: Event::Insert(u, v),
+        });
+        self
+    }
+
+    /// Appends a deletion (timestamp 0 — convenience for tests/examples).
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.events.push(TimedEvent {
+            time: 0,
+            event: Event::Delete(u, v),
+        });
+        self
+    }
+
+    /// Number of events in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Errors from event-file IO.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A line failed to parse; carries the 1-based line number and reason.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
+    /// An underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            StreamError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// Parses a timestamped event stream from a reader.
+///
+/// # Errors
+/// Returns [`StreamError::Parse`] with the offending line number on
+/// malformed input, [`StreamError::Io`] on read failure.
+pub fn read_events(reader: impl Read) -> Result<Vec<TimedEvent>, StreamError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let time: u64 = parse_field(fields.next(), "timestamp", lineno)?;
+        let op = fields.next().ok_or_else(|| StreamError::Parse {
+            line: lineno,
+            msg: "missing op (+ or -)".into(),
+        })?;
+        let u: VertexId = parse_field(fields.next(), "source vertex", lineno)?;
+        let v: VertexId = parse_field(fields.next(), "target vertex", lineno)?;
+        if let Some(extra) = fields.next() {
+            return Err(StreamError::Parse {
+                line: lineno,
+                msg: format!("unexpected trailing field {extra:?}"),
+            });
+        }
+        let event = match op {
+            "+" => Event::Insert(u, v),
+            "-" => Event::Delete(u, v),
+            other => {
+                return Err(StreamError::Parse {
+                    line: lineno,
+                    msg: format!("unknown op {other:?} (expected + or -)"),
+                })
+            }
+        };
+        out.push(TimedEvent { time, event });
+    }
+    Ok(out)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+    line: usize,
+) -> Result<T, StreamError> {
+    let raw = field.ok_or_else(|| StreamError::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })?;
+    raw.parse().map_err(|_| StreamError::Parse {
+        line,
+        msg: format!("invalid {what} {raw:?}"),
+    })
+}
+
+/// Reads an event file from `path` (see module docs for the format).
+///
+/// # Errors
+/// Propagates [`read_events`] errors and file-open failures.
+pub fn load_events(path: impl AsRef<Path>) -> Result<Vec<TimedEvent>, StreamError> {
+    read_events(File::open(path)?)
+}
+
+/// Writes events in the textual format [`read_events`] parses.
+///
+/// # Errors
+/// Returns [`StreamError::Io`] on write failure.
+pub fn write_events(events: &[TimedEvent], writer: impl Write) -> Result<(), StreamError> {
+    let mut w = BufWriter::new(writer);
+    for ev in events {
+        match ev.event {
+            Event::Insert(u, v) => writeln!(w, "{} + {} {}", ev.time, u, v)?,
+            Event::Delete(u, v) => writeln!(w, "{} - {} {}", ev.time, u, v)?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an event file to `path` (see module docs for the format).
+///
+/// # Errors
+/// Propagates [`write_events`] errors and file-create failures.
+pub fn save_events(events: &[TimedEvent], path: impl AsRef<Path>) -> Result<(), StreamError> {
+    write_events(events, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let events = vec![
+            TimedEvent {
+                time: 0,
+                event: Event::Insert(0, 1),
+            },
+            TimedEvent {
+                time: 3,
+                event: Event::Insert(4, 2),
+            },
+            TimedEvent {
+                time: 9,
+                event: Event::Delete(0, 1),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_events(&events, &mut buf).unwrap();
+        assert_eq!(read_events(buf.as_slice()).unwrap(), events);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n% konect style\n5 + 1 2\n";
+        let events = read_events(text.as_bytes()).unwrap();
+        assert_eq!(
+            events,
+            vec![TimedEvent {
+                time: 5,
+                event: Event::Insert(1, 2)
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, line) in [
+            ("1 + 2\n", 1),
+            ("1 + 2 3\n0 * 1 2\n", 2),
+            ("1 + 2 3\n2 - 4 five\n", 2),
+            ("1 + 2 3 4\n", 1),
+            ("x + 2 3\n", 1),
+        ] {
+            match read_events(text.as_bytes()) {
+                Err(StreamError::Parse { line: l, .. }) => assert_eq!(l, line, "{text:?}"),
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_builder() {
+        let mut b = Batch::new();
+        b.insert(1, 2).delete(1, 2);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.events[1].event, Event::Delete(1, 2));
+    }
+}

@@ -1,0 +1,137 @@
+//! Exact O(1) maintenance of `max` over per-vertex counters under
+//! increment/decrement — the count-of-counts trick from peeling
+//! algorithms.
+//!
+//! Used twice by the engine: for the live degree maxima of the dynamic
+//! graph, and for the degree maxima of the *delta graph* (edges inserted
+//! since the last solve), which drive the tightest drift bound.
+
+/// Per-id counters with exact running maximum.
+///
+/// `incr`/`decr` are `O(1)`: a frequency table `freq[c] = #ids with
+/// counter c` lets the maximum fall by at most one per decrement.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MaxTracker {
+    count: Vec<u32>,
+    freq: Vec<usize>,
+    max: u32,
+}
+
+impl MaxTracker {
+    /// Current maximum counter value (0 when empty).
+    pub(crate) fn max(&self) -> u64 {
+        u64::from(self.max)
+    }
+
+    /// Current counter for `id` (0 if never touched).
+    pub(crate) fn count(&self, id: usize) -> u32 {
+        self.count.get(id).copied().unwrap_or(0)
+    }
+
+    fn freq_slot(&mut self, c: u32) -> &mut usize {
+        let c = c as usize;
+        if self.freq.len() <= c {
+            self.freq.resize(c + 1, 0);
+        }
+        &mut self.freq[c]
+    }
+
+    pub(crate) fn incr(&mut self, id: usize) {
+        if self.count.len() <= id {
+            self.count.resize(id + 1, 0);
+        }
+        let c = self.count[id];
+        if c > 0 {
+            *self.freq_slot(c) -= 1;
+        }
+        self.count[id] = c + 1;
+        *self.freq_slot(c + 1) += 1;
+        self.max = self.max.max(c + 1);
+    }
+
+    /// # Panics
+    /// Panics if `id`'s counter is already zero (an engine invariant
+    /// violation, not a user-reachable state).
+    pub(crate) fn decr(&mut self, id: usize) {
+        let c = self.count[id];
+        assert!(c > 0, "decrement of zero counter");
+        *self.freq_slot(c) -= 1;
+        self.count[id] = c - 1;
+        if c > 1 {
+            *self.freq_slot(c - 1) += 1;
+        }
+        while self.max > 0 && self.freq[self.max as usize] == 0 {
+            self.max -= 1;
+        }
+    }
+
+    /// Forgets everything (used when a solve resets the delta graph).
+    pub(crate) fn clear(&mut self) {
+        self.count.clear();
+        self.freq.clear();
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_tracks_incr_and_decr() {
+        let mut t = MaxTracker::default();
+        assert_eq!(t.max(), 0);
+        t.incr(3);
+        t.incr(3);
+        t.incr(7);
+        assert_eq!(t.max(), 2);
+        assert_eq!(t.count(3), 2);
+        t.decr(3);
+        assert_eq!(t.max(), 1);
+        t.decr(3);
+        t.decr(7);
+        assert_eq!(t.max(), 0);
+    }
+
+    #[test]
+    fn max_falls_through_gaps() {
+        let mut t = MaxTracker::default();
+        for _ in 0..5 {
+            t.incr(0);
+        }
+        t.incr(1);
+        assert_eq!(t.max(), 5);
+        for _ in 0..5 {
+            t.decr(0);
+        }
+        assert_eq!(t.max(), 1, "max must fall past the emptied levels");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = MaxTracker::default();
+        t.incr(9);
+        t.clear();
+        assert_eq!(t.max(), 0);
+        assert_eq!(t.count(9), 0);
+    }
+
+    #[test]
+    fn matches_naive_on_random_walk() {
+        let mut t = MaxTracker::default();
+        let mut naive = [0u32; 8];
+        let mut x = 12345u64;
+        for _ in 0..4_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = (x >> 33) as usize % 8;
+            if x & 1 == 0 || naive[id] == 0 {
+                t.incr(id);
+                naive[id] += 1;
+            } else {
+                t.decr(id);
+                naive[id] -= 1;
+            }
+            assert_eq!(t.max(), u64::from(*naive.iter().max().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests pinning the stream engine against the static solvers.
+//!
+//! The contract under test (the ISSUE's acceptance property): after **any**
+//! random insert/delete sequence,
+//!
+//! * at every epoch that re-solved (or was forced to), the engine's
+//!   reported density equals a fresh [`DcExact`] solve of the materialised
+//!   graph, and
+//! * between re-solves, the engine's certified bounds bracket the true
+//!   optimum of the current graph.
+
+use dds_core::DcExact;
+use dds_stream::{Batch, Event, SolverKind, StreamConfig, StreamEngine, TimedEvent};
+use proptest::prelude::*;
+
+/// Random event sequences over ≤ 8 vertices: inserts and deletes in a
+/// ~2:1 ratio so the graph both grows and churns.
+fn event_sequence(max_n: u32, len: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((0u32..3, 0u32..max_n, 0u32..max_n), 1..len).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(op, u, v)| {
+                if op < 2 {
+                    Event::Insert(u, v)
+                } else {
+                    Event::Delete(u, v)
+                }
+            })
+            .collect()
+    })
+}
+
+fn batch_of(events: &[Event]) -> Batch {
+    Batch::from_events(
+        events
+            .iter()
+            .map(|&event| TimedEvent { time: 0, event })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Zero tolerance forces a re-solve whenever anything at all drifts,
+    /// so every epoch's reported density must equal a fresh exact solve.
+    #[test]
+    fn zero_tolerance_tracks_exact_every_epoch(
+        events in event_sequence(8, 40),
+        batch_size in 1usize..6,
+    ) {
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.0,
+            slack: 0.0,
+            solver: SolverKind::Exact,
+        });
+        for chunk in events.chunks(batch_size) {
+            let report = engine.apply(&batch_of(chunk));
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            prop_assert_eq!(report.density, exact,
+                "epoch {} (resolved={}) diverged from exact", report.epoch, report.resolved);
+        }
+    }
+
+    /// With a lazy tolerance, most epochs skip the solver — but the
+    /// certified bracket must still contain the true optimum at every
+    /// epoch, and a forced re-solve must land exactly on it.
+    #[test]
+    fn lazy_bounds_always_bracket_exact(
+        events in event_sequence(8, 48),
+        batch_size in 1usize..7,
+        tol_steps in 1u32..8,
+    ) {
+        let tolerance = f64::from(tol_steps) * 0.25;
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance,
+            slack: 0.0,
+            solver: SolverKind::Exact,
+        });
+        for chunk in events.chunks(batch_size) {
+            let report = engine.apply(&batch_of(chunk));
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            // Lower bound: the witness is a real pair of the current graph.
+            prop_assert!(report.density <= exact,
+                "lower bound {} exceeds exact {} at epoch {}",
+                report.density, exact, report.epoch);
+            // Upper bound: certified bracket contains the optimum.
+            prop_assert!(exact.to_f64() <= report.upper * (1.0 + 1e-9),
+                "upper bound {} below exact {} at epoch {}",
+                report.upper, exact, report.epoch);
+            // The advertised factor really covers the reported density.
+            if !report.density.is_zero() {
+                prop_assert!(exact.to_f64() <= report.density.to_f64() * report.certified_factor * (1.0 + 1e-9));
+            }
+            if report.resolved {
+                prop_assert_eq!(report.density, exact,
+                    "a re-solved epoch must report the exact optimum");
+            }
+        }
+        // A forced re-solve closes the bracket back onto the optimum.
+        let bounds = engine.force_resolve();
+        let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+        prop_assert_eq!(bounds.lower, exact);
+        prop_assert!(bounds.certified_factor() <= 1.0 + 1e-6);
+    }
+
+    /// The approximate re-solver never certifies a bracket wider than its
+    /// own 2-approximation guarantee allows, and the bracket still holds.
+    #[test]
+    fn approx_solver_brackets_hold(
+        events in event_sequence(8, 40),
+        batch_size in 1usize..6,
+    ) {
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.5,
+            slack: 0.0,
+            solver: SolverKind::CoreApprox,
+        });
+        for chunk in events.chunks(batch_size) {
+            let report = engine.apply(&batch_of(chunk));
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            prop_assert!(report.density <= exact);
+            prop_assert!(exact.to_f64() <= report.upper * (1.0 + 1e-9));
+        }
+    }
+
+    /// Replaying a stream must leave the engine's graph equal to building
+    /// the final edge set directly (events fold correctly).
+    #[test]
+    fn engine_state_matches_direct_fold(
+        events in event_sequence(10, 60),
+    ) {
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 1.0,
+            slack: 0.0,
+            solver: SolverKind::Exact,
+        });
+        engine.apply(&batch_of(&events));
+        let mut edges = std::collections::BTreeSet::new();
+        for &event in &events {
+            match event {
+                Event::Insert(u, v) if u != v => { edges.insert((u, v)); }
+                Event::Delete(u, v) => { edges.remove(&(u, v)); }
+                Event::Insert(..) => {}
+            }
+        }
+        let g = engine.materialize();
+        prop_assert_eq!(g.m(), edges.len());
+        for &(u, v) in &edges {
+            prop_assert!(g.has_edge(u, v), "missing edge {} -> {}", u, v);
+        }
+    }
+}

@@ -60,7 +60,11 @@ pub fn y_max_core(g: &DiGraph, base: &StMask, x: u64) -> Option<YMaxCore> {
         }
     }
 
-    let max_deg = (0..n).filter(|&v| mask.in_t[v]).map(|v| deg_in[v]).max().unwrap_or(0);
+    let max_deg = (0..n)
+        .filter(|&v| mask.in_t[v])
+        .map(|v| deg_in[v])
+        .max()
+        .unwrap_or(0);
     let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg as usize + 1];
     let mut t_alive = 0usize;
     for v in 0..n {
@@ -140,7 +144,10 @@ pub fn y_max_core(g: &DiGraph, base: &StMask, x: u64) -> Option<YMaxCore> {
             .collect(),
         in_t: (0..n).map(|v| level_t[v] == final_y).collect(),
     };
-    Some(YMaxCore { y: y_max, mask: core })
+    Some(YMaxCore {
+        y: y_max,
+        mask: core,
+    })
 }
 
 /// Computes `x_max(y)`: the largest `x ≥ 1` with a non-empty `[x, y]`-core
@@ -150,10 +157,16 @@ pub fn y_max_core(g: &DiGraph, base: &StMask, x: u64) -> Option<YMaxCore> {
 #[must_use]
 pub fn x_max(g: &DiGraph, base: &StMask, y: u64) -> Option<YMaxCore> {
     let rev = g.reverse();
-    let swapped = StMask { in_s: base.in_t.clone(), in_t: base.in_s.clone() };
+    let swapped = StMask {
+        in_s: base.in_t.clone(),
+        in_t: base.in_s.clone(),
+    };
     y_max_core(&rev, &swapped, y).map(|r| YMaxCore {
         y: r.y,
-        mask: StMask { in_s: r.mask.in_t, in_t: r.mask.in_s },
+        mask: StMask {
+            in_s: r.mask.in_t,
+            in_t: r.mask.in_s,
+        },
     })
 }
 
@@ -221,7 +234,12 @@ pub fn max_product_core(g: &DiGraph) -> Option<MaxProductCore> {
     let consider = |x: u64, y: u64, mask: StMask, best: &mut Option<MaxProductCore>| {
         let product = x * y;
         if best.as_ref().is_none_or(|b| product > b.product()) {
-            *best = Some(MaxProductCore { x, y, mask, sweep_evals: 0 });
+            *best = Some(MaxProductCore {
+                x,
+                y,
+                mask,
+                sweep_evals: 0,
+            });
         }
     };
 
@@ -232,7 +250,9 @@ pub fn max_product_core(g: &DiGraph) -> Option<MaxProductCore> {
         if base.is_empty() {
             break;
         }
-        let Some(r) = y_max_core(g, &base, x) else { break };
+        let Some(r) = y_max_core(g, &base, x) else {
+            break;
+        };
         evals += 1;
         let y = r.y;
         consider(x, y, r.mask, &mut best);
@@ -251,10 +271,15 @@ pub fn max_product_core(g: &DiGraph) -> Option<MaxProductCore> {
         if base.is_empty() {
             break;
         }
-        let Some(r) = y_max_core(&rev, &base, y) else { break };
+        let Some(r) = y_max_core(&rev, &base, y) else {
+            break;
+        };
         evals += 1;
         let x = r.y;
-        let mask = StMask { in_s: r.mask.in_t, in_t: r.mask.in_s };
+        let mask = StMask {
+            in_s: r.mask.in_t,
+            in_t: r.mask.in_s,
+        };
         consider(x, y, mask, &mut best);
         if limit.saturating_mul(x) <= best.as_ref().map_or(0, MaxProductCore::product) {
             break;

@@ -50,5 +50,7 @@
 mod decompose;
 mod peel;
 
-pub use decompose::{max_product_core, skyline, x_max, y_max_core, MaxProductCore, SkylinePoint, YMaxCore};
+pub use decompose::{
+    max_product_core, skyline, x_max, y_max_core, MaxProductCore, SkylinePoint, YMaxCore,
+};
 pub use peel::{xy_core, xy_core_within};

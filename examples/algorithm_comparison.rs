@@ -35,33 +35,67 @@ fn main() {
 
     let (sol, ms, note) = timed(&mut || {
         let r = DcExact::new().solve(&g);
-        (r.solution, format!("{} flows over {} ratios", r.flow_decisions, r.ratios_solved))
+        (
+            r.solution,
+            format!("{} flows over {} ratios", r.flow_decisions, r.ratios_solved),
+        )
     });
-    rows.push(Row { name: "DcExact", solution: sol, millis: ms, note });
+    rows.push(Row {
+        name: "DcExact",
+        solution: sol,
+        millis: ms,
+        note,
+    });
 
     let (sol, ms, note) = timed(&mut || {
         let r = FlowExact.solve(&g);
-        (r.solution, format!("{} flows over {} ratios", r.flow_decisions, r.ratios_solved))
+        (
+            r.solution,
+            format!("{} flows over {} ratios", r.flow_decisions, r.ratios_solved),
+        )
     });
-    rows.push(Row { name: "FlowExact (baseline)", solution: sol, millis: ms, note });
+    rows.push(Row {
+        name: "FlowExact (baseline)",
+        solution: sol,
+        millis: ms,
+        note,
+    });
 
     let (sol, ms, note) = timed(&mut || {
         let r = core_approx(&g);
         (r.solution, format!("core [{},{}], 2-approx", r.x, r.y))
     });
-    rows.push(Row { name: "core_approx", solution: sol, millis: ms, note });
+    rows.push(Row {
+        name: "core_approx",
+        solution: sol,
+        millis: ms,
+        note,
+    });
 
     let (sol, ms, note) = timed(&mut || {
         let r = GridPeel::new(0.1).solve(&g);
-        (r.solution, format!("{} grid peels, 2.2-approx", r.ratios_tried))
+        (
+            r.solution,
+            format!("{} grid peels, 2.2-approx", r.ratios_tried),
+        )
     });
-    rows.push(Row { name: "GridPeel(0.1)", solution: sol, millis: ms, note });
+    rows.push(Row {
+        name: "GridPeel(0.1)",
+        solution: sol,
+        millis: ms,
+        note,
+    });
 
     let (sol, ms, note) = timed(&mut || {
         let r = ExhaustivePeel.solve(&g);
         (r.solution, format!("{} peels, 2-approx", r.ratios_tried))
     });
-    rows.push(Row { name: "ExhaustivePeel (baseline)", solution: sol, millis: ms, note });
+    rows.push(Row {
+        name: "ExhaustivePeel (baseline)",
+        solution: sol,
+        millis: ms,
+        note,
+    });
 
     let opt = rows[0].solution.density;
     println!(
@@ -85,9 +119,16 @@ fn main() {
     }
 
     // Invariants the table must satisfy.
-    assert_eq!(rows[0].solution.density, rows[1].solution.density, "exact solvers agree");
+    assert_eq!(
+        rows[0].solution.density, rows[1].solution.density,
+        "exact solvers agree"
+    );
     for row in &rows[2..] {
-        assert!(row.solution.density <= opt, "{} exceeded the optimum", row.name);
+        assert!(
+            row.solution.density <= opt,
+            "{} exceeded the optimum",
+            row.name
+        );
         assert!(
             2.2 * row.solution.density.to_f64() + 1e-9 >= opt.to_f64(),
             "{} broke its approximation guarantee",

@@ -37,7 +37,10 @@ fn main() {
     let t0 = Instant::now();
     let report = DcExact::new().solve(g);
     let elapsed = t0.elapsed();
-    println!("\nDcExact found ρ_opt = {} in {elapsed:?}", report.solution.density);
+    println!(
+        "\nDcExact found ρ_opt = {} in {elapsed:?}",
+        report.solution.density
+    );
     println!(
         "  ratios solved {}, flow decisions {}, pruned {} (γ) + {} (structural)",
         report.ratios_solved,
@@ -56,17 +59,34 @@ fn main() {
     let sol = &report.solution;
     let overlap = |found: &[VertexId], truth: &[VertexId]| -> (f64, f64) {
         let hit = found.iter().filter(|v| truth.contains(v)).count() as f64;
-        (hit / found.len().max(1) as f64, hit / truth.len().max(1) as f64)
+        (
+            hit / found.len().max(1) as f64,
+            hit / truth.len().max(1) as f64,
+        )
     };
     let (s_prec, s_rec) = overlap(sol.pair.s(), planted.pair.s());
     let (t_prec, t_rec) = overlap(sol.pair.t(), planted.pair.t());
     println!("\nrecovery vs planted ring:");
-    println!("  S side: precision {:.0}%, recall {:.0}%", 100.0 * s_prec, 100.0 * s_rec);
-    println!("  T side: precision {:.0}%, recall {:.0}%", 100.0 * t_prec, 100.0 * t_rec);
+    println!(
+        "  S side: precision {:.0}%, recall {:.0}%",
+        100.0 * s_prec,
+        100.0 * s_rec
+    );
+    println!(
+        "  T side: precision {:.0}%, recall {:.0}%",
+        100.0 * t_prec,
+        100.0 * t_rec
+    );
 
     // The optimum can only be at least as dense as what we planted.
-    assert!(sol.density >= planted_density, "solver must match or beat the plant");
-    assert!(s_rec >= 0.8 && t_rec >= 0.8, "the ring should be substantially recovered");
+    assert!(
+        sol.density >= planted_density,
+        "solver must match or beat the plant"
+    );
+    assert!(
+        s_rec >= 0.8 && t_rec >= 0.8,
+        "the ring should be substantially recovered"
+    );
 
     // Ablation: the same answer without core pruning, but on much larger
     // flow networks.

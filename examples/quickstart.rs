@@ -12,11 +12,21 @@ fn main() {
     // publish, plus some background chatter.
     let edges = [
         // dense block: {0,1,2} → {3,4,5}
-        (0, 3), (0, 4), (0, 5),
-        (1, 3), (1, 4), (1, 5),
-        (2, 3), (2, 4), (2, 5),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (1, 3),
+        (1, 4),
+        (1, 5),
+        (2, 3),
+        (2, 4),
+        (2, 5),
         // background
-        (6, 0), (7, 6), (5, 8), (8, 9), (9, 7),
+        (6, 0),
+        (7, 6),
+        (5, 8),
+        (8, 9),
+        (9, 7),
     ];
     let g = DiGraph::from_edges(10, &edges).expect("valid edge list");
     println!("graph: {} vertices, {} edges", g.n(), g.m());

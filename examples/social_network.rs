@@ -72,7 +72,11 @@ fn main() {
     };
     let s = best.pair.s();
     let t = best.pair.t();
-    println!("\ndensest pair: |S| = {} hubs, |T| = {} authorities", s.len(), t.len());
+    println!(
+        "\ndensest pair: |S| = {} hubs, |T| = {} authorities",
+        s.len(),
+        t.len()
+    );
 
     let avg = |side: &[VertexId], f: &dyn Fn(VertexId) -> usize| -> f64 {
         if side.is_empty() {

@@ -1,0 +1,92 @@
+//! Live-density monitoring of an edge stream with certified lazy
+//! re-solving.
+//!
+//! The scenario: a payments graph where a fraud ring (a planted dense
+//! block) persists while ordinary traffic churns around it. A monitoring
+//! service wants the densest-subgraph density continuously — but cannot
+//! afford to re-run a full solver on every update. `StreamEngine` keeps a
+//! certified bracket `[lower, upper]` around the optimum in `O(batch)` per
+//! batch and only pays for a full solve when the bracket drifts past the
+//! configured tolerance, so the trajectory below is mostly microsecond
+//! epochs punctuated by rare re-solves.
+//!
+//! Then a *second* ring emerges mid-stream: the certificate degrades, the
+//! engine notices, and a re-solve locks onto the new optimum.
+//!
+//! ```sh
+//! cargo run --release -p dds-tests --example streaming_monitor
+//! ```
+
+use std::time::Instant;
+
+use dds_bench::stream_workloads::{churn, planted_emerge};
+use dds_stream::{replay, BatchBy, SolverKind, StreamConfig, StreamEngine};
+
+fn trajectory(title: &str, engine: &mut StreamEngine, events: &[dds_stream::TimedEvent]) {
+    println!("\n=== {title}");
+    println!("    {} events, batch = 25, tolerance = 25%", events.len());
+    let t0 = Instant::now();
+    let reports = replay(engine, events, BatchBy::Count(25));
+    let wall = t0.elapsed();
+
+    // Print a sparse trajectory: every re-solve plus evenly spaced ticks.
+    let tick = (reports.len() / 12).max(1);
+    println!("    epoch      m   density   [lower, upper]    mode");
+    for r in &reports {
+        if r.resolved || r.epoch % tick as u64 == 0 {
+            println!(
+                "    {:>5} {:>6}   {:>7.3}   [{:>7.3}, {:>7.3}]   {}",
+                r.epoch,
+                r.m,
+                r.density.to_f64(),
+                r.lower,
+                r.upper,
+                if r.resolved { "RESOLVE" } else { "·" }
+            );
+        }
+    }
+    let resolves = reports.iter().filter(|r| r.resolved).count();
+    let incremental = 100.0 * (reports.len() - resolves) as f64 / reports.len().max(1) as f64;
+    println!(
+        "    {} epochs in {wall:.2?}: {resolves} re-solves, {incremental:.1}% incremental",
+        reports.len()
+    );
+}
+
+fn main() {
+    // Phase 1 — steady state: a 24×24 ring under background churn. The
+    // optimum never moves, so almost every batch is absorbed by the
+    // incremental certificate.
+    let steady = churn(300, 1_500, (24, 24), 20_000, 7);
+    let mut engine = StreamEngine::new(StreamConfig {
+        tolerance: 0.25,
+        slack: 2.0,
+        solver: SolverKind::Exact,
+    });
+    trajectory("steady fraud ring under churn", &mut engine, &steady);
+    let bounds = engine.bounds();
+    println!(
+        "    certified: ρ_opt ∈ [{:.4}, {:.4}] (factor {:.4})",
+        bounds.lower.to_f64(),
+        bounds.upper,
+        bounds.certified_factor()
+    );
+
+    // Phase 2 — regime change: a fresh engine watches a quiet background
+    // in which a 14×14 ring assembles edge-by-edge mid-stream. Watch the
+    // density ramp and the re-solves cluster around the emergence window.
+    let emerge = planted_emerge(250, 600, (14, 14), 8_000, 13);
+    let mut engine = StreamEngine::new(StreamConfig {
+        tolerance: 0.25,
+        slack: 2.0,
+        solver: SolverKind::Exact,
+    });
+    trajectory("dense block emerging mid-stream", &mut engine, &emerge);
+    if let Some(pair) = engine.witness() {
+        println!(
+            "    final witness: |S| = {}, |T| = {} — the emerged ring",
+            pair.s().len(),
+            pair.t().len()
+        );
+    }
+}

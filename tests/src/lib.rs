@@ -8,17 +8,18 @@ use dds_num::Density;
 /// # Panics
 /// Panics when the guarantee is violated.
 pub fn assert_within_factor(k: u64, approx: Density, opt: Density) {
-    assert!(approx <= opt, "approximation {approx} exceeds optimum {opt}");
+    assert!(
+        approx <= opt,
+        "approximation {approx} exceeds optimum {opt}"
+    );
     let lhs = u128::from(k)
         * u128::from(k)
         * u128::from(approx.edges)
         * u128::from(approx.edges)
         * u128::from(opt.s)
         * u128::from(opt.t);
-    let rhs = u128::from(opt.edges)
-        * u128::from(opt.edges)
-        * u128::from(approx.s)
-        * u128::from(approx.t);
+    let rhs =
+        u128::from(opt.edges) * u128::from(opt.edges) * u128::from(approx.s) * u128::from(approx.t);
     assert!(lhs >= rhs, "{approx} is not within factor {k} of {opt}");
 }
 

@@ -13,7 +13,10 @@ fn core_approx_is_a_2_approximation_everywhere() {
         assert_within_factor(2, r.solution.density, opt);
         // The certified bracket really brackets ρ_opt.
         assert!(opt.to_f64() <= r.upper_bound + 1e-9, "{name}");
-        assert!(r.solution.density.to_f64() >= r.lower_bound - 1e-9, "{name}");
+        assert!(
+            r.solution.density.to_f64() >= r.lower_bound - 1e-9,
+            "{name}"
+        );
     }
 }
 

@@ -23,7 +23,12 @@ fn every_skyline_core_meets_its_lower_bound() {
     for (name, g) in dds_tests::small_workloads() {
         for p in skyline(&g) {
             let core = xy_core(&g, p.x, p.y);
-            assert!(!core.is_empty(), "{name}: skyline point [{},{}] empty", p.x, p.y);
+            assert!(
+                !core.is_empty(),
+                "{name}: skyline point [{},{}] empty",
+                p.x,
+                p.y
+            );
             let d = core.density(&g);
             assert!(
                 density_at_least_sqrt(p.x * p.y, d),
@@ -70,10 +75,16 @@ fn optimum_lives_inside_its_own_degree_core() {
         let y = e.div_ceil(2 * t);
         let core = xy_core(&g, x, y);
         for &u in sol.pair.s() {
-            assert!(core.in_s[u as usize], "{name}: S vertex {u} outside the [{x},{y}]-core");
+            assert!(
+                core.in_s[u as usize],
+                "{name}: S vertex {u} outside the [{x},{y}]-core"
+            );
         }
         for &v in sol.pair.t() {
-            assert!(core.in_t[v as usize], "{name}: T vertex {v} outside the [{x},{y}]-core");
+            assert!(
+                core.in_t[v as usize],
+                "{name}: T vertex {v} outside the [{x},{y}]-core"
+            );
         }
     }
 }

@@ -12,7 +12,11 @@ fn dc_exact_matches_brute_force_on_tiny_graphs() {
         let want = brute_force_dds(&g).density;
         let got = DcExact::new().solve(&g);
         assert_eq!(got.solution.density, want, "seed={seed}");
-        assert_eq!(got.solution.pair.density(&g), want, "reported pair must realise it");
+        assert_eq!(
+            got.solution.pair.density(&g),
+            want,
+            "reported pair must realise it"
+        );
     }
 }
 
@@ -77,7 +81,9 @@ fn report_instrumentation_is_consistent() {
     assert_eq!(r.network_nodes.len(), r.flow_decisions);
     assert_eq!(r.network_edges.len(), r.flow_decisions);
     assert!(r.ratios_solved <= r.ratios_considered);
-    assert!(r.ratios_solved + r.ratios_pruned_gamma + r.ratios_pruned_structural <= r.ratios_considered);
+    assert!(
+        r.ratios_solved + r.ratios_pruned_gamma + r.ratios_pruned_structural <= r.ratios_considered
+    );
 }
 
 #[test]

@@ -29,8 +29,8 @@ fn solvers_are_total_on_degenerate_graphs() {
     let degenerates = [
         DiGraph::empty(0),
         DiGraph::empty(1),
-        DiGraph::empty(100),                          // all isolated
-        DiGraph::from_edges(2, &[(0, 1)]).unwrap(),   // single edge
+        DiGraph::empty(100),                                // all isolated
+        DiGraph::from_edges(2, &[(0, 1)]).unwrap(),         // single edge
         DiGraph::from_edges(2, &[(0, 1), (1, 0)]).unwrap(), // 2-cycle
     ];
     for g in &degenerates {
@@ -55,7 +55,10 @@ fn all_self_loops_graph_behaves_per_policy() {
     }
     let dropped = b.build();
     assert_eq!(dropped.m(), 0);
-    assert_eq!(DcExact::new().solve(&dropped).solution, DdsSolution::empty());
+    assert_eq!(
+        DcExact::new().solve(&dropped).solution,
+        DdsSolution::empty()
+    );
 
     // Keeping loops: best pair is a single vertex against itself, ρ = 1.
     let mut b = GraphBuilder::new().keep_self_loops(true);
@@ -83,13 +86,19 @@ fn dense_complete_digraph_stresses_capacity_scaling() {
 fn mask_length_mismatch_is_caught() {
     let g = DiGraph::from_edges(3, &[(0, 1)]).unwrap();
     let result = std::panic::catch_unwind(|| g.induced_subgraph(&[true, false]));
-    assert!(result.is_err(), "short mask must panic with a clear message");
+    assert!(
+        result.is_err(),
+        "short mask must panic with a clear message"
+    );
 }
 
 #[test]
 fn out_of_range_edges_rejected_by_from_edges() {
     for bad in [(3u32, 0u32), (0, 3), (7, 9)] {
         let err = DiGraph::from_edges(3, &[bad]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { .. }), "{bad:?}");
+        assert!(
+            matches!(err, GraphError::VertexOutOfRange { .. }),
+            "{bad:?}"
+        );
     }
 }

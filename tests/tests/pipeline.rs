@@ -15,7 +15,10 @@ fn generate_save_load_solve_round_trip() {
 
     let before = DcExact::new().solve(&g).solution;
     let after = DcExact::new().solve(&reloaded).solution;
-    assert_eq!(before, after, "solving a reloaded graph must not change the answer");
+    assert_eq!(
+        before, after,
+        "solving a reloaded graph must not change the answer"
+    );
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn self_loops_are_policy_not_accident() {
     assert_eq!(dropped.m(), 1);
     let kept = read_edge_list(
         text.as_bytes(),
-        &ParseOptions { keep_self_loops: true, ..Default::default() },
+        &ParseOptions {
+            keep_self_loops: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(kept.m(), 3);
@@ -80,7 +86,7 @@ fn edge_sampling_pipeline_used_by_scalability_experiments() {
     let mut k = 0usize;
     let half = g.filter_edges(|_, _| {
         k += 1;
-        k % 2 == 0
+        k.is_multiple_of(2)
     });
     assert_eq!(half.m(), 400);
     let full_sol = DcExact::new().solve(&g).solution;
