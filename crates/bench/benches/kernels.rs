@@ -6,7 +6,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use dds_core::peel_at_rational_ratio;
-use dds_flow::decide;
+use dds_flow::{decide, decide_in, FlowArena};
 use dds_graph::{gen, StMask};
 use dds_num::Frac;
 use dds_xycore::{max_product_core, xy_core, y_max_core};
@@ -17,9 +17,16 @@ fn bench_flow_decision(c: &mut Criterion) {
     c.bench_function("flow_decision/pl-2k-full-graph", |b| {
         b.iter(|| decide(black_box(&g), &alive, 1, 1, Frac::new(5, 2)))
     });
+    // Arena ablation against the entry above: `pl-2k-on-core` allocates a
+    // fresh network per decision; this recycles one arena's buffers (the
+    // SolveContext steady state).
     let core = xy_core(&g, 3, 3);
     c.bench_function("flow_decision/pl-2k-on-core", |b| {
         b.iter(|| decide(black_box(&g), &core, 1, 1, Frac::new(5, 2)))
+    });
+    let mut arena = FlowArena::new();
+    c.bench_function("flow_decision/pl-2k-arena-reuse", |b| {
+        b.iter(|| decide_in(&mut arena, black_box(&g), &core, 1, 1, Frac::new(5, 2)))
     });
 }
 

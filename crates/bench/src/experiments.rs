@@ -3,14 +3,16 @@
 //! to stdout, writes the same data to `bench_results/<id>.csv`, and states
 //! the *expected shape* so `EXPERIMENTS.md` can record measured-vs-expected.
 
-use dds_core::{core_approx, parallel, DcExact, ExactOptions, ExhaustivePeel, FlowExact, GridPeel};
+use dds_core::{
+    core_approx, parallel, DcExact, ExactOptions, ExhaustivePeel, FlowExact, GridPeel, SolveContext,
+};
 use dds_graph::GraphStats;
 use dds_xycore::{max_product_core, skyline};
 
 use crate::report::{fmt_duration, time, Table};
-use crate::workloads::{exact_ladder, registry, Scale};
+use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e11`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e13`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -29,13 +31,14 @@ pub fn run(id: &str, quick: bool) {
         "e10" => e10_cores(quick),
         "e11" => e11_parallel(quick),
         "e12" => e12_streaming(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e12)"),
+        "e13" => e13_solve_context(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e13)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -178,8 +181,15 @@ pub fn e3_network_sizes(quick: bool) {
 /// E4 — pruning-device ablation (the paper's "effect of each technique").
 pub fn e4_ablation(quick: bool) {
     println!("\n=== E4: ablation (expected: γ-pruning largest, then core pruning; -dc collapses to the baseline)");
-    let variants: [(&str, ExactOptions); 5] = [
+    let variants: [(&str, ExactOptions); 6] = [
         ("full", ExactOptions::default()),
+        (
+            "-tie",
+            ExactOptions {
+                tie_pruning: false,
+                ..Default::default()
+            },
+        ),
         (
             "-gamma",
             ExactOptions {
@@ -576,6 +586,8 @@ pub fn e12_streaming(quick: bool) {
             "incremental",
             "density",
             "max_factor",
+            "resolve_ms",
+            "resolve_flows",
             "time",
         ],
     );
@@ -607,6 +619,16 @@ pub fn e12_streaming(quick: bool) {
             .iter()
             .map(|r| r.certified_factor)
             .fold(1.0f64, f64::max);
+        let resolve_ms: f64 = reports
+            .iter()
+            .filter(|r| r.resolved)
+            .map(|r| r.elapsed.as_secs_f64() * 1e3)
+            .sum();
+        let resolve_flows: usize = reports
+            .iter()
+            .filter_map(|r| r.solve_stats)
+            .map(|s| s.flow_decisions)
+            .sum();
         let last = reports.last().expect("non-empty scenario");
         t.row(vec![
             scenario.name.clone(),
@@ -617,11 +639,122 @@ pub fn e12_streaming(quick: bool) {
             format!("{incremental:.1}%"),
             format!("{:.3}", last.density.to_f64()),
             format!("{max_factor:.3}"),
+            format!("{resolve_ms:.0}"),
+            resolve_flows.to_string(),
             fmt_duration(d),
         ]);
     }
     println!("{}", t.render());
     t.write_csv("e12_streaming");
+}
+
+/// E13 — the `SolveContext` pipeline: exact tie pruning versus the legacy
+/// strict-margin engine on planted blocks, and warm-context re-solves
+/// versus cold solves over a churned graph sequence (the streaming
+/// re-solve pattern).
+pub fn e13_solve_context(quick: bool) {
+    println!(
+        "\n=== E13: SolveContext (expected: tie pruning cuts flow decisions ≥2x on planted blocks; warm contexts re-solve with fewer flows and recycled buffers)"
+    );
+    let sizes: &[usize] = if quick { &[120, 200] } else { &[500, 2_000] };
+    let mut t = Table::new(
+        "exact tie pruning on planted blocks",
+        &[
+            "n",
+            "m",
+            "variant",
+            "ratios",
+            "flows",
+            "tie_prunes",
+            "arena_hits",
+            "ms",
+        ],
+    );
+    for &n in sizes {
+        let p = planted_block(n);
+        let g = &p.graph;
+        let (with, d_with) = time(|| DcExact::new().solve(g));
+        let (without, d_without) = time(|| {
+            DcExact::with_options(ExactOptions {
+                tie_pruning: false,
+                ..ExactOptions::default()
+            })
+            .solve(g)
+        });
+        assert_eq!(
+            with.solution.density, without.solution.density,
+            "tie pruning changed the optimum at n={n}"
+        );
+        assert!(
+            2 * with.flow_decisions <= without.flow_decisions,
+            "tie pruning must at least halve the flow decisions at n={n} ({} vs {})",
+            with.flow_decisions,
+            without.flow_decisions
+        );
+        for (label, r, d) in [
+            ("tie-pruned", &with, d_with),
+            ("legacy", &without, d_without),
+        ] {
+            t.row(vec![
+                n.to_string(),
+                g.m().to_string(),
+                label.into(),
+                r.ratios_solved.to_string(),
+                r.flow_decisions.to_string(),
+                r.ratios_pruned_tie.to_string(),
+                r.arena_reuse_hits.to_string(),
+                format!("{:.1}", d.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    t.write_csv("e13_tie_pruning");
+
+    // Warm-context re-solves: churn ~1% of the edges per epoch (the lazy
+    // re-solve pattern of the stream engine) and compare a cold solver
+    // against one long-lived context.
+    let n = if quick { 200 } else { 1_000 };
+    let base = planted_block(n);
+    let mut t = Table::new(
+        format!("warm vs cold re-solves under churn (planted n={n})"),
+        &[
+            "epoch",
+            "cold_flows",
+            "warm_flows",
+            "cold_ms",
+            "warm_ms",
+            "arena_hits",
+            "core_hits",
+            "seed_rho",
+        ],
+    );
+    let mut ctx = SolveContext::new();
+    for epoch in 0..5usize {
+        let mut k = 0usize;
+        let g = base.graph.filter_edges(|_, _| {
+            k += 1;
+            !(k + epoch).is_multiple_of(97) // drop a rotating ~1% slice
+        });
+        let (cold, d_cold) = time(|| DcExact::new().solve(&g));
+        let (warm, d_warm) = time(|| DcExact::new().solve_with(&mut ctx, &g));
+        assert_eq!(
+            cold.solution.density, warm.solution.density,
+            "warm context changed the optimum at epoch {epoch}"
+        );
+        t.row(vec![
+            epoch.to_string(),
+            cold.flow_decisions.to_string(),
+            warm.flow_decisions.to_string(),
+            format!("{:.1}", d_cold.as_secs_f64() * 1e3),
+            format!("{:.1}", d_warm.as_secs_f64() * 1e3),
+            warm.arena_reuse_hits.to_string(),
+            warm.core_cache_hits.to_string(),
+            warm.context_seed_density
+                .map_or("-".into(), |d| format!("{d:.3}")),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e13_warm_context");
 }
 
 #[cfg(test)]

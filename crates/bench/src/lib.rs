@@ -2,9 +2,11 @@
 //!
 //! The binary (`cargo run -p dds-bench --release -- <experiment|all>`)
 //! regenerates the paper-style tables and figure series (experiments
-//! E1–E11 in `DESIGN.md §4`); the criterion benches under `benches/` cover
-//! the per-kernel microbenchmarks. Results print as aligned tables and are
-//! also written as CSV under `bench_results/`.
+//! E1–E13 in `DESIGN.md §4`; E13 covers the `SolveContext` pipeline); the
+//! criterion benches under `benches/` cover the per-kernel
+//! microbenchmarks, and `dds-bench smoke` runs the CI decision-count
+//! budget check. Results print as aligned tables and are also written as
+//! CSV under `bench_results/`.
 
 #![warn(missing_docs)]
 
@@ -17,4 +19,4 @@ pub use report::{fmt_duration, time, Table};
 pub use stream_workloads::{
     churn, planted_emerge, sliding_window, stream_registry, StreamScenario,
 };
-pub use workloads::{exact_ladder, registry, Scale, Workload};
+pub use workloads::{exact_ladder, planted_block, registry, Scale, Workload};

@@ -12,7 +12,8 @@
 use dds_bench::{experiments, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e12)... [--quick]
+  dds-bench (all | e1..e13)... [--quick]
+  dds-bench smoke
   dds-bench stream-gen (churn|window|emerge) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--seed S]";
 
@@ -24,6 +25,10 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("smoke") {
+        smoke_exact();
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -98,4 +103,43 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
 fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("invalid value {raw:?} for {flag}"))
+}
+
+/// CI smoke: the n = 500 planted-block exact solve, with a hard budget on
+/// flow decisions so pruning regressions fail the build instead of
+/// silently eating wall clock.
+///
+/// Budget calibration: the tie-pruned engine measures ~1 560 decisions on
+/// this instance (release, 2026-07); the legacy strict-margin engine needs
+/// ~4 300. The 2 500 budget therefore passes with ~60% headroom while any
+/// reversion of incumbent/tie pruning blows straight through it.
+fn smoke_exact() {
+    use dds_bench::workloads::planted_block;
+    use dds_core::DcExact;
+
+    const FLOW_DECISION_BUDGET: usize = 2_500;
+    let p = planted_block(500);
+    let t0 = std::time::Instant::now();
+    let report = DcExact::new().solve(&p.graph);
+    let elapsed = t0.elapsed();
+    let planted_rho = p.pair.density(&p.graph);
+    println!(
+        "smoke: n=500 planted block solved in {elapsed:?}: density {} (planted {}), {} ratios, {} flow decisions ({} arena hits, {} core hits)",
+        report.solution.density,
+        planted_rho,
+        report.ratios_solved,
+        report.flow_decisions,
+        report.arena_reuse_hits,
+        report.core_cache_hits,
+    );
+    assert!(
+        report.solution.density >= planted_rho,
+        "solver missed the planted block"
+    );
+    assert!(
+        report.flow_decisions <= FLOW_DECISION_BUDGET,
+        "flow-decision budget exceeded: {} > {FLOW_DECISION_BUDGET} — a pruning regression",
+        report.flow_decisions
+    );
+    println!("smoke: OK (budget {FLOW_DECISION_BUDGET})");
 }

@@ -109,6 +109,18 @@ pub fn registry(max_scale: Scale, quick: bool) -> Vec<Workload> {
     out
 }
 
+/// The canonical planted-block instance at vertex count `n` (edge budget
+/// `5n`, block side growing with the edge count — the same recipe as the
+/// `PD-*` registry tiers). Shared by experiment E13 and the CI exact smoke
+/// test, so the decision-count budget asserted in CI is measured on
+/// exactly the experiment's workload.
+#[must_use]
+pub fn planted_block(n: usize) -> gen::Planted {
+    let m = n * 5;
+    let side = 6 + (m as f64).log10() as usize * 2;
+    gen::planted(n, m, side, side + 2, 0.9, SEED)
+}
+
 /// The vertex-count ladder used by the exact-efficiency experiment (E2):
 /// power-law graphs of growing size; the quadratic baseline is only run on
 /// the first few rungs (mirroring the paper, where the flow baseline

@@ -56,7 +56,7 @@ impl From<std::io::Error> for CliError {
 
 const USAGE: &str = "usage:
   dds stats   <edge-list>
-  dds exact   <edge-list> [--baseline] [--no-core] [--no-gamma] [--no-warm] [--no-dc] [--verbose]
+  dds exact   <edge-list> [--baseline] [--no-core] [--no-gamma] [--no-tie] [--no-warm] [--no-dc] [--threads N] [--verbose]
   dds approx  <edge-list> [--algo core|grid|exhaustive] [--epsilon E] [--threads N]
   dds core    <edge-list> (--xy X,Y | --max-product | --skyline)
   dds peel    <edge-list> --ratio A/B
@@ -135,19 +135,30 @@ fn cmd_exact<'a>(
     let mut opts = ExactOptions::default();
     let mut baseline = false;
     let mut verbose = false;
-    for flag in it {
+    let mut threads = 1usize;
+    while let Some(flag) = it.next() {
         match flag {
             "--baseline" => baseline = true,
             "--no-core" => opts.core_pruning = false,
             "--no-gamma" => opts.gamma_pruning = false,
+            "--no-tie" => opts.tie_pruning = false,
             "--no-warm" => opts.warm_start = false,
             "--no-dc" => opts.divide_and_conquer = false,
+            "--threads" => {
+                threads = parse_flag_value("--threads", it.next())?;
+                if threads == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+            }
             "--verbose" => verbose = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
     let report = if baseline {
         FlowExact.solve(&g)
+    } else if threads > 1 {
+        let mut ctx = dds_core::SolveContext::new();
+        parallel::dc_exact_parallel_with(&mut ctx, &g, opts, threads)
     } else {
         DcExact::with_options(opts).solve(&g)
     };
@@ -160,6 +171,9 @@ fn cmd_exact<'a>(
         report.ratios_pruned_structural
     )?;
     writeln!(out, "pruned (gamma)       {}", report.ratios_pruned_gamma)?;
+    writeln!(out, "pruned (exact tie)   {}", report.ratios_pruned_tie)?;
+    writeln!(out, "arena reuse hits     {}", report.arena_reuse_hits)?;
+    writeln!(out, "core cache hits      {}", report.core_cache_hits)?;
     if let Some(w) = report.warm_start_density {
         writeln!(out, "warm start density   {w:.6}")?;
     }
@@ -543,6 +557,17 @@ fn cmd_stream<'a>(
             || (log_every > 0 && r.epoch % log_every as u64 == 0)
             || r.epoch == last_epoch;
         if logged {
+            let mode = if r.resolved {
+                match r.solve_stats {
+                    Some(s) => format!(
+                        "RESOLVE ({} ratios, {} flows, {} arena hits)",
+                        s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
+                    ),
+                    None => "RESOLVE".into(),
+                }
+            } else {
+                "incremental".into()
+            };
             writeln!(
                 out,
                 "{:>5} {:>6}   {:>8.4}   [{:>8.4}, {:>8.4}]   {:>6.3}  {}",
@@ -552,7 +577,7 @@ fn cmd_stream<'a>(
                 r.lower,
                 r.upper,
                 r.certified_factor,
-                if r.resolved { "RESOLVE" } else { "incremental" },
+                mode,
             )?;
         }
     }
@@ -577,6 +602,22 @@ fn cmd_stream<'a>(
         out,
         "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack})"
     )?;
+    let (flows, ratios, arena_hits) = reports.iter().filter_map(|r| r.solve_stats).fold(
+        (0usize, 0usize, 0usize),
+        |(f, ra, ah), s| {
+            (
+                f + s.flow_decisions,
+                ra + s.ratios_solved,
+                ah + s.arena_reuse_hits,
+            )
+        },
+    );
+    if ratios > 0 {
+        writeln!(
+            out,
+            "re-solve totals: {ratios} ratios, {flows} flow decisions, {arena_hits} arena reuse hits"
+        )?;
+    }
     if let Some(last) = reports.last() {
         writeln!(
             out,
@@ -648,10 +689,24 @@ mod tests {
         let path = temp_graph();
         let out = run_ok(&["exact", &path]);
         assert!(out.contains("6/√(2·3)"), "{out}");
+        assert!(out.contains("arena reuse hits"), "{out}");
         let base = run_ok(&["exact", &path, "--baseline"]);
         assert!(base.contains("6/√(2·3)"), "{base}");
-        let ablated = run_ok(&["exact", &path, "--no-core", "--no-gamma", "--verbose"]);
+        let ablated = run_ok(&[
+            "exact",
+            &path,
+            "--no-core",
+            "--no-gamma",
+            "--no-tie",
+            "--verbose",
+        ]);
         assert!(ablated.contains("network nodes"), "{ablated}");
+        let par = run_ok(&["exact", &path, "--threads", "2"]);
+        assert!(par.contains("6/√(2·3)"), "{par}");
+        assert!(matches!(
+            run_err(&["exact", &path, "--threads", "0"]),
+            CliError::Usage(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -782,6 +837,10 @@ mod tests {
         assert!(out.contains("epochs"), "{out}");
         assert!(out.contains("final density"), "{out}");
         assert!(out.contains("witness |S|"), "{out}");
+        assert!(
+            out.contains("re-solve totals:"),
+            "exact re-solves must report instrumentation: {out}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

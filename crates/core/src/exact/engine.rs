@@ -18,16 +18,36 @@
 //!      "`β*(c₀) ≤ u`" implies, for every pair of ratio `c'`,
 //!      `ρ ≤ (u/√(a₀b₀))·γ(c₀, c')` with
 //!      `γ(c, c') = (√(c'/c) + √(c/c'))/2`; an interval whose endpoints
-//!      stay below the best density is pruned (computed in `f64` with a
-//!      relative safety margin — pruning is *conservative*, never
-//!      correctness-bearing);
+//!      stay below the best density is pruned. The comparison runs in `f64`
+//!      with a relative safety margin; when it lands inside the margin —
+//!      the regime where a bound *ties* the incumbent — an **exact integer
+//!      comparison** decides it, so intervals that cannot *strictly* beat
+//!      the incumbent are discarded too (see [`ExactOptions::tie_pruning`];
+//!      without it, the tree spine adjacent to the optimum's own ratio ties
+//!      forever and `Θ(n)` hopeless ratios get solved);
 //!   3. **floors and cores** — each per-ratio search starts at the β-image
 //!      of the best density so far and runs its flows on
 //!      `[⌈β/2a⌉, ⌈β/2b⌉]`-cores (see `per_ratio`), so late ratios cost
 //!      little even when not pruned outright.
 //!
 //!   A warm start from [`core_approx`] seeds the best density at
-//!   `≥ ρ_opt/2` before any flow runs.
+//!   `≥ ρ_opt/2` before any flow runs; a reused [`SolveContext`] seeds it
+//!   at the previous solve's witness, which on a lightly mutated graph is
+//!   usually the optimum itself.
+//!
+//! # The work queue and the incumbent
+//!
+//! The traversal is organised as a queue of ratio intervals consumed by
+//! `threads` workers (one worker = the serial engine; the queue order then
+//! matches the classic breadth-first walk). All workers share:
+//!
+//! * the **incumbent** — best pair + exact density, under a mutex, with its
+//!   `f64` image additionally published through an atomic so the γ fast
+//!   path never locks;
+//! * the **certificate list** — one entry per solved ratio (RwLock);
+//! * per-worker [`FlowArena`]s and the context's memoised core table, so
+//!   flow networks and `[x, y]`-core peels are recycled rather than
+//!   rebuilt.
 //!
 //! Subtree pruning is lossless for enumeration: every reduced ratio
 //! strictly inside an interval is a Stern–Brocot descendant of the
@@ -39,12 +59,18 @@
 //! child intervals still cover everything else.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex, RwLock};
 
+use dds_flow::FlowArena;
 use dds_graph::DiGraph;
-use dds_num::{candidate_ratios, simplest_between, Frac, Ratio};
+use dds_num::{candidate_ratios, cmp_prod3, simplest_between, Density, Frac, Ratio};
+use dds_xycore::CoreCache;
 
 use crate::approx::core_approx;
-use crate::exact::per_ratio::solve_ratio;
+use crate::exact::context::SolveContext;
+use crate::exact::per_ratio::{solve_ratio, RatioResources};
+use crate::result::SolveStats;
 use crate::DdsSolution;
 
 /// Toggles for the exact engine (the ablation axes of experiment E4).
@@ -59,6 +85,12 @@ pub struct ExactOptions {
     pub gamma_pruning: bool,
     /// Seed the best density with `core_approx` before any flow.
     pub warm_start: bool,
+    /// Resolve γ comparisons that land inside the float safety margin with
+    /// an exact integer test, discarding intervals whose certified bound
+    /// merely *ties* the incumbent (a tie cannot strictly improve the
+    /// answer). Fixes the `Θ(n)` tie-spine around the optimum's own ratio
+    /// on planted-block-style graphs.
+    pub tie_pruning: bool,
 }
 
 impl Default for ExactOptions {
@@ -68,12 +100,13 @@ impl Default for ExactOptions {
             core_pruning: true,
             gamma_pruning: true,
             warm_start: true,
+            tie_pruning: true,
         }
     }
 }
 
 /// Full outcome of an exact run: the optimum plus instrumentation for the
-/// efficiency experiments (E2–E4).
+/// efficiency experiments (E2–E4, E13).
 #[derive(Clone, Debug)]
 pub struct ExactReport {
     /// The optimal pair and its exact density.
@@ -85,17 +118,29 @@ pub struct ExactReport {
     pub ratios_solved: usize,
     /// Intervals discarded by the structural density band.
     pub ratios_pruned_structural: usize,
-    /// Intervals discarded by γ transfer certificates.
+    /// Intervals discarded by γ transfer certificates (includes the exact
+    /// tie prunes counted separately in `ratios_pruned_tie`).
     pub ratios_pruned_gamma: usize,
+    /// Subset of the γ prunes that only the exact tie comparison could
+    /// discard (the `f64` fast path was inconclusive).
+    pub ratios_pruned_tie: usize,
     /// Total flow decisions executed.
     pub flow_decisions: usize,
-    /// Flow-network node counts, one per decision in execution order
-    /// (experiment E3 plots the shrinkage).
+    /// Flow decisions that recycled arena buffers instead of allocating.
+    pub arena_reuse_hits: usize,
+    /// `[x, y]`-core lookups served from the context memo table.
+    pub core_cache_hits: usize,
+    /// Flow-network node counts, one per decision (execution order is
+    /// deterministic for the serial engine, arbitrary across workers;
+    /// experiment E3 plots the shrinkage).
     pub network_nodes: Vec<usize>,
     /// Flow-network edge counts, aligned with `network_nodes`.
     pub network_edges: Vec<usize>,
     /// Density of the warm-start solution, when one was used.
     pub warm_start_density: Option<f64>,
+    /// Density of the context's revalidated previous witness, when the
+    /// solve ran on a warm [`SolveContext`].
+    pub context_seed_density: Option<f64>,
 }
 
 impl ExactReport {
@@ -106,19 +151,44 @@ impl ExactReport {
             ratios_solved: 0,
             ratios_pruned_structural: 0,
             ratios_pruned_gamma: 0,
+            ratios_pruned_tie: 0,
             flow_decisions: 0,
+            arena_reuse_hits: 0,
+            core_cache_hits: 0,
             network_nodes: Vec::new(),
             network_edges: Vec::new(),
             warm_start_density: None,
+            context_seed_density: None,
+        }
+    }
+
+    /// The per-solve instrumentation summary (what `dds-stream` forwards
+    /// into its epoch reports).
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        SolveStats {
+            ratios_solved: self.ratios_solved,
+            flow_decisions: self.flow_decisions,
+            arena_reuse_hits: self.arena_reuse_hits,
+            core_cache_hits: self.core_cache_hits,
         }
     }
 }
 
-/// A certificate `β*(c₀) ≤ u` re-expressed as a density bound
-/// `g₀ = u/√(a₀b₀)`, kept in `f64` with an upward safety margin.
+/// A certificate `β*(c₀) ≤ bound` for ratio `c₀ = a₀/b₀`: the exact
+/// rational bound for the tie test, plus pre-divided `f64` images for the
+/// lock-free fast path.
 #[derive(Clone, Copy, Debug)]
 struct Certificate {
+    a0: u64,
+    b0: u64,
+    /// Exact inclusive bound on `β*(c₀)` — equal to `β*(c₀)` itself when
+    /// the per-ratio search could pin it (`beta_star_exact`), which is what
+    /// makes exact ties detectable.
+    bound: Frac,
+    /// `c₀` as `f64`.
     c0: f64,
+    /// `bound/√(a₀b₀)`, inflated by the safety margin.
     g0: f64,
 }
 
@@ -134,15 +204,104 @@ fn gamma(c0: f64, c_prime: f64) -> f64 {
 /// γ values carry ~1e-15 relative error, so 1e-9 is vastly conservative.
 const PRUNE_MARGIN: f64 = 1e-9;
 
-fn gamma_prunes(certs: &[Certificate], cl: Ratio, cr: Ratio, best: f64) -> bool {
-    if best <= 0.0 {
+/// Width of the ambiguous band around the incumbent in which the `f64`
+/// comparison abstains and the exact integer tie test decides. Only a
+/// conservative trigger — the exact test alone is correctness-bearing.
+const TIE_BAND: f64 = 1e-6;
+
+/// What a γ-certificate sweep concluded about an interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PruneVerdict {
+    /// No certificate rules the interval out.
+    Keep,
+    /// The `f64` fast path pruned it (bound strictly below the incumbent).
+    Gamma,
+    /// Only the exact tie comparison could prune it (bound ties the
+    /// incumbent, or sits within float noise of it).
+    Tie,
+}
+
+/// Exact test that `cert`'s transfer bound at ratio `c'` cannot *strictly*
+/// exceed the incumbent density `B = E/√(s·t)`:
+///
+/// ```text
+/// U(c') = (u/√(a₀b₀)) · γ(a₀/b₀, c')
+///       = u·(p·b₀ + q·a₀) / (2·a₀·b₀·√(p·q))        for c' = p/q
+/// U ≤ B ⟺ un²·(p·b₀ + q·a₀)²·s·t ≤ (2·E·a₀·b₀·ud)²·p·q
+/// ```
+///
+/// with `u = un/ud`. Both sides are compared through 384-bit products
+/// ([`cmp_prod3`]); any `u128` overflow on the way falls back to "cannot
+/// prune", so the test is conservative.
+fn transfer_cannot_beat(cert: &Certificate, c: Ratio, best: Density) -> bool {
+    if c.is_zero() || c.is_infinite() || best.edges == 0 {
+        return false; // γ → ∞ at virtual endpoints; no incumbent to tie
+    }
+    if cert.bound.is_negative() {
+        return true;
+    }
+    let (p, q) = (u128::from(c.a()), u128::from(c.b()));
+    let (a0, b0) = (u128::from(cert.a0), u128::from(cert.b0));
+    let un = cert.bound.num().unsigned_abs();
+    let ud = cert.bound.den().unsigned_abs();
+    let Some(lhs) = p
+        .checked_mul(b0)
+        .and_then(|pb| q.checked_mul(a0).and_then(|qa| pb.checked_add(qa)))
+        .and_then(|sum| un.checked_mul(sum))
+    else {
         return false;
+    };
+    let Some(rhs) = 2u128
+        .checked_mul(u128::from(best.edges))
+        .and_then(|x| x.checked_mul(a0))
+        .and_then(|x| x.checked_mul(b0))
+        .and_then(|x| x.checked_mul(ud))
+    else {
+        return false;
+    };
+    let st = u128::from(best.s) * u128::from(best.t);
+    let pq = p * q;
+    cmp_prod3(lhs, lhs, st, rhs, rhs, pq) != std::cmp::Ordering::Greater
+}
+
+/// Sweeps the certificate list over interval `(cl, cr)`.
+///
+/// `best` is the worker's exact incumbent snapshot; `best_floor` is the
+/// freshest published `f64` lower bound (the atomic incumbent floor — in
+/// the parallel engine it may already exceed the snapshot).
+fn gamma_prunes(
+    certs: &[Certificate],
+    cl: Ratio,
+    cr: Ratio,
+    best: Density,
+    best_floor: f64,
+    tie_pruning: bool,
+) -> PruneVerdict {
+    let best_f = best_floor.max(best.to_f64());
+    if best_f <= 0.0 {
+        return PruneVerdict::Keep;
     }
     let (cl_f, cr_f) = (cl.to_f64(), cr.to_f64());
-    certs.iter().any(|cert| {
+    for cert in certs {
         let ub = cert.g0 * gamma(cert.c0, cl_f).max(gamma(cert.c0, cr_f));
-        ub * (1.0 + PRUNE_MARGIN) <= best * (1.0 - PRUNE_MARGIN)
-    })
+        if ub * (1.0 + PRUNE_MARGIN) <= best_f * (1.0 - PRUNE_MARGIN) {
+            return PruneVerdict::Gamma;
+        }
+        // Inside the float-noise band around the incumbent the fast path
+        // cannot distinguish "ties" (prunable — a tie can never *strictly*
+        // improve the answer) from "a hair above" (must solve). The exact
+        // integer comparison against the snapshot density decides; γ is
+        // quasi-convex in c', so checking both endpoints covers the whole
+        // interval.
+        if tie_pruning
+            && ub <= best_f * (1.0 + TIE_BAND)
+            && transfer_cannot_beat(cert, cl, best)
+            && transfer_cannot_beat(cert, cr, best)
+        {
+            return PruneVerdict::Tie;
+        }
+    }
+    PruneVerdict::Keep
 }
 
 /// The simplest ratio (componentwise-minimal) strictly inside `(cl, cr)`;
@@ -260,88 +419,354 @@ fn structurally_pruned(
     false
 }
 
-fn run_exact(g: &DiGraph, opts: ExactOptions) -> ExactReport {
+/// Queue of pending ratio intervals plus the in-flight count that decides
+/// termination (empty queue alone is not enough — a busy worker may still
+/// push children).
+struct QueueState {
+    deque: VecDeque<(Ratio, Ratio)>,
+    in_flight: usize,
+}
+
+/// Counters and per-decision traces accumulated across workers.
+#[derive(Default)]
+struct Metrics {
+    ratios_considered: usize,
+    ratios_solved: usize,
+    pruned_structural: usize,
+    pruned_gamma: usize,
+    pruned_tie: usize,
+    flow_decisions: usize,
+    network_nodes: Vec<usize>,
+    network_edges: Vec<usize>,
+}
+
+/// Everything the interval workers share; see the module docs.
+struct Search<'g> {
+    g: &'g DiGraph,
+    opts: ExactOptions,
+    n: u64,
+    d_out_max: u64,
+    d_in_max: u64,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    /// Exact incumbent: best pair + density (achieved, hence a sound prune
+    /// reference at all times).
+    incumbent: Mutex<DdsSolution>,
+    /// `f64` image of the incumbent density, published lock-free so the γ
+    /// fast path and sibling workers see improvements immediately.
+    floor_bits: AtomicU64,
+    certs: RwLock<Vec<Certificate>>,
+    metrics: Mutex<Metrics>,
+}
+
+impl<'g> Search<'g> {
+    fn new(g: &'g DiGraph, opts: ExactOptions, seed: DdsSolution) -> Self {
+        let mut deque = VecDeque::new();
+        deque.push_back((Ratio::ZERO, Ratio::INFINITY));
+        let floor = seed.density.to_f64();
+        Search {
+            g,
+            opts,
+            n: g.n() as u64,
+            d_out_max: g.max_out_degree() as u64,
+            d_in_max: g.max_in_degree() as u64,
+            queue: Mutex::new(QueueState {
+                deque,
+                in_flight: 0,
+            }),
+            ready: Condvar::new(),
+            incumbent: Mutex::new(seed),
+            floor_bits: AtomicU64::new(floor.to_bits()),
+            certs: RwLock::new(Vec::new()),
+            metrics: Mutex::new(Metrics::default()),
+        }
+    }
+
+    /// Pops the next interval, blocking while siblings may still produce
+    /// children; `None` once the queue is drained and no worker is busy.
+    fn next_interval(&self) -> Option<(Ratio, Ratio)> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(iv) = q.deque.pop_front() {
+                q.in_flight += 1;
+                return Some(iv);
+            }
+            if q.in_flight == 0 {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Lock-free read of the freshest published incumbent density.
+    fn floor(&self) -> f64 {
+        f64::from_bits(self.floor_bits.load(AtomicOrdering::Relaxed))
+    }
+
+    /// Merges a candidate into the incumbent and raises the atomic floor.
+    fn improve(&self, candidate: DdsSolution) {
+        let mut inc = self.incumbent.lock().expect("incumbent poisoned");
+        if inc.improve_to(candidate) {
+            let bits = inc.density.to_f64().to_bits();
+            // Monotone max: competing stores are all achieved densities, so
+            // keep the largest (non-negative f64 order == bit order).
+            self.floor_bits.fetch_max(bits, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Processes one interval: prune or solve, then return the children to
+    /// publish (`None` when the subtree is discarded).
+    fn process(
+        &self,
+        cl: Ratio,
+        cr: Ratio,
+        arena: &mut FlowArena,
+        cores: &Mutex<&mut CoreCache>,
+    ) -> Option<[(Ratio, Ratio); 2]> {
+        let best = self.incumbent.lock().expect("incumbent poisoned").clone();
+        let c = choose_test_ratio(cl, cr, &best, self.d_out_max, self.d_in_max, self.n)?;
+        {
+            self.metrics
+                .lock()
+                .expect("metrics poisoned")
+                .ratios_considered += 1;
+        }
+        if structurally_pruned(cl, cr, &best, self.d_out_max, self.d_in_max) {
+            self.metrics
+                .lock()
+                .expect("metrics poisoned")
+                .pruned_structural += 1;
+            return None;
+        }
+        if self.opts.gamma_pruning {
+            let verdict = {
+                let certs = self.certs.read().expect("certs poisoned");
+                gamma_prunes(
+                    &certs,
+                    cl,
+                    cr,
+                    best.density,
+                    self.floor(),
+                    self.opts.tie_pruning,
+                )
+            };
+            if verdict != PruneVerdict::Keep {
+                let mut m = self.metrics.lock().expect("metrics poisoned");
+                m.pruned_gamma += 1;
+                if verdict == PruneVerdict::Tie {
+                    m.pruned_tie += 1;
+                }
+                return None;
+            }
+        }
+
+        // Solve the test ratio. Tight certificates are only worth their
+        // extra flows when γ-pruning consumes them.
+        let tighten = self.opts.gamma_pruning;
+        let floor_beta = if best.density.is_zero() {
+            Frac::ZERO
+        } else {
+            best.density.beta_lower_bound(c.a(), c.b())
+        };
+        let seed_pair = (!best.pair.is_empty()).then(|| best.pair.clone());
+        let outcome = {
+            let mut core_of =
+                |x: u64, y: u64| cores.lock().expect("cores poisoned").core(self.g, x, y);
+            let mut res = RatioResources {
+                arena,
+                core_of: &mut core_of,
+            };
+            solve_ratio(
+                self.g,
+                c.a(),
+                c.b(),
+                floor_beta,
+                self.opts.core_pruning,
+                tighten,
+                seed_pair.as_ref(),
+                &mut res,
+            )
+        };
+        {
+            let mut m = self.metrics.lock().expect("metrics poisoned");
+            m.ratios_solved += 1;
+            m.flow_decisions += outcome.decisions.len();
+            for d in &outcome.decisions {
+                m.network_nodes.push(d.nodes);
+                m.network_edges.push(d.edges);
+            }
+        }
+        if let Some((pair, _)) = outcome.best {
+            self.improve(DdsSolution::from_pair(self.g, pair));
+        }
+        if tighten {
+            // Prefer the pinned β*(c) when the search proved it — that is
+            // what makes exact ties against the incumbent detectable.
+            let bound = outcome.beta_star_exact.unwrap_or(outcome.certified_upper);
+            let ab = (c.a() as f64) * (c.b() as f64);
+            self.certs
+                .write()
+                .expect("certs poisoned")
+                .push(Certificate {
+                    a0: c.a(),
+                    b0: c.b(),
+                    bound,
+                    c0: c.to_f64(),
+                    g0: (bound.to_f64() / ab.sqrt()) * (1.0 + PRUNE_MARGIN),
+                });
+        }
+        Some([(cl, c), (c, cr)])
+    }
+
+    /// A worker's whole life: drain the queue until global quiescence.
+    fn worker(&self, arena: &mut FlowArena, cores: &Mutex<&mut CoreCache>) {
+        while let Some((cl, cr)) = self.next_interval() {
+            let mut guard = IntervalGuard {
+                search: self,
+                children: None,
+            };
+            guard.children = self.process(cl, cr, arena, cores);
+            // `guard` drops here: children published, in_flight retired.
+        }
+    }
+}
+
+/// Retires one popped interval on drop — *including during a panic
+/// unwind*, so a crashing worker decrements `in_flight` and wakes its
+/// siblings instead of stranding them in the condvar wait forever. The
+/// siblings then drain and exit, `thread::scope` joins, and the original
+/// panic propagates normally.
+struct IntervalGuard<'a, 'g> {
+    search: &'a Search<'g>,
+    children: Option<[(Ratio, Ratio); 2]>,
+}
+
+impl Drop for IntervalGuard<'_, '_> {
+    fn drop(&mut self) {
+        // Take the queue even if poisoned: its state is plain data that the
+        // updates below keep consistent, and panicking inside a drop during
+        // an unwind would abort the whole process.
+        let mut q = self
+            .search
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(pair) = self.children.take() {
+            q.deque.extend(pair);
+        }
+        q.in_flight -= 1;
+        drop(q);
+        // Wake both idle workers (new children) and would-be terminators
+        // (in_flight may have hit zero).
+        self.search.ready.notify_all();
+    }
+}
+
+pub(crate) fn run_with_context(
+    g: &DiGraph,
+    opts: ExactOptions,
+    ctx: &mut SolveContext,
+    threads: usize,
+) -> ExactReport {
+    let workers = threads.max(1);
     let mut report = ExactReport::new();
-    let n = g.n() as u64;
-    let m = g.m() as u64;
-    if m == 0 {
+    if g.m() == 0 {
         return report;
     }
-    let d_out_max = g.max_out_degree() as u64;
-    let d_in_max = g.max_in_degree() as u64;
+    ctx.prepare(g, workers);
+    let arena_hits_before = ctx.arena_reuse_hits();
+    let core_hits_before = ctx.core_cache_hits();
 
+    // Seed the incumbent: previous witness (warm context), then the
+    // core_approx 2-approximation. Both are real pairs of `g`.
+    let mut seed = DdsSolution::empty();
+    if let Some(prev) = ctx.seed_solution(g) {
+        report.context_seed_density = Some(prev.density.to_f64());
+        seed.improve_to(prev);
+    }
     if opts.warm_start {
         let warm = core_approx(g);
         report.warm_start_density = Some(warm.solution.density.to_f64());
-        report.solution.improve_to(warm.solution);
+        seed.improve_to(warm.solution);
     }
 
-    // Tight certificates are only worth their extra flows when the
-    // divide-and-conquer driver consumes them for γ-pruning.
-    let tighten = opts.divide_and_conquer && opts.gamma_pruning;
-    let solve_one = |a: u64, b: u64, report: &mut ExactReport| -> Frac {
-        let floor = if report.solution.density.is_zero() {
-            Frac::ZERO
-        } else {
-            report.solution.density.beta_lower_bound(a, b)
-        };
-        let seed = if report.solution.pair.is_empty() {
-            None
-        } else {
-            Some(report.solution.pair.clone())
-        };
-        let outcome = solve_ratio(g, a, b, floor, opts.core_pruning, tighten, seed.as_ref());
-        report.ratios_solved += 1;
-        report.flow_decisions += outcome.decisions.len();
-        for d in &outcome.decisions {
-            report.network_nodes.push(d.nodes);
-            report.network_edges.push(d.edges);
-        }
-        if let Some((pair, _)) = outcome.best {
-            report.solution.improve_to(DdsSolution::from_pair(g, pair));
-        }
-        outcome.certified_upper
-    };
-
     if opts.divide_and_conquer {
-        let mut certs: Vec<Certificate> = Vec::new();
-        let mut queue: VecDeque<(Ratio, Ratio)> = VecDeque::new();
-        queue.push_back((Ratio::ZERO, Ratio::INFINITY));
-        while let Some((cl, cr)) = queue.pop_front() {
-            let Some(c) = choose_test_ratio(cl, cr, &report.solution, d_out_max, d_in_max, n)
-            else {
-                continue; // no achievable ratio remains inside (cl, cr)
-            };
-            report.ratios_considered += 1;
-            if structurally_pruned(cl, cr, &report.solution, d_out_max, d_in_max) {
-                report.ratios_pruned_structural += 1;
-                continue;
-            }
-            if opts.gamma_pruning && gamma_prunes(&certs, cl, cr, report.solution.density.to_f64())
-            {
-                report.ratios_pruned_gamma += 1;
-                continue;
-            }
-            let upper = solve_one(c.a(), c.b(), &mut report);
-            let ab = (c.a() as f64) * (c.b() as f64);
-            certs.push(Certificate {
-                c0: c.to_f64(),
-                g0: (upper.to_f64() / ab.sqrt()) * (1.0 + PRUNE_MARGIN),
+        let search = Search::new(g, opts, seed);
+        let SolveContext { arenas, cores, .. } = ctx;
+        let cores_mx = Mutex::new(cores);
+        if workers == 1 {
+            search.worker(&mut arenas[0], &cores_mx);
+        } else {
+            let search_ref = &search;
+            let cores_ref = &cores_mx;
+            std::thread::scope(|scope| {
+                for arena in arenas.iter_mut().take(workers) {
+                    scope.spawn(move || search_ref.worker(arena, cores_ref));
+                }
             });
-            queue.push_back((cl, c));
-            queue.push_back((c, cr));
         }
+        let metrics = search.metrics.into_inner().expect("metrics poisoned");
+        report.solution = search.incumbent.into_inner().expect("incumbent poisoned");
+        report.ratios_considered = metrics.ratios_considered;
+        report.ratios_solved = metrics.ratios_solved;
+        report.ratios_pruned_structural = metrics.pruned_structural;
+        report.ratios_pruned_gamma = metrics.pruned_gamma;
+        report.ratios_pruned_tie = metrics.pruned_tie;
+        report.flow_decisions = metrics.flow_decisions;
+        report.network_nodes = metrics.network_nodes;
+        report.network_edges = metrics.network_edges;
     } else {
         assert!(
             g.n() <= 4096,
             "the all-ratios baseline enumerates Θ(n²) ratios; n = {} is too large — enable divide_and_conquer",
             g.n()
         );
+        report.solution = seed;
+        let n = g.n() as u64;
+        let SolveContext { arenas, cores, .. } = ctx;
+        let arena = &mut arenas[0];
         for r in candidate_ratios(n) {
             report.ratios_considered += 1;
-            let _ = solve_one(r.a(), r.b(), &mut report);
+            let (a, b) = (r.a(), r.b());
+            let floor = if report.solution.density.is_zero() {
+                Frac::ZERO
+            } else {
+                report.solution.density.beta_lower_bound(a, b)
+            };
+            let seed_pair =
+                (!report.solution.pair.is_empty()).then(|| report.solution.pair.clone());
+            let outcome = {
+                let mut core_of = |x: u64, y: u64| cores.core(g, x, y);
+                let mut res = RatioResources {
+                    arena,
+                    core_of: &mut core_of,
+                };
+                solve_ratio(
+                    g,
+                    a,
+                    b,
+                    floor,
+                    opts.core_pruning,
+                    false,
+                    seed_pair.as_ref(),
+                    &mut res,
+                )
+            };
+            report.ratios_solved += 1;
+            report.flow_decisions += outcome.decisions.len();
+            for d in &outcome.decisions {
+                report.network_nodes.push(d.nodes);
+                report.network_edges.push(d.edges);
+            }
+            if let Some((pair, _)) = outcome.best {
+                report.solution.improve_to(DdsSolution::from_pair(g, pair));
+            }
         }
     }
+
+    report.arena_reuse_hits = ctx.arena_reuse_hits() - arena_hits_before;
+    report.core_cache_hits = ctx.core_cache_hits() - core_hits_before;
+    ctx.store_incumbent(&report.solution);
     report
 }
 
@@ -356,21 +781,25 @@ impl FlowExact {
     /// Solves exactly. See [`ExactReport`].
     #[must_use]
     pub fn solve(&self, g: &DiGraph) -> ExactReport {
-        run_exact(
+        run_with_context(
             g,
             ExactOptions {
                 divide_and_conquer: false,
                 core_pruning: false,
                 gamma_pruning: false,
                 warm_start: false,
+                tie_pruning: false,
             },
+            &mut SolveContext::new(),
+            1,
         )
     }
 }
 
 /// The paper's exact solver: divide-and-conquer over the ratio space with
-/// core-shrunk flow networks, γ certificates, and a `core_approx` warm
-/// start. All devices can be toggled via [`ExactOptions`] for ablation.
+/// core-shrunk flow networks, γ certificates (with exact tie pruning), and
+/// a `core_approx` warm start. All devices can be toggled via
+/// [`ExactOptions`] for ablation.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DcExact {
     /// Engine toggles (all enabled by [`Default`]).
@@ -390,10 +819,19 @@ impl DcExact {
         DcExact { options }
     }
 
-    /// Solves exactly. See [`ExactReport`].
+    /// Solves exactly with throwaway state. See [`ExactReport`].
     #[must_use]
     pub fn solve(&self, g: &DiGraph) -> ExactReport {
-        run_exact(g, self.options)
+        self.solve_with(&mut SolveContext::new(), g)
+    }
+
+    /// Solves exactly on a reusable [`SolveContext`]: flow arenas and
+    /// memoised cores are recycled, and the previous solve's witness seeds
+    /// the incumbent (after revalidation on `g`). Results are identical to
+    /// [`solve`](DcExact::solve) — only the work profile changes.
+    #[must_use]
+    pub fn solve_with(&self, ctx: &mut SolveContext, g: &DiGraph) -> ExactReport {
+        run_with_context(g, self.options, ctx, 1)
     }
 }
 
@@ -410,12 +848,15 @@ mod tests {
             for core in [false, true] {
                 for gamma in [false, true] {
                     for warm in [false, true] {
-                        out.push(ExactOptions {
-                            divide_and_conquer: dc,
-                            core_pruning: core,
-                            gamma_pruning: gamma,
-                            warm_start: warm,
-                        });
+                        for tie in [false, true] {
+                            out.push(ExactOptions {
+                                divide_and_conquer: dc,
+                                core_pruning: core,
+                                gamma_pruning: gamma,
+                                warm_start: warm,
+                                tie_pruning: tie,
+                            });
+                        }
                     }
                 }
             }
@@ -481,6 +922,31 @@ mod tests {
             &p.graph,
             &got.solution.pair
         ));
+    }
+
+    #[test]
+    fn tie_pruning_collapses_the_spine_on_planted_blocks() {
+        // The regression named in ROADMAP.md: certificates from ratios whose
+        // β* maximiser is the planted block transfer to a bound that *ties*
+        // the incumbent exactly at the block's own ratio, so without the
+        // exact tie test the Stern–Brocot spine next to the optimum is
+        // re-solved rung by rung (~2n hopeless ratio solves).
+        let p = gen::planted(60, 90, 4, 6, 1.0, 11);
+        let with = DcExact::new().solve(&p.graph);
+        let without = DcExact::with_options(ExactOptions {
+            tie_pruning: false,
+            ..ExactOptions::default()
+        })
+        .solve(&p.graph);
+        assert_eq!(with.solution.density, without.solution.density);
+        assert!(with.ratios_pruned_tie > 0, "exact tie prunes must fire");
+        assert!(
+            with.ratios_solved * 2 <= without.ratios_solved,
+            "tie pruning should at least halve the solved ratios: {} vs {}",
+            with.ratios_solved,
+            without.ratios_solved
+        );
+        assert!(with.flow_decisions < without.flow_decisions);
     }
 
     #[test]
@@ -574,6 +1040,45 @@ mod tests {
             2.0 * warm >= r.solution.density.to_f64() - 1e-9,
             "2-approx warm start"
         );
+    }
+
+    #[test]
+    fn arena_reuse_is_counted() {
+        let g = gen::power_law(40, 220, 2.3, 8);
+        let r = DcExact::new().solve(&g);
+        // Every decision that actually built a network recycled the single
+        // arena except the very first; decisions that certified on an empty
+        // alive-mask never touch it, so the bound is strict but close.
+        assert!(
+            r.arena_reuse_hits > 0,
+            "a multi-decision solve must recycle buffers"
+        );
+        assert!(r.arena_reuse_hits < r.flow_decisions);
+        assert_eq!(r.stats().flow_decisions, r.flow_decisions);
+        assert_eq!(r.stats().arena_reuse_hits, r.arena_reuse_hits);
+    }
+
+    #[test]
+    fn warm_context_reuses_state_and_matches_cold_solves() {
+        let g = gen::power_law(40, 220, 2.3, 8);
+        let mut ctx = SolveContext::new();
+        let first = DcExact::new().solve_with(&mut ctx, &g);
+        let second = DcExact::new().solve_with(&mut ctx, &g);
+        let cold = DcExact::new().solve(&g);
+        assert_eq!(first.solution.density, cold.solution.density);
+        assert_eq!(second.solution.density, cold.solution.density);
+        assert_eq!(
+            second.context_seed_density,
+            Some(first.solution.density.to_f64()),
+            "second solve must seed from the first solve's witness"
+        );
+        assert!(
+            second.flow_decisions <= first.flow_decisions,
+            "warm start cannot cost more flows: {} vs {}",
+            second.flow_decisions,
+            first.flow_decisions
+        );
+        assert_eq!(ctx.solves(), 2);
     }
 
     #[test]

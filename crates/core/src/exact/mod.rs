@@ -1,7 +1,11 @@
 //! Exact DDS solvers: the `O(n²)`-ratio flow baseline and the paper's
-//! divide-and-conquer search.
+//! divide-and-conquer search, both running on a reusable [`SolveContext`].
 
+mod context;
 mod engine;
 mod per_ratio;
 
+pub use context::SolveContext;
 pub use engine::{DcExact, ExactOptions, ExactReport, FlowExact};
+
+pub(crate) use engine::run_with_context;

@@ -29,10 +29,20 @@
 //! the objective), so restricting to the core preserves the decision and
 //! every extractable optimum while shrinking the network.
 
-use dds_flow::{beta_of_pair, decide, Decision, DecisionStats};
+use dds_flow::{beta_of_pair, decide_in, Decision, DecisionStats, FlowArena};
 use dds_graph::{DiGraph, Pair, StMask};
 use dds_num::{simplest_between, Frac};
-use dds_xycore::xy_core_within;
+
+/// The reusable machinery a ratio search borrows from its caller: the
+/// worker's flow arena and a core provider (typically the `SolveContext`
+/// memo table, possibly behind a mutex in the parallel search).
+pub(crate) struct RatioResources<'a> {
+    /// Recyclable flow-network buffers (one per worker thread).
+    pub arena: &'a mut FlowArena,
+    /// Returns the full-graph `[x, y]`-core for the guess-derived
+    /// thresholds.
+    pub core_of: &'a mut dyn FnMut(u64, u64) -> StMask,
+}
 
 /// Result of one per-ratio search.
 #[derive(Clone, Debug)]
@@ -42,8 +52,16 @@ pub(crate) struct RatioOutcome {
     pub best: Option<(Pair, Frac)>,
     /// Certified inclusive upper bound on `β*(c)` over **all** pairs; used
     /// by the divide-and-conquer driver to prune neighbouring ratio
-    /// intervals via the γ transfer bound.
+    /// intervals via the γ transfer bound. In certify mode this is `β*(c)`
+    /// itself whenever the search can prove it (see `beta_star_exact`),
+    /// which is what lets the driver discard intervals that merely *tie*
+    /// the incumbent.
     pub certified_upper: Frac,
+    /// `Some(β*(c))` when the search proved the exact optimum: either the
+    /// bracket closed (`l == u`), or certify mode ended with an achieved
+    /// lower bound `l`, a strictly-certified upper bound, and a
+    /// candidate-free open interval between them — which pins `β* = l`.
+    pub beta_star_exact: Option<Frac>,
     /// Instrumentation for every flow decision run.
     pub decisions: Vec<DecisionStats>,
 }
@@ -74,6 +92,7 @@ fn ceil_div(beta: Frac, k: u64) -> u64 {
 ///   `certified_upper` within one candidate gap of `β*(c)`. That tight
 ///   bound is what lets the divide-and-conquer driver discard whole ratio
 ///   intervals.
+#[allow(clippy::too_many_arguments)] // search knobs + borrowed resources
 pub(crate) fn solve_ratio(
     g: &DiGraph,
     a: u64,
@@ -82,6 +101,7 @@ pub(crate) fn solve_ratio(
     core_pruning: bool,
     tighten: bool,
     seed_pair: Option<&Pair>,
+    res: &mut RatioResources<'_>,
 ) -> RatioOutcome {
     let n = g.n() as u64;
     let m = g.m() as u64;
@@ -121,8 +141,17 @@ pub(crate) fn solve_ratio(
     let mut decisions = Vec::new();
     let full = StMask::full(g.n());
     // Consecutive guesses usually round to the same integer thresholds, so
-    // cache the last core instead of re-peeling the whole graph per flow.
+    // keep the last core locally; threshold changes go through the caller's
+    // provider (the `SolveContext` memo, shared across ratios and solves).
     let mut core_cache: Option<((u64, u64), StMask)> = None;
+    // True once a `Certified { boundary: None }` decision set `u`: the final
+    // upper bound is then *strictly* above β*, which (combined with an
+    // achieved `l` and a candidate-free gap) pins β* = l exactly.
+    let mut u_certified_strict = false;
+    // Whether `l` is a sound lower bound on β*: certify mode starts at 0 or
+    // an achieved pair value; floor-fast mode starts at the (possibly
+    // unachievable) floor and becomes sound only once a pair sets it.
+    let mut l_achieved = tighten;
 
     let mut iterations = 0usize;
     while l < u {
@@ -167,19 +196,20 @@ pub(crate) fn solve_ratio(
             let y = ceil_div(guess, 2 * b);
             let stale = !matches!(&core_cache, Some((key, _)) if *key == (x, y));
             if stale {
-                core_cache = Some(((x, y), xy_core_within(g, &full, x, y)));
+                core_cache = Some(((x, y), (res.core_of)(x, y)));
             }
             &core_cache.as_ref().expect("cache populated above").1
         } else {
             &full
         };
-        let (decision, stats) = decide(g, alive, a, b, guess);
+        let (decision, stats) = decide_in(res.arena, g, alive, a, b, guess);
         decisions.push(stats);
         match decision {
             Decision::Exceeds(pair) => {
                 let beta = beta_of_pair(g, &pair, a, b);
                 debug_assert!(beta > guess, "found pair must beat the guess");
                 l = beta;
+                l_achieved = true;
                 if beta > floor {
                     best = Some((pair, beta));
                 }
@@ -191,14 +221,29 @@ pub(crate) fn solve_ratio(
                         best = Some((pair, guess));
                     }
                     l = guess; // optimum reached exactly: l == u ends the loop
+                    l_achieved = true;
+                } else {
+                    u_certified_strict = true; // β* < guess = new u
                 }
                 u = guess;
             }
         }
     }
+    // Pin β*(c) exactly when the bracket allows it. Soundness:
+    // * `l == u` — an achieved value meets a certified bound; β* = l.
+    // * certify mode, loop broke with `l < u` — then (l, u) holds no
+    //   candidate β-value, `l ≤ β* ≤ u` (certify-mode `l` is always 0 or an
+    //   achieved pair value), and β* is itself a candidate, so β* ∈ {l, u};
+    //   a strict final certification rules out `u`, leaving β* = l.
+    let beta_star_exact = if l_achieved && (l == u || u_certified_strict) {
+        Some(l)
+    } else {
+        None
+    };
     RatioOutcome {
         best,
-        certified_upper: u,
+        certified_upper: beta_star_exact.unwrap_or(u),
+        beta_star_exact,
         decisions,
     }
 }
@@ -208,6 +253,35 @@ mod tests {
     use super::*;
     use dds_graph::gen;
     use dds_num::candidate_ratios;
+    use dds_xycore::xy_core_within;
+
+    /// Test convenience: run a ratio search with throwaway resources.
+    fn run(
+        g: &DiGraph,
+        a: u64,
+        b: u64,
+        floor_beta: Frac,
+        core_pruning: bool,
+        tighten: bool,
+        seed_pair: Option<&Pair>,
+    ) -> RatioOutcome {
+        let mut arena = FlowArena::new();
+        let mut core_of = |x: u64, y: u64| xy_core_within(g, &StMask::full(g.n()), x, y);
+        let mut res = RatioResources {
+            arena: &mut arena,
+            core_of: &mut core_of,
+        };
+        solve_ratio(
+            g,
+            a,
+            b,
+            floor_beta,
+            core_pruning,
+            tighten,
+            seed_pair,
+            &mut res,
+        )
+    }
 
     /// Brute-force β*(c) over all non-empty pairs.
     fn brute_beta_star(g: &DiGraph, a: u64, b: u64) -> Frac {
@@ -231,7 +305,7 @@ mod tests {
             let (a, b) = (r.a(), r.b());
             let want = brute_beta_star(g, a, b);
             for tighten in [false, true] {
-                let out = solve_ratio(g, a, b, Frac::ZERO, core_pruning, tighten, None);
+                let out = run(g, a, b, Frac::ZERO, core_pruning, tighten, None);
                 let got = out.best.as_ref().map_or(Frac::ZERO, |(_, beta)| *beta);
                 assert_eq!(
                     got, want,
@@ -271,11 +345,11 @@ mod tests {
     fn floor_prunes_hopeless_ratios() {
         let g = gen::complete_bipartite(2, 3);
         // β*(1/1) = 12/5; a floor above it must return None quickly.
-        let out = solve_ratio(&g, 1, 1, Frac::new(5, 2), false, false, None);
+        let out = run(&g, 1, 1, Frac::new(5, 2), false, false, None);
         assert!(out.best.is_none());
         assert!(out.certified_upper >= Frac::new(12, 5));
         // A floor just below it must still find the optimum.
-        let out = solve_ratio(
+        let out = run(
             &g,
             1,
             1,
@@ -288,7 +362,7 @@ mod tests {
         // Certify mode with a hopeless floor still produces a *tight*
         // certificate: β*(1/1) = 12/5, so the bound must sit within one
         // candidate gap of it, far below the floor.
-        let out = solve_ratio(&g, 1, 1, Frac::new(5, 2), false, true, None);
+        let out = run(&g, 1, 1, Frac::new(5, 2), false, true, None);
         assert!(out.best.is_none(), "floor filter still applies");
         assert!(out.certified_upper >= Frac::new(12, 5));
         assert!(
@@ -304,8 +378,8 @@ mod tests {
         let p = gen::planted(40, 60, 4, 4, 1.0, 3);
         let g = &p.graph;
         let floor = p.pair.density(g).beta_lower_bound(1, 1);
-        let pruned = solve_ratio(g, 1, 1, floor, true, false, None);
-        let unpruned = solve_ratio(g, 1, 1, floor, false, false, None);
+        let pruned = run(g, 1, 1, floor, true, false, None);
+        let unpruned = run(g, 1, 1, floor, false, false, None);
         let max_alive_pruned = pruned
             .decisions
             .iter()
@@ -332,7 +406,7 @@ mod tests {
     #[test]
     fn edgeless_graph_terminates_immediately() {
         let g = DiGraph::empty(4);
-        let out = solve_ratio(&g, 1, 1, Frac::ZERO, true, true, None);
+        let out = run(&g, 1, 1, Frac::ZERO, true, true, None);
         assert!(out.best.is_none());
         assert!(out.decisions.is_empty());
     }

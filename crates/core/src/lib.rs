@@ -21,6 +21,25 @@
 //! | [`ExhaustivePeel`] | approximation baseline | `ρ ≥ ρ_opt / 2` | `Θ(n²)` peels |
 //! | [`validate::brute_force_dds`] | ground truth | optimal | exponential (tiny `n`) |
 //!
+//! # The `SolveContext` pipeline
+//!
+//! The exact engine runs on a long-lived [`SolveContext`]
+//! ([`DcExact::solve_with`]): per-worker flow arenas (Dinic buffers reset
+//! between decisions, never reallocated), a memoised `[x, y]`-core table
+//! keyed by the β-floor thresholds, and the incumbent witness threaded
+//! from solve to solve. The ratio traversal is a work queue of
+//! Stern–Brocot intervals consumed by one or more workers
+//! ([`parallel::dc_exact_parallel`]); workers share the incumbent through
+//! an **atomic density floor** (lock-free reads on the γ fast path, a
+//! mutex only for the exact pair) and discard intervals whose certified
+//! bound cannot *strictly* beat it — exact ties are resolved by a 384-bit
+//! integer comparison rather than re-solved ([`ExactOptions::tie_pruning`]).
+//! The context compares each solve's graph with the previous one and invalidates the
+//! memoised cores when it changed, which is exactly what `dds-stream`'s
+//! warm-started lazy re-solves rely on: the witness seed survives graph
+//! mutation (revalidated), the core memo does not. Per-solve reuse shows
+//! up in [`ExactReport::stats`] / [`SolveStats`].
+//!
 //! # The mathematics, in brief
 //!
 //! Proof sketches live on the items that use them; the load-bearing facts:
@@ -70,8 +89,8 @@ mod topk;
 pub mod validate;
 
 pub use approx::{core_approx, CoreApproxResult, ExhaustivePeel, GridPeel, PeelResult};
-pub use exact::{DcExact, ExactOptions, ExactReport, FlowExact};
+pub use exact::{DcExact, ExactOptions, ExactReport, FlowExact, SolveContext};
 pub use peel::{peel_at_f64_ratio, peel_at_rational_ratio};
 pub use refine::refine_to_component;
-pub use result::DdsSolution;
+pub use result::{DdsSolution, SolveStats};
 pub use topk::{top_k_dense_pairs, TopKSolver};

@@ -1,9 +1,16 @@
-//! Parallel variants of the embarrassingly parallel solvers.
+//! Parallel variants of the solvers.
 //!
 //! The paper notes that both the peeling sweeps and the core computations
 //! parallelise naturally; this module provides scoped-thread
 //! implementations (no extra dependencies) of:
 //!
+//! * [`dc_exact_parallel`] — the exact divide-and-conquer search with its
+//!   ratio-interval work queue consumed by `threads` workers. Workers share
+//!   the incumbent through the engine's atomic floor (plus a mutex for the
+//!   exact pair), share γ certificates, share the context's memoised core
+//!   table, and each own a private flow arena. The returned density is
+//!   identical to the serial engine's (tested); the instrumentation traces
+//!   differ only in order;
 //! * [`grid_peel_parallel`] — grid points are independent peels; static
 //!   chunking over `threads` workers;
 //! * [`core_approx_parallel`] — the two `√m` sweeps of the max-product
@@ -11,8 +18,8 @@
 //!   own nested base from the full graph, trading a little redundant
 //!   peeling for independence).
 //!
-//! Both return results identical to their sequential counterparts (tested),
-//! so callers choose purely on wall-clock grounds (experiment E11).
+//! All return results identical to their sequential counterparts (tested),
+//! so callers choose purely on wall-clock grounds (experiments E11, E13).
 
 use std::thread;
 
@@ -21,8 +28,41 @@ use dds_num::isqrt;
 use dds_xycore::{xy_core_within, y_max_core};
 
 use crate::approx::{CoreApproxResult, PeelResult};
+use crate::exact::run_with_context;
 use crate::peel::peel_at_f64_ratio;
-use crate::{DdsSolution, GridPeel};
+use crate::{DdsSolution, ExactOptions, ExactReport, GridPeel, SolveContext};
+
+/// Parallel [`DcExact`](crate::DcExact) with throwaway state: the ratio
+/// work queue is consumed by `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn dc_exact_parallel(g: &DiGraph, threads: usize) -> ExactReport {
+    dc_exact_parallel_with(
+        &mut SolveContext::new(),
+        g,
+        ExactOptions::default(),
+        threads,
+    )
+}
+
+/// Parallel exact solve on a reusable [`SolveContext`] with explicit
+/// options — the full-control entry point (the stream engine and the
+/// benchmarks use it).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn dc_exact_parallel_with(
+    ctx: &mut SolveContext,
+    g: &DiGraph,
+    options: ExactOptions,
+    threads: usize,
+) -> ExactReport {
+    assert!(threads > 0, "need at least one worker");
+    run_with_context(g, options, ctx, threads)
+}
 
 /// Parallel [`GridPeel`]: identical output, grid points spread over
 /// `threads` workers.
@@ -185,8 +225,47 @@ pub fn core_approx_parallel(g: &DiGraph, threads: usize) -> CoreApproxResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{core_approx, GridPeel};
+    use crate::{core_approx, DcExact, GridPeel};
     use dds_graph::gen;
+
+    #[test]
+    fn parallel_exact_matches_serial_on_varied_graphs() {
+        let graphs = [
+            gen::gnm(24, 100, 3),
+            gen::power_law(40, 220, 2.2, 7),
+            gen::planted(40, 80, 4, 5, 1.0, 2).graph,
+        ];
+        for (i, g) in graphs.iter().enumerate() {
+            let serial = DcExact::new().solve(g);
+            for threads in [1, 2, 4] {
+                let par = dc_exact_parallel(g, threads);
+                assert_eq!(
+                    par.solution.density, serial.solution.density,
+                    "graph #{i} threads={threads}"
+                );
+                assert_eq!(par.solution.pair.density(g), par.solution.density);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exact_on_a_warm_context_stays_correct() {
+        let g1 = gen::gnm(20, 80, 5);
+        let g2 = gen::power_law(30, 150, 2.3, 5);
+        let mut ctx = SolveContext::new();
+        for g in [&g1, &g2, &g1] {
+            let par = dc_exact_parallel_with(&mut ctx, g, ExactOptions::default(), 3);
+            let fresh = DcExact::new().solve(g);
+            assert_eq!(par.solution.density, fresh.solution.density);
+        }
+        assert_eq!(ctx.solves(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallel_exact_rejects_zero_threads() {
+        let _ = dc_exact_parallel(&gen::path(3), 0);
+    }
 
     #[test]
     fn parallel_grid_peel_matches_sequential() {

@@ -1,7 +1,27 @@
-//! The common answer type returned by every solver.
+//! The common answer type returned by every solver, plus the per-solve
+//! instrumentation summary shared by the exact engine and the stream
+//! engine's epoch reports.
 
 use dds_graph::{DiGraph, Pair};
 use dds_num::Density;
+
+/// Per-solve instrumentation counters, surfaced by `ExactReport::stats`
+/// and `dds-stream`'s `EpochReport::solve_stats` so perf regressions show
+/// up in `dds bench` / `dds stream` logs (and CI) instead of silently
+/// eating wall clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Ratios for which a per-ratio flow search actually ran.
+    pub ratios_solved: usize,
+    /// Flow decisions (min-cut computations) executed.
+    pub flow_decisions: usize,
+    /// Flow decisions that recycled a `FlowArena`'s buffers instead of
+    /// allocating a fresh network.
+    pub arena_reuse_hits: usize,
+    /// `[x, y]`-core lookups answered from the `SolveContext` memo table
+    /// instead of re-peeling the graph.
+    pub core_cache_hits: usize,
+}
 
 /// A candidate or final answer to the DDS problem: the pair and its exact
 /// density.

@@ -1,0 +1,86 @@
+//! A reusable allocation arena for [`FlowNetwork`]s.
+//!
+//! The exact DDS search runs thousands of flow decisions per solve, each on
+//! a network whose node and edge buffers were previously thrown away and
+//! reallocated. [`FlowArena`] keeps one network alive and hands it out
+//! reset-but-not-deallocated ([`FlowNetwork::reset_for`]), so the steady
+//! state of a ratio search performs no heap allocation in the flow layer at
+//! all. The arena also counts how often reuse actually happened — the
+//! `arena_reuse_hits` instrumentation that `dds-core` and `dds-stream`
+//! surface in their reports.
+//!
+//! One arena serves one worker: the parallel ratio search gives each of its
+//! threads its own arena (the buffers are the whole point — sharing them
+//! would serialise the workers).
+
+use crate::FlowNetwork;
+
+/// Owns a recyclable [`FlowNetwork`] plus reuse counters.
+#[derive(Clone, Debug, Default)]
+pub struct FlowArena {
+    net: Option<FlowNetwork>,
+    acquires: usize,
+    reuse_hits: usize,
+}
+
+impl FlowArena {
+    /// An empty arena; the first [`acquire`](FlowArena::acquire) allocates.
+    #[must_use]
+    pub fn new() -> Self {
+        FlowArena::default()
+    }
+
+    /// Returns the arena's network, emptied and sized for `n` nodes.
+    ///
+    /// The first call allocates; every later call recycles the existing
+    /// buffers and counts as a reuse hit.
+    pub fn acquire(&mut self, n: usize) -> &mut FlowNetwork {
+        self.acquires += 1;
+        match &mut self.net {
+            Some(net) => {
+                self.reuse_hits += 1;
+                net.reset_for(n);
+            }
+            None => self.net = Some(FlowNetwork::new(n)),
+        }
+        self.net.as_mut().expect("populated above")
+    }
+
+    /// Total number of `acquire` calls.
+    #[must_use]
+    pub fn acquires(&self) -> usize {
+        self.acquires
+    }
+
+    /// Number of `acquire` calls that recycled existing buffers (all but
+    /// the first).
+    #[must_use]
+    pub fn reuse_hits(&self) -> usize {
+        self.reuse_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_counts_and_reuses() {
+        let mut arena = FlowArena::new();
+        assert_eq!((arena.acquires(), arena.reuse_hits()), (0, 0));
+
+        let net = arena.acquire(4);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 3, 5);
+        assert_eq!(net.max_flow(0, 3), 5);
+        assert_eq!((arena.acquires(), arena.reuse_hits()), (1, 0));
+
+        // Second acquire reuses: network comes back empty, counters move.
+        let net = arena.acquire(3);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 0);
+        net.add_edge(0, 2, 7);
+        assert_eq!(net.max_flow(0, 2), 7);
+        assert_eq!((arena.acquires(), arena.reuse_hits()), (2, 1));
+    }
+}

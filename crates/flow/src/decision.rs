@@ -32,7 +32,7 @@
 use dds_graph::{DiGraph, Pair, StMask, VertexId};
 use dds_num::Frac;
 
-use crate::FlowNetwork;
+use crate::FlowArena;
 
 /// Outcome of one guess of the per-ratio search.
 #[derive(Clone, Debug)]
@@ -72,6 +72,24 @@ pub struct DecisionStats {
 /// Panics if `a == 0`, `b == 0`, `β ≤ 0`, or a capacity product overflows
 /// `u128` (far beyond any graph this workspace targets).
 pub fn decide(
+    g: &DiGraph,
+    alive: &StMask,
+    a: u64,
+    b: u64,
+    beta: Frac,
+) -> (Decision, DecisionStats) {
+    decide_in(&mut FlowArena::new(), g, alive, a, b, beta)
+}
+
+/// [`decide`] with the flow network drawn from a caller-owned [`FlowArena`]:
+/// identical answers, but the node/edge buffers are recycled between calls
+/// instead of reallocated. This is the entry point the `SolveContext`-based
+/// exact search uses; `decide` itself is the one-shot convenience wrapper.
+///
+/// # Panics
+/// Same conditions as [`decide`].
+pub fn decide_in(
+    arena: &mut FlowArena,
     g: &DiGraph,
     alive: &StMask,
     a: u64,
@@ -141,7 +159,7 @@ pub fn decide(
     let nt = t_vertices.len();
     let s_node = |i: usize| 2 + i;
     let t_node = |j: usize| 2 + ns + j;
-    let mut net = FlowNetwork::new(2 + ns + nt);
+    let net = arena.acquire(2 + ns + nt);
     for (i, (&u, &d)) in s_vertices.iter().zip(&s_alive_deg).enumerate() {
         net.add_edge(
             0,
@@ -385,6 +403,41 @@ mod tests {
         let pair = Pair::new(vec![0, 1], vec![2, 3, 4]);
         assert_eq!(beta_of_pair(&g, &pair, 1, 1), Frac::new(12, 5));
         assert_eq!(beta_of_pair(&g, &pair, 2, 3), Frac::new(72, 12));
+    }
+
+    #[test]
+    fn arena_reuse_matches_one_shot_decisions() {
+        // Replay a sequence of decisions through one arena and compare each
+        // outcome with a fresh-allocation decide.
+        let g = gen::gnm(9, 24, 5);
+        let alive = StMask::full(g.n());
+        let mut arena = FlowArena::new();
+        let guesses = [
+            (1u64, 1u64, Frac::new(1, 2)),
+            (1, 1, Frac::new(5, 2)),
+            (2, 3, Frac::new(7, 3)),
+            (3, 1, Frac::new(1, 4)),
+            (1, 1, Frac::new(5, 2)), // repeat: recycled buffers, same answer
+        ];
+        for (i, &(a, b, beta)) in guesses.iter().enumerate() {
+            let (fresh, fresh_stats) = decide(&g, &alive, a, b, beta);
+            let (reused, reused_stats) = decide_in(&mut arena, &g, &alive, a, b, beta);
+            assert_eq!(fresh_stats, reused_stats, "guess #{i}");
+            match (fresh, reused) {
+                (Decision::Exceeds(p1), Decision::Exceeds(p2)) => {
+                    // Both must beat the guess; the pair itself is unique
+                    // here because the minimal min cut is unique.
+                    assert!(beta_of_pair(&g, &p1, a, b) > beta);
+                    assert_eq!(p1, p2, "guess #{i}");
+                }
+                (Decision::Certified { boundary: b1 }, Decision::Certified { boundary: b2 }) => {
+                    assert_eq!(b1, b2, "guess #{i}");
+                }
+                (f, r) => panic!("guess #{i}: fresh {f:?} vs reused {r:?}"),
+            }
+        }
+        assert_eq!(arena.acquires(), guesses.len());
+        assert_eq!(arena.reuse_hits(), guesses.len() - 1);
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub type EdgeId = usize;
 /// accessors are valid.
 #[derive(Clone, Debug)]
 pub struct FlowNetwork {
+    /// Active node count (`0..n`); `adj` may hold more (recycled) slots.
+    n: usize,
     /// `to[e]` — head of edge `e`; edges `e` and `e ^ 1` are a
     /// forward/backward pair.
     to: Vec<u32>,
@@ -55,6 +57,7 @@ impl FlowNetwork {
     #[must_use]
     pub fn new(n: usize) -> Self {
         FlowNetwork {
+            n,
             to: Vec::new(),
             cap: Vec::new(),
             initial_cap: Vec::new(),
@@ -64,10 +67,35 @@ impl FlowNetwork {
         }
     }
 
+    /// Resets to an empty network on `n` nodes **without deallocating**:
+    /// edge arrays, per-node adjacency lists, and scratch buffers keep
+    /// their capacity. This is what makes a [`FlowArena`]-backed decision
+    /// loop allocation-free after the first call.
+    ///
+    /// [`FlowArena`]: crate::FlowArena
+    pub fn reset_for(&mut self, n: usize) {
+        self.to.clear();
+        self.cap.clear();
+        self.initial_cap.clear();
+        // Clear every previously used list (entries beyond the new `n`
+        // may be recycled by a later, larger reset).
+        for list in &mut self.adj {
+            list.clear();
+        }
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        }
+        self.level.clear();
+        self.level.resize(n, UNVISITED);
+        self.iter.clear();
+        self.iter.resize(n, 0);
+        self.n = n;
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Number of directed edges added (excluding the implicit residual
@@ -83,10 +111,7 @@ impl FlowNetwork {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, cap: u128) -> EdgeId {
-        assert!(
-            u < self.adj.len() && v < self.adj.len(),
-            "edge endpoint out of range"
-        );
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
         let id = self.to.len();
         self.to.push(v as u32);
         self.cap.push(cap);
@@ -200,7 +225,7 @@ impl FlowNetwork {
     /// residual graph. Call after [`max_flow`](FlowNetwork::max_flow).
     #[must_use]
     pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
-        let mut seen = vec![false; self.adj.len()];
+        let mut seen = vec![false; self.n];
         let mut stack = vec![s];
         seen[s] = true;
         while let Some(u) = stack.pop() {
@@ -223,7 +248,7 @@ impl FlowNetwork {
         // v reaches t iff some residual edge v → w leads to a reaching w.
         // Walk backwards from t: the residual edge v → w corresponds to the
         // stored pair (e at w points to v, with cap[e ^ 1] > 0).
-        let mut reaches_t = vec![false; self.adj.len()];
+        let mut reaches_t = vec![false; self.n];
         let mut stack = vec![t];
         reaches_t[t] = true;
         while let Some(w) = stack.pop() {
@@ -252,7 +277,7 @@ impl FlowNetwork {
     #[must_use]
     pub fn cut_capacity(&self, source_side: &[bool]) -> u128 {
         let mut total = 0u128;
-        for u in 0..self.adj.len() {
+        for u in 0..self.n {
             if !source_side[u] {
                 continue;
             }
@@ -377,6 +402,51 @@ mod tests {
         let max_side = net.max_cut_source_side(3);
         assert_eq!(net.cut_capacity(&min_side), 2);
         assert_eq!(net.cut_capacity(&max_side), 2);
+    }
+
+    #[test]
+    fn reset_for_recycles_buffers_and_matches_fresh() {
+        // Run CLRS, reset to a smaller network, then to a bigger one: every
+        // answer must match a freshly allocated network.
+        let mut net = clrs();
+        assert_eq!(net.max_flow(0, 5), 23);
+
+        net.reset_for(3);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 0);
+        net.add_edge(0, 1, 10);
+        net.add_edge(1, 2, 4);
+        assert_eq!(net.max_flow(0, 2), 4);
+        assert_eq!(net.min_cut_source_side(0), vec![true, true, false]);
+
+        net.reset_for(6);
+        let mut fresh = clrs();
+        // Rebuild CLRS into the recycled buffers.
+        for (u, v, c) in [
+            (0, 1, 16),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ] {
+            net.add_edge(u, v, c);
+        }
+        assert_eq!(net.max_flow(0, 5), fresh.max_flow(0, 5));
+        assert_eq!(net.min_cut_source_side(0), fresh.min_cut_source_side(0));
+        assert_eq!(net.max_cut_source_side(5), fresh.max_cut_source_side(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reset_shrinks_the_valid_node_range() {
+        let mut net = FlowNetwork::new(6);
+        net.reset_for(2);
+        let _ = net.add_edge(0, 4, 1); // 4 was valid before the reset
     }
 
     #[test]

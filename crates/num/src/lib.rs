@@ -52,7 +52,7 @@ pub use frac::Frac;
 pub use isqrt::isqrt;
 pub use ratio::{candidate_ratios, Ratio};
 pub use stern_brocot::simplest_between;
-pub use wide::{cmp_prod, mul_wide};
+pub use wide::{cmp_prod, cmp_prod3, mul3_wide, mul_wide};
 
 /// Greatest common divisor on `u128` (binary-free Euclid; inputs may be 0).
 #[must_use]

@@ -36,6 +36,27 @@ pub fn cmp_prod(a0: u128, a1: u128, b0: u128, b1: u128) -> Ordering {
     a.cmp(&b)
 }
 
+/// Full 384-bit product `a · b · c` as `[hi, mid, lo]` limbs of 128 bits.
+///
+/// Used by the exact γ-transfer tie test in `dds-core`, whose squared
+/// comparison multiplies three `u128` factors.
+#[must_use]
+pub fn mul3_wide(a: u128, b: u128, c: u128) -> [u128; 3] {
+    let (hi, lo) = mul_wide(a, b);
+    // (hi·2^128 + lo)·c: two widening products plus one carry.
+    let (lo_hi, lo_lo) = mul_wide(lo, c);
+    let (hi_hi, hi_lo) = mul_wide(hi, c);
+    let (mid, carry) = lo_hi.overflowing_add(hi_lo);
+    // hi_hi ≤ 2^128 − 2 (high limb of a 256-bit product), so +1 cannot wrap.
+    [hi_hi + u128::from(carry), mid, lo_lo]
+}
+
+/// Compares `a0 · a1 · a2` with `b0 · b1 · b2` exactly via 384-bit products.
+#[must_use]
+pub fn cmp_prod3(a0: u128, a1: u128, a2: u128, b0: u128, b1: u128, b2: u128) -> Ordering {
+    mul3_wide(a0, a1, a2).cmp(&mul3_wide(b0, b1, b2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +99,35 @@ mod tests {
         for ((a0, a1, b0, b1), want) in cases.into_iter().zip(expected) {
             assert_eq!(cmp_prod(a0, a1, b0, b1), want, "{a0}*{a1} vs {b0}*{b1}");
         }
+    }
+
+    #[test]
+    fn mul3_wide_small_and_overflowing() {
+        assert_eq!(mul3_wide(0, 5, 9), [0, 0, 0]);
+        assert_eq!(mul3_wide(2, 3, 7), [0, 0, 42]);
+        // 2^127 · 2 · 2 = 2^129 → mid limb 2.
+        assert_eq!(mul3_wide(1u128 << 127, 2, 2), [0, 2, 0]);
+        // MAX·MAX·MAX = (2^128−1)^3 = 2^384 − 3·2^256 + 3·2^128 − 1.
+        let m = u128::MAX;
+        assert_eq!(mul3_wide(m, m, m), [m - 2, 2, m]);
+    }
+
+    #[test]
+    fn cmp_prod3_agrees_with_exact_values() {
+        assert_eq!(cmp_prod3(3, 5, 7, 4, 4, 7), Ordering::Less); // 105 < 112
+        assert_eq!(
+            cmp_prod3(1 << 100, 1 << 100, 1 << 100, 1 << 120, 1 << 120, 1 << 60),
+            Ordering::Equal // 2^300 both
+        );
+        assert_eq!(
+            cmp_prod3(u128::MAX, u128::MAX, 2, u128::MAX, u128::MAX, 1),
+            Ordering::Greater
+        );
+        // Permuting factors never changes the order.
+        let (a, b, c) = ((1u128 << 90) + 17, (1u128 << 101) + 3, 977);
+        let want = mul3_wide(a, b, c);
+        assert_eq!(mul3_wide(c, a, b), want);
+        assert_eq!(mul3_wide(b, c, a), want);
     }
 
     #[test]

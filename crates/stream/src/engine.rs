@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use dds_core::{core_approx, DcExact};
+use dds_core::{core_approx, DcExact, SolveContext, SolveStats};
 use dds_graph::{DiGraph, Pair};
 use dds_num::Density;
 
@@ -83,6 +83,12 @@ pub struct EpochReport {
     pub m: usize,
     /// Whether this epoch ran a full solver (certificate was invalidated).
     pub resolved: bool,
+    /// Instrumentation of the epoch's exact re-solve (`None` for
+    /// incremental epochs and for `CoreApprox` re-solves, which run no
+    /// ratio searches). Warm-context effects — fewer flow decisions, arena
+    /// and core-memo reuse — are visible here, which is how `dds stream`
+    /// and experiment E12/E13 logs expose re-solve cost regressions.
+    pub solve_stats: Option<SolveStats>,
     /// The reported density: the witness pair's exact density.
     pub density: Density,
     /// Certified lower bound (`density` as `f64`).
@@ -96,13 +102,22 @@ pub struct EpochReport {
 }
 
 /// Incremental DDS maintenance over an edge stream (see crate docs).
+///
+/// The engine owns a [`SolveContext`] that survives across epochs: every
+/// lazy re-solve warm-starts from the previous solve's witness (revalidated
+/// on the mutated graph), recycles the flow arenas, and keeps the memoised
+/// `[x, y]`-cores for as long as the graph is unchanged (the context's
+/// graph-identity check invalidates them the moment a re-solve runs on a
+/// mutated edge set).
 #[derive(Debug)]
 pub struct StreamEngine {
     config: StreamConfig,
     state: DynamicGraph,
     tracker: BoundTracker,
+    ctx: SolveContext,
     epoch: u64,
     resolves: u64,
+    last_solve_stats: Option<SolveStats>,
 }
 
 impl StreamEngine {
@@ -115,8 +130,10 @@ impl StreamEngine {
             config,
             state: DynamicGraph::new(),
             tracker: BoundTracker::new(),
+            ctx: SolveContext::new(),
             epoch: 0,
             resolves: 0,
+            last_solve_stats: None,
         }
     }
 
@@ -153,8 +170,9 @@ impl StreamEngine {
             if std::env::var_os("DDS_STREAM_DEBUG").is_some() {
                 let b = self.tracker.bounds(&self.state);
                 eprintln!(
-                    "resolve@{}: lower={:.4} upper={:.4} {}",
+                    "resolve@{} v{}: lower={:.4} upper={:.4} {}",
                     self.epoch,
+                    self.state.version(),
                     b.lower.to_f64(),
                     b.upper,
                     self.tracker.debug_bounds(&self.state),
@@ -173,6 +191,11 @@ impl StreamEngine {
             n: self.state.n(),
             m: self.state.m(),
             resolved,
+            solve_stats: if resolved {
+                self.last_solve_stats
+            } else {
+                None
+            },
             density: bounds.lower,
             lower: bounds.lower.to_f64(),
             upper: bounds.upper,
@@ -201,12 +224,16 @@ impl StreamEngine {
         let g = self.state.materialize();
         let (pair, rho_upper) = match self.config.solver {
             SolverKind::Exact => {
-                let report = DcExact::new().solve(&g);
+                // Warm start: the context carries the previous epoch's
+                // witness, arenas, and (graph permitting) memoised cores.
+                let report = DcExact::new().solve_with(&mut self.ctx, &g);
+                self.last_solve_stats = Some(report.stats());
                 let rho = report.solution.density.to_f64();
                 (Some(report.solution.pair), rho)
             }
             SolverKind::CoreApprox => {
                 let report = core_approx(&g);
+                self.last_solve_stats = None;
                 (Some(report.solution.pair), report.upper_bound)
             }
         };
@@ -244,6 +271,19 @@ impl StreamEngine {
     #[must_use]
     pub fn resolves(&self) -> u64 {
         self.resolves
+    }
+
+    /// Instrumentation of the most recent exact re-solve, if any.
+    #[must_use]
+    pub fn last_solve_stats(&self) -> Option<SolveStats> {
+        self.last_solve_stats
+    }
+
+    /// The engine's long-lived solver context (inspection: solve count,
+    /// lifetime arena/core reuse totals).
+    #[must_use]
+    pub fn context(&self) -> &SolveContext {
+        &self.ctx
     }
 
     /// Current vertex count.
@@ -452,6 +492,37 @@ mod tests {
         assert!(report.density.is_zero());
         assert_eq!(report.upper, 0.0);
         assert!(!report.resolved, "empty graph needs no solver");
+    }
+
+    #[test]
+    fn resolves_reuse_the_engine_context_and_report_stats() {
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.0,
+            slack: 0.0,
+            solver: SolverKind::Exact,
+        });
+        // Zero tolerance: every growing batch re-solves.
+        let g = gen::planted(30, 50, 4, 4, 1.0, 6).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let mut stats = Vec::new();
+        for chunk in all.chunks(10) {
+            let report = insert_all(&mut engine, chunk);
+            assert!(report.resolved, "tolerance 0 must re-solve every epoch");
+            let s = report.solve_stats.expect("exact re-solve reports stats");
+            assert!(s.flow_decisions > 0);
+            stats.push(s);
+        }
+        assert_eq!(engine.context().solves() as u64, engine.resolves());
+        assert_eq!(engine.last_solve_stats(), stats.last().copied());
+        // Warm-started re-solves recycle arenas across epochs: the second
+        // solve onwards starts with already-allocated buffers.
+        assert!(
+            stats.iter().skip(1).all(|s| s.arena_reuse_hits > 0),
+            "context reuse must show up in the stats: {stats:?}"
+        );
+        // And the maintained answer still matches a cold solve.
+        let cold = DcExact::new().solve(&engine.materialize());
+        assert_eq!(engine.bounds().lower, cold.solution.density);
     }
 
     #[test]

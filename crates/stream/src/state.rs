@@ -25,6 +25,7 @@ pub struct DynamicGraph {
     out_deg: MaxTracker,
     in_deg: MaxTracker,
     n: usize,
+    version: u64,
 }
 
 impl DynamicGraph {
@@ -44,6 +45,15 @@ impl DynamicGraph {
     #[must_use]
     pub fn m(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Mutation counter: bumps on every *applied* insert/delete (no-ops do
+    /// not count). Lets callers — e.g. the stream engine deciding whether a
+    /// re-solve can keep its warm `SolveContext` caches — detect "graph
+    /// unchanged since" without comparing edge sets.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether `u → v` is currently present.
@@ -86,6 +96,7 @@ impl DynamicGraph {
         }
         self.out_deg.incr(u as usize);
         self.in_deg.incr(v as usize);
+        self.version += 1;
         true
     }
 
@@ -96,6 +107,7 @@ impl DynamicGraph {
         }
         self.out_deg.decr(u as usize);
         self.in_deg.decr(v as usize);
+        self.version += 1;
         true
     }
 
@@ -146,6 +158,19 @@ mod tests {
         assert_eq!(frozen.m(), 3);
         assert!(frozen.has_edge(0, 1) && frozen.has_edge(2, 0) && frozen.has_edge(0, 2));
         assert!(!frozen.has_edge(1, 2));
+    }
+
+    #[test]
+    fn version_counts_only_applied_mutations() {
+        let mut g = DynamicGraph::new();
+        assert_eq!(g.version(), 0);
+        g.insert(0, 1);
+        g.insert(0, 1); // duplicate: no bump
+        g.insert(2, 2); // self-loop: no bump
+        g.delete(5, 6); // absent: no bump
+        assert_eq!(g.version(), 1);
+        g.delete(0, 1);
+        assert_eq!(g.version(), 2);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Memoised `[x, y]`-core lookups for the exact search.
+//!
+//! The per-ratio flow search derives its core thresholds from the current
+//! β guess (`x = ⌈β/2a⌉`, `y = ⌈β/2b⌉`). Different ratios — and repeated
+//! solves over the same graph — keep landing on the *same* handful of
+//! threshold pairs, yet each previously re-peeled the whole graph in
+//! `O(n + m)`. [`CoreCache`] memoises the peel per `(x, y)` key so a
+//! repeat costs one `O(n)` mask clone instead.
+//!
+//! The cache is only valid for one graph: the owner (`dds-core`'s
+//! `SolveContext`) compares the graph against the previous solve's and calls
+//! [`clear`](CoreCache::clear) whenever it changes — which is also what the
+//! stream engine relies on when an epoch's re-solve runs on a mutated
+//! graph.
+
+use std::collections::HashMap;
+
+use dds_graph::{DiGraph, StMask};
+
+use crate::peel::xy_core_within;
+
+/// Entry cap: the keyed thresholds are bounded by the density range, so
+/// real solves stay far below this; it only guards pathological churn.
+const MAX_ENTRIES: usize = 4096;
+
+/// A memo table of full-graph `[x, y]`-cores with hit/miss counters.
+#[derive(Clone, Debug, Default)]
+pub struct CoreCache {
+    map: HashMap<(u64, u64), StMask>,
+    hits: usize,
+    misses: usize,
+}
+
+impl CoreCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        CoreCache::default()
+    }
+
+    /// The `[x, y]`-core of `g` (full base), memoised. Returns a clone of
+    /// the cached mask; the clone is `O(n)` against the `O(n + m)` peel it
+    /// replaces.
+    pub fn core(&mut self, g: &DiGraph, x: u64, y: u64) -> StMask {
+        if let Some(mask) = self.map.get(&(x, y)) {
+            self.hits += 1;
+            return mask.clone();
+        }
+        self.misses += 1;
+        if self.map.len() >= MAX_ENTRIES {
+            self.map.clear();
+        }
+        let mask = xy_core_within(g, &StMask::full(g.n()), x, y);
+        self.map.insert((x, y), mask.clone());
+        mask
+    }
+
+    /// Drops every memoised core (the graph changed).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of lookups answered from the memo table.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of lookups that had to peel.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct cores currently memoised.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff nothing is memoised.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::xy_core;
+    use dds_graph::gen;
+
+    #[test]
+    fn memoised_cores_match_direct_peels() {
+        let g = gen::gnm(30, 140, 3);
+        let mut cache = CoreCache::new();
+        for (x, y) in [(1, 1), (2, 3), (1, 1), (4, 2), (2, 3), (1, 1)] {
+            assert_eq!(cache.core(&g, x, y), xy_core(&g, x, y), "({x},{y})");
+        }
+        assert_eq!(cache.misses(), 3, "three distinct keys");
+        assert_eq!(cache.hits(), 3, "three repeats");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn clear_forgets_but_keeps_counters() {
+        let g = gen::gnm(12, 40, 9);
+        let mut cache = CoreCache::new();
+        let before = cache.core(&g, 1, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        let after = cache.core(&g, 1, 1);
+        assert_eq!(before, after);
+        assert_eq!(cache.misses(), 2, "clear forces a re-peel");
+    }
+}

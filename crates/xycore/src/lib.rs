@@ -47,9 +47,11 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod decompose;
 mod peel;
 
+pub use cache::CoreCache;
 pub use decompose::{
     max_product_core, skyline, x_max, y_max_core, MaxProductCore, SkylinePoint, YMaxCore,
 };

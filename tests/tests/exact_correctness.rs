@@ -54,6 +54,7 @@ fn ablation_combos_agree_on_structured_graphs() {
                         core_pruning: core,
                         gamma_pruning: gamma,
                         warm_start: warm,
+                        ..ExactOptions::default()
                     };
                     let got = DcExact::with_options(opts).solve(&g);
                     assert_eq!(got.solution.density, want, "{opts:?}");
