@@ -2,11 +2,11 @@
 //!
 //! The binary (`cargo run -p dds-bench --release -- <experiment|all>`)
 //! regenerates the paper-style tables and figure series (experiments
-//! E1–E13 in `DESIGN.md §4`; E13 covers the `SolveContext` pipeline); the
-//! criterion benches under `benches/` cover the per-kernel
-//! microbenchmarks, and `dds-bench smoke` runs the CI decision-count
-//! budget check. Results print as aligned tables and are also written as
-//! CSV under `bench_results/`.
+//! E1–E14 in `DESIGN.md §4`; E13 covers the `SolveContext` pipeline, E14
+//! the window-native engine); the criterion benches under `benches/`
+//! cover the per-kernel microbenchmarks, and `dds-bench smoke` /
+//! `dds-bench window-smoke` run the CI budget checks. Results print as
+//! aligned tables and are also written as CSV under `bench_results/`.
 
 #![warn(missing_docs)]
 
@@ -17,6 +17,7 @@ pub mod workloads;
 
 pub use report::{fmt_duration, time, Table};
 pub use stream_workloads::{
-    churn, planted_emerge, sliding_window, stream_registry, StreamScenario,
+    arrivals, churn, planted_emerge, recurring_block, sliding_window, stream_registry,
+    window_registry, StreamScenario, WindowScenario,
 };
 pub use workloads::{exact_ladder, planted_block, registry, Scale, Workload};

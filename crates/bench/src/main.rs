@@ -12,10 +12,11 @@
 use dds_bench::{experiments, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e13)... [--quick]
+  dds-bench (all | e1..e14)... [--quick]
   dds-bench smoke
-  dds-bench stream-gen (churn|window|emerge) --out <file>
-            [--events N] [--n N] [--m M] [--block S,T] [--seed S]";
+  dds-bench window-smoke
+  dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
+            [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +30,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("smoke") {
         smoke_exact();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("window-smoke") {
+        smoke_window();
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -66,6 +71,7 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
     let mut n = 500usize;
     let mut m = 2_500usize;
     let mut block = (32usize, 32usize);
+    let mut period = 2_000usize;
     let mut seed = 0xDD5u64;
     let mut out: Option<String> = None;
     while let Some(flag) = it.next() {
@@ -80,6 +86,7 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
                 let (s, t) = v.split_once(',').ok_or("--block expects S,T")?;
                 block = (parse(s, "--block S")?, parse(t, "--block T")?);
             }
+            "--period" => period = parse(value("--period")?, "--period")?,
             "--out" => out = Some(value("--out")?.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -89,9 +96,11 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
         "churn" => stream_workloads::churn(n, m, block, events, seed),
         "window" => stream_workloads::sliding_window(n, m, events, seed),
         "emerge" => stream_workloads::planted_emerge(n, m, block, events, seed),
+        "arrivals" => stream_workloads::arrivals(n, events, seed),
+        "recurring" => stream_workloads::recurring_block(n, block, period, events, seed),
         other => {
             return Err(format!(
-                "unknown scenario {other:?} (expected churn|window|emerge)"
+                "unknown scenario {other:?} (expected churn|window|emerge|arrivals|recurring)"
             ))
         }
     };
@@ -103,6 +112,65 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
 fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("invalid value {raw:?} for {flag}"))
+}
+
+/// CI window smoke: a seeded 20k-event sliding-window replay through the
+/// window-native engine, with wall-clock-free budget assertions — every
+/// epoch must end inside its certified band and exact escalations must
+/// stay under a fixed count, so decremental-core or drift regressions
+/// fail the build instead of silently degrading to re-solve storms.
+///
+/// Budget calibration: this replay measures 289 core refreshes and 5
+/// exact escalations over 800 epochs (release, 2026-07). The budgets
+/// below carry ~1.4x/2.4x headroom, while a broken decremental repair or
+/// drift certificate (which collapses the lower bound every epoch and
+/// refreshes all 800) blows through them immediately.
+fn smoke_window() {
+    use dds_stream::{replay_window, BatchBy, WindowConfig, WindowEngine, WindowMode};
+
+    const EXACT_BUDGET: usize = 12;
+    const REFRESH_BUDGET: usize = 400;
+    let events = dds_bench::stream_workloads::arrivals(400, 20_000, 0xDD5);
+    let mut engine = WindowEngine::new(WindowConfig {
+        window: 4_000,
+        tolerance: 0.25,
+        slack: 2.0,
+        exact_escalation: true,
+    });
+    let t0 = std::time::Instant::now();
+    let reports = replay_window(&mut engine, &events, BatchBy::Count(25));
+    let elapsed = t0.elapsed();
+    let epochs = reports.len();
+    let refreshes = reports
+        .iter()
+        .filter(|r| r.mode != WindowMode::Incremental)
+        .count();
+    let exact = reports
+        .iter()
+        .filter(|r| r.mode == WindowMode::ExactResolve)
+        .count();
+    let uncertified = reports.iter().filter(|r| !r.within_band).count();
+    println!(
+        "window-smoke: 20k arrivals, window 4000, {epochs} epochs in {elapsed:?}: \
+         {refreshes} refreshes ({exact} exact), {} expired, {} repairs, final m = {}",
+        engine.expired(),
+        engine.repairs(),
+        engine.m(),
+    );
+    assert_eq!(
+        uncertified, 0,
+        "{uncertified} epochs ended outside their certified band"
+    );
+    assert!(
+        exact <= EXACT_BUDGET,
+        "exact-escalation budget exceeded: {exact} > {EXACT_BUDGET} — the incremental \
+         certificate or decremental core regressed"
+    );
+    assert!(
+        refreshes <= REFRESH_BUDGET,
+        "refresh budget exceeded: {refreshes} > {REFRESH_BUDGET}"
+    );
+    println!("window-smoke: OK (budgets: {EXACT_BUDGET} exact, {REFRESH_BUDGET} refreshes)");
 }
 
 /// CI smoke: the n = 500 planted-block exact solve, with a hard budget on

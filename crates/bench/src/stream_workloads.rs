@@ -307,6 +307,75 @@ pub fn planted_emerge(
     out
 }
 
+/// Pure arrival stream for window-native engines: one uniformly random
+/// edge per tick, no explicit deletions — expiry is the *engine's* job
+/// (`dds-stream`'s `WindowEngine` owns the expiry ring), which is the
+/// natural event-file shape for `dds stream --window W`. Occasional
+/// re-arrivals of a live edge are intentional: they exercise the
+/// last-occurrence renewal semantics.
+#[must_use]
+pub fn arrivals(n: usize, events: usize, seed: u64) -> Vec<TimedEvent> {
+    assert!(n >= 2, "need at least 2 vertices");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA11u64.rotate_left(23));
+    let mut out = Vec::with_capacity(events);
+    for time in 0..events as u64 {
+        let (u, v) = loop {
+            let u = rng.gen_range(0..n) as VertexId;
+            let v = rng.gen_range(0..n) as VertexId;
+            if u != v {
+                break (u, v);
+            }
+        };
+        out.push(TimedEvent {
+            time,
+            event: Event::Insert(u, v),
+        });
+    }
+    out
+}
+
+/// Arrival stream with a *recurring* dense block: every `period` ticks the
+/// complete `s × t` block (vertices `0..s` → `s..s+t`) re-arrives edge by
+/// edge, the remaining ticks are uniform background arrivals outside the
+/// block. With an engine window longer than `period`, the re-arrivals
+/// renew the block's expiry so the densest subgraph *persists* even though
+/// every individual background edge slides out — the workload a
+/// window-native engine should absorb with core repairs instead of exact
+/// re-solves.
+///
+/// # Panics
+/// Panics if the block does not fit in `n` vertices or `period < s·t`
+/// (the block could not be delivered inside one period).
+#[must_use]
+pub fn recurring_block(
+    n: usize,
+    block: (usize, usize),
+    period: usize,
+    events: usize,
+    seed: u64,
+) -> Vec<TimedEvent> {
+    let (s, t) = block;
+    assert!(s >= 1 && t >= 1 && s + t <= n, "planted block must fit");
+    assert!(
+        period >= s * t,
+        "period = {period} shorter than the {} block edges",
+        s * t
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xB10Cu64.rotate_left(31));
+    let mut out = Vec::with_capacity(events);
+    for time in 0..events as u64 {
+        let phase = time as usize % period;
+        let event = if phase < s * t {
+            Event::Insert((phase / t) as VertexId, (s + phase % t) as VertexId)
+        } else {
+            let (u, v) = random_background_edge(n, s, t, &mut rng);
+            Event::Insert(u, v)
+        };
+        out.push(TimedEvent { time, event });
+    }
+    out
+}
+
 /// The stream scenarios the harness exercises, sized down in quick mode.
 #[must_use]
 pub fn stream_registry(quick: bool) -> Vec<StreamScenario> {
@@ -327,6 +396,43 @@ pub fn stream_registry(quick: bool) -> Vec<StreamScenario> {
         StreamScenario {
             name: format!("emerge-{n}"),
             events: planted_emerge(n, m / 2, block, events, 0xDD5),
+        },
+    ]
+}
+
+/// A window scenario: a named arrival stream plus the engine window that
+/// makes it interesting.
+pub struct WindowScenario {
+    /// Scenario name, e.g. `warrivals-500`.
+    pub name: String,
+    /// The timestamped arrivals, one tick per event.
+    pub events: Vec<TimedEvent>,
+    /// Window length (ticks) the harness replays with.
+    pub window: u64,
+}
+
+/// The sliding-window scenarios experiment E14 and the CI window smoke
+/// replay, sized down in quick mode: a structureless uniform arrival
+/// stream (the optimum is weak and rotates with the window) and a
+/// recurring dense block (the optimum persists through renewals while the
+/// background slides).
+#[must_use]
+pub fn window_registry(quick: bool) -> Vec<WindowScenario> {
+    let (n, events, window, block, period) = if quick {
+        (80, 1_500, 400u64, (8, 8), 300)
+    } else {
+        (500, 60_000, 5_000u64, (16, 16), 2_000)
+    };
+    vec![
+        WindowScenario {
+            name: format!("warrivals-{n}"),
+            events: arrivals(n, events, 0xDD5),
+            window,
+        },
+        WindowScenario {
+            name: format!("wrecurring-{n}"),
+            events: recurring_block(n, block, period, events, 0xDD5),
+            window,
         },
     ]
 }
@@ -419,6 +525,62 @@ mod tests {
         assert_eq!(scenarios.len(), 3);
         for s in &scenarios {
             assert!(!s.events.is_empty(), "{} empty", s.name);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_inserts_with_unit_ticks() {
+        let a = arrivals(40, 500, 9);
+        assert_eq!(a, arrivals(40, 500, 9));
+        assert_eq!(a.len(), 500);
+        for (i, ev) in a.iter().enumerate() {
+            assert_eq!(ev.time, i as u64, "one tick per event");
+            match ev.event {
+                Event::Insert(u, v) => assert_ne!(u, v),
+                Event::Delete(..) => panic!("arrival streams carry no deletes"),
+            }
+        }
+    }
+
+    #[test]
+    fn recurring_block_redelivers_every_period() {
+        let (s, t, period) = (3usize, 4usize, 50usize);
+        let events = recurring_block(30, (s, t), period, 160, 2);
+        assert_eq!(events.len(), 160);
+        // Each full period starts with the complete block, in order.
+        for start in [0usize, 50, 100] {
+            for k in 0..s * t {
+                let Event::Insert(u, v) = events[start + k].event else {
+                    panic!("block tick must be an insert");
+                };
+                assert_eq!((u as usize, v as usize), (k / t, s + k % t));
+            }
+        }
+        // Background ticks never touch the block.
+        for ev in &events {
+            let Event::Insert(u, v) = ev.event else {
+                continue;
+            };
+            if ev.time as usize % period >= s * t {
+                let in_block = (u as usize) < s && (v as usize) >= s && (v as usize) < s + t;
+                assert!(!in_block, "background tick {} hit the block", ev.time);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the")]
+    fn recurring_block_rejects_short_periods() {
+        let _ = recurring_block(30, (5, 5), 10, 100, 0);
+    }
+
+    #[test]
+    fn window_registry_quick_sizes() {
+        let scenarios = window_registry(true);
+        assert_eq!(scenarios.len(), 2);
+        for s in &scenarios {
+            assert!(!s.events.is_empty(), "{} empty", s.name);
+            assert!(s.window > 0);
         }
     }
 }

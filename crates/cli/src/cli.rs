@@ -9,7 +9,9 @@ use dds_core::{
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
-use dds_stream::{BatchBy, SolverKind, StreamConfig, StreamEngine};
+use dds_stream::{
+    BatchBy, SolverKind, StreamConfig, StreamEngine, WindowConfig, WindowEngine, WindowMode,
+};
 use dds_xycore::{max_product_core, skyline, xy_core};
 
 /// Errors surfaced to the user with exit code 1.
@@ -64,6 +66,7 @@ const USAGE: &str = "usage:
   dds dot     <edge-list> [--highlight]
   dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha A] [--plant S,T,P] --out <file>
   dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
+              [--window W [--no-escalate]]   (sliding window: expire edges W ticks after arrival)
   dds help";
 
 /// Entry point shared by `main` and the tests.
@@ -490,10 +493,20 @@ fn cmd_stream<'a>(
     let mut batch_by = BatchBy::Count(25);
     let mut tolerance = 0.25f64;
     let mut slack = 2.0f64;
-    let mut solver = SolverKind::Exact;
+    let mut solver: Option<SolverKind> = None;
     let mut log_every = 0usize;
+    let mut window: Option<u64> = None;
+    let mut escalate = true;
     while let Some(flag) = it.next() {
         match flag {
+            "--window" => {
+                let w: u64 = parse_flag_value("--window", it.next())?;
+                if w == 0 {
+                    return Err(CliError::Usage("--window must be positive".into()));
+                }
+                window = Some(w);
+            }
+            "--no-escalate" => escalate = false,
             "--batch" => {
                 let n: usize = parse_flag_value("--batch", it.next())?;
                 if n == 0 {
@@ -522,7 +535,7 @@ fn cmd_stream<'a>(
             }
             "--solver" => {
                 let v: String = parse_flag_value("--solver", it.next())?;
-                solver = match v.as_str() {
+                solver = Some(match v.as_str() {
                     "exact" => SolverKind::Exact,
                     "approx" => SolverKind::CoreApprox,
                     other => {
@@ -530,7 +543,7 @@ fn cmd_stream<'a>(
                             "unknown --solver {other:?} (expected exact|approx)"
                         )))
                     }
-                };
+                });
             }
             "--log-every" => log_every = parse_flag_value("--log-every", it.next())?,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
@@ -538,10 +551,23 @@ fn cmd_stream<'a>(
     }
 
     let events = dds_stream::load_events(path)?;
+    if let Some(w) = window {
+        if solver.is_some() {
+            return Err(CliError::Usage(
+                "--solver does not apply with --window (the window engine picks its own escalation; see --no-escalate)".into(),
+            ));
+        }
+        return stream_window(
+            out, &events, w, tolerance, slack, escalate, batch_by, log_every,
+        );
+    }
+    if !escalate {
+        return Err(CliError::Usage("--no-escalate requires --window".into()));
+    }
     let mut engine = StreamEngine::new(StreamConfig {
         tolerance,
         slack,
-        solver,
+        solver: solver.unwrap_or(SolverKind::Exact),
     });
     let started = std::time::Instant::now();
     let reports = dds_stream::replay(&mut engine, &events, batch_by);
@@ -631,6 +657,118 @@ fn cmd_stream<'a>(
                 pair.s().len(),
                 pair.t().len()
             )?;
+        }
+    }
+    Ok(())
+}
+
+/// The `--window` replay path: sliding-window maintenance through
+/// [`WindowEngine`] (expiry handled by the engine; the event file only
+/// needs arrivals, though explicit deletions still work).
+#[allow(clippy::too_many_arguments)] // flag plumbing from cmd_stream
+fn stream_window(
+    out: &mut dyn Write,
+    events: &[dds_stream::TimedEvent],
+    window: u64,
+    tolerance: f64,
+    slack: f64,
+    escalate: bool,
+    batch_by: BatchBy,
+    log_every: usize,
+) -> Result<(), CliError> {
+    let mut engine = WindowEngine::new(WindowConfig {
+        window,
+        tolerance,
+        slack,
+        exact_escalation: escalate,
+    });
+    let started = std::time::Instant::now();
+    let reports = dds_stream::replay_window(&mut engine, events, batch_by);
+    let wall = started.elapsed();
+
+    writeln!(
+        out,
+        "epoch      m    density      [lower, upper]      factor  mode"
+    )?;
+    let last_epoch = reports.last().map_or(0, |r| r.epoch);
+    for r in &reports {
+        let refreshed = r.mode != WindowMode::Incremental;
+        let logged = refreshed
+            || (log_every > 0 && r.epoch % log_every as u64 == 0)
+            || r.epoch == last_epoch;
+        if logged {
+            let mode = match r.mode {
+                WindowMode::Incremental => "incremental".to_string(),
+                WindowMode::CoreRefresh => {
+                    let (x, y) = r.core.unwrap_or((0, 0));
+                    format!("CORE REFRESH [{x},{y}]")
+                }
+                WindowMode::ExactResolve => match r.solve_stats {
+                    Some(s) => format!(
+                        "EXACT ({} ratios, {} flows, {} arena hits)",
+                        s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
+                    ),
+                    None => "EXACT".into(),
+                },
+            };
+            writeln!(
+                out,
+                "{:>5} {:>6}   {:>8.4}   [{:>8.4}, {:>8.4}]   {:>6.3}  {}",
+                r.epoch,
+                r.m,
+                r.density.to_f64(),
+                r.lower,
+                r.upper,
+                r.certified_factor,
+                mode,
+            )?;
+        }
+    }
+
+    let epochs = reports.len();
+    let refreshes = reports
+        .iter()
+        .filter(|r| r.mode != WindowMode::Incremental)
+        .count();
+    let exact = reports
+        .iter()
+        .filter(|r| r.mode == WindowMode::ExactResolve)
+        .count();
+    let incremental = 100.0 * (epochs.saturating_sub(refreshes)) as f64 / epochs.max(1) as f64;
+    let certified = reports.iter().filter(|r| r.within_band).count();
+    let max_factor = reports
+        .iter()
+        .map(|r| r.certified_factor)
+        .fold(1.0f64, f64::max);
+    writeln!(out)?;
+    writeln!(
+        out,
+        "replayed {} events in {} epochs ({wall:.2?}): {} core refreshes ({} escalated to exact), {:.1}% incremental",
+        events.len(),
+        epochs,
+        refreshes,
+        exact,
+        incremental,
+    )?;
+    writeln!(
+        out,
+        "window {window}: {} edges expired, {} core-repair peels, {certified}/{epochs} epochs within band",
+        engine.expired(),
+        engine.repairs(),
+    )?;
+    writeln!(
+        out,
+        "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack}, escalation {})",
+        if escalate { "on" } else { "off" }
+    )?;
+    if let Some(last) = reports.last() {
+        writeln!(
+            out,
+            "final density {} over n = {}, m = {} live edges at t = {}",
+            last.density, last.n, last.m, last.now
+        )?;
+        if let Some((x, y)) = engine.core_thresholds() {
+            writeln!(out, "maintained core [{x},{y}]")?;
         }
     }
     Ok(())
@@ -864,6 +1002,41 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("tolerance 0.5"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_window_replays_with_expiry() {
+        let path = temp_events();
+        let out = run_ok(&["stream", &path, "--window", "3", "--batch", "2"]);
+        assert!(
+            out.contains("CORE REFRESH") || out.contains("EXACT"),
+            "first batch must certify: {out}"
+        );
+        assert!(out.contains("edges expired"), "{out}");
+        assert!(out.contains("within band"), "{out}");
+        // Window 3 over the 6-tick stream: the early K-edges expire.
+        assert!(out.contains("window 3:"), "{out}");
+        let quiet = run_ok(&["stream", &path, "--window", "100", "--no-escalate"]);
+        assert!(quiet.contains("escalation off"), "{quiet}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_window_usage_errors() {
+        let path = temp_events();
+        assert!(matches!(
+            run_err(&["stream", &path, "--window", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--no-escalate"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--window", "5", "--solver", "exact"]),
+            CliError::Usage(_)
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,14 +1,14 @@
 //! Incremental certified bounds on the current optimum density.
 //!
-//! See the crate docs for the upper bounds and their proofs; this module
-//! owns the state that keeps them current in `O(1)` per event:
+//! See the crate docs for the upper bounds and their proofs. Two reusable
+//! pieces live here alongside [`BoundTracker`] (the grow-mostly engine's
+//! state), because the window engine certifies with the same ingredients:
 //!
-//! * the **witness** — the `(S, T)` pair returned by the last solve, with
-//!   its live edge count `E(S, T)` maintained per event (exact lower
-//!   bound);
-//! * the **delta graph** — the set of edges inserted since the last solve
-//!   and still present, with its own exact degree maxima `aΔ`/`bΔ`
-//!   (deleting an edge that was inserted after the solve refunds its
+//! * [`WitnessState`] — an `(S, T)` pair with its live edge count
+//!   maintained per event, giving an exact lower bound in `O(1)`;
+//! * [`DeltaDrift`] — the **delta graph** (edges inserted since the last
+//!   certification and still present) with exact degree maxima `aΔ`/`bΔ`
+//!   (deleting an edge that postdates the certification refunds its
 //!   budget). For every pair, the delta contributes at most
 //!   `sqrt(aΔ·bΔ)` density — `E_Δ(S,T) ≤ min(|S|·aΔ, |T|·bΔ)
 //!   ≤ sqrt(|S||T|·aΔ·bΔ)` by AM–GM — so scattered churn consumes almost
@@ -24,7 +24,7 @@ use crate::state::DynamicGraph;
 
 /// Relative inflation applied to every floating-point upper bound so
 /// rounding can never flip a certificate.
-const SAFETY: f64 = 1e-9;
+pub(crate) const SAFETY: f64 = 1e-9;
 
 /// A certified bracket around the current optimum density `ρ_opt`:
 /// `lower ≤ ρ_opt ≤ upper`.
@@ -54,25 +54,160 @@ impl CertifiedBounds {
     }
 }
 
-/// The incrementally-maintained bound state (crate-internal; the engine
-/// exposes it through [`CertifiedBounds`]).
+/// A fixed `(S, T)` pair with its live `E(S, T)` maintained per event: an
+/// exact, `O(1)`-per-update lower bound on the current optimum.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WitnessState {
+    pair: Option<Pair>,
+    in_s: Vec<bool>,
+    in_t: Vec<bool>,
+    edges: u64,
+}
+
+impl WitnessState {
+    fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.in_s.get(u as usize).copied().unwrap_or(false)
+            && self.in_t.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Records an applied insertion.
+    pub(crate) fn on_insert(&mut self, u: VertexId, v: VertexId) {
+        if self.contains(u, v) {
+            self.edges += 1;
+        }
+    }
+
+    /// Records an applied deletion.
+    pub(crate) fn on_delete(&mut self, u: VertexId, v: VertexId) {
+        if self.contains(u, v) {
+            self.edges -= 1;
+        }
+    }
+
+    /// Adopts `pair` (or clears on `None`), recounting its live edges on
+    /// the current graph.
+    pub(crate) fn reset(&mut self, g: &DynamicGraph, pair: Option<Pair>) {
+        self.in_s = vec![false; g.n()];
+        self.in_t = vec![false; g.n()];
+        self.edges = 0;
+        if let Some(pair) = &pair {
+            for &u in pair.s() {
+                self.in_s[u as usize] = true;
+            }
+            for &v in pair.t() {
+                self.in_t[v as usize] = true;
+            }
+            self.edges = g.edges().filter(|&(u, v)| self.contains(u, v)).count() as u64;
+        }
+        self.pair = pair;
+    }
+
+    /// The maintained pair, if any.
+    pub(crate) fn pair(&self) -> Option<&Pair> {
+        self.pair.as_ref()
+    }
+
+    /// Exact density of the maintained pair on the current graph
+    /// ([`Density::ZERO`] when no pair is held or a side is empty).
+    pub(crate) fn density(&self) -> Density {
+        match &self.pair {
+            Some(pair) if !pair.is_empty() => {
+                Density::new(self.edges, pair.s().len() as u64, pair.t().len() as u64)
+            }
+            _ => Density::ZERO,
+        }
+    }
+}
+
+/// The delta graph: edges inserted since the last certification and still
+/// present, with exact per-side degree maxima (see module docs).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DeltaDrift {
+    inserted: HashSet<(VertexId, VertexId)>,
+    out: MaxTracker,
+    r#in: MaxTracker,
+}
+
+impl DeltaDrift {
+    /// Records an applied insertion (the edge was genuinely added).
+    pub(crate) fn on_insert(&mut self, u: VertexId, v: VertexId) {
+        if self.inserted.insert((u, v)) {
+            self.out.incr(u as usize);
+            self.r#in.incr(v as usize);
+        }
+    }
+
+    /// Records an applied deletion, refunding the drift budget when the
+    /// deleted edge postdates the last certification (the bound argument
+    /// only counts inserted-and-still-present edges).
+    pub(crate) fn on_delete(&mut self, u: VertexId, v: VertexId) {
+        if self.inserted.remove(&(u, v)) {
+            self.out.decr(u as usize);
+            self.r#in.decr(v as usize);
+        }
+    }
+
+    /// Forgets the delta (a fresh certification just happened).
+    pub(crate) fn clear(&mut self) {
+        self.inserted.clear();
+        self.out.clear();
+        self.r#in.clear();
+    }
+
+    /// Number of delta edges (`k` in the crossing bound).
+    pub(crate) fn len(&self) -> usize {
+        self.inserted.len()
+    }
+
+    /// The delta graph's degree maxima `(aΔ, bΔ)`.
+    pub(crate) fn degree_maxima(&self) -> (u64, u64) {
+        (self.out.max(), self.r#in.max())
+    }
+}
+
+/// Certified upper bound on the current optimum given `rho_cert` (a
+/// certified upper bound at the last certification) and the drift since:
+/// the minimum of four independently valid bounds (crate docs prove each):
+///
+/// 1. crossing drift — `(ρ₁ + sqrt(ρ₁² + 4k)) / 2` with `k` the delta
+///    edge count (tight when few, possibly concentrated, inserts);
+/// 2. delta-degree drift — `ρ₁ + sqrt(aΔ·bΔ)` with `aΔ`/`bΔ` the delta
+///    graph's degree maxima (tight under scattered churn);
+/// 3. `sqrt(m)` on the current graph;
+/// 4. `sqrt(d⁺_max · d⁻_max)` on the current graph (exact maxima).
+pub(crate) fn certified_upper(g: &DynamicGraph, rho_cert: f64, drift: &DeltaDrift) -> f64 {
+    let m = g.m();
+    if m == 0 {
+        return 0.0;
+    }
+    let k = drift.len() as f64;
+    let crossing = 0.5 * (rho_cert + (rho_cert * rho_cert + 4.0 * k).sqrt());
+    let (a, b) = drift.degree_maxima();
+    let delta_deg = rho_cert + ((a as f64) * (b as f64)).sqrt();
+    let sqrt_m = (m as f64).sqrt();
+    let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
+    crossing.min(delta_deg).min(sqrt_m).min(degree) * (1.0 + SAFETY)
+}
+
+/// The certification band both engines share, before their gap factor:
+/// `max(lower·(1+tolerance), lower+slack)`. The relative arm is what you
+/// configure for dense regimes; the absolute `slack` keeps quiet
+/// low-density regimes from burning re-solves on noise.
+pub(crate) fn certification_band(lower: f64, tolerance: f64, slack: f64) -> f64 {
+    (lower * (1.0 + tolerance)).max(lower + slack)
+}
+
+/// The incrementally-maintained bound state of [`crate::StreamEngine`]
+/// (crate-internal; the engine exposes it through [`CertifiedBounds`]).
 #[derive(Clone, Debug, Default)]
 pub(crate) struct BoundTracker {
-    /// Certified upper bound on the optimum at the last solve (`ρ₁`).
+    /// Certified upper bound on the optimum at the last solve (`ρ₁`),
+    /// already carrying the float-safety inflation.
     rho_at_solve: f64,
     /// `upper / lower` measured right after the last solve (1 for exact).
     gap_at_solve: f64,
-    /// Edges inserted since the last solve and still present (the "delta
-    /// graph"), plus its exact per-side degree maxima.
-    inserted_since_solve: HashSet<(VertexId, VertexId)>,
-    delta_out: MaxTracker,
-    delta_in: MaxTracker,
-    /// Witness pair from the last solve.
-    witness: Option<Pair>,
-    in_s: Vec<bool>,
-    in_t: Vec<bool>,
-    /// Live `E(S, T)` of the witness.
-    witness_edges: u64,
+    drift: DeltaDrift,
+    witness: WitnessState,
 }
 
 impl BoundTracker {
@@ -85,32 +220,14 @@ impl BoundTracker {
 
     /// Records an applied insertion (the edge was genuinely added).
     pub(crate) fn on_insert(&mut self, u: VertexId, v: VertexId) {
-        if self.inserted_since_solve.insert((u, v)) {
-            self.delta_out.incr(u as usize);
-            self.delta_in.incr(v as usize);
-        }
-        if self.witness_contains(u, v) {
-            self.witness_edges += 1;
-        }
+        self.drift.on_insert(u, v);
+        self.witness.on_insert(u, v);
     }
 
     /// Records an applied deletion (the edge was genuinely removed).
     pub(crate) fn on_delete(&mut self, u: VertexId, v: VertexId) {
-        // Refund the drift budget when the deleted edge postdates the last
-        // solve: the bound argument only counts inserted-and-still-present
-        // edges.
-        if self.inserted_since_solve.remove(&(u, v)) {
-            self.delta_out.decr(u as usize);
-            self.delta_in.decr(v as usize);
-        }
-        if self.witness_contains(u, v) {
-            self.witness_edges -= 1;
-        }
-    }
-
-    fn witness_contains(&self, u: VertexId, v: VertexId) -> bool {
-        self.in_s.get(u as usize).copied().unwrap_or(false)
-            && self.in_t.get(v as usize).copied().unwrap_or(false)
+        self.drift.on_delete(u, v);
+        self.witness.on_delete(u, v);
     }
 
     /// Resets the tracker after a full solve: `witness` is the solver's
@@ -122,33 +239,16 @@ impl BoundTracker {
         witness: Option<Pair>,
         rho_upper: f64,
     ) {
-        self.inserted_since_solve.clear();
-        self.delta_out.clear();
-        self.delta_in.clear();
+        self.drift.clear();
         self.rho_at_solve = rho_upper * (1.0 + SAFETY);
-        self.in_s = vec![false; g.n()];
-        self.in_t = vec![false; g.n()];
-        self.witness_edges = 0;
-        if let Some(pair) = &witness {
-            for &u in pair.s() {
-                self.in_s[u as usize] = true;
-            }
-            for &v in pair.t() {
-                self.in_t[v as usize] = true;
-            }
-            self.witness_edges = g
-                .edges()
-                .filter(|&(u, v)| self.witness_contains(u, v))
-                .count() as u64;
-        }
-        self.witness = witness;
+        self.witness.reset(g, witness);
         let bounds = self.bounds(g);
         self.gap_at_solve = bounds.certified_factor().max(1.0);
     }
 
     /// The witness pair, if a solve has happened.
     pub(crate) fn witness(&self) -> Option<&Pair> {
-        self.witness.as_ref()
+        self.witness.pair()
     }
 
     /// The certified gap measured right after the last solve (1 for an
@@ -159,37 +259,12 @@ impl BoundTracker {
 
     /// Exact density of the witness on the current graph.
     pub(crate) fn lower(&self) -> Density {
-        match &self.witness {
-            Some(pair) if !pair.is_empty() => Density::new(
-                self.witness_edges,
-                pair.s().len() as u64,
-                pair.t().len() as u64,
-            ),
-            _ => Density::ZERO,
-        }
+        self.witness.density()
     }
 
-    /// Certified upper bound on the current optimum, the minimum of four
-    /// independently valid bounds (crate docs prove each):
-    ///
-    /// 1. crossing drift — `(ρ₁ + sqrt(ρ₁² + 4k)) / 2` with `k` the delta
-    ///    edge count (tight when few, possibly concentrated, inserts);
-    /// 2. delta-degree drift — `ρ₁ + sqrt(aΔ·bΔ)` with `aΔ`/`bΔ` the delta
-    ///    graph's degree maxima (tight under scattered churn);
-    /// 3. `sqrt(m)` on the current graph;
-    /// 4. `sqrt(d⁺_max · d⁻_max)` on the current graph (exact maxima).
+    /// Certified upper bound on the current optimum ([`certified_upper`]).
     pub(crate) fn upper(&self, g: &DynamicGraph) -> f64 {
-        let m = g.m();
-        if m == 0 {
-            return 0.0;
-        }
-        let k = self.inserted_since_solve.len() as f64;
-        let rho = self.rho_at_solve;
-        let crossing = 0.5 * (rho + (rho * rho + 4.0 * k).sqrt());
-        let delta_deg = rho + ((self.delta_out.max() as f64) * (self.delta_in.max() as f64)).sqrt();
-        let sqrt_m = (m as f64).sqrt();
-        let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
-        crossing.min(delta_deg).min(sqrt_m).min(degree) * (1.0 + SAFETY)
+        certified_upper(g, self.rho_at_solve, &self.drift)
     }
 
     /// Both bounds as one bracket.
@@ -202,17 +277,16 @@ impl BoundTracker {
 
     /// Diagnostic string showing each bound ingredient (debug logging).
     pub(crate) fn debug_bounds(&self, g: &DynamicGraph) -> String {
-        let k = self.inserted_since_solve.len() as f64;
+        let k = self.drift.len() as f64;
         let rho = self.rho_at_solve;
         let crossing = 0.5 * (rho + (rho * rho + 4.0 * k).sqrt());
-        let a = self.delta_out.max();
-        let b = self.delta_in.max();
+        let (a, b) = self.drift.degree_maxima();
         let delta_deg = rho + ((a as f64) * (b as f64)).sqrt();
         let sqrt_m = (g.m() as f64).sqrt();
         let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
         format!(
             "rho1={rho:.4} k={k} cross={crossing:.4} aD={a} bD={b} ddeg={delta_deg:.4} sqrtm={sqrt_m:.4} deg={degree:.4} wE={}",
-            self.witness_edges
+            self.witness.edges
         )
     }
 }

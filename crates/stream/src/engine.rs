@@ -216,7 +216,8 @@ impl StreamEngine {
             // a solve): no meaningful certificate.
             return true;
         }
-        let band = (lower * (1.0 + self.config.tolerance)).max(lower + self.config.slack);
+        let band =
+            crate::bounds::certification_band(lower, self.config.tolerance, self.config.slack);
         bounds.upper > self.tracker.gap_at_solve() * band
     }
 
@@ -315,6 +316,35 @@ pub enum BatchBy {
     TimeWindow(u64),
 }
 
+/// Slices `events` into the batches `batch_by` describes (shared by
+/// [`replay`] and [`crate::replay_window`]).
+///
+/// # Panics
+/// Panics if the batch size or window is zero.
+pub(crate) fn batch_slices(events: &[TimedEvent], batch_by: BatchBy) -> Vec<&[TimedEvent]> {
+    match batch_by {
+        BatchBy::Count(size) => {
+            assert!(size > 0, "batch size must be positive");
+            events.chunks(size).collect()
+        }
+        BatchBy::TimeWindow(window) => {
+            assert!(window > 0, "time window must be positive");
+            let mut slices = Vec::new();
+            let mut start = 0;
+            while start < events.len() {
+                let bucket = events[start].time / window;
+                let mut end = start + 1;
+                while end < events.len() && events[end].time / window == bucket {
+                    end += 1;
+                }
+                slices.push(&events[start..end]);
+                start = end;
+            }
+            slices
+        }
+    }
+}
+
 /// Replays `events` through `engine` in batches, returning one report per
 /// epoch.
 ///
@@ -325,32 +355,10 @@ pub fn replay(
     events: &[TimedEvent],
     batch_by: BatchBy,
 ) -> Vec<EpochReport> {
-    let mut reports = Vec::new();
-    let mut emit = |chunk: &[TimedEvent]| {
-        reports.push(engine.apply(&Batch::from_events(chunk.to_vec())));
-    };
-    match batch_by {
-        BatchBy::Count(size) => {
-            assert!(size > 0, "batch size must be positive");
-            for chunk in events.chunks(size) {
-                emit(chunk);
-            }
-        }
-        BatchBy::TimeWindow(window) => {
-            assert!(window > 0, "time window must be positive");
-            let mut start = 0;
-            while start < events.len() {
-                let bucket = events[start].time / window;
-                let mut end = start + 1;
-                while end < events.len() && events[end].time / window == bucket {
-                    end += 1;
-                }
-                emit(&events[start..end]);
-                start = end;
-            }
-        }
-    }
-    reports
+    batch_slices(events, batch_by)
+        .into_iter()
+        .map(|chunk| engine.apply(&Batch::from_events(chunk.to_vec())))
+        .collect()
 }
 
 #[cfg(test)]

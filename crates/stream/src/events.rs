@@ -62,17 +62,28 @@ impl Batch {
 
     /// Appends an insertion (timestamp 0 — convenience for tests/examples).
     pub fn insert(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.insert_at(0, u, v)
+    }
+
+    /// Appends a deletion (timestamp 0 — convenience for tests/examples).
+    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.delete_at(0, u, v)
+    }
+
+    /// Appends a timestamped insertion. Timestamps drive the expiry ring
+    /// of [`crate::WindowEngine`], which expects them non-decreasing.
+    pub fn insert_at(&mut self, time: u64, u: VertexId, v: VertexId) -> &mut Self {
         self.events.push(TimedEvent {
-            time: 0,
+            time,
             event: Event::Insert(u, v),
         });
         self
     }
 
-    /// Appends a deletion (timestamp 0 — convenience for tests/examples).
-    pub fn delete(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+    /// Appends a timestamped deletion.
+    pub fn delete_at(&mut self, time: u64, u: VertexId, v: VertexId) -> &mut Self {
         self.events.push(TimedEvent {
-            time: 0,
+            time,
             event: Event::Delete(u, v),
         });
         self

@@ -52,6 +52,18 @@
 //! current graph, and its edge count is maintained per event, so its
 //! [`dds_num::Density`] never rounds.
 //!
+//! # Sliding windows
+//!
+//! [`StreamEngine`]'s certificate leans on a *persistent* witness, which a
+//! sliding window (every edge expires `W` ticks after arrival) destroys by
+//! construction. [`WindowEngine`] is the window-native counterpart: it
+//! owns the expiry ring, keeps the last certification's max-product
+//! `[x, y]`-core alive **decrementally** ([`dds_xycore::DecrementalCore`]
+//! repairs it locally as edges expire, so `ρ_opt ≥ ρ(core) ≥ sqrt(x·y)`
+//! keeps holding), re-certifies with a cheap core sweep when the band
+//! breaks, and escalates to one exact solve only when the sweep bracket
+//! cannot satisfy the configured tolerance. See [`WindowEngine`].
+//!
 //! # Example
 //!
 //! ```
@@ -83,6 +95,7 @@ mod engine;
 mod events;
 mod maxtrack;
 mod state;
+mod window;
 
 pub use bounds::CertifiedBounds;
 pub use engine::{replay, BatchBy, EpochReport, SolverKind, StreamConfig, StreamEngine};
@@ -90,3 +103,4 @@ pub use events::{
     load_events, read_events, save_events, write_events, Batch, Event, StreamError, TimedEvent,
 };
 pub use state::DynamicGraph;
+pub use window::{replay_window, WindowConfig, WindowEngine, WindowMode, WindowReport};

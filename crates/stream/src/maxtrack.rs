@@ -2,9 +2,12 @@
 //! increment/decrement — the count-of-counts trick from peeling
 //! algorithms.
 //!
-//! Used twice by the engine: for the live degree maxima of the dynamic
-//! graph, and for the degree maxima of the *delta graph* (edges inserted
-//! since the last solve), which drive the tightest drift bound.
+//! Used by both engines: for the live degree maxima of the dynamic graph,
+//! and for the degree maxima of the *delta graph* (edges inserted since
+//! the last certification), which drive the tightest drift bound. Both
+//! callers decrement as hard as they increment — every expiry, deletion,
+//! and drift refund lands here — so `decr` is as load-bearing as `incr`
+//! (pinned against a naive max scan below).
 
 /// Per-id counters with exact running maximum.
 ///
@@ -50,11 +53,12 @@ impl MaxTracker {
     }
 
     /// # Panics
-    /// Panics if `id`'s counter is already zero (an engine invariant
-    /// violation, not a user-reachable state).
+    /// Panics if `id`'s counter is already zero — including ids never
+    /// incremented at all (an engine invariant violation, not a
+    /// user-reachable state).
     pub(crate) fn decr(&mut self, id: usize) {
-        let c = self.count[id];
-        assert!(c > 0, "decrement of zero counter");
+        let c = self.count.get(id).copied().unwrap_or(0);
+        assert!(c > 0, "decrement of zero counter (id {id})");
         *self.freq_slot(c) -= 1;
         self.count[id] = c - 1;
         if c > 1 {
@@ -114,6 +118,62 @@ mod tests {
         t.clear();
         assert_eq!(t.max(), 0);
         assert_eq!(t.count(9), 0);
+    }
+
+    /// The ISSUE-3 pinning test: mixed insert/delete sequences — including
+    /// delete bursts that drain whole frequency levels, interleaved
+    /// clears, and ids far apart — must agree with a naive max scan *and*
+    /// naive per-id counters at every step.
+    #[test]
+    fn mixed_sequences_match_naive_max_scan() {
+        let ops: &[(&str, usize)] = &[
+            ("i", 0),
+            ("i", 0),
+            ("i", 0),
+            ("i", 63), // distant id: sparse count table
+            ("d", 0),
+            ("d", 0),
+            ("i", 7),
+            ("i", 7),
+            ("i", 7),
+            ("i", 7),
+            ("d", 7), // level 4 drains, max falls to 3
+            ("d", 7),
+            ("d", 7),
+            ("d", 0), // id 0 empties
+            ("d", 7),
+            ("d", 63), // everything empty again
+            ("i", 5),
+        ];
+        let mut t = MaxTracker::default();
+        let mut naive = std::collections::HashMap::<usize, u32>::new();
+        for &(op, id) in ops {
+            if op == "i" {
+                t.incr(id);
+                *naive.entry(id).or_insert(0) += 1;
+            } else {
+                t.decr(id);
+                *naive.get_mut(&id).unwrap() -= 1;
+            }
+            let naive_max = u64::from(naive.values().copied().max().unwrap_or(0));
+            assert_eq!(t.max(), naive_max, "after {op} {id}");
+            for (&id, &c) in &naive {
+                assert_eq!(t.count(id), c, "count of {id} after {op}");
+            }
+        }
+        // And a clear in the middle of a live walk resets cleanly.
+        t.clear();
+        assert_eq!(t.max(), 0);
+        t.incr(2);
+        assert_eq!(t.max(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrement of zero counter")]
+    fn decrementing_an_untouched_id_is_an_invariant_violation() {
+        let mut t = MaxTracker::default();
+        t.incr(1);
+        t.decr(999); // beyond the count table: still the assert, not an OOB
     }
 
     #[test]

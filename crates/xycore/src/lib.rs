@@ -49,10 +49,12 @@
 
 mod cache;
 mod decompose;
+mod decremental;
 mod peel;
 
 pub use cache::CoreCache;
 pub use decompose::{
     max_product_core, skyline, x_max, y_max_core, MaxProductCore, SkylinePoint, YMaxCore,
 };
+pub use decremental::DecrementalCore;
 pub use peel::{xy_core, xy_core_within};

@@ -1,0 +1,130 @@
+//! Property tests for [`DecrementalCore`]: under random edge-deletion
+//! sequences the maintained core must equal a from-scratch decomposition
+//! at **every** step, and under mixed insert/delete workloads it must stay
+//! a sound sub-core (the ISSUE-3 satellite contract).
+
+use dds_graph::{DiGraph, VertexId};
+use dds_xycore::{xy_core, DecrementalCore};
+use proptest::prelude::*;
+
+/// A random edge set over `max_n` vertices (no self-loops, deduplicated by
+/// `DiGraph` construction).
+fn edge_set(max_n: u32, max_m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..max_n, 0u32..max_n), 1..max_m).prop_map(|raw| {
+        let mut edges: Vec<(u32, u32)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    })
+}
+
+fn graph_of(n: usize, edges: &[(u32, u32)]) -> DiGraph {
+    DiGraph::from_edges(n, edges).expect("generated edges are valid")
+}
+
+/// Checks that `core`'s mask is a fixpoint of the `[x, y]` constraints on
+/// `g` and that its counters match a direct recount.
+fn assert_sound(core: &DecrementalCore, g: &DiGraph, x: u64, y: u64) {
+    let mask = core.mask();
+    let mut edges = 0u64;
+    for u in 0..g.n() {
+        if mask.in_s[u] {
+            let d = g
+                .out_neighbors(u as VertexId)
+                .iter()
+                .filter(|&&v| mask.in_t[v as usize])
+                .count() as u64;
+            assert!(d >= x, "S vertex {u} below threshold: {d} < {x}");
+            edges += d;
+        }
+        if mask.in_t[u] {
+            let d = g
+                .in_neighbors(u as VertexId)
+                .iter()
+                .filter(|&&w| mask.in_s[w as usize])
+                .count() as u64;
+            assert!(d >= y, "T vertex {u} below threshold: {d} < {y}");
+        }
+    }
+    assert_eq!(core.live_edges(), edges, "edge counter drifted");
+    assert_eq!(core.s_count(), mask.s_count());
+    assert_eq!(core.t_count(), mask.t_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deletion-only: the maintained mask equals a from-scratch peel of
+    /// the current graph after every single deletion, for every sampled
+    /// threshold pair.
+    #[test]
+    fn teardown_matches_from_scratch_decompose(
+        edges in edge_set(10, 40),
+        order_seed in 0u64..1_000,
+        x in 0u64..4,
+        y in 0u64..4,
+    ) {
+        let n = 10usize;
+        let g = graph_of(n, &edges);
+        let mut core = DecrementalCore::new(&g, x, y);
+        prop_assert_eq!(core.mask(), &xy_core(&g, x, y));
+
+        // Deterministic shuffle of the deletion order.
+        let mut order = edges.clone();
+        let mut s = order_seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let mut remaining = edges.clone();
+        for (u, v) in order {
+            remaining.retain(|&e| e != (u, v));
+            core.delete_edge(u, v);
+            let now = graph_of(n, &remaining);
+            prop_assert_eq!(core.mask(), &xy_core(&now, x, y),
+                "core diverged after deleting {} -> {} (x={}, y={})", u, v, x, y);
+            assert_sound(&core, &now, x, y);
+        }
+        prop_assert_eq!(core.live_edges(), 0);
+    }
+
+    /// Mixed insert/delete: the mask never grows, stays a subset of the
+    /// true core, and remains a valid fixpoint (so the `ρ ≥ sqrt(x·y)`
+    /// certificate holds throughout) with exact counters.
+    #[test]
+    fn mixed_workload_stays_a_sound_sub_core(
+        edges in edge_set(9, 32),
+        ops in prop::collection::vec((0u32..2, 0u32..9, 0u32..9), 1..40),
+        x in 1u64..3,
+        y in 1u64..3,
+    ) {
+        let n = 9usize;
+        let g = graph_of(n, &edges);
+        let mut core = DecrementalCore::new(&g, x, y);
+        let mut live: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        for (op, u, v) in ops {
+            if u == v {
+                continue;
+            }
+            if op == 0 {
+                if live.insert((u, v)) {
+                    core.insert_edge(u, v);
+                }
+            } else if live.remove(&(u, v)) {
+                core.delete_edge(u, v);
+            }
+            let now_edges: Vec<(u32, u32)> = live.iter().copied().collect();
+            let now = graph_of(n, &now_edges);
+            assert_sound(&core, &now, x, y);
+            // Sub-core: contained in the true (maximal) core.
+            let truth = xy_core(&now, x, y);
+            for w in 0..n {
+                prop_assert!(!core.mask().in_s[w] || truth.in_s[w],
+                    "S vertex {} outside the true core", w);
+                prop_assert!(!core.mask().in_t[w] || truth.in_t[w],
+                    "T vertex {} outside the true core", w);
+            }
+        }
+    }
+}

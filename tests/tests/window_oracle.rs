@@ -1,0 +1,209 @@
+//! The differential oracle harness for the window-native engine (the
+//! ISSUE-3 headline test): replay random timestamped streams through
+//! [`WindowEngine`] and, at **every** epoch, rebuild the live window from
+//! scratch with an independent model, then check
+//!
+//! * the engine's live edge set equals the model's (expiry, renewal, and
+//!   explicit-deletion semantics agree event by event);
+//! * the certified band brackets a fresh [`DcExact`] solve of the rebuilt
+//!   window: `lower ≤ ρ_opt ≤ upper`;
+//! * epochs that escalated to an exact solve report exactly `ρ_opt`;
+//! * every epoch the engine claims is inside its band really is.
+//!
+//! The model is deliberately naive — a timestamp map folded event by
+//! event — so the two implementations share no code beyond the event
+//! type.
+
+use std::collections::BTreeMap;
+
+use dds_core::DcExact;
+use dds_graph::DiGraph;
+use dds_stream::{Batch, Event, TimedEvent, WindowConfig, WindowEngine, WindowMode};
+use proptest::prelude::*;
+
+/// A naive sliding window: the latest arrival time of each live edge.
+struct NaiveWindow {
+    window: u64,
+    live: BTreeMap<(u32, u32), u64>,
+    now: u64,
+}
+
+impl NaiveWindow {
+    fn new(window: u64) -> Self {
+        NaiveWindow {
+            window,
+            live: BTreeMap::new(),
+            now: 0,
+        }
+    }
+
+    fn apply(&mut self, ev: &TimedEvent) {
+        self.now = self.now.max(ev.time);
+        let (window, now) = (self.window, self.now);
+        self.live.retain(|_, &mut t0| t0 + window > now);
+        match ev.event {
+            Event::Insert(u, v) if u != v => {
+                self.live.insert((u, v), ev.time); // arrival or renewal
+            }
+            Event::Insert(..) => {}
+            Event::Delete(u, v) => {
+                self.live.remove(&(u, v));
+            }
+        }
+    }
+
+    fn graph(&self, n: usize) -> DiGraph {
+        let edges: Vec<(u32, u32)> = self.live.keys().copied().collect();
+        DiGraph::from_edges(n, &edges).expect("model edges are valid")
+    }
+}
+
+/// Random timestamped streams over ≤ `max_n` vertices: mostly arrivals
+/// (so windows fill up), some explicit deletions, time advancing by
+/// 0..3 ticks per event (repeats and jumps both covered).
+fn timed_events(max_n: u32, len: usize) -> impl Strategy<Value = Vec<TimedEvent>> {
+    prop::collection::vec((0u32..4, 0u32..max_n, 0u32..max_n, 0u64..3), 1..len).prop_map(|raw| {
+        let mut time = 0u64;
+        raw.into_iter()
+            .map(|(op, u, v, dt)| {
+                time += dt;
+                TimedEvent {
+                    time,
+                    event: if op < 3 {
+                        Event::Insert(u, v)
+                    } else {
+                        Event::Delete(u, v)
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+fn check_epochs(
+    events: &[TimedEvent],
+    batch_size: usize,
+    config: WindowConfig,
+) -> Result<(), TestCaseError> {
+    let max_n = 8usize;
+    let mut engine = WindowEngine::new(config);
+    let mut model = NaiveWindow::new(config.window);
+    for chunk in events.chunks(batch_size) {
+        let report = engine.apply(&Batch::from_events(chunk.to_vec()));
+        for ev in chunk {
+            model.apply(ev);
+        }
+
+        // 1. The live edge sets agree exactly.
+        let g = engine.materialize();
+        prop_assert_eq!(
+            g.m(),
+            model.live.len(),
+            "epoch {}: engine has {} edges, model {}",
+            report.epoch,
+            g.m(),
+            model.live.len()
+        );
+        for &(u, v) in model.live.keys() {
+            prop_assert!(
+                g.has_edge(u, v),
+                "epoch {}: missing {} -> {}",
+                report.epoch,
+                u,
+                v
+            );
+        }
+
+        // 2. The certified band brackets a fresh exact solve of the
+        //    from-scratch rebuild.
+        let rebuilt = model.graph(max_n);
+        let exact = DcExact::new().solve(&rebuilt).solution.density;
+        prop_assert!(
+            report.density <= exact,
+            "epoch {}: lower {} exceeds exact {}",
+            report.epoch,
+            report.density,
+            exact
+        );
+        prop_assert!(
+            exact.to_f64() <= report.upper * (1.0 + 1e-9),
+            "epoch {}: upper {} below exact {}",
+            report.epoch,
+            report.upper,
+            exact
+        );
+
+        // 3. Escalated epochs land exactly on the optimum.
+        if report.mode == WindowMode::ExactResolve {
+            prop_assert_eq!(
+                report.density,
+                exact,
+                "epoch {}: escalation missed the optimum",
+                report.epoch
+            );
+        }
+
+        // 4. The engine's own band verdict is honest.
+        prop_assert!(
+            report.within_band,
+            "epoch {}: ended outside its certified band [{}, {}]",
+            report.epoch,
+            report.lower,
+            report.upper
+        );
+        prop_assert!(report.lower <= report.upper * (1.0 + 1e-9));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Default-style config (escalation on): every epoch must satisfy the
+    /// four oracle properties for arbitrary streams, windows, and batching.
+    #[test]
+    fn window_engine_matches_the_oracle(
+        events in timed_events(8, 48),
+        batch_size in 1usize..6,
+        window in 2u64..14,
+        tol_steps in 0u32..5,
+    ) {
+        check_epochs(&events, batch_size, WindowConfig {
+            window,
+            tolerance: f64::from(tol_steps) * 0.25,
+            slack: 0.5,
+            exact_escalation: true,
+        })?;
+    }
+
+    /// Escalation off: the core bracket alone must still bracket the
+    /// optimum at every epoch (factor ≤ ~2 is allowed, unsoundness is not).
+    #[test]
+    fn core_only_windows_still_bracket_exact(
+        events in timed_events(7, 40),
+        batch_size in 1usize..5,
+        window in 2u64..10,
+    ) {
+        check_epochs(&events, batch_size, WindowConfig {
+            window,
+            tolerance: 0.25,
+            slack: 2.0,
+            exact_escalation: false,
+        })?;
+    }
+
+    /// Degenerate windows: W = 1 expires everything after one tick, so the
+    /// engine must keep certifying a graph that is mostly empty.
+    #[test]
+    fn unit_windows_never_desync(
+        events in timed_events(6, 32),
+        batch_size in 1usize..4,
+    ) {
+        check_epochs(&events, batch_size, WindowConfig {
+            window: 1,
+            tolerance: 0.0,
+            slack: 0.0,
+            exact_escalation: true,
+        })?;
+    }
+}
