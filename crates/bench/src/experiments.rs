@@ -1,5 +1,5 @@
-//! The experiment suite (E1–E14): one function per table/figure of the
-//! reconstructed evaluation (`DESIGN.md §4`; E12–E14 cover the streaming
+//! The experiment suite (E1–E15): one function per table/figure of the
+//! reconstructed evaluation (`DESIGN.md §4`; E12–E15 cover the streaming
 //! subsystems). Each prints an aligned table to stdout, writes the same
 //! data to `bench_results/<id>.csv`, and states the *expected shape* so
 //! `EXPERIMENTS.md` can record measured-vs-expected.
@@ -13,7 +13,7 @@ use dds_xycore::{max_product_core, skyline};
 use crate::report::{fmt_duration, time, Table};
 use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e13`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e15`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -34,13 +34,14 @@ pub fn run(id: &str, quick: bool) {
         "e12" => e12_streaming(quick),
         "e13" => e13_solve_context(quick),
         "e14" => e14_window(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e14)"),
+        "e15" => e15_sketch_tier(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e15)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -614,6 +615,7 @@ pub fn e12_streaming(quick: bool) {
             tolerance: 0.25,
             slack: 2.0,
             solver,
+            ..Default::default()
         });
         let (reports, d) = time(|| {
             dds_stream::replay(
@@ -795,10 +797,10 @@ pub fn e14_window(quick: bool) {
     );
     for scenario in crate::stream_workloads::window_registry(quick) {
         let mut engine = dds_stream::WindowEngine::new(dds_stream::WindowConfig {
-            window: scenario.window,
             tolerance: 0.25,
             slack: 2.0,
             exact_escalation: true,
+            ..dds_stream::WindowConfig::new(scenario.window)
         });
         let (reports, d) = time(|| {
             dds_stream::replay_window(
@@ -853,6 +855,171 @@ pub fn e14_window(quick: bool) {
     }
     println!("{}", t.render());
     t.write_csv("e14_window");
+}
+
+/// E15 — the sketch tier vs the core-sweep tier on a large churn replay
+/// (the approximation-first regime: graphs whose full `O(√m·(n+m))` sweep
+/// is the thing being avoided). Both tiers run the *same* `StreamEngine`
+/// band policy; only the re-certification differs. The harness asserts the
+/// sketch tier's headline guarantees: retained state ≤ 10% of the live
+/// edge set at peak, every sampled epoch's certified bracket containing a
+/// fresh exact solve of the full graph, and (full mode) sketch refreshes
+/// beating the sweep's total re-solve wall time.
+pub fn e15_sketch_tier(quick: bool) {
+    use dds_sketch::SketchConfig;
+    use dds_stream::{
+        batch_slices, Batch, BatchBy, SketchTier, SolverKind, StreamConfig, StreamEngine,
+    };
+
+    println!(
+        "\n=== E15: sketch tier vs core-sweep tier (expected: bounded retained state, sound brackets, cheaper refreshes)"
+    );
+    // Full mode sits squarely in the tier's target regime: a live edge set
+    // (~225k) whose `O(√m·(n+m))` sweep costs real milliseconds, and a
+    // *dense* optimum (ρ = 256). The density matters: uniform sampling at
+    // rate `p` keeps a pair's signal only while `p·ρ ≳ 1`, so the state
+    // bound the tier can afford (`bound ≈ p·m`) preserves the optimum
+    // exactly when `ρ ≫ m / bound` — the Mitrović–Pan regime. A sparse
+    // optimum (ρ ~ 30 on this m) would still be *bracketed* soundly, but
+    // the witness would be noise and the whole exercise pointless.
+    let (n, bg, block, events, batch, bound) = if quick {
+        (300, 1_500, (48, 48), 20_000usize, 50, 300)
+    } else {
+        (4_000, 160_000, (256, 256), 1_000_000usize, 500, 4_000)
+    };
+    let stream = crate::stream_workloads::churn(n, bg, block, events, 0xDD5);
+    let slices = batch_slices(&stream, BatchBy::Count(batch));
+    let epochs = slices.len();
+    let sample_every = (epochs / 5).max(1);
+
+    let mut t = Table::new(
+        format!(
+            "1M-style churn replay: n = {n}, background m = {bg}, block {}x{}, batch = {batch}",
+            block.0, block.1
+        ),
+        &[
+            "tier",
+            "events",
+            "epochs",
+            "resolves",
+            "escal",
+            "resolve_ms",
+            "mean_ms",
+            "peak_m",
+            "retained_pk",
+            "state_frac",
+            "max_factor",
+            "worst_realized",
+            "wall",
+        ],
+    );
+
+    // Three operating points: the full core sweep; the sketch tier in its
+    // sweep-first configuration (escalate only when the sweep-on-sketch
+    // certifies nothing — the headline, wall-time-asserted row); and the
+    // sketch tier forced always-exact (every refresh is an exact-on-sketch
+    // solve), which prices the escalation hatch that replaces an
+    // exact-on-full solve no one could afford at this m.
+    let sketch_at = |escalate_factor: f64| {
+        Some(SketchTier {
+            min_m: 0,
+            config: SketchConfig {
+                state_bound: bound,
+                escalate_factor,
+                ..SketchConfig::default()
+            },
+        })
+    };
+    let tiers = [
+        ("core-sweep", None),
+        ("sketch", sketch_at(2.0)),
+        ("sketch-exact", sketch_at(1.0)),
+    ];
+    let mut resolve_totals = [0.0f64; 3];
+    for (idx, (tier, sketch)) in tiers.into_iter().enumerate() {
+        let config = StreamConfig {
+            solver: SolverKind::CoreApprox,
+            sketch,
+            ..Default::default()
+        };
+        let mut engine = StreamEngine::new(config);
+        let (mut resolves, mut resolve_ms, mut peak_m, mut wall) = (0usize, 0.0f64, 0usize, 0.0);
+        let (mut max_factor, mut worst_realized) = (1.0f64, 1.0f64);
+        for (i, chunk) in slices.iter().enumerate() {
+            let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+            wall += r.elapsed.as_secs_f64();
+            peak_m = peak_m.max(r.m);
+            max_factor = max_factor.max(r.certified_factor);
+            if r.resolved {
+                resolves += 1;
+                resolve_ms += r.elapsed.as_secs_f64() * 1e3;
+            }
+            // Spot checks: a fresh exact solve of the FULL graph must sit
+            // inside the certified bracket at every sampled epoch.
+            if (i + 1) % sample_every == 0 || i + 1 == epochs {
+                let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+                assert!(
+                    r.density <= exact,
+                    "{tier}: epoch {} lower {} above exact {exact}",
+                    i + 1,
+                    r.density
+                );
+                assert!(
+                    exact.to_f64() <= r.upper * (1.0 + 1e-9),
+                    "{tier}: epoch {} upper {} below exact {exact}",
+                    i + 1,
+                    r.upper
+                );
+                if r.lower > 0.0 {
+                    worst_realized = worst_realized.max(exact.to_f64() / r.lower);
+                }
+            }
+        }
+        resolve_totals[idx] = resolve_ms;
+        let escal_cell = engine
+            .sketch_stats()
+            .map_or("-".into(), |stats| stats.escalations.to_string());
+        let (retained_cell, frac_cell) = match engine.sketch_stats() {
+            Some(stats) => {
+                let frac = stats.peak_retained as f64 / peak_m.max(1) as f64;
+                assert!(
+                    frac <= 0.10,
+                    "retained peak {} exceeds 10% of peak live m {peak_m}",
+                    stats.peak_retained
+                );
+                (
+                    stats.peak_retained.to_string(),
+                    format!("{:.1}%", 100.0 * frac),
+                )
+            }
+            None => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            (*tier).into(),
+            stream.len().to_string(),
+            epochs.to_string(),
+            resolves.to_string(),
+            escal_cell,
+            format!("{resolve_ms:.0}"),
+            format!("{:.1}", resolve_ms / resolves.max(1) as f64),
+            peak_m.to_string(),
+            retained_cell,
+            frac_cell,
+            format!("{max_factor:.3}"),
+            format!("{worst_realized:.3}"),
+            format!("{wall:.2}s"),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e15_sketch_tier");
+    if !quick {
+        assert!(
+            resolve_totals[1] < resolve_totals[0],
+            "sketch refreshes ({:.0} ms) must beat the core sweeps ({:.0} ms)",
+            resolve_totals[1],
+            resolve_totals[0]
+        );
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,10 @@
 use dds_bench::{experiments, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e14)... [--quick]
+  dds-bench (all | e1..e15)... [--quick]
   dds-bench smoke
   dds-bench window-smoke
+  dds-bench sketch-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -34,6 +35,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("window-smoke") {
         smoke_window();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("sketch-smoke") {
+        smoke_sketch();
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -132,10 +137,10 @@ fn smoke_window() {
     const REFRESH_BUDGET: usize = 400;
     let events = dds_bench::stream_workloads::arrivals(400, 20_000, 0xDD5);
     let mut engine = WindowEngine::new(WindowConfig {
-        window: 4_000,
         tolerance: 0.25,
         slack: 2.0,
         exact_escalation: true,
+        ..WindowConfig::new(4_000)
     });
     let t0 = std::time::Instant::now();
     let reports = replay_window(&mut engine, &events, BatchBy::Count(25));
@@ -171,6 +176,101 @@ fn smoke_window() {
         "refresh budget exceeded: {refreshes} > {REFRESH_BUDGET}"
     );
     println!("window-smoke: OK (budgets: {EXACT_BUDGET} exact, {REFRESH_BUDGET} refreshes)");
+}
+
+/// CI sketch smoke: a seeded 100k-event churn replay through a standalone
+/// [`dds_sketch::SketchEngine`] behind a canonicalising full-graph mirror,
+/// asserting the tier's three contracts on every epoch or at sampled
+/// epochs: (1) the retained set never exceeds the configured state bound,
+/// (2) the certified bracket contains a fresh exact solve of the full
+/// graph, (3) the whole replay fits a generous wall-time budget (the only
+/// wall-clock assert in CI — the sketch exists to be cheap, so a 10x cost
+/// regression should fail the build even if it stays "correct").
+///
+/// Budget calibration: this replay measures 107 refreshes (deterministic:
+/// seeded stream, deterministic engine) and ~2 s wall (release, 2026-07).
+/// The budgets below carry ~1.5x and ~15x headroom respectively; a broken
+/// subsampler (level stuck at 0) trips the per-epoch state-bound assert
+/// immediately. The planted
+/// block is deliberately denser than the background average (rho = 32 vs
+/// m/n ~ 13) so the sampled spot-check solves stay sharp and fast.
+fn smoke_sketch() {
+    use dds_core::DcExact;
+    use dds_sketch::{SketchConfig, SketchEngine};
+    use dds_stream::{DynamicGraph, Event};
+
+    const BOUND: usize = 500;
+    const REFRESH_BUDGET: u64 = 160;
+    const WALL_BUDGET_S: f64 = 30.0;
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), 100_000, 0xDD5);
+    let mut mirror = DynamicGraph::new();
+    let mut sketch = SketchEngine::new(SketchConfig {
+        state_bound: BOUND,
+        ..SketchConfig::default()
+    });
+    let t0 = std::time::Instant::now();
+    let mut epochs = 0u64;
+    let mut checks = 0u32;
+    for chunk in events.chunks(100) {
+        for ev in chunk {
+            match ev.event {
+                Event::Insert(u, v) => {
+                    if mirror.insert(u, v) {
+                        sketch.insert(u, v);
+                    }
+                }
+                Event::Delete(u, v) => {
+                    if mirror.delete(u, v) {
+                        sketch.delete(u, v);
+                    }
+                }
+            }
+        }
+        if sketch.is_undersampled() {
+            sketch.rebuild(mirror.edges()); // the mirror owns the live set
+        }
+        let r = sketch.seal_epoch();
+        epochs += 1;
+        assert!(
+            r.retained <= BOUND,
+            "epoch {epochs}: retained {} broke the state bound {BOUND}",
+            r.retained
+        );
+        if epochs.is_multiple_of(250) {
+            let exact = DcExact::new().solve(&mirror.materialize()).solution.density;
+            assert!(
+                r.density <= exact && exact.to_f64() <= r.upper * (1.0 + 1e-9),
+                "epoch {epochs}: bracket [{}, {}] misses exact {exact}",
+                r.lower,
+                r.upper
+            );
+            checks += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = sketch.stats();
+    println!(
+        "sketch-smoke: {} events, {epochs} epochs in {elapsed:?}: retained {} (peak {}) of {} live, \
+         level {}, {} subsamples, {} refreshes, {checks} bracket spot-checks",
+        events.len(),
+        stats.retained,
+        stats.peak_retained,
+        mirror.m(),
+        stats.level,
+        stats.subsamples,
+        stats.refreshes,
+    );
+    assert!(stats.level >= 1, "the subsampler never engaged");
+    assert!(
+        stats.refreshes <= REFRESH_BUDGET,
+        "refresh budget exceeded: {} > {REFRESH_BUDGET} — the drift policy regressed",
+        stats.refreshes
+    );
+    assert!(
+        elapsed.as_secs_f64() < WALL_BUDGET_S,
+        "wall budget exceeded: {elapsed:?} > {WALL_BUDGET_S}s"
+    );
+    println!("sketch-smoke: OK (budgets: {REFRESH_BUDGET} refreshes, {WALL_BUDGET_S}s wall)");
 }
 
 /// CI smoke: the n = 500 planted-block exact solve, with a hard budget on

@@ -9,8 +9,10 @@ use dds_core::{
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
+use dds_sketch::{SketchConfig, SketchEngine};
 use dds_stream::{
-    BatchBy, SolverKind, StreamConfig, StreamEngine, WindowConfig, WindowEngine, WindowMode,
+    batch_slices, BatchBy, DynamicGraph, Event, SketchTier, SolverKind, StreamConfig, StreamEngine,
+    WindowConfig, WindowEngine, WindowMode,
 };
 use dds_xycore::{max_product_core, skyline, xy_core};
 
@@ -66,7 +68,10 @@ const USAGE: &str = "usage:
   dds dot     <edge-list> [--highlight]
   dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha A] [--plant S,T,P] --out <file>
   dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
-              [--window W [--no-escalate]]   (sliding window: expire edges W ticks after arrival)
+              [--threads N] [--window W [--no-escalate]] [--sketch [--sketch-min-m M] [--sketch-bound B]]
+              (--window: expire edges W ticks after arrival; --sketch: re-certify via exact-on-sketch past M live edges)
+  dds sketch  <event-file> [--batch N | --time-window T] [--bound B] [--drift F] [--threads N] [--seed S] [--log-every K]
+              (standalone sublinear sketch replay: certified bracket + (1+eps) estimate per epoch)
   dds help";
 
 /// Entry point shared by `main` and the tests.
@@ -86,6 +91,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("dot") => cmd_dot(&mut it, out),
         Some("gen") => cmd_gen(&mut it, out),
         Some("stream") => cmd_stream(&mut it, out),
+        Some("sketch") => cmd_sketch(&mut it, out),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -497,8 +503,31 @@ fn cmd_stream<'a>(
     let mut log_every = 0usize;
     let mut window: Option<u64> = None;
     let mut escalate = true;
+    let mut threads = 1usize;
+    let mut sketch = false;
+    let mut sketch_min_m = 50_000usize;
+    let mut sketch_flags_used = false;
+    let mut sketch_bound = SketchConfig::default().state_bound;
     while let Some(flag) = it.next() {
         match flag {
+            "--threads" => {
+                threads = parse_flag_value("--threads", it.next())?;
+                if threads == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+            }
+            "--sketch" => sketch = true,
+            "--sketch-min-m" => {
+                sketch_min_m = parse_flag_value("--sketch-min-m", it.next())?;
+                sketch_flags_used = true;
+            }
+            "--sketch-bound" => {
+                sketch_bound = parse_flag_value("--sketch-bound", it.next())?;
+                sketch_flags_used = true;
+                if sketch_bound == 0 {
+                    return Err(CliError::Usage("--sketch-bound must be positive".into()));
+                }
+            }
             "--window" => {
                 let w: u64 = parse_flag_value("--window", it.next())?;
                 if w == 0 {
@@ -550,7 +579,20 @@ fn cmd_stream<'a>(
         }
     }
 
+    if sketch_flags_used && !sketch {
+        return Err(CliError::Usage(
+            "--sketch-min-m/--sketch-bound require --sketch".into(),
+        ));
+    }
     let events = dds_stream::load_events(path)?;
+    let tier = sketch.then_some(SketchTier {
+        min_m: sketch_min_m,
+        config: SketchConfig {
+            state_bound: sketch_bound,
+            threads,
+            ..SketchConfig::default()
+        },
+    });
     if let Some(w) = window {
         if solver.is_some() {
             return Err(CliError::Usage(
@@ -558,7 +600,18 @@ fn cmd_stream<'a>(
             ));
         }
         return stream_window(
-            out, &events, w, tolerance, slack, escalate, batch_by, log_every,
+            out,
+            &events,
+            WindowConfig {
+                tolerance,
+                slack,
+                exact_escalation: escalate,
+                threads,
+                sketch: tier,
+                ..WindowConfig::new(w)
+            },
+            batch_by,
+            log_every,
         );
     }
     if !escalate {
@@ -568,6 +621,8 @@ fn cmd_stream<'a>(
         tolerance,
         slack,
         solver: solver.unwrap_or(SolverKind::Exact),
+        threads,
+        sketch: tier,
     });
     let started = std::time::Instant::now();
     let reports = dds_stream::replay(&mut engine, &events, batch_by);
@@ -584,12 +639,18 @@ fn cmd_stream<'a>(
             || r.epoch == last_epoch;
         if logged {
             let mode = if r.resolved {
-                match r.solve_stats {
-                    Some(s) => format!(
+                match (r.sketch, r.solve_stats) {
+                    (Some(sk), _) => format!(
+                        "SKETCH RESOLVE (retained {}, level {}, {} flows)",
+                        sk.retained,
+                        sk.level,
+                        r.solve_stats.map_or(0, |s| s.flow_decisions),
+                    ),
+                    (None, Some(s)) => format!(
                         "RESOLVE ({} ratios, {} flows, {} arena hits)",
                         s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
                     ),
-                    None => "RESOLVE".into(),
+                    (None, None) => "RESOLVE".into(),
                 }
             } else {
                 "incremental".into()
@@ -644,6 +705,19 @@ fn cmd_stream<'a>(
             "re-solve totals: {ratios} ratios, {flows} flow decisions, {arena_hits} arena reuse hits"
         )?;
     }
+    if let Some(stats) = engine.sketch_stats() {
+        writeln!(
+            out,
+            "sketch tier: {} of {} re-solves sketched; retained {} (peak {}), level {}, {} subsamples, {} refreshes",
+            engine.sketch_resolves(),
+            engine.resolves(),
+            stats.retained,
+            stats.peak_retained,
+            stats.level,
+            stats.subsamples,
+            stats.refreshes,
+        )?;
+    }
     if let Some(last) = reports.last() {
         writeln!(
             out,
@@ -665,23 +739,20 @@ fn cmd_stream<'a>(
 /// The `--window` replay path: sliding-window maintenance through
 /// [`WindowEngine`] (expiry handled by the engine; the event file only
 /// needs arrivals, though explicit deletions still work).
-#[allow(clippy::too_many_arguments)] // flag plumbing from cmd_stream
 fn stream_window(
     out: &mut dyn Write,
     events: &[dds_stream::TimedEvent],
-    window: u64,
-    tolerance: f64,
-    slack: f64,
-    escalate: bool,
+    config: WindowConfig,
     batch_by: BatchBy,
     log_every: usize,
 ) -> Result<(), CliError> {
-    let mut engine = WindowEngine::new(WindowConfig {
-        window,
-        tolerance,
-        slack,
-        exact_escalation: escalate,
-    });
+    let (window, tolerance, slack, escalate) = (
+        config.window,
+        config.tolerance,
+        config.slack,
+        config.exact_escalation,
+    );
+    let mut engine = WindowEngine::new(config);
     let started = std::time::Instant::now();
     let reports = dds_stream::replay_window(&mut engine, events, batch_by);
     let wall = started.elapsed();
@@ -709,6 +780,15 @@ fn stream_window(
                         s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
                     ),
                     None => "EXACT".into(),
+                },
+                WindowMode::SketchRefresh => match r.sketch {
+                    Some(sk) => format!(
+                        "SKETCH REFRESH (retained {}, level {}, {} flows)",
+                        sk.retained,
+                        sk.level,
+                        r.solve_stats.map_or(0, |s| s.flow_decisions),
+                    ),
+                    None => "SKETCH REFRESH".into(),
                 },
             };
             writeln!(
@@ -756,6 +836,18 @@ fn stream_window(
         engine.expired(),
         engine.repairs(),
     )?;
+    if let Some(stats) = engine.sketch_stats() {
+        writeln!(
+            out,
+            "sketch tier: {} of {} refreshes sketched; retained {} (peak {}), level {}, {} subsamples",
+            engine.sketch_refreshes(),
+            engine.refreshes(),
+            stats.retained,
+            stats.peak_retained,
+            stats.level,
+            stats.subsamples,
+        )?;
+    }
     writeln!(
         out,
         "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack}, escalation {})",
@@ -770,6 +862,159 @@ fn stream_window(
         if let Some((x, y)) = engine.core_thresholds() {
             writeln!(out, "maintained core [{x},{y}]")?;
         }
+    }
+    Ok(())
+}
+
+/// `dds sketch`: standalone sublinear-sketch replay. A full
+/// [`DynamicGraph`] mirror canonicalises the event file (the sketch's
+/// turnstile contract: only *applied* mutations reach it — in production
+/// that dedup belongs to whatever upstream engine owns the edge set), the
+/// sketch maintains its sublinear summary, and each batch seals one epoch:
+/// certified bracket, scaled estimate with its `(1+ε)` loss, retained
+/// state, and exact-on-sketch instrumentation.
+fn cmd_sketch<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <event-file> path".into()))?;
+    let mut batch_by = BatchBy::Count(25);
+    let mut config = SketchConfig::default();
+    let mut log_every = 0usize;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--batch" => {
+                let n: usize = parse_flag_value("--batch", it.next())?;
+                if n == 0 {
+                    return Err(CliError::Usage("--batch must be positive".into()));
+                }
+                batch_by = BatchBy::Count(n);
+            }
+            "--time-window" => {
+                let w: u64 = parse_flag_value("--time-window", it.next())?;
+                if w == 0 {
+                    return Err(CliError::Usage("--time-window must be positive".into()));
+                }
+                batch_by = BatchBy::TimeWindow(w);
+            }
+            "--bound" => {
+                config.state_bound = parse_flag_value("--bound", it.next())?;
+                if config.state_bound == 0 {
+                    return Err(CliError::Usage("--bound must be positive".into()));
+                }
+            }
+            "--drift" => {
+                config.refresh_drift = parse_flag_value("--drift", it.next())?;
+                if config.refresh_drift.is_nan() || config.refresh_drift <= 0.0 {
+                    return Err(CliError::Usage("--drift must be positive".into()));
+                }
+            }
+            "--threads" => {
+                config.threads = parse_flag_value("--threads", it.next())?;
+                if config.threads == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+            }
+            "--seed" => config.seed = parse_flag_value("--seed", it.next())?,
+            "--log-every" => log_every = parse_flag_value("--log-every", it.next())?,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+
+    let events = dds_stream::load_events(path)?;
+    let mut mirror = DynamicGraph::new();
+    let mut sketch = SketchEngine::new(config);
+    let started = std::time::Instant::now();
+    let slices = batch_slices(&events, batch_by);
+    let epochs = slices.len();
+    writeln!(
+        out,
+        "epoch      m  retained  lvl   [lower, upper]      estimate (+/-eps)  mode"
+    )?;
+    for (i, chunk) in slices.iter().enumerate() {
+        for ev in *chunk {
+            match ev.event {
+                Event::Insert(u, v) => {
+                    if mirror.insert(u, v) {
+                        sketch.insert(u, v);
+                    }
+                }
+                Event::Delete(u, v) => {
+                    if mirror.delete(u, v) {
+                        sketch.delete(u, v);
+                    }
+                }
+            }
+        }
+        // The mirror is the authoritative edge set: recover a sample that
+        // over-thinned after the live graph shrank (see `is_undersampled`).
+        if sketch.is_undersampled() {
+            sketch.rebuild(mirror.edges());
+        }
+        let r = sketch.seal_epoch();
+        let logged = r.refreshed
+            || (log_every > 0 && r.epoch.is_multiple_of(log_every as u64))
+            || i + 1 == epochs;
+        if logged {
+            let mode = if r.refreshed {
+                match r.solve_stats {
+                    Some(s) => format!(
+                        "REFRESH ({} ratios, {} flows)",
+                        s.ratios_solved, s.flow_decisions
+                    ),
+                    None => "REFRESH".into(),
+                }
+            } else {
+                "incremental".into()
+            };
+            writeln!(
+                out,
+                "{:>5} {:>6} {:>9} {:>4}   [{:>8.4}, {:>8.4}]   {:>8.4} (1+/-{:.3})  {}",
+                r.epoch, r.m, r.retained, r.level, r.lower, r.upper, r.estimate, r.loss, mode,
+            )?;
+        }
+    }
+    let wall = started.elapsed();
+
+    let stats = sketch.stats();
+    writeln!(out)?;
+    writeln!(
+        out,
+        "replayed {} events in {epochs} epochs ({wall:.2?}): {} refreshes ({} escalated to exact-on-sketch), {} subsamples",
+        events.len(),
+        stats.refreshes,
+        stats.escalations,
+        stats.subsamples,
+    )?;
+    writeln!(
+        out,
+        "state: {} retained of {} live edges ({:.1}%), peak {}, level {} (rate 1/{}), bound {}",
+        stats.retained,
+        mirror.m(),
+        100.0 * stats.retained as f64 / mirror.m().max(1) as f64,
+        stats.peak_retained,
+        stats.level,
+        1u64 << stats.level.min(63),
+        config.state_bound,
+    )?;
+    writeln!(
+        out,
+        "exact-on-sketch totals: {} ratios, {} flow decisions, {} arena reuse hits, {} core cache hits",
+        stats.solve.ratios_solved,
+        stats.solve.flow_decisions,
+        stats.solve.arena_reuse_hits,
+        stats.solve.core_cache_hits,
+    )?;
+    if let Some(pair) = sketch.witness_pair() {
+        writeln!(
+            out,
+            "witness |S| = {}, |T| = {} at sketch density {}",
+            pair.s().len(),
+            pair.t().len(),
+            sketch.witness_density(),
+        )?;
     }
     Ok(())
 }
@@ -1067,6 +1312,84 @@ mod tests {
         assert!(matches!(
             run_err(&["stream", &path, "--frobnicate"]),
             CliError::Usage(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_accepts_threads_and_sketch_tier() {
+        let path = temp_events();
+        let out = run_ok(&["stream", &path, "--threads", "2", "--batch", "3"]);
+        assert!(out.contains("RESOLVE"), "{out}");
+        // min_m 0: every re-solve goes through the sketch tier.
+        let out = run_ok(&[
+            "stream",
+            &path,
+            "--sketch",
+            "--sketch-min-m",
+            "0",
+            "--batch",
+            "3",
+        ]);
+        assert!(out.contains("SKETCH RESOLVE"), "{out}");
+        assert!(out.contains("sketch tier:"), "{out}");
+        // The tier also rides the window engine.
+        let windowed = run_ok(&[
+            "stream",
+            &path,
+            "--window",
+            "4",
+            "--sketch",
+            "--sketch-min-m",
+            "0",
+        ]);
+        assert!(windowed.contains("SKETCH REFRESH"), "{windowed}");
+        assert!(windowed.contains("sketch tier:"), "{windowed}");
+        assert!(matches!(
+            run_err(&["stream", &path, "--sketch-min-m", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--sketch", "--sketch-bound", "0"]),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            run_err(&["stream", &path, "--threads", "0"]),
+            CliError::Usage(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sketch_replays_with_bracket_and_stats() {
+        let path = temp_events();
+        let out = run_ok(&["sketch", &path, "--batch", "2", "--log-every", "1"]);
+        assert!(out.contains("REFRESH"), "{out}");
+        assert!(out.contains("exact-on-sketch totals:"), "{out}");
+        assert!(out.contains("state:"), "{out}");
+        assert!(out.contains("witness |S|"), "{out}");
+        // A tiny bound forces subsampling even on the toy stream.
+        let tiny = run_ok(&["sketch", &path, "--bound", "2", "--batch", "2"]);
+        assert!(tiny.contains("bound 2"), "{tiny}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sketch_usage_errors() {
+        let path = temp_events();
+        assert!(matches!(run_err(&["sketch"]), CliError::Usage(_)));
+        for bad in [
+            ["sketch", &path, "--bound", "0"],
+            ["sketch", &path, "--drift", "0"],
+            ["sketch", &path, "--threads", "0"],
+            ["sketch", &path, "--batch", "0"],
+            ["sketch", &path, "--frobnicate", "1"],
+        ] {
+            assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
+        }
+        assert!(matches!(
+            run_err(&["sketch", "/definitely/not/here.events"]),
+            CliError::Stream(_)
         ));
         std::fs::remove_file(&path).ok();
     }

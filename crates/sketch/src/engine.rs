@@ -1,0 +1,857 @@
+//! The sketch engine: sublinear-state ingestion, level-based subsampling,
+//! two-tier refreshes (core-approx-on-sketch, escalated to exact-on-sketch
+//! when the sketch's own core bracket is too loose), and epoch reports.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use dds_core::{core_approx, exact_on_sketch, SolveContext, SolveStats};
+use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
+use dds_num::Density;
+
+use crate::maxtrack::MaxTracker;
+use crate::sample::EdgeSampler;
+
+/// Relative inflation applied to the floating-point upper bound so
+/// rounding can never flip the certificate (same discipline as
+/// `dds-stream`'s drift bounds).
+const SAFETY: f64 = 1e-9;
+
+/// Retained sets smaller than this still wait for a few mutations before
+/// refreshing — otherwise tiny sketches would re-solve on every event.
+const DRIFT_FLOOR: usize = 32;
+
+/// Configuration of a [`SketchEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Maximum retained edges. When an insert pushes the retained set past
+    /// this, the subsampling level increments (halving the admission rate)
+    /// until the set fits again. Must be positive.
+    pub state_bound: usize,
+    /// Fraction of the retained set that must have churned since the last
+    /// exact-on-sketch solve before [`SketchEngine::seal_epoch`] refreshes
+    /// on its own. Must be positive (the embedding engines bypass this and
+    /// call [`SketchEngine::force_refresh`] on their own band policy).
+    pub refresh_drift: f64,
+    /// Confidence parameter `δ` of the estimate's Chernoff loss factor
+    /// (the `(1+ε)` bracket holds with probability `≥ 1 − δ` per query).
+    /// Must be in `(0, 1)`.
+    pub delta: f64,
+    /// Escalation threshold of the two-tier refresh: a refresh first runs
+    /// the `O(√m_H·(n+m_H))` core sweep **on the sketch** (`m_H ≤
+    /// state_bound`, so this is the cheap tier the sketch exists for) and
+    /// escalates to a full exact solve of the sketch only when the sweep's
+    /// own certified bracket on `ρ_opt(H)` is wider than this factor.
+    /// `1.0` escalates every refresh (always-exact); `2.0` effectively
+    /// never does (the sweep's bracket is within 2 by construction, so
+    /// only a sweep that certifies nothing at all escalates). Must be
+    /// ≥ 1.
+    pub escalate_factor: f64,
+    /// Worker threads for the exact-on-sketch escalation (1 = serial).
+    pub threads: usize,
+    /// Seed of the deterministic edge-admission hash.
+    pub seed: u64,
+}
+
+impl Default for SketchConfig {
+    /// `state_bound = 4096`, `refresh_drift = 0.25`, `delta = 0.01`,
+    /// `escalate_factor = 1.5`, serial solves, a fixed seed — sized so
+    /// the sketch stays a few percent of any graph large enough to need
+    /// one, escalating when the sweep's bracket on the sketch leaves more
+    /// than 50% on the table. Raise toward 2 for sweep-first cheapness
+    /// (experiment E15's headline configuration), lower toward 1 for
+    /// near-exact witnesses.
+    fn default() -> Self {
+        SketchConfig {
+            state_bound: 4096,
+            refresh_drift: 0.25,
+            delta: 0.01,
+            escalate_factor: 1.5,
+            threads: 1,
+            seed: 0x5EED_CA5E,
+        }
+    }
+}
+
+/// Lifetime counters of a [`SketchEngine`] — the sketch-tier analog of
+/// [`SolveStats`], flowing through the same report plumbing (`dds sketch`,
+/// `dds stream` epoch reports, experiment E15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Retained edges right now.
+    pub retained: usize,
+    /// Largest retained set ever held (post-subsampling steady state).
+    pub peak_retained: usize,
+    /// Current subsampling level (admission probability `2⁻ˡᵉᵛᵉˡ`).
+    pub level: u32,
+    /// Level increments performed so far.
+    pub subsamples: u64,
+    /// Refreshes run so far (each one a core sweep *of the sketch*).
+    pub refreshes: u64,
+    /// How many of those refreshes escalated to an exact-on-sketch solve
+    /// (the sketch's core bracket exceeded the configured
+    /// [`SketchConfig::escalate_factor`]).
+    pub escalations: u64,
+    /// Full rebuilds from the authoritative edge set (the
+    /// [`SketchEngine::is_undersampled`] recovery path).
+    pub rebuilds: u64,
+    /// Accumulated instrumentation of every exact-on-sketch escalation.
+    pub solve: SolveStats,
+}
+
+/// What one [`SketchEngine::seal_epoch`] call observed and certified.
+#[derive(Clone, Debug)]
+pub struct SketchReport {
+    /// 1-based epoch number (one per seal).
+    pub epoch: u64,
+    /// Applied insertions since the previous seal.
+    pub inserts: usize,
+    /// Applied deletions since the previous seal.
+    pub deletes: usize,
+    /// Vertex count (one past the largest id seen).
+    pub n: usize,
+    /// Exact live edge count of the *full* graph (counter, not the sample).
+    pub m: u64,
+    /// Retained edges after the epoch.
+    pub retained: usize,
+    /// Subsampling level after the epoch.
+    pub level: u32,
+    /// Level increments that happened during this epoch.
+    pub subsampled: u32,
+    /// Whether this seal ran a refresh (a core sweep *of the sketch*,
+    /// possibly escalated — see [`SketchReport::solve_stats`]).
+    pub refreshed: bool,
+    /// The witness pair's exact density **on the sketch** — the certified
+    /// lower bound on the true optimum (`H ⊆ G`).
+    pub density: Density,
+    /// `density` as `f64`.
+    pub lower: f64,
+    /// Certified upper bound on the true optimum:
+    /// `min(√m, √(d⁺_max · d⁻_max))` over the exact counters.
+    pub upper: f64,
+    /// The scaled estimate `ρ_H(S,T) · 2^level` of the witness pair's true
+    /// density (and thereby a point estimate of the optimum).
+    pub estimate: f64,
+    /// Chernoff loss `ε` of the estimate: `E_G(S,T)` lies within
+    /// `(1 ± ε) · E_H(S,T) · 2^level` with probability `≥ 1 − δ`. Zero at
+    /// level 0 (no sampling loss).
+    pub loss: f64,
+    /// Proven approximation factor of the certified bracket
+    /// (`upper / lower`; `inf` when edges exist but no witness survives).
+    pub certified_factor: f64,
+    /// Instrumentation of this epoch's exact-on-sketch escalation (`None`
+    /// for unescalated — core-sweep-only — refreshes and quiet epochs).
+    pub solve_stats: Option<SolveStats>,
+    /// Wall-clock time spent sealing (including any refresh).
+    pub elapsed: Duration,
+}
+
+/// Sublinear-state density sketch (see crate docs).
+///
+/// Two driving modes:
+///
+/// * **standalone** — feed applied mutations, call
+///   [`seal_epoch`](Self::seal_epoch) at report cadence; the engine
+///   refreshes itself when the retained set has churned past
+///   [`SketchConfig::refresh_drift`];
+/// * **embedded** — `dds-stream`'s engines feed mutations and call
+///   [`force_refresh`](Self::force_refresh) whenever *their* certification
+///   band breaks, then adopt the witness pair as a full-graph lower bound.
+#[derive(Debug)]
+pub struct SketchEngine {
+    config: SketchConfig,
+    sampler: EdgeSampler,
+    level: u32,
+    retained: HashSet<(VertexId, VertexId)>,
+    n: usize,
+    m: u64,
+    out_deg: MaxTracker,
+    in_deg: MaxTracker,
+    /// Witness of the last exact-on-sketch solve, with its retained edge
+    /// count maintained per event (membership bitmaps sized to `n` at
+    /// adoption time).
+    witness: Option<Pair>,
+    in_s: Vec<bool>,
+    in_t: Vec<bool>,
+    witness_edges: u64,
+    /// Retained-set changes (inserts, deletes, subsample drops) since the
+    /// last refresh — the standalone refresh trigger.
+    mutations: u64,
+    ctx: SolveContext,
+    epoch: u64,
+    ev_inserts: usize,
+    ev_deletes: usize,
+    epoch_subsamples: u32,
+    peak_retained: usize,
+    subsamples: u64,
+    refreshes: u64,
+    escalations: u64,
+    rebuilds: u64,
+    solve_totals: SolveStats,
+    last_solve_stats: Option<SolveStats>,
+}
+
+impl SketchEngine {
+    /// A fresh sketch over an empty graph.
+    ///
+    /// # Panics
+    /// Panics on a zero state bound, non-positive drift, `δ ∉ (0, 1)`, or
+    /// zero threads.
+    #[must_use]
+    pub fn new(config: SketchConfig) -> Self {
+        assert!(config.state_bound > 0, "state bound must be positive");
+        assert!(config.refresh_drift > 0.0, "refresh drift must be positive");
+        assert!(
+            config.delta > 0.0 && config.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
+        assert!(
+            config.escalate_factor >= 1.0,
+            "escalate factor must be at least 1"
+        );
+        assert!(config.threads > 0, "need at least one solve thread");
+        SketchEngine {
+            config,
+            sampler: EdgeSampler::new(config.seed),
+            level: 0,
+            retained: HashSet::new(),
+            n: 0,
+            m: 0,
+            out_deg: MaxTracker::default(),
+            in_deg: MaxTracker::default(),
+            witness: None,
+            in_s: Vec::new(),
+            in_t: Vec::new(),
+            witness_edges: 0,
+            mutations: 0,
+            ctx: SolveContext::new(),
+            epoch: 0,
+            ev_inserts: 0,
+            ev_deletes: 0,
+            epoch_subsamples: 0,
+            peak_retained: 0,
+            subsamples: 0,
+            refreshes: 0,
+            escalations: 0,
+            rebuilds: 0,
+            solve_totals: SolveStats::default(),
+            last_solve_stats: None,
+        }
+    }
+
+    fn witness_contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.in_s.get(u as usize).copied().unwrap_or(false)
+            && self.in_t.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Ingests an **applied** insertion (see the crate docs' turnstile
+    /// contract): `O(1)` counters always, retained-set admission by the
+    /// deterministic hash, subsampling when the state bound is hit.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) {
+        debug_assert_ne!(u, v, "self-loops are never applied mutations");
+        self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+        self.m += 1;
+        self.out_deg.incr(u as usize);
+        self.in_deg.incr(v as usize);
+        self.ev_inserts += 1;
+        if self.sampler.admits(self.level, u, v) && self.retained.insert((u, v)) {
+            self.mutations += 1;
+            if self.witness_contains(u, v) {
+                self.witness_edges += 1;
+            }
+            self.enforce_state_bound();
+            self.peak_retained = self.peak_retained.max(self.retained.len());
+        }
+    }
+
+    /// Ingests an **applied** deletion.
+    ///
+    /// # Panics
+    /// Panics (in the degree trackers) if the edge's endpoints have no
+    /// live degree — the signature of a delete that was never inserted,
+    /// i.e. a broken turnstile contract upstream.
+    pub fn delete(&mut self, u: VertexId, v: VertexId) {
+        self.m = self
+            .m
+            .checked_sub(1)
+            .expect("delete of an edge the sketch never saw");
+        self.out_deg.decr(u as usize);
+        self.in_deg.decr(v as usize);
+        self.ev_deletes += 1;
+        if self.retained.remove(&(u, v)) {
+            self.mutations += 1;
+            if self.witness_contains(u, v) {
+                self.witness_edges -= 1;
+            }
+        }
+    }
+
+    /// Doubles the sampling rate's inverse until the retained set fits the
+    /// bound again (admission sets are nested, so each bump only drops).
+    fn enforce_state_bound(&mut self) {
+        while self.retained.len() > self.config.state_bound && self.level < 63 {
+            self.level += 1;
+            self.subsamples += 1;
+            self.epoch_subsamples += 1;
+            let (sampler, level) = (self.sampler, self.level);
+            let dropped: Vec<(VertexId, VertexId)> = self
+                .retained
+                .iter()
+                .copied()
+                .filter(|&(u, v)| !sampler.admits(level, u, v))
+                .collect();
+            for (u, v) in dropped {
+                self.retained.remove(&(u, v));
+                self.mutations += 1;
+                if self.witness_contains(u, v) {
+                    self.witness_edges -= 1;
+                }
+            }
+        }
+    }
+
+    /// Whether the sample has collapsed well below what the state bound
+    /// could hold: the level only ever rises while the stream grows, so a
+    /// graph that later *shrinks* (a window expiring a burst, deletions
+    /// draining a peak) can leave the sketch sampling at a rate far
+    /// stingier than necessary — down to an empty retained set and a dead
+    /// witness. Admission sets are nested, so the dropped edges cannot be
+    /// resampled from inside the sketch; whoever owns the authoritative
+    /// live edge set (the stream engines, the CLI's mirror) should call
+    /// [`rebuild`](Self::rebuild) when this reports true. The `2×`
+    /// hysteresis keeps a borderline sketch from rebuild-thrashing.
+    #[must_use]
+    pub fn is_undersampled(&self) -> bool {
+        self.level > 0
+            && self.m.saturating_mul(2) <= (self.config.state_bound as u64) << (self.level - 1)
+    }
+
+    /// Rebuilds the sketch from the authoritative live edge set: resets
+    /// every counter, picks the smallest level whose admitted subset fits
+    /// the state bound, and retains exactly that subset. `O(m)` — the
+    /// recovery path for [`is_undersampled`](Self::is_undersampled)
+    /// collapse, not a per-batch operation. The witness is cleared; run a
+    /// refresh afterwards.
+    pub fn rebuild<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, edges: I) {
+        let edges: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        self.retained.clear();
+        self.m = 0;
+        self.out_deg.clear();
+        self.in_deg.clear();
+        self.witness = None;
+        self.in_s.clear();
+        self.in_t.clear();
+        self.witness_edges = 0;
+        self.mutations = 0;
+        // Histogram edges by the deepest level still admitting them, then
+        // walk levels up from 0 until the admitted count fits the bound
+        // (prefix of the nested admission chain).
+        let mut admitted_at = [0u64; 64];
+        for &(u, v) in &edges {
+            self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+            self.m += 1;
+            self.out_deg.incr(u as usize);
+            self.in_deg.incr(v as usize);
+            let mut deepest = 0u32;
+            while deepest < 63 && self.sampler.admits(deepest + 1, u, v) {
+                deepest += 1;
+            }
+            admitted_at[deepest as usize] += 1;
+        }
+        let mut level = 0u32;
+        loop {
+            let admitted: u64 = admitted_at[level as usize..].iter().sum();
+            if admitted <= self.config.state_bound as u64 || level == 63 {
+                break;
+            }
+            level += 1;
+        }
+        self.level = level;
+        for &(u, v) in &edges {
+            if self.sampler.admits(level, u, v) {
+                self.retained.insert((u, v));
+            }
+        }
+        self.peak_retained = self.peak_retained.max(self.retained.len());
+        self.rebuilds += 1;
+    }
+
+    /// Whether the standalone refresh policy wants a solve now.
+    fn needs_refresh(&self) -> bool {
+        if self.retained.is_empty() {
+            return false;
+        }
+        if self.witness.is_none() || self.witness_density().is_zero() {
+            return true; // retained edges exist but no live witness
+        }
+        self.mutations as f64
+            >= self.config.refresh_drift * (self.retained.len().max(DRIFT_FLOOR) as f64)
+    }
+
+    /// Runs a refresh now — the two-tier scheme on the **materialised
+    /// sketch** `H` (never the full graph):
+    ///
+    /// 1. the max-product core sweep of `H`, `O(√m_H·(n+m_H))` with
+    ///    `m_H ≤ state_bound` — its pair becomes the witness and its
+    ///    certified bracket on `ρ_opt(H)` is measured;
+    /// 2. if that bracket is wider than [`SketchConfig::escalate_factor`],
+    ///    escalate to an exact solve of `H` on the warm context
+    ///    (exact-on-sketch — still bounded by the state bound, which is
+    ///    what makes the escalation affordable at any full-graph `m`).
+    ///
+    /// Returns the escalation's instrumentation (`None` when the core
+    /// bracket sufficed).
+    pub fn force_refresh(&mut self) -> Option<SolveStats> {
+        let g = self.materialize();
+        self.refreshes += 1;
+        self.mutations = 0;
+        self.last_solve_stats = None;
+        let approx = core_approx(&g);
+        let lower_c = approx.solution.density.to_f64();
+        let escalate = lower_c <= 0.0 || approx.upper_bound > self.config.escalate_factor * lower_c;
+        if !escalate {
+            let pair = (!approx.solution.pair.is_empty()).then_some(approx.solution.pair);
+            self.adopt_witness(pair, &g);
+            return None;
+        }
+        let report = exact_on_sketch(&mut self.ctx, &g, self.config.threads);
+        let stats = report.stats();
+        self.solve_totals.ratios_solved += stats.ratios_solved;
+        self.solve_totals.flow_decisions += stats.flow_decisions;
+        self.solve_totals.arena_reuse_hits += stats.arena_reuse_hits;
+        self.solve_totals.core_cache_hits += stats.core_cache_hits;
+        self.last_solve_stats = Some(stats);
+        self.escalations += 1;
+        let pair = (!report.solution.pair.is_empty()).then_some(report.solution.pair);
+        self.adopt_witness(pair, &g);
+        self.last_solve_stats
+    }
+
+    fn adopt_witness(&mut self, pair: Option<Pair>, h: &DiGraph) {
+        self.in_s = vec![false; self.n];
+        self.in_t = vec![false; self.n];
+        self.witness_edges = 0;
+        if let Some(pair) = &pair {
+            for &u in pair.s() {
+                self.in_s[u as usize] = true;
+            }
+            for &v in pair.t() {
+                self.in_t[v as usize] = true;
+            }
+            self.witness_edges = pair.edges_between(h);
+        }
+        self.witness = pair;
+    }
+
+    /// Closes one reporting epoch: runs the standalone refresh policy and
+    /// returns the epoch's report. Event counters reset afterwards.
+    pub fn seal_epoch(&mut self) -> SketchReport {
+        let start = Instant::now();
+        self.epoch += 1;
+        let refreshed = self.needs_refresh();
+        if refreshed {
+            self.force_refresh();
+        }
+        let density = self.witness_density();
+        let lower = density.to_f64();
+        let upper = self.certified_upper();
+        let report = SketchReport {
+            epoch: self.epoch,
+            inserts: self.ev_inserts,
+            deletes: self.ev_deletes,
+            n: self.n,
+            m: self.m,
+            retained: self.retained.len(),
+            level: self.level,
+            subsampled: self.epoch_subsamples,
+            refreshed,
+            density,
+            lower,
+            upper,
+            estimate: self.estimate(),
+            loss: self.loss_epsilon(),
+            certified_factor: if lower > 0.0 {
+                upper / lower
+            } else if upper > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            },
+            solve_stats: if refreshed {
+                self.last_solve_stats
+            } else {
+                None
+            },
+            elapsed: start.elapsed(),
+        };
+        self.ev_inserts = 0;
+        self.ev_deletes = 0;
+        self.epoch_subsamples = 0;
+        report
+    }
+
+    /// Exact density of the maintained witness **on the sketch** — a
+    /// certified lower bound on the true optimum ([`Density::ZERO`] before
+    /// the first refresh or after the witness decays away).
+    #[must_use]
+    pub fn witness_density(&self) -> Density {
+        match &self.witness {
+            Some(pair) if !pair.is_empty() => Density::new(
+                self.witness_edges,
+                pair.s().len() as u64,
+                pair.t().len() as u64,
+            ),
+            _ => Density::ZERO,
+        }
+    }
+
+    /// Certified upper bound on the true optimum from the exact counters:
+    /// `min(√m, √(d⁺_max · d⁻_max))`, safety-inflated.
+    #[must_use]
+    pub fn certified_upper(&self) -> f64 {
+        if self.m == 0 {
+            return 0.0;
+        }
+        let sqrt_m = (self.m as f64).sqrt();
+        let degree = ((self.out_deg.max() as f64) * (self.in_deg.max() as f64)).sqrt();
+        sqrt_m.min(degree) * (1.0 + SAFETY)
+    }
+
+    /// The scaled point estimate `ρ_H(witness) · 2^level` of the witness
+    /// pair's true density.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.witness_density().to_f64() * (1u64 << self.level.min(63)) as f64
+    }
+
+    /// Chernoff loss `ε` of [`estimate`](Self::estimate) at confidence
+    /// `1 − δ`: 0 at level 0 (the sketch is exact), `inf` when the witness
+    /// holds no retained edges (there is no estimate to bracket).
+    #[must_use]
+    pub fn loss_epsilon(&self) -> f64 {
+        if self.level == 0 {
+            return 0.0;
+        }
+        if self.witness_edges == 0 {
+            return f64::INFINITY;
+        }
+        (3.0 * (2.0 / self.config.delta).ln() / (self.witness_edges as f64)).sqrt()
+    }
+
+    /// Freezes the retained subgraph into the CSR form the solvers use
+    /// (vertex ids match the full graph's, so solved pairs transfer).
+    #[must_use]
+    pub fn materialize(&self) -> DiGraph {
+        let mut b = GraphBuilder::with_min_vertices(self.n);
+        for &(u, v) in &self.retained {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// The maintained witness pair, if a refresh has produced one.
+    #[must_use]
+    pub fn witness_pair(&self) -> Option<&Pair> {
+        self.witness.as_ref()
+    }
+
+    /// Lifetime counters in one struct (the report-plumbing form).
+    #[must_use]
+    pub fn stats(&self) -> SketchStats {
+        SketchStats {
+            retained: self.retained.len(),
+            peak_retained: self.peak_retained,
+            level: self.level,
+            subsamples: self.subsamples,
+            refreshes: self.refreshes,
+            escalations: self.escalations,
+            rebuilds: self.rebuilds,
+            solve: self.solve_totals,
+        }
+    }
+
+    /// Instrumentation of the most recent exact-on-sketch solve, if any.
+    #[must_use]
+    pub fn last_solve_stats(&self) -> Option<SolveStats> {
+        self.last_solve_stats
+    }
+
+    /// Retained edges right now.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Current subsampling level.
+    #[must_use]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Exact live edge count of the full graph (counter).
+    #[must_use]
+    pub fn m(&self) -> u64 {
+        self.m
+    }
+
+    /// Vertex count (one past the largest id seen).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of seals so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of refreshes so far (core sweeps of the sketch).
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Number of refreshes that escalated to an exact-on-sketch solve.
+    #[must_use]
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// The engine's long-lived solver context.
+    #[must_use]
+    pub fn context(&self) -> &SolveContext {
+        &self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k22() -> [(u32, u32); 4] {
+        [(0, 2), (0, 3), (1, 2), (1, 3)]
+    }
+
+    #[test]
+    fn level_zero_sketch_is_exact() {
+        let mut sk = SketchEngine::new(SketchConfig::default());
+        for (u, v) in k22() {
+            sk.insert(u, v);
+        }
+        let report = sk.seal_epoch();
+        assert!(report.refreshed);
+        assert_eq!(report.level, 0);
+        assert_eq!(report.retained, 4);
+        assert_eq!(report.density, Density::new(4, 2, 2));
+        assert_eq!(report.estimate, 2.0);
+        assert_eq!(report.loss, 0.0);
+        assert!(report.lower <= report.upper);
+        assert!(report.certified_factor <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn state_bound_forces_subsampling_and_holds() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            state_bound: 16,
+            ..SketchConfig::default()
+        });
+        for i in 0..400u32 {
+            sk.insert(i % 57, 57 + i % 91); // bipartite-ish spray, no loops
+            assert!(sk.retained() <= 16, "bound broken at event {i}");
+        }
+        assert!(sk.level() > 0, "400 inserts past bound 16 must subsample");
+        assert_eq!(sk.m(), 400);
+        let stats = sk.stats();
+        assert!(stats.subsamples >= 4, "level {} too low", stats.level);
+        assert!(stats.peak_retained <= 16);
+        // Every retained edge is a real edge of the inserted spray.
+        for (u, v) in sk.materialize().edges() {
+            assert!(u < 57 && (57..148).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deletes_refund_counters_and_witness() {
+        let mut sk = SketchEngine::new(SketchConfig::default());
+        for (u, v) in k22() {
+            sk.insert(u, v);
+        }
+        sk.seal_epoch();
+        assert_eq!(sk.witness_density(), Density::new(4, 2, 2));
+        sk.delete(0, 2);
+        assert_eq!(sk.m(), 3);
+        assert_eq!(sk.witness_density(), Density::new(3, 2, 2));
+        // The decayed witness is still a sound lower bound.
+        let report = sk.seal_epoch();
+        assert!(report.lower <= report.upper);
+    }
+
+    #[test]
+    #[should_panic(expected = "decrement of zero counter")]
+    fn turnstile_violations_panic_loudly() {
+        let mut sk = SketchEngine::new(SketchConfig::default());
+        sk.insert(0, 1);
+        sk.delete(5, 6); // never inserted: contract breach
+    }
+
+    #[test]
+    fn standalone_refresh_policy_tracks_drift() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            refresh_drift: 0.5,
+            ..SketchConfig::default()
+        });
+        for (u, v) in k22() {
+            sk.insert(u, v);
+        }
+        assert!(sk.seal_epoch().refreshed, "first seal must solve");
+        // No mutations: the next seal is free.
+        let quiet = sk.seal_epoch();
+        assert!(!quiet.refreshed);
+        assert!(quiet.solve_stats.is_none());
+        // Churn past the drift floor: a refresh fires again.
+        for i in 0..40u32 {
+            sk.insert(100 + i, 200 + i);
+        }
+        let busy = sk.seal_epoch();
+        assert!(busy.refreshed, "drifted sketch must re-solve");
+        assert!(busy.solve_stats.is_some());
+        assert_eq!(sk.refreshes(), 2);
+    }
+
+    #[test]
+    fn witness_death_triggers_refresh() {
+        let mut sk = SketchEngine::new(SketchConfig::default());
+        for (u, v) in k22() {
+            sk.insert(u, v);
+        }
+        sk.seal_epoch();
+        for (u, v) in k22() {
+            sk.delete(u, v);
+        }
+        sk.insert(7, 8); // retained edges exist, witness is gone
+        let report = sk.seal_epoch();
+        assert!(report.refreshed, "dead witness must force a solve");
+        assert!(report.lower > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_reports_zero() {
+        let mut sk = SketchEngine::new(SketchConfig::default());
+        let report = sk.seal_epoch();
+        assert_eq!(report.m, 0);
+        assert!(!report.refreshed);
+        assert_eq!(report.upper, 0.0);
+        assert_eq!(report.certified_factor, 1.0);
+    }
+
+    #[test]
+    fn estimate_scales_by_the_sampling_rate() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            state_bound: 64,
+            ..SketchConfig::default()
+        });
+        // A 24×24 complete block (576 edges) forces subsampling; the
+        // estimate must land near the true ρ = 24 while the certified
+        // bracket stays sound around it.
+        for u in 0..24u32 {
+            for v in 24..48u32 {
+                sk.insert(u, v);
+            }
+        }
+        let report = sk.seal_epoch();
+        assert!(report.level >= 3, "level {}", report.level);
+        assert!(report.lower <= 24.0 + 1e-9, "lower must stay sound");
+        assert!(report.upper >= 24.0, "upper must stay sound");
+        assert!(report.loss > 0.0);
+        assert!(
+            report.estimate > 24.0 * (1.0 - report.loss)
+                && report.estimate < 24.0 * (1.0 + report.loss),
+            "estimate {} drifted past its own loss bracket {}",
+            report.estimate,
+            report.loss
+        );
+    }
+
+    #[test]
+    fn rebuild_recovers_a_shrunken_sketch() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            state_bound: 32,
+            ..SketchConfig::default()
+        });
+        // Grow far past the bound so the level climbs…
+        for i in 0..600u32 {
+            sk.insert(i % 57, 57 + (i * 5) % 97);
+        }
+        let high = sk.level();
+        assert!(high >= 4, "level {high}");
+        // …then drain almost everything: the sample over-thins.
+        let survivors: Vec<(u32, u32)> = sk.materialize().edges().take(3).collect();
+        let all: Vec<(u32, u32)> = (0..600u32).map(|i| (i % 57, 57 + (i * 5) % 97)).collect();
+        for &(u, v) in &all {
+            if !survivors.contains(&(u, v)) {
+                sk.delete(u, v);
+            }
+        }
+        assert!(sk.is_undersampled(), "3 live edges at level {high}");
+        // Rebuild from the authoritative live set: back to level 0, every
+        // live edge retained, counters intact.
+        sk.rebuild(survivors.iter().copied());
+        assert_eq!(sk.level(), 0);
+        assert_eq!(sk.retained(), 3);
+        assert_eq!(sk.m(), 3);
+        assert!(!sk.is_undersampled());
+        assert_eq!(sk.stats().rebuilds, 1);
+        let report = sk.seal_epoch();
+        assert!(report.refreshed, "rebuild clears the witness");
+        assert!(report.lower > 0.0, "the reseeded sketch certifies again");
+        assert!(report.lower <= report.upper);
+    }
+
+    #[test]
+    fn rebuild_picks_the_smallest_fitting_level() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            state_bound: 64,
+            ..SketchConfig::default()
+        });
+        let edges: Vec<(u32, u32)> = (0..400u32).map(|i| (i % 57, 57 + (i * 5) % 97)).collect();
+        sk.rebuild(edges.iter().copied());
+        assert!(sk.retained() <= 64, "bound holds after rebuild");
+        assert!(sk.level() > 0, "400 edges cannot fit a 64 bound at level 0");
+        // Minimality: one level down must overflow the bound.
+        let down = sk.level() - 1;
+        let admitted_down = edges
+            .iter()
+            .filter(|&&(u, v)| EdgeSampler::new(sk.config.seed).admits(down, u, v))
+            .count();
+        assert!(admitted_down > 64, "level was not minimal");
+        assert_eq!(sk.m(), 400);
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        let run = || {
+            let mut sk = SketchEngine::new(SketchConfig {
+                state_bound: 32,
+                ..SketchConfig::default()
+            });
+            // `(i % 40, (i·7) % 60)` is injective below lcm(40, 60) = 120,
+            // so the stream stays a clean turnstile.
+            for i in 0..120u32 {
+                sk.insert(i % 40, 40 + (i * 7) % 60);
+                if i % 5 == 4 {
+                    sk.delete(i % 40, 40 + (i * 7) % 60);
+                }
+            }
+            let r = sk.seal_epoch();
+            (
+                r.retained,
+                r.level,
+                r.m,
+                r.lower.to_bits(),
+                r.upper.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,20 +1,21 @@
-//! Exact O(1) maintenance of `max` over per-vertex counters under
+//! Exact O(1) maintenance of `max` over per-id counters under
 //! increment/decrement — the count-of-counts trick from peeling
 //! algorithms.
 //!
-//! Used by both engines: for the live degree maxima of the dynamic graph,
-//! and for the degree maxima of the *delta graph* (edges inserted since
-//! the last certification), which drive the tightest drift bound. Both
-//! callers decrement as hard as they increment — every expiry, deletion,
-//! and drift refund lands here — so `decr` is as load-bearing as `incr`
-//! (pinned against a naive max scan below).
+//! This is shared streaming-counter infrastructure: the sketch engine uses
+//! it for the exact degree maxima behind its unconditional upper bound,
+//! and `dds-stream` reuses it for the dynamic graph's live degrees and for
+//! the delta-graph maxima that drive the drift bounds. Every caller
+//! decrements as hard as it increments — expiries, deletions, and drift
+//! refunds all land here — so `decr` is as load-bearing as `incr` (pinned
+//! against a naive max scan below).
 
 /// Per-id counters with exact running maximum.
 ///
 /// `incr`/`decr` are `O(1)`: a frequency table `freq[c] = #ids with
 /// counter c` lets the maximum fall by at most one per decrement.
 #[derive(Clone, Debug, Default)]
-pub(crate) struct MaxTracker {
+pub struct MaxTracker {
     count: Vec<u32>,
     freq: Vec<usize>,
     max: u32,
@@ -22,12 +23,14 @@ pub(crate) struct MaxTracker {
 
 impl MaxTracker {
     /// Current maximum counter value (0 when empty).
-    pub(crate) fn max(&self) -> u64 {
+    #[must_use]
+    pub fn max(&self) -> u64 {
         u64::from(self.max)
     }
 
     /// Current counter for `id` (0 if never touched).
-    pub(crate) fn count(&self, id: usize) -> u32 {
+    #[must_use]
+    pub fn count(&self, id: usize) -> u32 {
         self.count.get(id).copied().unwrap_or(0)
     }
 
@@ -39,7 +42,8 @@ impl MaxTracker {
         &mut self.freq[c]
     }
 
-    pub(crate) fn incr(&mut self, id: usize) {
+    /// Increments `id`'s counter.
+    pub fn incr(&mut self, id: usize) {
         if self.count.len() <= id {
             self.count.resize(id + 1, 0);
         }
@@ -52,11 +56,13 @@ impl MaxTracker {
         self.max = self.max.max(c + 1);
     }
 
+    /// Decrements `id`'s counter.
+    ///
     /// # Panics
     /// Panics if `id`'s counter is already zero — including ids never
-    /// incremented at all (an engine invariant violation, not a
+    /// incremented at all (a caller invariant violation, not a
     /// user-reachable state).
-    pub(crate) fn decr(&mut self, id: usize) {
+    pub fn decr(&mut self, id: usize) {
         let c = self.count.get(id).copied().unwrap_or(0);
         assert!(c > 0, "decrement of zero counter (id {id})");
         *self.freq_slot(c) -= 1;
@@ -69,8 +75,8 @@ impl MaxTracker {
         }
     }
 
-    /// Forgets everything (used when a solve resets the delta graph).
-    pub(crate) fn clear(&mut self) {
+    /// Forgets everything (used when a solve resets a delta graph).
+    pub fn clear(&mut self) {
         self.count.clear();
         self.freq.clear();
         self.max = 0;

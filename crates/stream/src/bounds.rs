@@ -12,14 +12,23 @@
 //!   budget). For every pair, the delta contributes at most
 //!   `sqrt(aΔ·bΔ)` density — `E_Δ(S,T) ≤ min(|S|·aΔ, |T|·bΔ)
 //!   ≤ sqrt(|S||T|·aΔ·bΔ)` by AM–GM — so scattered churn consumes almost
-//!   no certificate budget even when thousands of edges have moved.
+//!   no certificate budget even when thousands of edges have moved;
+//! * [`CertEdges`] — the certified graph's **surviving** edges (present at
+//!   the last certification and not yet deleted/expired) with exact degree
+//!   maxima `aC`/`bC`. Every current edge is a surviving certified edge or
+//!   a delta edge, so `ρ_now ≤ min(ρ₁, sqrt(aC·bC)) + sqrt(aΔ·bΔ)`: as
+//!   pre-certification edges leave (a sliding window expiring its whole
+//!   ring, say), `aC·bC` falls and the upper bound falls with it — the
+//!   *refund* that keeps the band alive on long windows, where the frozen
+//!   `ρ₁` anchor alone would pin the upper bound at its stale height while
+//!   the lower bound decays.
 
 use std::collections::HashSet;
 
 use dds_graph::{Pair, VertexId};
 use dds_num::Density;
+use dds_sketch::MaxTracker;
 
-use crate::maxtrack::MaxTracker;
 use crate::state::DynamicGraph;
 
 /// Relative inflation applied to every floating-point upper bound so
@@ -165,26 +174,135 @@ impl DeltaDrift {
     }
 }
 
+/// The surviving certified edges: the edge set frozen at the last
+/// certification, shrunk as those edges are deleted or expire (see module
+/// docs). Degree maxima are exact (count-of-counts), so the refund bound
+/// `sqrt(aC·bC)` decays monotonically as the certified graph erodes.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CertEdges {
+    present: HashSet<(VertexId, VertexId)>,
+    out: MaxTracker,
+    r#in: MaxTracker,
+}
+
+impl CertEdges {
+    /// Freezes the current graph as the certified edge set (`O(m)`, run
+    /// once per certification — the same order as the solve it follows).
+    pub(crate) fn reset(&mut self, g: &DynamicGraph) {
+        self.present.clear();
+        self.out.clear();
+        self.r#in.clear();
+        for (u, v) in g.edges() {
+            self.present.insert((u, v));
+            self.out.incr(u as usize);
+            self.r#in.incr(v as usize);
+        }
+    }
+
+    /// Records an applied deletion/expiry, refunding the certified-degree
+    /// budget when the edge predates the certification. (Re-inserting it
+    /// later does *not* restore it here — it re-enters as a delta edge in
+    /// [`DeltaDrift`], preserving the C/Δ partition the bound needs.)
+    pub(crate) fn on_delete(&mut self, u: VertexId, v: VertexId) {
+        if self.present.remove(&(u, v)) {
+            self.out.decr(u as usize);
+            self.r#in.decr(v as usize);
+        }
+    }
+
+    /// The surviving certified edges' degree maxima `(aC, bC)`.
+    pub(crate) fn degree_maxima(&self) -> (u64, u64) {
+        (self.out.max(), self.r#in.max())
+    }
+}
+
+/// Picks the denser of two candidate pairs, measured on the current graph
+/// in **one** edge scan (`O(n + m)` — the same order as the witness
+/// recount a solve adoption pays anyway). The sketch tier uses it to keep
+/// the better of the fresh sketched pair and the incumbent witness: both
+/// are genuine pairs of the full graph, so taking the max is sound, and
+/// it stops a spurious sweep-on-sample pair from evicting a good
+/// incumbent.
+pub(crate) fn denser_pair(g: &DynamicGraph, a: Pair, b: Pair) -> Pair {
+    let mut membership = vec![0u8; g.n()];
+    const A_S: u8 = 1;
+    const A_T: u8 = 2;
+    const B_S: u8 = 4;
+    const B_T: u8 = 8;
+    for (pair, s_bit, t_bit) in [(&a, A_S, A_T), (&b, B_S, B_T)] {
+        for &u in pair.s() {
+            membership[u as usize] |= s_bit;
+        }
+        for &v in pair.t() {
+            membership[v as usize] |= t_bit;
+        }
+    }
+    let (mut ea, mut eb) = (0u64, 0u64);
+    for (u, v) in g.edges() {
+        let (mu, mv) = (membership[u as usize], membership[v as usize]);
+        ea += u64::from(mu & A_S != 0 && mv & A_T != 0);
+        eb += u64::from(mu & B_S != 0 && mv & B_T != 0);
+    }
+    let density = |pair: &Pair, edges: u64| {
+        if pair.is_empty() {
+            Density::ZERO
+        } else {
+            Density::new(edges, pair.s().len() as u64, pair.t().len() as u64)
+        }
+    };
+    if density(&a, ea) >= density(&b, eb) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The structural upper bound that needs no certification history:
+/// `min(sqrt(m), sqrt(d⁺_max · d⁻_max))` on the current graph, safety-
+/// inflated. This is also what the sketch tier anchors `ρ₁` to after an
+/// exact-on-sketch resolve (which certifies a lower bound, never an upper).
+pub(crate) fn structural_upper(g: &DynamicGraph) -> f64 {
+    let m = g.m();
+    if m == 0 {
+        return 0.0;
+    }
+    let sqrt_m = (m as f64).sqrt();
+    let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
+    sqrt_m.min(degree) * (1.0 + SAFETY)
+}
+
 /// Certified upper bound on the current optimum given `rho_cert` (a
 /// certified upper bound at the last certification) and the drift since:
 /// the minimum of four independently valid bounds (crate docs prove each):
 ///
 /// 1. crossing drift — `(ρ₁ + sqrt(ρ₁² + 4k)) / 2` with `k` the delta
 ///    edge count (tight when few, possibly concentrated, inserts);
-/// 2. delta-degree drift — `ρ₁ + sqrt(aΔ·bΔ)` with `aΔ`/`bΔ` the delta
-///    graph's degree maxima (tight under scattered churn);
+/// 2. delta-degree drift — `min(ρ₁, sqrt(aC·bC)) + sqrt(aΔ·bΔ)`, where
+///    `aC`/`bC` are the **surviving** certified edges' degree maxima: any
+///    pair's current edges split into surviving certified edges
+///    (`E_C ≤ min(ρ₁·q, q·sqrt(aC·bC))`, the second term by the same
+///    AM–GM as the delta) and post-certification inserts
+///    (`E_Δ ≤ q·sqrt(aΔ·bΔ)`). The `aC·bC` arm refunds pre-certification
+///    deletions/expiries, which the frozen `ρ₁` cannot;
 /// 3. `sqrt(m)` on the current graph;
 /// 4. `sqrt(d⁺_max · d⁻_max)` on the current graph (exact maxima).
-pub(crate) fn certified_upper(g: &DynamicGraph, rho_cert: f64, drift: &DeltaDrift) -> f64 {
-    let m = g.m();
-    if m == 0 {
+pub(crate) fn certified_upper(
+    g: &DynamicGraph,
+    rho_cert: f64,
+    drift: &DeltaDrift,
+    cert: &CertEdges,
+) -> f64 {
+    if g.m() == 0 {
         return 0.0;
     }
     let k = drift.len() as f64;
     let crossing = 0.5 * (rho_cert + (rho_cert * rho_cert + 4.0 * k).sqrt());
     let (a, b) = drift.degree_maxima();
-    let delta_deg = rho_cert + ((a as f64) * (b as f64)).sqrt();
-    let sqrt_m = (m as f64).sqrt();
+    let delta = ((a as f64) * (b as f64)).sqrt();
+    let (ac, bc) = cert.degree_maxima();
+    let surviving = ((ac as f64) * (bc as f64)).sqrt();
+    let delta_deg = rho_cert.min(surviving) + delta;
+    let sqrt_m = (g.m() as f64).sqrt();
     let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
     crossing.min(delta_deg).min(sqrt_m).min(degree) * (1.0 + SAFETY)
 }
@@ -207,6 +325,7 @@ pub(crate) struct BoundTracker {
     /// `upper / lower` measured right after the last solve (1 for exact).
     gap_at_solve: f64,
     drift: DeltaDrift,
+    cert: CertEdges,
     witness: WitnessState,
 }
 
@@ -227,6 +346,7 @@ impl BoundTracker {
     /// Records an applied deletion (the edge was genuinely removed).
     pub(crate) fn on_delete(&mut self, u: VertexId, v: VertexId) {
         self.drift.on_delete(u, v);
+        self.cert.on_delete(u, v);
         self.witness.on_delete(u, v);
     }
 
@@ -240,6 +360,7 @@ impl BoundTracker {
         rho_upper: f64,
     ) {
         self.drift.clear();
+        self.cert.reset(g);
         self.rho_at_solve = rho_upper * (1.0 + SAFETY);
         self.witness.reset(g, witness);
         let bounds = self.bounds(g);
@@ -264,7 +385,7 @@ impl BoundTracker {
 
     /// Certified upper bound on the current optimum ([`certified_upper`]).
     pub(crate) fn upper(&self, g: &DynamicGraph) -> f64 {
-        certified_upper(g, self.rho_at_solve, &self.drift)
+        certified_upper(g, self.rho_at_solve, &self.drift, &self.cert)
     }
 
     /// Both bounds as one bracket.
@@ -281,11 +402,13 @@ impl BoundTracker {
         let rho = self.rho_at_solve;
         let crossing = 0.5 * (rho + (rho * rho + 4.0 * k).sqrt());
         let (a, b) = self.drift.degree_maxima();
-        let delta_deg = rho + ((a as f64) * (b as f64)).sqrt();
+        let (ac, bc) = self.cert.degree_maxima();
+        let surviving = ((ac as f64) * (bc as f64)).sqrt();
+        let delta_deg = rho.min(surviving) + ((a as f64) * (b as f64)).sqrt();
         let sqrt_m = (g.m() as f64).sqrt();
         let degree = ((g.max_out_degree() as f64) * (g.max_in_degree() as f64)).sqrt();
         format!(
-            "rho1={rho:.4} k={k} cross={crossing:.4} aD={a} bD={b} ddeg={delta_deg:.4} sqrtm={sqrt_m:.4} deg={degree:.4} wE={}",
+            "rho1={rho:.4} k={k} cross={crossing:.4} aD={a} bD={b} aC={ac} bC={bc} ddeg={delta_deg:.4} sqrtm={sqrt_m:.4} deg={degree:.4} wE={}",
             self.witness.edges
         )
     }

@@ -3,11 +3,12 @@
 
 use std::time::{Duration, Instant};
 
-use dds_core::{core_approx, DcExact, SolveContext, SolveStats};
+use dds_core::{core_approx, parallel, DcExact, ExactOptions, SolveContext, SolveStats};
 use dds_graph::{DiGraph, Pair};
 use dds_num::Density;
+use dds_sketch::{SketchConfig, SketchEngine, SketchStats};
 
-use crate::bounds::{BoundTracker, CertifiedBounds};
+use crate::bounds::{denser_pair, structural_upper, BoundTracker, CertifiedBounds};
 use crate::events::{Batch, Event, TimedEvent};
 use crate::state::DynamicGraph;
 
@@ -21,6 +22,42 @@ pub enum SolverKind {
     /// are certified within `gap₀·(1 + tolerance)` where `gap₀ ≤ 2` is the
     /// bracket the approximation itself certifies at solve time.
     CoreApprox,
+}
+
+/// The sketch-fallback knob shared by [`StreamConfig`] and
+/// [`crate::WindowConfig`]: when set, an engine maintains a
+/// [`SketchEngine`] alongside its full edge set (`O(1)` per event) and —
+/// whenever its band breaks while the live edge count is at least
+/// `min_m` — replaces the full-graph solver with a **sketch refresh**: a
+/// core sweep of the retained subgraph (bounded by
+/// [`SketchConfig::state_bound`]), escalated to an exact-on-sketch solve
+/// when the sweep's own bracket is loose. The witness pair is adopted as
+/// the full-graph lower bound (its true live edge count is recounted and
+/// then maintained per event); the upper bound re-anchors to the
+/// structural `min(√m, √(d⁺·d⁻))`, so certification proceeds with the
+/// same gap-relative band semantics as [`SolverKind::CoreApprox`] — paying
+/// `O(state_bound)`-scale work instead of `O(√m·(n+m))` per refresh.
+///
+/// Below `min_m` the engine's configured full solver runs as usual (small
+/// graphs are cheaper to solve outright than to approximate).
+#[derive(Clone, Copy, Debug)]
+pub struct SketchTier {
+    /// Live edge count at which re-solves switch to the sketch tier.
+    pub min_m: usize,
+    /// Configuration of the maintained sketch.
+    pub config: SketchConfig,
+}
+
+impl SketchTier {
+    /// A tier that engages at `min_m` with the default sketch
+    /// configuration.
+    #[must_use]
+    pub fn at(min_m: usize) -> Self {
+        SketchTier {
+            min_m,
+            config: SketchConfig::default(),
+        }
+    }
 }
 
 /// Engine configuration.
@@ -46,6 +83,12 @@ pub struct StreamConfig {
     pub slack: f64,
     /// Solver used for re-solves.
     pub solver: SolverKind,
+    /// Worker threads for exact re-solves (1 = the serial engine; more
+    /// opt into [`dds_core::parallel::dc_exact_parallel_with`] on the
+    /// engine's warm context). Must be positive.
+    pub threads: usize,
+    /// Optional sketch fallback (see [`SketchTier`]).
+    pub sketch: Option<SketchTier>,
 }
 
 impl Default for StreamConfig {
@@ -60,6 +103,8 @@ impl Default for StreamConfig {
             tolerance: 0.25,
             slack: 2.0,
             solver: SolverKind::Exact,
+            threads: 1,
+            sketch: None,
         }
     }
 }
@@ -89,6 +134,10 @@ pub struct EpochReport {
     /// and core-memo reuse — are visible here, which is how `dds stream`
     /// and experiment E12/E13 logs expose re-solve cost regressions.
     pub solve_stats: Option<SolveStats>,
+    /// Sketch-tier counters, present when this epoch's re-solve went
+    /// through the sketch fallback (the lifetime [`SketchStats`] of the
+    /// maintained sketch at that moment).
+    pub sketch: Option<SketchStats>,
     /// The reported density: the witness pair's exact density.
     pub density: Density,
     /// Certified lower bound (`density` as `f64`).
@@ -115,9 +164,12 @@ pub struct StreamEngine {
     state: DynamicGraph,
     tracker: BoundTracker,
     ctx: SolveContext,
+    sketch: Option<SketchEngine>,
     epoch: u64,
     resolves: u64,
+    sketch_resolves: u64,
     last_solve_stats: Option<SolveStats>,
+    last_resolve_sketched: bool,
 }
 
 impl StreamEngine {
@@ -126,14 +178,18 @@ impl StreamEngine {
     pub fn new(config: StreamConfig) -> Self {
         assert!(config.tolerance >= 0.0, "tolerance must be non-negative");
         assert!(config.slack >= 0.0, "slack must be non-negative");
+        assert!(config.threads > 0, "threads must be positive");
         StreamEngine {
-            config,
             state: DynamicGraph::new(),
             tracker: BoundTracker::new(),
             ctx: SolveContext::new(),
+            sketch: config.sketch.map(|tier| SketchEngine::new(tier.config)),
+            config,
             epoch: 0,
             resolves: 0,
+            sketch_resolves: 0,
             last_solve_stats: None,
+            last_resolve_sketched: false,
         }
     }
 
@@ -149,6 +205,9 @@ impl StreamEngine {
                     if self.state.insert(u, v) {
                         inserts += 1;
                         self.tracker.on_insert(u, v);
+                        if let Some(sk) = &mut self.sketch {
+                            sk.insert(u, v);
+                        }
                     } else {
                         ignored += 1;
                     }
@@ -157,6 +216,9 @@ impl StreamEngine {
                     if self.state.delete(u, v) {
                         deletes += 1;
                         self.tracker.on_delete(u, v);
+                        if let Some(sk) = &mut self.sketch {
+                            sk.delete(u, v);
+                        }
                     } else {
                         ignored += 1;
                     }
@@ -196,6 +258,11 @@ impl StreamEngine {
             } else {
                 None
             },
+            sketch: if resolved && self.last_resolve_sketched {
+                self.sketch.as_ref().map(SketchEngine::stats)
+            } else {
+                None
+            },
             density: bounds.lower,
             lower: bounds.lower.to_f64(),
             upper: bounds.upper,
@@ -222,20 +289,49 @@ impl StreamEngine {
     }
 
     fn resolve(&mut self) {
-        let g = self.state.materialize();
-        let (pair, rho_upper) = match self.config.solver {
-            SolverKind::Exact => {
-                // Warm start: the context carries the previous epoch's
-                // witness, arenas, and (graph permitting) memoised cores.
-                let report = DcExact::new().solve_with(&mut self.ctx, &g);
-                self.last_solve_stats = Some(report.stats());
-                let rho = report.solution.density.to_f64();
-                (Some(report.solution.pair), rho)
-            }
-            SolverKind::CoreApprox => {
-                let report = core_approx(&g);
-                self.last_solve_stats = None;
-                (Some(report.solution.pair), report.upper_bound)
+        self.last_resolve_sketched = self
+            .config
+            .sketch
+            .is_some_and(|tier| self.state.m() >= tier.min_m);
+        let (pair, rho_upper) = if self.last_resolve_sketched {
+            // Sketch tier: an exact solve of the retained subgraph only.
+            // Its witness is a genuine pair of the full graph (vertex ids
+            // transfer), so the tracker recounts its true edges below —
+            // the lower bound is full-graph exact even though no full
+            // solver ran. No solver certifies an upper bound here, so ρ₁
+            // re-anchors to the structural bound and the band runs
+            // gap-relative, like a `CoreApprox` solve.
+            let sk = self.sketch.as_mut().expect("tier implies a sketch");
+            let incumbent = self.tracker.witness().cloned();
+            let (pair, stats) = sketch_tier_refresh(sk, &self.state, incumbent);
+            self.last_solve_stats = stats;
+            self.sketch_resolves += 1;
+            (pair, structural_upper(&self.state))
+        } else {
+            let g = self.state.materialize();
+            match self.config.solver {
+                SolverKind::Exact => {
+                    // Warm start: the context carries the previous epoch's
+                    // witness, arenas, and (graph permitting) memoised cores.
+                    let report = if self.config.threads > 1 {
+                        parallel::dc_exact_parallel_with(
+                            &mut self.ctx,
+                            &g,
+                            ExactOptions::default(),
+                            self.config.threads,
+                        )
+                    } else {
+                        DcExact::new().solve_with(&mut self.ctx, &g)
+                    };
+                    self.last_solve_stats = Some(report.stats());
+                    let rho = report.solution.density.to_f64();
+                    (Some(report.solution.pair), rho)
+                }
+                SolverKind::CoreApprox => {
+                    let report = core_approx(&g);
+                    self.last_solve_stats = None;
+                    (Some(report.solution.pair), report.upper_bound)
+                }
             }
         };
         let pair = pair.filter(|p| !p.is_empty());
@@ -272,6 +368,19 @@ impl StreamEngine {
     #[must_use]
     pub fn resolves(&self) -> u64 {
         self.resolves
+    }
+
+    /// How many of those re-solves went through the sketch tier.
+    #[must_use]
+    pub fn sketch_resolves(&self) -> u64 {
+        self.sketch_resolves
+    }
+
+    /// Lifetime counters of the maintained sketch, when the tier is
+    /// configured.
+    #[must_use]
+    pub fn sketch_stats(&self) -> Option<SketchStats> {
+        self.sketch.as_ref().map(SketchEngine::stats)
     }
 
     /// Instrumentation of the most recent exact re-solve, if any.
@@ -316,12 +425,44 @@ pub enum BatchBy {
     TimeWindow(u64),
 }
 
+/// The sketch tier's refresh-and-adopt sequence, shared verbatim by
+/// [`StreamEngine`] re-solves and [`crate::WindowEngine`] refreshes so the
+/// two engines cannot diverge on adoption policy:
+///
+/// 1. a graph that shrank far below its peak leaves the sample
+///    over-thinned (the level never decrements on its own) — reseed it
+///    from the authoritative edge set first;
+/// 2. run the sketch refresh (core sweep of the sample, escalated per the
+///    sketch's own config);
+/// 3. keep the denser of the fresh sketched pair and the incumbent
+///    witness, measured on the full graph — both are real pairs of it,
+///    and a subsampled sweep can be wrong about which is best.
+///
+/// Returns the adopted pair and the escalation's instrumentation.
+pub(crate) fn sketch_tier_refresh(
+    sk: &mut SketchEngine,
+    state: &DynamicGraph,
+    incumbent: Option<Pair>,
+) -> (Option<Pair>, Option<SolveStats>) {
+    if sk.is_undersampled() {
+        sk.rebuild(state.edges());
+    }
+    let stats = sk.force_refresh();
+    let fresh = sk.witness_pair().cloned().filter(|p| !p.is_empty());
+    let pair = match (fresh, incumbent) {
+        (Some(a), Some(b)) => Some(denser_pair(state, a, b)),
+        (a, b) => a.or(b),
+    };
+    (pair, stats)
+}
+
 /// Slices `events` into the batches `batch_by` describes (shared by
-/// [`replay`] and [`crate::replay_window`]).
+/// [`replay`], [`crate::replay_window`], and any external replay loop —
+/// the `dds sketch` command drives a [`dds_sketch::SketchEngine`] with it).
 ///
 /// # Panics
 /// Panics if the batch size or window is zero.
-pub(crate) fn batch_slices(events: &[TimedEvent], batch_by: BatchBy) -> Vec<&[TimedEvent]> {
+pub fn batch_slices(events: &[TimedEvent], batch_by: BatchBy) -> Vec<&[TimedEvent]> {
     match batch_by {
         BatchBy::Count(size) => {
             assert!(size > 0, "batch size must be positive");
@@ -447,6 +588,7 @@ mod tests {
             tolerance: 0.5,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         let all: Vec<(u32, u32)> = g.edges().collect();
         insert_all(&mut engine, &all);
@@ -477,6 +619,7 @@ mod tests {
             tolerance: 0.25,
             slack: 0.0,
             solver: SolverKind::CoreApprox,
+            ..Default::default()
         });
         let g = gen::planted(40, 60, 4, 5, 1.0, 3).graph;
         let all: Vec<(u32, u32)> = g.edges().collect();
@@ -508,6 +651,7 @@ mod tests {
             tolerance: 0.0,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         // Zero tolerance: every growing batch re-solves.
         let g = gen::planted(30, 50, 4, 4, 1.0, 6).graph;
@@ -534,6 +678,80 @@ mod tests {
     }
 
     #[test]
+    fn parallel_resolves_match_the_serial_engine() {
+        let g = gen::planted(30, 60, 4, 4, 1.0, 9).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let mut serial = StreamEngine::new(StreamConfig {
+            tolerance: 0.0,
+            slack: 0.0,
+            ..Default::default()
+        });
+        let mut parallel = StreamEngine::new(StreamConfig {
+            tolerance: 0.0,
+            slack: 0.0,
+            threads: 3,
+            ..Default::default()
+        });
+        for chunk in all.chunks(15) {
+            let a = insert_all(&mut serial, chunk);
+            let b = insert_all(&mut parallel, chunk);
+            assert!(a.resolved && b.resolved);
+            assert_eq!(a.density, b.density, "thread count changed the answer");
+        }
+        assert_eq!(serial.resolves(), parallel.resolves());
+    }
+
+    #[test]
+    fn sketch_tier_resolves_without_a_full_solver() {
+        use dds_sketch::SketchConfig;
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.25,
+            slack: 2.0,
+            sketch: Some(SketchTier {
+                min_m: 0, // every re-solve goes through the sketch
+                config: SketchConfig {
+                    state_bound: 24,
+                    ..SketchConfig::default()
+                },
+            }),
+            ..Default::default()
+        });
+        let g = gen::planted(40, 120, 5, 5, 1.0, 4).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let mut sketched = 0u64;
+        for chunk in all.chunks(20) {
+            let report = insert_all(&mut engine, chunk);
+            if report.resolved {
+                let stats = report.sketch.expect("sketch tier must report stats");
+                assert!(stats.retained <= 24, "state bound broken");
+                sketched += 1;
+            }
+            // The bracket stays sound even though no full solver ever ran.
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            assert!(report.density <= exact, "lower bound must hold");
+            assert!(exact.to_f64() <= report.upper * (1.0 + 1e-9));
+        }
+        assert!(sketched >= 1, "at least the warm-up resolve sketches");
+        assert_eq!(engine.sketch_resolves(), engine.resolves());
+        let stats = engine.sketch_stats().expect("tier keeps a sketch");
+        assert_eq!(stats.refreshes, engine.sketch_resolves());
+        assert!(stats.solve.flow_decisions > 0, "exact-on-sketch ran flows");
+    }
+
+    #[test]
+    fn sketch_tier_below_threshold_uses_the_full_solver() {
+        let mut engine = StreamEngine::new(StreamConfig {
+            sketch: Some(SketchTier::at(1_000_000)),
+            ..Default::default()
+        });
+        let report = insert_all(&mut engine, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        assert!(report.resolved);
+        assert!(report.sketch.is_none(), "below min_m the exact tier runs");
+        assert_eq!(report.density, Density::new(4, 2, 2));
+        assert_eq!(engine.sketch_resolves(), 0);
+    }
+
+    #[test]
     fn replay_by_count_and_window_agree_on_final_state() {
         let events: Vec<TimedEvent> = (0..30u32)
             .map(|i| TimedEvent {
@@ -557,6 +775,7 @@ mod tests {
             tolerance: 5.0,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         insert_all(&mut engine, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
         // Loose tolerance lets drift accumulate without re-solving.

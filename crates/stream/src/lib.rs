@@ -64,6 +64,20 @@
 //! breaks, and escalates to one exact solve only when the sweep bracket
 //! cannot satisfy the configured tolerance. See [`WindowEngine`].
 //!
+//! # The sketch tier
+//!
+//! Both engines assume one full pass over the edge set (an exact solve or
+//! a core sweep) is affordable when the band breaks. Past some `m` it is
+//! not. The [`SketchTier`] knob gives either engine a third gear: a
+//! sublinear [`dds_sketch::SketchEngine`] maintained alongside the full
+//! edge set, whose **exact-on-sketch** refresh (a full solve of the
+//! retained subgraph, bounded by the sketch's state bound) replaces the
+//! full-graph solver whenever `m ≥ min_m`. The sketched witness is a
+//! genuine pair of the full graph, so the engines keep their exact,
+//! per-event lower bound; the upper bound re-anchors to the structural
+//! `min(√m, √(d⁺·d⁻))` and certification proceeds gap-relative, as with
+//! [`SolverKind::CoreApprox`]. Experiment E15 measures the trade.
+//!
 //! # Example
 //!
 //! ```
@@ -93,12 +107,13 @@
 mod bounds;
 mod engine;
 mod events;
-mod maxtrack;
 mod state;
 mod window;
 
 pub use bounds::CertifiedBounds;
-pub use engine::{replay, BatchBy, EpochReport, SolverKind, StreamConfig, StreamEngine};
+pub use engine::{
+    batch_slices, replay, BatchBy, EpochReport, SketchTier, SolverKind, StreamConfig, StreamEngine,
+};
 pub use events::{
     load_events, read_events, save_events, write_events, Batch, Event, StreamError, TimedEvent,
 };

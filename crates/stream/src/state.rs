@@ -8,8 +8,7 @@
 use std::collections::HashSet;
 
 use dds_graph::{DiGraph, GraphBuilder, VertexId};
-
-use crate::maxtrack::MaxTracker;
+use dds_sketch::MaxTracker;
 
 /// A simple directed graph under edge insertions/deletions.
 ///

@@ -39,15 +39,17 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use dds_core::{core_approx, DcExact, SolveContext, SolveStats};
+use dds_core::{core_approx, parallel, DcExact, ExactOptions, SolveContext, SolveStats};
 use dds_graph::{DiGraph, Pair, VertexId};
 use dds_num::Density;
+use dds_sketch::{SketchEngine, SketchStats};
 use dds_xycore::DecrementalCore;
 
 use crate::bounds::{
-    certification_band, certified_upper, CertifiedBounds, DeltaDrift, WitnessState, SAFETY,
+    certification_band, certified_upper, structural_upper, CertEdges, CertifiedBounds, DeltaDrift,
+    WitnessState, SAFETY,
 };
-use crate::engine::{batch_slices, BatchBy};
+use crate::engine::{batch_slices, sketch_tier_refresh, BatchBy, SketchTier};
 use crate::events::{Batch, Event, TimedEvent};
 use crate::state::DynamicGraph;
 
@@ -77,11 +79,24 @@ pub struct WindowConfig {
     /// gap-relative core bracket certifies (the same `gap₀` semantics as
     /// [`crate::StreamEngine`] with [`crate::SolverKind::CoreApprox`]).
     pub exact_escalation: bool,
+    /// Worker threads for exact escalations (1 = serial). Must be
+    /// positive.
+    pub threads: usize,
+    /// Optional sketch fallback (see [`SketchTier`]): when the live window
+    /// holds at least `min_m` edges, a band break refreshes through
+    /// **sketch-refresh + exact-on-sketch** instead of the full
+    /// `O(√m·(n+m))` core sweep. The maintained decremental core is
+    /// dropped for the duration (the sketch's witness plays its role as
+    /// the decaying lower bound) and exact escalation on the *full* graph
+    /// is suppressed — while engaged, the tier never pays a full-graph
+    /// sweep or solve (the linear `O(m)` witness/certificate bookkeeping
+    /// a refresh performs anyway is all that touches the full edge set).
+    pub sketch: Option<SketchTier>,
 }
 
 impl WindowConfig {
     /// Defaults tuned like [`crate::StreamConfig`]: `tolerance = 0.25`,
-    /// `slack = 2.0`, escalation on.
+    /// `slack = 2.0`, escalation on, serial, no sketch tier.
     ///
     /// # Panics
     /// Panics if `window` is zero.
@@ -93,6 +108,8 @@ impl WindowConfig {
             tolerance: 0.25,
             slack: 2.0,
             exact_escalation: true,
+            threads: 1,
+            sketch: None,
         }
     }
 }
@@ -106,6 +123,9 @@ pub enum WindowMode {
     CoreRefresh,
     /// The sweep bracket exceeded the band and one exact solve ran.
     ExactResolve,
+    /// The sketch tier re-certified: exact-on-sketch witness as the lower
+    /// bound, structural upper — no full-graph pass of any kind.
+    SketchRefresh,
 }
 
 /// What one [`WindowEngine::apply`] call did and certified.
@@ -137,8 +157,12 @@ pub struct WindowReport {
     pub core: Option<(u64, u64)>,
     /// Vertices peeled by decremental core repair during this batch.
     pub repairs: usize,
-    /// Instrumentation of the epoch's exact escalation (`None` otherwise).
+    /// Instrumentation of the epoch's exact escalation or exact-on-sketch
+    /// solve (`None` otherwise).
     pub solve_stats: Option<SolveStats>,
+    /// Sketch-tier counters, present when this epoch refreshed through the
+    /// sketch fallback.
+    pub sketch: Option<SketchStats>,
     /// The reported density: the best maintained pair's exact density.
     pub density: Density,
     /// Certified lower bound (`density` as `f64`).
@@ -170,17 +194,22 @@ pub struct WindowEngine {
     core: Option<DecrementalCore>,
     witness: WitnessState,
     drift: DeltaDrift,
+    /// The certified graph's surviving edges: refunds pre-certification
+    /// expiries in the upper bound (see [`crate::bounds::CertEdges`]).
+    cert: CertEdges,
     /// Certified upper bound on `ρ_opt` at the last certification (safety
     /// inflation included). Starts at 0: the empty graph is certified.
     rho_at_cert: f64,
     /// `upper / lower` measured right after the last certification.
     gap_at_cert: f64,
     ctx: SolveContext,
+    sketch: Option<SketchEngine>,
     /// Stream time of the last exact escalation (rate-limit anchor).
     last_escalation: Option<u64>,
     epoch: u64,
     refreshes: u64,
     exact_solves: u64,
+    sketch_refreshes: u64,
     expired_total: u64,
     repairs_total: u64,
     last_solve_stats: Option<SolveStats>,
@@ -196,8 +225,8 @@ impl WindowEngine {
         assert!(config.window > 0, "window must be positive");
         assert!(config.tolerance >= 0.0, "tolerance must be non-negative");
         assert!(config.slack >= 0.0, "slack must be non-negative");
+        assert!(config.threads > 0, "threads must be positive");
         WindowEngine {
-            config,
             state: DynamicGraph::new(),
             ring: VecDeque::new(),
             live_since: HashMap::new(),
@@ -205,13 +234,17 @@ impl WindowEngine {
             core: None,
             witness: WitnessState::default(),
             drift: DeltaDrift::default(),
+            cert: CertEdges::default(),
             rho_at_cert: 0.0,
             gap_at_cert: 1.0,
             ctx: SolveContext::new(),
+            sketch: config.sketch.map(|tier| SketchEngine::new(tier.config)),
+            config,
             last_escalation: None,
             epoch: 0,
             refreshes: 0,
             exact_solves: 0,
+            sketch_refreshes: 0,
             expired_total: 0,
             repairs_total: 0,
             last_solve_stats: None,
@@ -243,6 +276,9 @@ impl WindowEngine {
                         self.witness.on_insert(u, v);
                         if let Some(core) = &mut self.core {
                             core.insert_edge(u, v);
+                        }
+                        if let Some(sk) = &mut self.sketch {
+                            sk.insert(u, v);
                         }
                     } else if u != v && self.state.has_edge(u, v) {
                         // Live edge re-arrives: renew its expiry.
@@ -288,8 +324,13 @@ impl WindowEngine {
             mode,
             core: self.core_thresholds(),
             repairs: (self.repairs_total - repairs_before) as usize,
-            solve_stats: if mode == WindowMode::ExactResolve {
+            solve_stats: if matches!(mode, WindowMode::ExactResolve | WindowMode::SketchRefresh) {
                 self.last_solve_stats
+            } else {
+                None
+            },
+            sketch: if mode == WindowMode::SketchRefresh {
+                self.sketch.as_ref().map(SketchEngine::stats)
             } else {
                 None
             },
@@ -332,9 +373,13 @@ impl WindowEngine {
     /// explicit delete).
     fn on_removed(&mut self, u: VertexId, v: VertexId) {
         self.drift.on_delete(u, v);
+        self.cert.on_delete(u, v);
         self.witness.on_delete(u, v);
         if let Some(core) = &mut self.core {
             self.repairs_total += core.delete_edge(u, v) as u64;
+        }
+        if let Some(sk) = &mut self.sketch {
+            sk.delete(u, v);
         }
     }
 
@@ -355,10 +400,19 @@ impl WindowEngine {
         bounds.upper > self.gap_at_cert * self.band(lower)
     }
 
-    /// Re-certifies: one max-product core sweep, escalated to an exact
-    /// solve when the sweep bracket still exceeds the band (and escalation
-    /// is enabled). Resets the drift budget and measures the fresh gap.
+    /// Re-certifies. Sketch tier engaged: exact-on-sketch only (see
+    /// [`WindowConfig::sketch`]). Otherwise: one max-product core sweep,
+    /// escalated to an exact solve when the sweep bracket still exceeds
+    /// the band (and escalation is enabled). Resets the drift budget and
+    /// measures the fresh gap.
     fn refresh(&mut self) -> WindowMode {
+        if self
+            .config
+            .sketch
+            .is_some_and(|tier| self.state.m() >= tier.min_m)
+        {
+            return self.sketch_refresh();
+        }
         let g = self.state.materialize();
         let approx = core_approx(&g);
         self.refreshes += 1;
@@ -368,6 +422,7 @@ impl WindowEngine {
         self.rho_at_cert = approx.upper_bound * (1.0 + SAFETY);
         self.witness.reset(&self.state, None);
         self.drift.clear();
+        self.cert.reset(&self.state);
         self.last_solve_stats = None;
         let mut mode = WindowMode::CoreRefresh;
 
@@ -376,9 +431,18 @@ impl WindowEngine {
             .is_none_or(|t| self.now >= t.saturating_add(self.config.window));
         if self.config.exact_escalation && cooled_down {
             let lower = self.lower_density().to_f64();
-            let upper = certified_upper(&self.state, self.rho_at_cert, &self.drift);
+            let upper = certified_upper(&self.state, self.rho_at_cert, &self.drift, &self.cert);
             if lower <= 0.0 || upper > self.band(lower) {
-                let report = DcExact::new().solve_with(&mut self.ctx, &g);
+                let report = if self.config.threads > 1 {
+                    parallel::dc_exact_parallel_with(
+                        &mut self.ctx,
+                        &g,
+                        ExactOptions::default(),
+                        self.config.threads,
+                    )
+                } else {
+                    DcExact::new().solve_with(&mut self.ctx, &g)
+                };
                 self.last_solve_stats = Some(report.stats());
                 self.rho_at_cert = report.solution.density.to_f64() * (1.0 + SAFETY);
                 let pair = (!report.solution.pair.is_empty()).then_some(report.solution.pair);
@@ -392,6 +456,27 @@ impl WindowEngine {
         let bounds = self.bounds();
         self.gap_at_cert = bounds.certified_factor().max(1.0);
         mode
+    }
+
+    /// The sketch tier's re-certification: exact-on-sketch witness as the
+    /// full-graph lower bound (its true live edge count is recounted and
+    /// then maintained per event by [`WitnessState`]), structural upper,
+    /// no decremental core, no full-graph pass.
+    fn sketch_refresh(&mut self) -> WindowMode {
+        let sk = self.sketch.as_mut().expect("tier implies a sketch");
+        let incumbent = self.witness.pair().cloned();
+        let (pair, stats) = sketch_tier_refresh(sk, &self.state, incumbent);
+        self.last_solve_stats = stats;
+        self.refreshes += 1;
+        self.sketch_refreshes += 1;
+        self.core = None;
+        self.rho_at_cert = structural_upper(&self.state);
+        self.witness.reset(&self.state, pair);
+        self.drift.clear();
+        self.cert.reset(&self.state);
+        let bounds = self.bounds();
+        self.gap_at_cert = bounds.certified_factor().max(1.0);
+        WindowMode::SketchRefresh
     }
 
     /// Forces a refresh now, regardless of the certificate, and returns
@@ -421,7 +506,7 @@ impl WindowEngine {
     pub fn bounds(&self) -> CertifiedBounds {
         CertifiedBounds {
             lower: self.lower_density(),
-            upper: certified_upper(&self.state, self.rho_at_cert, &self.drift),
+            upper: certified_upper(&self.state, self.rho_at_cert, &self.drift, &self.cert),
         }
     }
 
@@ -459,6 +544,19 @@ impl WindowEngine {
     #[must_use]
     pub fn exact_solves(&self) -> u64 {
         self.exact_solves
+    }
+
+    /// How many refreshes went through the sketch tier.
+    #[must_use]
+    pub fn sketch_refreshes(&self) -> u64 {
+        self.sketch_refreshes
+    }
+
+    /// Lifetime counters of the maintained sketch, when the tier is
+    /// configured.
+    #[must_use]
+    pub fn sketch_stats(&self) -> Option<SketchStats> {
+        self.sketch.as_ref().map(SketchEngine::stats)
     }
 
     /// Edges expired by the window so far.
@@ -621,10 +719,10 @@ mod tests {
     #[test]
     fn core_decay_triggers_a_refresh_not_a_panic() {
         let mut engine = WindowEngine::new(WindowConfig {
-            window: 4,
             tolerance: 0.25,
             slack: 0.5,
             exact_escalation: true,
+            ..WindowConfig::new(4)
         });
         // A dense block that fully expires while background edges rotate:
         // the maintained core dies with it and a refresh must re-certify.
@@ -642,10 +740,10 @@ mod tests {
     #[test]
     fn escalation_reports_exact_density() {
         let mut engine = WindowEngine::new(WindowConfig {
-            window: 1_000,
             tolerance: 0.0,
             slack: 0.0,
             exact_escalation: true,
+            ..WindowConfig::new(1_000)
         });
         let report = engine.apply(&k22_batch(0));
         assert_eq!(report.mode, WindowMode::ExactResolve);
@@ -658,10 +756,10 @@ mod tests {
     #[test]
     fn without_escalation_the_core_bracket_stands() {
         let mut engine = WindowEngine::new(WindowConfig {
-            window: 1_000,
             tolerance: 0.0,
             slack: 0.0,
             exact_escalation: false,
+            ..WindowConfig::new(1_000)
         });
         let report = engine.apply(&k22_batch(0));
         assert_eq!(report.mode, WindowMode::CoreRefresh);
@@ -681,6 +779,40 @@ mod tests {
         assert_eq!(report.upper, 0.0);
         assert!(report.within_band);
         assert_eq!(report.mode, WindowMode::Incremental);
+    }
+
+    #[test]
+    fn sketch_mode_refreshes_without_core_sweeps() {
+        use crate::engine::SketchTier;
+        use dds_sketch::SketchConfig;
+        let mut engine = WindowEngine::new(WindowConfig {
+            sketch: Some(SketchTier {
+                min_m: 0,
+                config: SketchConfig {
+                    state_bound: 16,
+                    ..SketchConfig::default()
+                },
+            }),
+            ..WindowConfig::new(6)
+        });
+        // A rotating stream: blocks arrive and fully expire.
+        for t in 0..30u64 {
+            let mut batch = Batch::new();
+            batch.insert_at(t, (t % 5) as u32, 10 + (t % 7) as u32);
+            let report = engine.apply(&batch);
+            assert_ne!(report.mode, WindowMode::ExactResolve);
+            assert_ne!(report.mode, WindowMode::CoreRefresh);
+            assert!(report.within_band, "t={t}");
+            assert!(report.lower <= report.upper * (1.0 + 1e-9), "t={t}");
+            if report.mode == WindowMode::SketchRefresh {
+                let stats = report.sketch.expect("sketch refresh reports stats");
+                assert!(stats.retained <= 16);
+            }
+        }
+        assert_eq!(engine.exact_solves(), 0, "sketch mode never solves full");
+        assert_eq!(engine.sketch_refreshes(), engine.refreshes());
+        assert!(engine.sketch_refreshes() >= 1);
+        assert!(engine.core_thresholds().is_none(), "no core in sketch mode");
     }
 
     #[test]

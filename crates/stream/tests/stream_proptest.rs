@@ -52,6 +52,7 @@ proptest! {
             tolerance: 0.0,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         for chunk in events.chunks(batch_size) {
             let report = engine.apply(&batch_of(chunk));
@@ -75,6 +76,7 @@ proptest! {
             tolerance,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         for chunk in events.chunks(batch_size) {
             let report = engine.apply(&batch_of(chunk));
@@ -114,6 +116,7 @@ proptest! {
             tolerance: 0.5,
             slack: 0.0,
             solver: SolverKind::CoreApprox,
+            ..Default::default()
         });
         for chunk in events.chunks(batch_size) {
             let report = engine.apply(&batch_of(chunk));
@@ -133,6 +136,7 @@ proptest! {
             tolerance: 1.0,
             slack: 0.0,
             solver: SolverKind::Exact,
+            ..Default::default()
         });
         engine.apply(&batch_of(&events));
         let mut edges = std::collections::BTreeSet::new();

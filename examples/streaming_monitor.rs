@@ -71,6 +71,7 @@ fn main() {
         tolerance: 0.25,
         slack: 2.0,
         solver: SolverKind::Exact,
+        ..Default::default()
     });
     trajectory("steady fraud ring under churn", &mut engine, &steady);
     let bounds = engine.bounds();
@@ -89,6 +90,7 @@ fn main() {
         tolerance: 0.25,
         slack: 2.0,
         solver: SolverKind::Exact,
+        ..Default::default()
     });
     trajectory("dense block emerging mid-stream", &mut engine, &emerge);
     if let Some(pair) = engine.witness() {
@@ -129,6 +131,7 @@ fn main() {
                     WindowMode::Incremental => "·",
                     WindowMode::CoreRefresh => "CORE REFRESH",
                     WindowMode::ExactResolve => "EXACT",
+                    WindowMode::SketchRefresh => "SKETCH REFRESH",
                 }
             );
         }

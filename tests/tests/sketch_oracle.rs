@@ -1,0 +1,206 @@
+//! The differential oracle harness for the sketch tier (the ISSUE-4
+//! headline test): replay random insert/delete streams on small graphs —
+//! canonicalised through a full [`DynamicGraph`] mirror, exactly how the
+//! engines feed their embedded sketches — and check at **every** epoch
+//! that
+//!
+//! * the sketch's certified bracket contains a fresh [`DcExact`] solve of
+//!   the full graph: `lower ≤ ρ_opt ≤ upper`;
+//! * the retained edge count never exceeds the configured state bound;
+//! * the retained subgraph really is a subgraph of the full graph, and
+//!   the sketch's exact `m`/`n` counters agree with the mirror;
+//! * at subsampling level 0 a refreshed epoch is *exact* (the sketch IS
+//!   the graph, so exact-on-sketch must land on the optimum).
+//!
+//! Small state bounds are part of the strategy space, so the subsampler
+//! engages even on these tiny graphs — the oracle exercises level bumps,
+//! witness decay, and refunds, not just the trivial level-0 regime.
+
+use dds_core::DcExact;
+use dds_sketch::{SketchConfig, SketchEngine};
+use dds_stream::{DynamicGraph, Event, TimedEvent};
+use proptest::prelude::*;
+
+/// Random event streams over ≤ `max_n` vertices: mostly inserts, some
+/// deletes, duplicates and absent-deletes included (the mirror dedupes —
+/// that is the point of the canonicalisation contract).
+fn events(max_n: u32, len: usize) -> impl Strategy<Value = Vec<TimedEvent>> {
+    prop::collection::vec((0u32..4, 0u32..max_n, 0u32..max_n), 1..len).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (op, u, v))| TimedEvent {
+                time: i as u64,
+                event: if op < 3 {
+                    Event::Insert(u, v)
+                } else {
+                    Event::Delete(u, v)
+                },
+            })
+            .collect()
+    })
+}
+
+fn check_epochs(
+    stream: &[TimedEvent],
+    batch_size: usize,
+    config: SketchConfig,
+) -> Result<(), TestCaseError> {
+    let mut mirror = DynamicGraph::new();
+    let mut sketch = SketchEngine::new(config);
+    for chunk in stream.chunks(batch_size) {
+        for ev in chunk {
+            match ev.event {
+                Event::Insert(u, v) => {
+                    if mirror.insert(u, v) {
+                        sketch.insert(u, v);
+                    }
+                }
+                Event::Delete(u, v) => {
+                    if mirror.delete(u, v) {
+                        sketch.delete(u, v);
+                    }
+                }
+            }
+        }
+        let report = sketch.seal_epoch();
+
+        // 1. State bound compliance, every epoch.
+        prop_assert!(
+            report.retained <= config.state_bound,
+            "epoch {}: retained {} > bound {}",
+            report.epoch,
+            report.retained,
+            config.state_bound
+        );
+
+        // 2. Counters agree with the mirror; the retained subgraph is a
+        //    genuine subgraph.
+        let full = mirror.materialize();
+        prop_assert_eq!(report.m as usize, mirror.m(), "m counter drifted");
+        let h = sketch.materialize();
+        prop_assert_eq!(h.m(), report.retained);
+        for (u, v) in h.edges() {
+            prop_assert!(
+                full.has_edge(u, v),
+                "epoch {}: retained edge {} -> {} not in the graph",
+                report.epoch,
+                u,
+                v
+            );
+        }
+
+        // 3. The certified bracket contains the true optimum.
+        let exact = DcExact::new().solve(&full).solution.density;
+        prop_assert!(
+            report.density <= exact,
+            "epoch {}: lower {} exceeds exact {}",
+            report.epoch,
+            report.density,
+            exact
+        );
+        prop_assert!(
+            exact.to_f64() <= report.upper * (1.0 + 1e-9),
+            "epoch {}: upper {} below exact {}",
+            report.epoch,
+            report.upper,
+            exact
+        );
+
+        // 4. An unsampled sketch whose refresh escalated to exact-on-sketch
+        //    must land exactly on the optimum (H = G at level 0). A
+        //    core-sweep-only refresh only owes its ½-guarantee.
+        if report.refreshed && report.level == 0 {
+            prop_assert_eq!(report.loss, 0.0);
+            prop_assert!(
+                2.0 * report.lower * (1.0 + 1e-9) >= exact.to_f64(),
+                "epoch {}: level-0 refresh broke the sweep guarantee",
+                report.epoch
+            );
+            if report.solve_stats.is_some() {
+                prop_assert_eq!(
+                    report.density,
+                    exact,
+                    "epoch {}: escalated level-0 refresh missed the optimum",
+                    report.epoch
+                );
+            }
+        }
+
+        // 5. Internal consistency of the report.
+        prop_assert!(report.lower <= report.upper * (1.0 + 1e-9));
+        prop_assert!(report.estimate >= report.lower - 1e-12);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tight state bounds: the subsampler engages on tiny graphs, and the
+    /// bracket must survive level bumps and witness decay.
+    #[test]
+    fn sketch_bracket_contains_exact_under_subsampling(
+        stream in events(8, 48),
+        batch_size in 1usize..6,
+        bound in 3usize..16,
+        seed in 0u64..64,
+    ) {
+        check_epochs(&stream, batch_size, SketchConfig {
+            state_bound: bound,
+            seed,
+            ..SketchConfig::default()
+        })?;
+    }
+
+    /// Roomy bounds: the sketch should stay at level 0 and behave as an
+    /// exact (if lazily refreshed) engine.
+    #[test]
+    fn roomy_sketches_stay_exact(
+        stream in events(7, 40),
+        batch_size in 1usize..5,
+    ) {
+        check_epochs(&stream, batch_size, SketchConfig {
+            state_bound: 10_000,
+            refresh_drift: 0.05,
+            ..SketchConfig::default()
+        })?;
+    }
+
+    /// The embedded form: a `StreamEngine` whose every re-solve goes
+    /// through the sketch tier must still bracket a fresh exact solve at
+    /// every epoch (its lower bound is the sketched witness recounted on
+    /// the full graph).
+    #[test]
+    fn sketch_tier_stream_engine_brackets_exact(
+        stream in events(8, 40),
+        batch_size in 1usize..5,
+        bound in 4usize..16,
+    ) {
+        use dds_stream::{Batch, SketchTier, StreamConfig, StreamEngine};
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.25,
+            slack: 1.0,
+            sketch: Some(SketchTier {
+                min_m: 0,
+                config: SketchConfig { state_bound: bound, ..SketchConfig::default() },
+            }),
+            ..Default::default()
+        });
+        for chunk in stream.chunks(batch_size) {
+            let report = engine.apply(&Batch::from_events(chunk.to_vec()));
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            prop_assert!(report.density <= exact, "epoch {}: lower above exact", report.epoch);
+            prop_assert!(
+                exact.to_f64() <= report.upper * (1.0 + 1e-9),
+                "epoch {}: upper {} below exact {}",
+                report.epoch,
+                report.upper,
+                exact
+            );
+            if let Some(stats) = report.sketch {
+                prop_assert!(stats.retained <= bound);
+            }
+        }
+        prop_assert_eq!(engine.sketch_resolves(), engine.resolves());
+    }
+}

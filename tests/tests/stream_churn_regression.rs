@@ -20,6 +20,7 @@ fn seeded_churn_replay_numbers_are_pinned() {
         tolerance: 0.25,
         slack: 2.0,
         solver: SolverKind::Exact,
+        ..Default::default()
     });
     let reports = replay(&mut engine, &events, BatchBy::Count(25));
 

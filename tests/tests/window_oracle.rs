@@ -169,10 +169,10 @@ proptest! {
         tol_steps in 0u32..5,
     ) {
         check_epochs(&events, batch_size, WindowConfig {
-            window,
             tolerance: f64::from(tol_steps) * 0.25,
             slack: 0.5,
             exact_escalation: true,
+            ..WindowConfig::new(window)
         })?;
     }
 
@@ -185,10 +185,10 @@ proptest! {
         window in 2u64..10,
     ) {
         check_epochs(&events, batch_size, WindowConfig {
-            window,
             tolerance: 0.25,
             slack: 2.0,
             exact_escalation: false,
+            ..WindowConfig::new(window)
         })?;
     }
 
@@ -200,10 +200,10 @@ proptest! {
         batch_size in 1usize..4,
     ) {
         check_epochs(&events, batch_size, WindowConfig {
-            window: 1,
             tolerance: 0.0,
             slack: 0.0,
             exact_escalation: true,
+            ..WindowConfig::new(1)
         })?;
     }
 }
