@@ -12,10 +12,12 @@
 use dds_bench::{experiments, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e15)... [--quick]
+  dds-bench (all | e1..e16)... [--quick]
   dds-bench smoke
   dds-bench window-smoke
   dds-bench sketch-smoke
+  dds-bench shard-smoke
+  dds-bench snapshot-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -39,6 +41,14 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("sketch-smoke") {
         smoke_sketch();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("shard-smoke") {
+        smoke_shard();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("snapshot-smoke") {
+        smoke_snapshot();
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -271,6 +281,189 @@ fn smoke_sketch() {
         "wall budget exceeded: {elapsed:?} > {WALL_BUDGET_S}s"
     );
     println!("sketch-smoke: OK (budgets: {REFRESH_BUDGET} refreshes, {WALL_BUDGET_S}s wall)");
+}
+
+/// CI shard smoke: the 100k-event churn replay through a K = 4
+/// [`dds_shard::ShardedEngine`] with per-epoch merged-bracket validation —
+/// every epoch must report an internally consistent bracket over an edge
+/// set identical to a `DynamicGraph` mirror's, with every shard inside
+/// its state bound; at sampled epochs the bracket must contain a fresh
+/// full-graph exact solve. A generous wall budget guards against cost
+/// regressions in the merge path (the engine exists to make batches
+/// cheap; a 10x apply/certify regression should fail the build even if
+/// it stays correct).
+///
+/// Budget calibration: this replay measures 107 merged refreshes
+/// (deterministic: seeded stream, deterministic engine) and ~2.5 s wall
+/// (release, single-core runner, 2026-07). The budgets below carry ~1.5x
+/// and ~12x headroom.
+fn smoke_shard() {
+    use dds_core::DcExact;
+    use dds_shard::{ShardConfig, ShardedEngine};
+    use dds_sketch::SketchConfig;
+    use dds_stream::{Batch, DynamicGraph};
+
+    const BOUND: usize = 500;
+    const REFRESH_BUDGET: u64 = 160;
+    const WALL_BUDGET_S: f64 = 30.0;
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), 100_000, 0xDD5);
+    let mut engine = ShardedEngine::new(ShardConfig {
+        shards: 4,
+        threads: 4,
+        sketch: SketchConfig {
+            state_bound: BOUND,
+            ..SketchConfig::default()
+        },
+        ..ShardConfig::default()
+    });
+    let mut mirror = DynamicGraph::new();
+    let t0 = std::time::Instant::now();
+    let mut epochs = 0u64;
+    let mut checks = 0u32;
+    for chunk in events.chunks(100) {
+        for ev in chunk {
+            match ev.event {
+                dds_stream::Event::Insert(u, v) => {
+                    mirror.insert(u, v);
+                }
+                dds_stream::Event::Delete(u, v) => {
+                    mirror.delete(u, v);
+                }
+            }
+        }
+        let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+        epochs += 1;
+        assert_eq!(
+            r.m as usize,
+            mirror.m(),
+            "epoch {epochs}: sharded edge set diverged from the mirror"
+        );
+        assert!(
+            r.lower <= r.upper * (1.0 + 1e-9),
+            "epoch {epochs}: inverted bracket [{}, {}]",
+            r.lower,
+            r.upper
+        );
+        assert!(
+            engine.stats().retained <= 4 * BOUND,
+            "epoch {epochs}: pooled retained {} broke the 4x{BOUND} bound",
+            engine.stats().retained
+        );
+        if epochs.is_multiple_of(250) {
+            let exact = DcExact::new().solve(&mirror.materialize()).solution.density;
+            assert!(
+                r.density <= exact && exact.to_f64() <= r.upper * (1.0 + 1e-9),
+                "epoch {epochs}: bracket [{}, {}] misses exact {exact}",
+                r.lower,
+                r.upper
+            );
+            checks += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    let stats = engine.stats();
+    println!(
+        "shard-smoke: {} events, {epochs} epochs in {elapsed:?}: K=4 levels {:?}, retained {} of {} live, \
+         {} merged refreshes ({} escalated), apply {:?}, certify {:?}, {checks} bracket spot-checks",
+        events.len(),
+        stats.levels,
+        stats.retained,
+        engine.m(),
+        stats.refreshes,
+        stats.escalations,
+        stats.apply,
+        stats.certify,
+    );
+    assert!(
+        stats.refreshes <= REFRESH_BUDGET,
+        "refresh budget exceeded: {} > {REFRESH_BUDGET} — the pooled drift policy regressed",
+        stats.refreshes
+    );
+    assert!(
+        elapsed.as_secs_f64() < WALL_BUDGET_S,
+        "wall budget exceeded: {elapsed:?} > {WALL_BUDGET_S}s"
+    );
+    println!("shard-smoke: OK (budgets: {REFRESH_BUDGET} refreshes, {WALL_BUDGET_S}s wall)");
+}
+
+/// CI snapshot smoke: both snapshot-bearing engines run half a churn
+/// replay, checkpoint, restore, and finish the stream twice — once on the
+/// original engine, once on the restored one. The restored `ShardedEngine`
+/// must match bit for bit (its refreshes are history-independent by
+/// design); the restored `StreamEngine` must keep an identical edge set
+/// and a sound bracket (its warm solver context is perf state, not
+/// certificate state). Both must satisfy `snapshot(restore(s)) == s`.
+fn smoke_snapshot() {
+    use dds_shard::{replay_sharded, ShardConfig, ShardedEngine};
+    use dds_sketch::SketchConfig;
+    use dds_stream::{replay, BatchBy, StreamConfig, StreamEngine};
+
+    let events = dds_bench::stream_workloads::churn(300, 2_000, (24, 24), 20_000, 0xDD5);
+    let half = 10_000;
+
+    // ShardedEngine: strict bit-identity, report by report.
+    let config = ShardConfig {
+        shards: 3,
+        threads: 3,
+        sketch: SketchConfig {
+            state_bound: 400,
+            ..SketchConfig::default()
+        },
+        ..ShardConfig::default()
+    };
+    let mut original = ShardedEngine::new(config);
+    replay_sharded(&mut original, &events[..half], 100);
+    let snap = original.snapshot(7);
+    let (mut restored, cursor) = ShardedEngine::restore(config, &snap).expect("shard restore");
+    assert_eq!(cursor, 7);
+    assert_eq!(restored.snapshot(7), snap, "shard round-trip identity");
+    let a = replay_sharded(&mut original, &events[half..], 100);
+    let b = replay_sharded(&mut restored, &events[half..], 100);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            (x.m, x.refreshed, x.lower.to_bits(), x.upper.to_bits()),
+            (y.m, y.refreshed, y.lower.to_bits(), y.upper.to_bits()),
+            "shard epoch {} diverged after restore",
+            x.epoch
+        );
+    }
+    assert_eq!(original.snapshot(0), restored.snapshot(0));
+    println!(
+        "snapshot-smoke: shard K=3 snapshot {} bytes, {} epochs resumed bit-identically",
+        snap.len(),
+        a.len()
+    );
+
+    // StreamEngine: round-trip identity + equal edge sets and sound
+    // brackets through the rest of the replay.
+    let config = StreamConfig::default();
+    let mut original = StreamEngine::new(config);
+    replay(&mut original, &events[..half], BatchBy::Count(100));
+    let snap = original.snapshot(9);
+    let (mut restored, cursor) = StreamEngine::restore(config, &snap).expect("stream restore");
+    assert_eq!(cursor, 9);
+    assert_eq!(restored.snapshot(9), snap, "stream round-trip identity");
+    let a = replay(&mut original, &events[half..], BatchBy::Count(100));
+    let b = replay(&mut restored, &events[half..], BatchBy::Count(100));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.m, y.m, "stream epoch {} edge sets diverged", x.epoch);
+        assert!(
+            x.lower <= x.upper * (1.0 + 1e-9) && y.lower <= y.upper * (1.0 + 1e-9),
+            "stream epoch {}: a bracket inverted after restore",
+            x.epoch
+        );
+    }
+    let mut ea: Vec<_> = original.materialize().edges().collect();
+    let mut eb: Vec<_> = restored.materialize().edges().collect();
+    ea.sort_unstable();
+    eb.sort_unstable();
+    assert_eq!(ea, eb, "stream final edge sets must match");
+    println!(
+        "snapshot-smoke: stream snapshot {} bytes, {} epochs resumed with identical edge sets",
+        snap.len(),
+        a.len()
+    );
+    println!("snapshot-smoke: OK");
 }
 
 /// CI smoke: the n = 500 planted-block exact solve, with a hard budget on

@@ -9,10 +9,11 @@ use dds_core::{
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
+use dds_shard::{ShardConfig, ShardedEngine};
 use dds_sketch::{SketchConfig, SketchEngine};
 use dds_stream::{
-    batch_slices, BatchBy, DynamicGraph, Event, SketchTier, SolverKind, StreamConfig, StreamEngine,
-    WindowConfig, WindowEngine, WindowMode,
+    batch_slices, follow_events, BatchBy, DynamicGraph, Event, FollowConfig, SketchTier,
+    SolverKind, StreamConfig, StreamEngine, WindowConfig, WindowEngine, WindowMode,
 };
 use dds_xycore::{max_product_core, skyline, xy_core};
 
@@ -25,6 +26,8 @@ pub enum CliError {
     Graph(dds_graph::GraphError),
     /// Failure loading/parsing an event stream.
     Stream(dds_stream::StreamError),
+    /// Failure reading/writing an engine snapshot.
+    Snapshot(dds_stream::SnapshotError),
     /// Output stream failure.
     Io(std::io::Error),
 }
@@ -35,6 +38,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Stream(e) => write!(f, "{e}"),
+            CliError::Snapshot(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -43,6 +47,12 @@ impl fmt::Display for CliError {
 impl From<dds_stream::StreamError> for CliError {
     fn from(e: dds_stream::StreamError) -> Self {
         CliError::Stream(e)
+    }
+}
+
+impl From<dds_stream::SnapshotError> for CliError {
+    fn from(e: dds_stream::SnapshotError) -> Self {
+        CliError::Snapshot(e)
     }
 }
 
@@ -69,9 +79,15 @@ const USAGE: &str = "usage:
   dds gen     (gnm|powerlaw|planted) --n N --m M [--seed S] [--alpha A] [--plant S,T,P] --out <file>
   dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
               [--threads N] [--window W [--no-escalate]] [--sketch [--sketch-min-m M] [--sketch-bound B]]
-              (--window: expire edges W ticks after arrival; --sketch: re-certify via exact-on-sketch past M live edges)
+              [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
+              (--window: expire edges W ticks after arrival; --sketch: re-certify via exact-on-sketch past M live edges;
+               --follow: tail the growing event file, sealing epochs every N events and checkpointing to FILE)
   dds sketch  <event-file> [--batch N | --time-window T] [--bound B] [--drift F] [--threads N] [--seed S] [--log-every K]
               (standalone sublinear sketch replay: certified bracket + (1+eps) estimate per epoch)
+  dds shard   <event-file> [--shards K] [--batch N] [--bound B] [--seed S] [--threads N] [--drift F] [--log-every K]
+              [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
+              (edge-partitioned parallel ingestion over K shards with merged certification; --resume restarts
+               from the checkpoint and replays nothing twice)
   dds help";
 
 /// Entry point shared by `main` and the tests.
@@ -92,6 +108,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("gen") => cmd_gen(&mut it, out),
         Some("stream") => cmd_stream(&mut it, out),
         Some("sketch") => cmd_sketch(&mut it, out),
+        Some("shard") => cmd_shard(&mut it, out),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -508,8 +525,14 @@ fn cmd_stream<'a>(
     let mut sketch_min_m = 50_000usize;
     let mut sketch_flags_used = false;
     let mut sketch_bound = SketchConfig::default().state_bound;
+    let mut follow = false;
+    let mut serving = ServingFlags::default();
     while let Some(flag) = it.next() {
+        if serving.parse(flag, it)? {
+            continue;
+        }
         match flag {
+            "--follow" => follow = true,
             "--threads" => {
                 threads = parse_flag_value("--threads", it.next())?;
                 if threads == 0 {
@@ -584,7 +607,14 @@ fn cmd_stream<'a>(
             "--sketch-min-m/--sketch-bound require --sketch".into(),
         ));
     }
-    let events = dds_stream::load_events(path)?;
+    serving.validate(follow)?;
+    if serving.checkpoint.is_some() && !follow {
+        return Err(CliError::Usage(
+            "--checkpoint requires --follow for dds stream (replay mode loads the whole file; \
+             there is no cursor to resume from)"
+                .into(),
+        ));
+    }
     let tier = sketch.then_some(SketchTier {
         min_m: sketch_min_m,
         config: SketchConfig {
@@ -593,6 +623,33 @@ fn cmd_stream<'a>(
             ..SketchConfig::default()
         },
     });
+    if follow {
+        if window.is_some() {
+            return Err(CliError::Usage(
+                "--follow does not support --window yet (the window engine has no snapshot)".into(),
+            ));
+        }
+        if !escalate {
+            return Err(CliError::Usage("--no-escalate requires --window".into()));
+        }
+        let batch = match batch_by {
+            BatchBy::Count(n) => n,
+            BatchBy::TimeWindow(_) => {
+                return Err(CliError::Usage(
+                    "--follow seals epochs by event count; use --batch, not --time-window".into(),
+                ))
+            }
+        };
+        let config = StreamConfig {
+            tolerance,
+            slack,
+            solver: solver.unwrap_or(SolverKind::Exact),
+            threads,
+            sketch: tier,
+        };
+        return stream_follow(out, path, config, batch, log_every, &serving);
+    }
+    let events = dds_stream::load_events(path)?;
     if let Some(w) = window {
         if solver.is_some() {
             return Err(CliError::Usage(
@@ -862,6 +919,414 @@ fn stream_window(
         if let Some((x, y)) = engine.core_thresholds() {
             writeln!(out, "maintained core [{x},{y}]")?;
         }
+    }
+    Ok(())
+}
+
+/// The serving-loop flags shared by `dds stream --follow` and `dds shard`:
+/// poll/idle cadence of the tail loop plus checkpoint/resume plumbing.
+#[derive(Debug, Default)]
+struct ServingFlags {
+    poll_ms: Option<u64>,
+    idle_ms: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
+}
+
+impl ServingFlags {
+    /// Tries to consume `flag`; returns whether it was one of ours.
+    fn parse<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--poll-ms" => {
+                let ms: u64 = parse_flag_value("--poll-ms", it.next())?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--poll-ms must be positive".into()));
+                }
+                self.poll_ms = Some(ms);
+            }
+            "--idle-ms" => {
+                let ms: u64 = parse_flag_value("--idle-ms", it.next())?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--idle-ms must be positive".into()));
+                }
+                self.idle_ms = Some(ms);
+            }
+            "--checkpoint" => self.checkpoint = Some(parse_flag_value("--checkpoint", it.next())?),
+            "--checkpoint-every" => {
+                let every: u64 = parse_flag_value("--checkpoint-every", it.next())?;
+                if every == 0 {
+                    return Err(CliError::Usage(
+                        "--checkpoint-every must be positive".into(),
+                    ));
+                }
+                self.checkpoint_every = Some(every);
+            }
+            "--resume" => self.resume = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn validate(&self, follow: bool) -> Result<(), CliError> {
+        if !follow && (self.poll_ms.is_some() || self.idle_ms.is_some()) {
+            return Err(CliError::Usage(
+                "--poll-ms/--idle-ms require --follow".into(),
+            ));
+        }
+        if self.checkpoint.is_none() && (self.checkpoint_every.is_some() || self.resume) {
+            return Err(CliError::Usage(
+                "--checkpoint-every/--resume require --checkpoint".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The tail-loop configuration: follow mode polls and idles out after
+    /// the configured silence; replay mode (`follow == false`, `dds shard`
+    /// only) drains to EOF and exits immediately.
+    fn follow_config(&self, follow: bool, batch: usize, cursor: u64) -> FollowConfig {
+        use std::time::Duration;
+        FollowConfig {
+            batch,
+            poll: Duration::from_millis(self.poll_ms.unwrap_or(200)),
+            idle_exit: Some(if follow {
+                Duration::from_millis(self.idle_ms.unwrap_or(2000))
+            } else {
+                Duration::ZERO
+            }),
+            cursor,
+        }
+    }
+
+    fn checkpoint_every(&self) -> u64 {
+        self.checkpoint_every.unwrap_or(50)
+    }
+}
+
+/// One epoch's loggable facts, engine-agnostic — what the shared serving
+/// loop prints per row.
+struct EpochRow {
+    epoch: u64,
+    m: u64,
+    density: f64,
+    lower: f64,
+    upper: f64,
+    factor: f64,
+    /// `Some(label)` when this epoch re-certified (always logged); `None`
+    /// for incremental epochs (logged on the `--log-every` cadence only).
+    mode: Option<String>,
+}
+
+/// What the shared serving loop needs to know about this invocation,
+/// besides the flags: where the stream lives and how to pace it.
+struct ServingSetup<'a> {
+    path: &'a str,
+    follow: bool,
+    batch: usize,
+    log_every: usize,
+    cursor: u64,
+}
+
+/// The serving loop shared by `dds stream --follow` and `dds shard`:
+/// tail the event file, apply each sealed batch through `apply`, print
+/// the per-epoch row, and checkpoint via `save` every
+/// `--checkpoint-every` epochs and once more at the end — so the row
+/// format, checkpoint cadence, and error plumbing cannot diverge between
+/// the two commands. Returns the tail outcome and the wall clock spent.
+fn run_serving_loop<E>(
+    out: &mut dyn Write,
+    setup: &ServingSetup<'_>,
+    serving: &ServingFlags,
+    engine: &mut E,
+    apply: impl Fn(&mut E, &dds_stream::Batch) -> EpochRow,
+    save: impl Fn(&E, &str, u64) -> Result<(), dds_stream::SnapshotError>,
+) -> Result<(dds_stream::FollowOutcome, std::time::Duration), CliError> {
+    let every = serving.checkpoint_every();
+    let log_every = setup.log_every as u64;
+    writeln!(
+        out,
+        "epoch      m    density      [lower, upper]      factor  mode"
+    )?;
+    let mut checkpoints = 0u64;
+    let mut deferred: Option<CliError> = None;
+    let started = std::time::Instant::now();
+    let outcome = follow_events(
+        setup.path,
+        serving.follow_config(setup.follow, setup.batch, setup.cursor),
+        |batch, cur| {
+            let row = apply(engine, &batch);
+            if row.mode.is_some() || (log_every > 0 && row.epoch.is_multiple_of(log_every)) {
+                let mode = row.mode.as_deref().unwrap_or("incremental");
+                if let Err(e) = writeln!(
+                    out,
+                    "{:>5} {:>6}   {:>8.4}   [{:>8.4}, {:>8.4}]   {:>6.3}  {mode}",
+                    row.epoch, row.m, row.density, row.lower, row.upper, row.factor,
+                ) {
+                    deferred = Some(e.into());
+                    return std::ops::ControlFlow::Break(());
+                }
+            }
+            if let Some(ck) = &serving.checkpoint {
+                if row.epoch.is_multiple_of(every) {
+                    match save(engine, ck, cur) {
+                        Ok(()) => checkpoints += 1,
+                        Err(e) => {
+                            deferred = Some(e.into());
+                            return std::ops::ControlFlow::Break(());
+                        }
+                    }
+                }
+            }
+            std::ops::ControlFlow::Continue(())
+        },
+    )?;
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    if let Some(ck) = &serving.checkpoint {
+        save(engine, ck, outcome.cursor)?;
+        checkpoints += 1;
+        writeln!(out, "checkpointed {checkpoints} times to {ck}")?;
+    }
+    Ok((outcome, started.elapsed()))
+}
+
+/// The `dds stream --follow` serving loop: tail the event file, apply
+/// each sealed batch, and checkpoint the engine (with the stream cursor)
+/// so a restart resumes with nothing replayed twice.
+fn stream_follow(
+    out: &mut dyn Write,
+    path: &str,
+    config: StreamConfig,
+    batch: usize,
+    log_every: usize,
+    serving: &ServingFlags,
+) -> Result<(), CliError> {
+    let (mut engine, cursor) = match &serving.checkpoint {
+        Some(ck) if serving.resume && std::path::Path::new(ck).exists() => {
+            let (engine, cursor) = StreamEngine::restore_from(config, ck)?;
+            writeln!(
+                out,
+                "resumed from {ck}: epoch {}, m = {}, byte offset {cursor}",
+                engine.epoch(),
+                engine.m()
+            )?;
+            (engine, cursor)
+        }
+        _ => (StreamEngine::new(config), 0),
+    };
+    writeln!(out, "following {path} from byte {cursor} (batch {batch})")?;
+    let setup = ServingSetup {
+        path,
+        follow: true,
+        batch,
+        log_every,
+        cursor,
+    };
+    let (outcome, elapsed) = run_serving_loop(
+        out,
+        &setup,
+        serving,
+        &mut engine,
+        |engine, batch| {
+            let r = engine.apply(batch);
+            EpochRow {
+                epoch: r.epoch,
+                m: r.m as u64,
+                density: r.density.to_f64(),
+                lower: r.lower,
+                upper: r.upper,
+                factor: r.certified_factor,
+                mode: r.resolved.then(|| "RESOLVE".to_string()),
+            }
+        },
+        |engine, ck, cur| engine.save_snapshot(ck, cur),
+    )?;
+    let bounds = engine.bounds();
+    writeln!(
+        out,
+        "followed {} events in {} epochs ({elapsed:.2?}): {} re-solves, final m = {}, bracket [{:.4}, {:.4}], cursor {}",
+        outcome.events,
+        outcome.epochs,
+        engine.resolves(),
+        engine.m(),
+        bounds.lower.to_f64(),
+        bounds.upper,
+        outcome.cursor,
+    )?;
+    Ok(())
+}
+
+/// `dds shard`: edge-partitioned parallel ingestion over K shards with
+/// merged certification — replay mode drains the file and exits; with
+/// `--follow` it keeps tailing. Both modes run through the same
+/// cursor-aware tail loop, so `--checkpoint`/`--resume` behave
+/// identically in each.
+fn cmd_shard<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <event-file> path".into()))?;
+    let mut shards = 4usize;
+    let mut batch = 100usize;
+    let mut bound = SketchConfig::default().state_bound;
+    let mut seed = SketchConfig::default().seed;
+    let mut threads: Option<usize> = None;
+    let mut drift = 0.25f64;
+    let mut log_every = 0usize;
+    let mut follow = false;
+    let mut serving = ServingFlags::default();
+    while let Some(flag) = it.next() {
+        if serving.parse(flag, it)? {
+            continue;
+        }
+        match flag {
+            "--shards" => {
+                shards = parse_flag_value("--shards", it.next())?;
+                if shards == 0 {
+                    return Err(CliError::Usage("--shards must be positive".into()));
+                }
+            }
+            "--batch" => {
+                batch = parse_flag_value("--batch", it.next())?;
+                if batch == 0 {
+                    return Err(CliError::Usage("--batch must be positive".into()));
+                }
+            }
+            "--bound" => {
+                bound = parse_flag_value("--bound", it.next())?;
+                if bound == 0 {
+                    return Err(CliError::Usage("--bound must be positive".into()));
+                }
+            }
+            "--seed" => seed = parse_flag_value("--seed", it.next())?,
+            "--threads" => {
+                let t: usize = parse_flag_value("--threads", it.next())?;
+                if t == 0 {
+                    return Err(CliError::Usage("--threads must be positive".into()));
+                }
+                threads = Some(t);
+            }
+            "--drift" => {
+                drift = parse_flag_value("--drift", it.next())?;
+                if drift.is_nan() || drift <= 0.0 {
+                    return Err(CliError::Usage("--drift must be positive".into()));
+                }
+            }
+            "--log-every" => log_every = parse_flag_value("--log-every", it.next())?,
+            "--follow" => follow = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    serving.validate(follow)?;
+    let config = ShardConfig {
+        shards,
+        threads: threads.unwrap_or(shards),
+        refresh_drift: drift,
+        sketch: SketchConfig {
+            state_bound: bound,
+            seed,
+            ..SketchConfig::default()
+        },
+    };
+    let (mut engine, cursor) = match &serving.checkpoint {
+        Some(ck) if serving.resume && std::path::Path::new(ck).exists() => {
+            let (engine, cursor) = ShardedEngine::restore_from(config, ck)?;
+            writeln!(
+                out,
+                "resumed from {ck}: epoch {}, m = {}, byte offset {cursor}",
+                engine.epoch(),
+                engine.m()
+            )?;
+            (engine, cursor)
+        }
+        _ => (ShardedEngine::new(config), 0),
+    };
+    writeln!(
+        out,
+        "{} {path} across {shards} shards ({} apply workers, batch {batch}, bound {bound}/shard)",
+        if follow { "following" } else { "replaying" },
+        config.threads,
+    )?;
+    let setup = ServingSetup {
+        path,
+        follow,
+        batch,
+        log_every,
+        cursor,
+    };
+    let (outcome, elapsed) = run_serving_loop(
+        out,
+        &setup,
+        &serving,
+        &mut engine,
+        |engine, batch| {
+            let r = engine.apply(batch);
+            EpochRow {
+                epoch: r.epoch,
+                m: r.m,
+                density: r.density.to_f64(),
+                lower: r.lower,
+                upper: r.upper,
+                factor: r.certified_factor,
+                mode: r.refreshed.then(|| {
+                    format!(
+                        "MERGED REFRESH (level {}, retained {}, {} flows)",
+                        r.merged_level.unwrap_or(0),
+                        r.retained,
+                        r.solve_stats.map_or(0, |s| s.flow_decisions),
+                    )
+                }),
+            }
+        },
+        |engine, ck, cur| engine.save_snapshot(ck, cur),
+    )?;
+    let stats = engine.stats();
+    let bounds = engine.bounds();
+    writeln!(out)?;
+    writeln!(
+        out,
+        "{} {} events in {} epochs ({elapsed:.2?}): {} merged refreshes ({} escalated, {} cold-start), cursor {}",
+        if follow { "followed" } else { "replayed" },
+        outcome.events,
+        outcome.epochs,
+        stats.refreshes,
+        stats.escalations,
+        stats.cold_escalations,
+        outcome.cursor,
+    )?;
+    writeln!(
+        out,
+        "shards: levels {:?}, retained {} of {} live edges, apply {:.2?}, certify {:.2?}",
+        stats.levels,
+        stats.retained,
+        engine.m(),
+        stats.apply,
+        stats.certify,
+    )?;
+    writeln!(
+        out,
+        "final density {} over n = {}, m = {}, bracket [{:.4}, {:.4}]",
+        engine.witness_density(),
+        engine.n(),
+        engine.m(),
+        bounds.lower.to_f64(),
+        bounds.upper,
+    )?;
+    if let Some(pair) = engine.witness() {
+        writeln!(
+            out,
+            "witness |S| = {}, |T| = {}",
+            pair.s().len(),
+            pair.t().len()
+        )?;
     }
     Ok(())
 }
@@ -1391,6 +1856,140 @@ mod tests {
             run_err(&["sketch", "/definitely/not/here.events"]),
             CliError::Stream(_)
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_replays_with_merged_certification() {
+        let path = temp_events();
+        let out = run_ok(&["shard", &path, "--shards", "3", "--batch", "2"]);
+        assert!(out.contains("across 3 shards"), "{out}");
+        assert!(out.contains("MERGED REFRESH"), "{out}");
+        assert!(out.contains("merged refreshes"), "{out}");
+        assert!(out.contains("final density"), "{out}");
+        assert!(out.contains("witness |S|"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_checkpoint_then_resume_replays_nothing_twice() {
+        let path = temp_events();
+        let ck = std::env::temp_dir().join(format!(
+            "dds_cli_shard_ck_{}_{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let ck_str = ck.to_string_lossy().into_owned();
+        let first = run_ok(&[
+            "shard",
+            &path,
+            "--shards",
+            "2",
+            "--batch",
+            "2",
+            "--checkpoint",
+            &ck_str,
+        ]);
+        assert!(first.contains("checkpointed"), "{first}");
+        assert!(ck.exists());
+        // Resume from the checkpoint: the cursor sits at EOF, so nothing
+        // replays and the engine state carries over.
+        let second = run_ok(&[
+            "shard",
+            &path,
+            "--shards",
+            "2",
+            "--batch",
+            "2",
+            "--checkpoint",
+            &ck_str,
+            "--resume",
+        ]);
+        assert!(second.contains("resumed from"), "{second}");
+        assert!(second.contains("replayed 0 events"), "{second}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn shard_usage_errors() {
+        let path = temp_events();
+        assert!(matches!(run_err(&["shard"]), CliError::Usage(_)));
+        for bad in [
+            vec!["shard", &path, "--shards", "0"],
+            vec!["shard", &path, "--batch", "0"],
+            vec!["shard", &path, "--bound", "0"],
+            vec!["shard", &path, "--threads", "0"],
+            vec!["shard", &path, "--drift", "0"],
+            vec!["shard", &path, "--resume"],
+            vec!["shard", &path, "--poll-ms", "50"],
+            vec!["shard", &path, "--frobnicate"],
+        ] {
+            assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_follow_drains_a_static_file_and_checkpoints() {
+        let path = temp_events();
+        let ck = std::env::temp_dir().join(format!(
+            "dds_cli_follow_ck_{}_{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let ck_str = ck.to_string_lossy().into_owned();
+        let out = run_ok(&[
+            "stream",
+            &path,
+            "--follow",
+            "--batch",
+            "3",
+            "--idle-ms",
+            "80",
+            "--poll-ms",
+            "10",
+            "--checkpoint",
+            &ck_str,
+        ]);
+        assert!(out.contains("following"), "{out}");
+        assert!(out.contains("RESOLVE"), "{out}");
+        assert!(out.contains("followed 6 events"), "{out}");
+        assert!(ck.exists(), "final checkpoint must land");
+        // Resume: cursor at EOF, nothing to do.
+        let resumed = run_ok(&[
+            "stream",
+            &path,
+            "--follow",
+            "--batch",
+            "3",
+            "--idle-ms",
+            "80",
+            "--poll-ms",
+            "10",
+            "--checkpoint",
+            &ck_str,
+            "--resume",
+        ]);
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert!(resumed.contains("followed 0 events"), "{resumed}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ck).ok();
+    }
+
+    #[test]
+    fn stream_follow_usage_errors() {
+        let path = temp_events();
+        for bad in [
+            vec!["stream", &path, "--checkpoint", "/tmp/x.snap"],
+            vec!["stream", &path, "--follow", "--window", "5"],
+            vec!["stream", &path, "--follow", "--time-window", "2"],
+            vec!["stream", &path, "--idle-ms", "100"],
+            vec!["stream", &path, "--follow", "--idle-ms", "0"],
+            vec!["stream", &path, "--follow", "--resume"],
+        ] {
+            assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -16,11 +16,16 @@
 //! * [`core_approx_parallel`] — the two `√m` sweeps of the max-product
 //!   core search, each chunked over `x`-ranges (every chunk re-derives its
 //!   own nested base from the full graph, trading a little redundant
-//!   peeling for independence).
+//!   peeling for independence);
+//! * [`for_each_mut`] — the bare work queue itself, generic over mutable
+//!   items: `dds-shard` drives its edge-partitioned shards' batch applies
+//!   through it.
 //!
 //! All return results identical to their sequential counterparts (tested),
 //! so callers choose purely on wall-clock grounds (experiments E11, E13).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 use dds_graph::{DiGraph, StMask};
@@ -31,6 +36,63 @@ use crate::approx::{CoreApproxResult, PeelResult};
 use crate::exact::run_with_context;
 use crate::peel::peel_at_f64_ratio;
 use crate::{DdsSolution, ExactOptions, ExactReport, GridPeel, SolveContext};
+
+/// Runs `f` once over every item of `items` — each call getting exclusive
+/// `&mut` access — with the calls spread across up to `threads` scoped
+/// workers consuming an atomic work queue (the same discipline as the
+/// ratio-interval queue: workers claim the next unclaimed index, so an
+/// uneven workload never idles a worker while items remain). Results come
+/// back in item order. With `threads == 1` (or a single item) everything
+/// runs inline on the caller's thread — no spawn, no locks on the hot
+/// path — which is what makes this usable as the *only* apply path of
+/// `dds-shard`'s edge-partitioned engine: `K = 1` is the serial baseline,
+/// not a separate code path.
+///
+/// # Panics
+/// Panics if `threads == 0`, or if `f` panics on any worker.
+pub fn for_each_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Each item sits behind its own mutex purely to hand `&mut` across the
+    // scope safely; the atomic queue guarantees every index is claimed by
+    // exactly one worker, so the locks are uncontended by construction.
+    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let mut item = slots[i].lock().expect("slot poisoned");
+                let out = f(i, &mut item);
+                *results[i].lock().expect("result poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            r.into_inner()
+                .expect("result poisoned")
+                .expect("work queue left an item unvisited")
+        })
+        .collect()
+}
 
 /// Parallel [`DcExact`](crate::DcExact) with throwaway state: the ratio
 /// work queue is consumed by `threads` workers.
@@ -334,6 +396,41 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = grid_peel_parallel(&gen::path(3), 0.5, 0);
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_item_once_in_order() {
+        for threads in [1, 2, 3, 8] {
+            let mut items: Vec<u64> = (0..23).collect();
+            let results = for_each_mut(&mut items, threads, |i, item| {
+                *item += 100;
+                (i, *item)
+            });
+            assert_eq!(results.len(), 23, "threads={threads}");
+            for (i, &(idx, val)) in results.iter().enumerate() {
+                assert_eq!(idx, i, "results must come back in item order");
+                assert_eq!(val, i as u64 + 100);
+            }
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 100));
+        }
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_single() {
+        let mut none: Vec<u32> = Vec::new();
+        assert!(for_each_mut(&mut none, 4, |_, _| ()).is_empty());
+        let mut one = vec![7u32];
+        let r = for_each_mut(&mut one, 4, |_, item| {
+            *item *= 2;
+            *item
+        });
+        assert_eq!((r, one[0]), (vec![14], 14));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn for_each_mut_rejects_zero_threads() {
+        let _ = for_each_mut(&mut [1], 0, |_, _: &mut i32| ());
     }
 
     use dds_graph::DiGraph;

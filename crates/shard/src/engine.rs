@@ -1,0 +1,1031 @@
+//! The sharded engine: deterministic edge routing, parallel batch apply,
+//! merged certification, and snapshot/restore.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use dds_core::{parallel, SolveStats};
+use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
+use dds_num::Density;
+use dds_sketch::{MaxTracker, SketchConfig, SketchEngine};
+use dds_stream::snapshot::{
+    read_snapshot_file, write_snapshot_file, SnapshotError, SnapshotKind, SnapshotReader,
+    SnapshotWriter,
+};
+use dds_stream::{denser_pair, Batch, CertifiedBounds, Event, TimedEvent};
+
+/// Relative inflation applied to the floating-point upper bound so
+/// rounding can never flip the certificate (same discipline as the other
+/// engines).
+const SAFETY: f64 = 1e-9;
+
+/// Pooled retained sets smaller than this still wait for a few mutations
+/// before refreshing (mirrors the standalone sketch policy).
+const DRIFT_FLOOR: usize = 32;
+
+/// Configuration of a [`ShardedEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of edge partitions `K`. Must be positive; 1 is the serial
+    /// baseline (same code path, no spawns).
+    pub shards: usize,
+    /// Worker threads for the parallel batch apply (capped at `shards`;
+    /// 1 applies inline). Must be positive.
+    pub threads: usize,
+    /// Fraction of the pooled retained set that must have churned since
+    /// the last merged refresh before one fires. Must be positive.
+    pub refresh_drift: f64,
+    /// The per-shard sketch configuration. The admission `seed` is shared
+    /// by every shard (that is what makes the union sound) and
+    /// `state_bound` bounds both each shard's retained set and the merged
+    /// sample (the merge re-enforces it, raising the level if the union
+    /// overflows).
+    pub sketch: SketchConfig,
+}
+
+impl Default for ShardConfig {
+    /// 4 shards, 4 apply workers, the standalone sketch drift (0.25), and
+    /// the default sketch configuration.
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            threads: 4,
+            refresh_drift: 0.25,
+            sketch: SketchConfig::default(),
+        }
+    }
+}
+
+/// Lifetime counters of a [`ShardedEngine`].
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Retained edges right now, summed over shards.
+    pub retained: usize,
+    /// Per-shard subsampling levels.
+    pub levels: Vec<u32>,
+    /// Level of the last merged refresh's sample.
+    pub merged_level: u32,
+    /// Merged refreshes run so far.
+    pub refreshes: u64,
+    /// How many of those escalated to an exact solve of the merged sample.
+    pub escalations: u64,
+    /// How many ran with the cold-start one-shot escalation armed.
+    pub cold_escalations: u64,
+    /// Wall-clock spent in the (possibly parallel) batch applies.
+    pub apply: Duration,
+    /// Wall-clock spent certifying (counter merges, merged refreshes).
+    pub certify: Duration,
+    /// Accumulated instrumentation of every escalated merged solve.
+    pub solve: SolveStats,
+}
+
+/// What one [`ShardedEngine::apply`] call did and certified.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// 1-based epoch number (one per applied batch).
+    pub epoch: u64,
+    /// Events in the batch, including no-ops.
+    pub events: usize,
+    /// Insertions that changed the graph.
+    pub inserts: usize,
+    /// Deletions that changed the graph.
+    pub deletes: usize,
+    /// No-op events (duplicate inserts, absent deletes, self-loops).
+    pub ignored: usize,
+    /// Vertex count after the batch (one past the largest id seen).
+    pub n: usize,
+    /// Live edge count after the batch, summed over shards.
+    pub m: u64,
+    /// Retained (sampled) edges after the batch, summed over shards.
+    pub retained: usize,
+    /// Whether this epoch ran a merged refresh.
+    pub refreshed: bool,
+    /// The merged sample's level, when this epoch refreshed.
+    pub merged_level: Option<u32>,
+    /// The witness pair's exact density on the **full** graph — the
+    /// certified lower bound.
+    pub density: Density,
+    /// `density` as `f64`.
+    pub lower: f64,
+    /// Certified upper bound: the structural `min(√m, √(d⁺·d⁻))` over the
+    /// exact summed counters.
+    pub upper: f64,
+    /// Proven approximation factor (`upper / lower`).
+    pub certified_factor: f64,
+    /// Instrumentation of this epoch's escalated merged solve (`None` for
+    /// unescalated refreshes and quiet epochs).
+    pub solve_stats: Option<SolveStats>,
+    /// Wall-clock spent applying the batch (the parallel section).
+    pub apply: Duration,
+    /// Wall-clock spent certifying the epoch.
+    pub certify: Duration,
+    /// Total wall-clock of this `apply` call.
+    pub elapsed: Duration,
+}
+
+/// One edge partition: the authoritative edge set (turnstile dedup, the
+/// sample's rebuild source, snapshot payload) plus the shard's sketch.
+#[derive(Debug)]
+struct Shard {
+    edges: HashSet<(VertexId, VertexId)>,
+    sketch: SketchEngine,
+    n: usize,
+}
+
+/// What one shard's batch apply reports back to the engine.
+#[derive(Clone, Copy, Debug, Default)]
+struct ApplyOut {
+    inserts: usize,
+    deletes: usize,
+    ignored: usize,
+    witness_delta: i64,
+    n: usize,
+}
+
+impl Shard {
+    fn new(sketch: SketchConfig) -> Self {
+        Shard {
+            edges: HashSet::new(),
+            sketch: SketchEngine::new(sketch),
+            n: 0,
+        }
+    }
+
+    /// Applies this shard's slice of a batch: dedup against the partition,
+    /// forward applied mutations to the sketch, and track how many of the
+    /// incumbent witness's edges appeared/vanished (`in_s`/`in_t` are the
+    /// engine's read-only witness bitmaps — the witness only changes at
+    /// refresh time, never mid-apply).
+    fn apply(&mut self, events: &[TimedEvent], in_s: &[bool], in_t: &[bool]) -> ApplyOut {
+        let mut out = ApplyOut::default();
+        let in_witness = |u: VertexId, v: VertexId| {
+            in_s.get(u as usize).copied().unwrap_or(false)
+                && in_t.get(v as usize).copied().unwrap_or(false)
+        };
+        for ev in events {
+            match ev.event {
+                Event::Insert(u, v) => {
+                    // Ids register even for no-ops, like `DynamicGraph`.
+                    self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+                    if u == v || !self.edges.insert((u, v)) {
+                        out.ignored += 1;
+                        continue;
+                    }
+                    self.sketch.insert(u, v);
+                    out.inserts += 1;
+                    if in_witness(u, v) {
+                        out.witness_delta += 1;
+                    }
+                }
+                Event::Delete(u, v) => {
+                    if !self.edges.remove(&(u, v)) {
+                        out.ignored += 1;
+                        continue;
+                    }
+                    self.sketch.delete(u, v);
+                    out.deletes += 1;
+                    if in_witness(u, v) {
+                        out.witness_delta -= 1;
+                    }
+                }
+            }
+        }
+        // A partition that shrank far below its peak leaves the sample
+        // over-thinned; the shard owns its authoritative edge set, so it
+        // recovers locally (no cross-shard coordination).
+        if self.sketch.is_undersampled() {
+            self.sketch.rebuild(self.edges.iter().copied());
+        }
+        out.n = self.n;
+        out
+    }
+}
+
+/// Edge-partitioned parallel DDS maintenance (see the crate docs).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    config: ShardConfig,
+    shards: Vec<Shard>,
+    n: usize,
+    /// The incumbent witness with its full-graph edge count maintained per
+    /// event (bitmaps sized to `n` at adoption).
+    witness: Option<Pair>,
+    in_s: Vec<bool>,
+    in_t: Vec<bool>,
+    witness_edges: u64,
+    /// Cold-start one-shot, carried across merged refreshes (each merge
+    /// starts a fresh [`SketchEngine`]).
+    escalate_next: bool,
+    merged_level: u32,
+    epoch: u64,
+    refreshes: u64,
+    escalations: u64,
+    cold_escalations: u64,
+    solve_totals: SolveStats,
+    apply_wall: Duration,
+    certify_wall: Duration,
+}
+
+/// The deterministic edge router: a seeded splitmix64 finaliser over the
+/// packed endpoints, salted away from the admission hash so routing and
+/// sampling stay independent. Same `(seed, u, v)` → same shard, always —
+/// on every run, on every restore.
+fn route_hash(seed: u64, u: VertexId, v: VertexId) -> u64 {
+    let mut z = (seed ^ 0xA076_1D64_78BD_642F)
+        .wrapping_add((u64::from(u) << 32 | u64::from(v)).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardedEngine {
+    /// A fresh engine over an empty graph.
+    ///
+    /// # Panics
+    /// Panics on zero shards, zero threads, or non-positive drift (the
+    /// sketch config's own invariants are checked by the shards).
+    #[must_use]
+    pub fn new(config: ShardConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.threads > 0, "need at least one apply worker");
+        assert!(config.refresh_drift > 0.0, "refresh drift must be positive");
+        ShardedEngine {
+            shards: (0..config.shards)
+                .map(|_| Shard::new(config.sketch))
+                .collect(),
+            config,
+            n: 0,
+            witness: None,
+            in_s: Vec::new(),
+            in_t: Vec::new(),
+            witness_edges: 0,
+            escalate_next: false,
+            merged_level: 0,
+            epoch: 0,
+            refreshes: 0,
+            escalations: 0,
+            cold_escalations: 0,
+            solve_totals: SolveStats::default(),
+            apply_wall: Duration::ZERO,
+            certify_wall: Duration::ZERO,
+        }
+    }
+
+    /// Which shard owns the edge `u → v` (deterministic, seed-keyed).
+    #[must_use]
+    pub fn shard_of(&self, u: VertexId, v: VertexId) -> usize {
+        (route_hash(self.config.sketch.seed, u, v) % self.config.shards as u64) as usize
+    }
+
+    /// Applies one batch — partition by the edge router, apply the slices
+    /// across the work-queue workers, then certify the epoch globally
+    /// (summed counters; a merged-sketch refresh when the pooled drift
+    /// policy asks for one).
+    pub fn apply(&mut self, batch: &Batch) -> ShardReport {
+        let start = Instant::now();
+        let shards_n = self.config.shards;
+        let mut parts: Vec<Vec<TimedEvent>> = vec![Vec::new(); shards_n];
+        for ev in &batch.events {
+            let (u, v) = match ev.event {
+                Event::Insert(u, v) | Event::Delete(u, v) => (u, v),
+            };
+            parts[(route_hash(self.config.sketch.seed, u, v) % shards_n as u64) as usize].push(*ev);
+        }
+        let workers = self.config.threads.min(shards_n);
+        let (shards, in_s, in_t) = (&mut self.shards, &self.in_s, &self.in_t);
+        let outs = parallel::for_each_mut(shards, workers, |i, shard| {
+            shard.apply(&parts[i], in_s, in_t)
+        });
+        let apply = start.elapsed();
+        self.apply_wall += apply;
+
+        let (mut inserts, mut deletes, mut ignored) = (0usize, 0usize, 0usize);
+        let mut witness_delta = 0i64;
+        for out in &outs {
+            inserts += out.inserts;
+            deletes += out.deletes;
+            ignored += out.ignored;
+            witness_delta += out.witness_delta;
+            self.n = self.n.max(out.n);
+        }
+        self.witness_edges = self
+            .witness_edges
+            .checked_add_signed(witness_delta)
+            .expect("witness edge count underflow");
+        self.epoch += 1;
+
+        let certify_start = Instant::now();
+        let refreshed = self.needs_refresh();
+        let (solve_stats, merged_level) = if refreshed {
+            let (stats, level) = self.refresh_merged();
+            (stats, Some(level))
+        } else {
+            (None, None)
+        };
+        let density = self.witness_density();
+        let lower = density.to_f64();
+        let upper = self.structural_upper();
+        let certify = certify_start.elapsed();
+        self.certify_wall += certify;
+
+        ShardReport {
+            epoch: self.epoch,
+            events: batch.events.len(),
+            inserts,
+            deletes,
+            ignored,
+            n: self.n,
+            m: self.m(),
+            retained: self.retained(),
+            refreshed,
+            merged_level,
+            density,
+            lower,
+            upper,
+            certified_factor: if lower > 0.0 {
+                upper / lower
+            } else if upper > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            },
+            solve_stats,
+            apply,
+            certify,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Whether the pooled drift policy wants a merged refresh now
+    /// (mirrors the standalone sketch policy over the summed state).
+    fn needs_refresh(&self) -> bool {
+        let retained = self.retained();
+        if retained == 0 {
+            return false;
+        }
+        if self.witness.is_none() || self.witness_density().is_zero() {
+            return true;
+        }
+        let mutations: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.sketch.sample_mutations())
+            .sum();
+        mutations as f64 >= self.config.refresh_drift * (retained.max(DRIFT_FLOOR) as f64)
+    }
+
+    /// Runs a merged refresh now: union the shard sketches at the maximum
+    /// shard level, run the two-tier solve of the merged sample, and keep
+    /// the denser of the fresh pair and the incumbent witness measured on
+    /// the full graph. The merged engine is **fresh every time** (cold
+    /// solver context): the sample is small, so warmth buys little, and
+    /// history-independence is what makes a restored engine resume
+    /// bit-identically.
+    fn refresh_merged(&mut self) -> (Option<SolveStats>, u32) {
+        self.refreshes += 1;
+        let incumbent_dead = self.witness.is_none() || self.witness_density().is_zero();
+        let parts: Vec<&SketchEngine> = self.shards.iter().map(|s| &s.sketch).collect();
+        let mut merged = SketchEngine::merged(self.config.sketch, &parts);
+        if std::mem::take(&mut self.escalate_next) {
+            merged.arm_escalation();
+            self.cold_escalations += 1;
+        }
+        let stats = merged.force_refresh();
+        if let Some(stats) = stats {
+            self.escalations += 1;
+            self.solve_totals.ratios_solved += stats.ratios_solved;
+            self.solve_totals.flow_decisions += stats.flow_decisions;
+            self.solve_totals.arena_reuse_hits += stats.arena_reuse_hits;
+            self.solve_totals.core_cache_hits += stats.core_cache_hits;
+        }
+        // The merged engine's cold-start detector always sees a dead
+        // incumbent (it is freshly built); only honour it when the
+        // *sharded* engine's incumbent is dead too.
+        self.escalate_next = merged.escalation_armed() && incumbent_dead;
+        self.merged_level = merged.level();
+        let fresh = merged.witness_pair().cloned().filter(|p| !p.is_empty());
+        let pair = match (fresh, self.witness.take()) {
+            (Some(a), Some(b)) => Some(denser_pair(self.n, self.edges(), a, b)),
+            (a, b) => a.or(b),
+        };
+        self.adopt_witness(pair);
+        for shard in &mut self.shards {
+            shard.sketch.set_sample_mutations(0);
+        }
+        (stats, self.merged_level)
+    }
+
+    /// Forces a merged refresh regardless of the drift policy and returns
+    /// the refreshed bracket.
+    pub fn force_refresh(&mut self) -> CertifiedBounds {
+        self.refresh_merged();
+        self.bounds()
+    }
+
+    /// Adopts `pair` (or clears), rebuilding the bitmaps and recounting
+    /// its live edges across every shard.
+    fn adopt_witness(&mut self, pair: Option<Pair>) {
+        self.in_s = vec![false; self.n];
+        self.in_t = vec![false; self.n];
+        self.witness_edges = 0;
+        if let Some(pair) = &pair {
+            for &u in pair.s() {
+                self.in_s[u as usize] = true;
+            }
+            for &v in pair.t() {
+                self.in_t[v as usize] = true;
+            }
+            let (in_s, in_t) = (&self.in_s, &self.in_t);
+            self.witness_edges = self
+                .shards
+                .iter()
+                .flat_map(|s| s.edges.iter())
+                .filter(|&&(u, v)| in_s[u as usize] && in_t[v as usize])
+                .count() as u64;
+        }
+        self.witness = pair;
+    }
+
+    /// Exact density of the incumbent witness on the full graph
+    /// ([`Density::ZERO`] before the first refresh).
+    #[must_use]
+    pub fn witness_density(&self) -> Density {
+        match &self.witness {
+            Some(pair) if !pair.is_empty() => Density::new(
+                self.witness_edges,
+                pair.s().len() as u64,
+                pair.t().len() as u64,
+            ),
+            _ => Density::ZERO,
+        }
+    }
+
+    /// The structural upper bound from the **summed** shard counters:
+    /// `min(√m, √(d⁺_max · d⁻_max))`, safety-inflated. Degrees sum across
+    /// shards (disjoint partition), so this is the exact full-graph bound.
+    #[must_use]
+    pub fn structural_upper(&self) -> f64 {
+        let m = self.m();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut out = MaxTracker::default();
+        let mut inc = MaxTracker::default();
+        for shard in &self.shards {
+            let (o, i) = shard.sketch.degree_trackers();
+            out.merge(o);
+            inc.merge(i);
+        }
+        let sqrt_m = (m as f64).sqrt();
+        let degree = ((out.max() as f64) * (inc.max() as f64)).sqrt();
+        sqrt_m.min(degree) * (1.0 + SAFETY)
+    }
+
+    /// The current certified bracket `lower ≤ ρ_opt ≤ upper`.
+    #[must_use]
+    pub fn bounds(&self) -> CertifiedBounds {
+        CertifiedBounds {
+            lower: self.witness_density(),
+            upper: self.structural_upper(),
+        }
+    }
+
+    /// The incumbent witness pair, if a refresh has produced one.
+    #[must_use]
+    pub fn witness(&self) -> Option<&Pair> {
+        self.witness.as_ref()
+    }
+
+    /// Live edge count, summed over shards.
+    #[must_use]
+    pub fn m(&self) -> u64 {
+        self.shards.iter().map(|s| s.edges.len() as u64).sum()
+    }
+
+    /// Vertex count (one past the largest id seen).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Retained (sampled) edges, summed over shards.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.shards.iter().map(|s| s.sketch.retained()).sum()
+    }
+
+    /// Number of batches applied so far.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of merged refreshes so far.
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Number of shards `K`.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Iterates the full live edge set (arbitrary order, shard by shard).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.shards.iter().flat_map(|s| s.edges.iter().copied())
+    }
+
+    /// The per-shard sketches, in shard order — what a merged refresh
+    /// unions, exposed so differential oracles can compare the union
+    /// against a single engine over the whole stream.
+    pub fn shard_sketches(&self) -> Vec<&SketchEngine> {
+        self.shards.iter().map(|s| &s.sketch).collect()
+    }
+
+    /// Freezes the full graph into the CSR form the static solvers use.
+    #[must_use]
+    pub fn materialize(&self) -> DiGraph {
+        let mut b = GraphBuilder::with_min_vertices(self.n);
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Lifetime counters in one struct.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            retained: self.retained(),
+            levels: self.shards.iter().map(|s| s.sketch.level()).collect(),
+            merged_level: self.merged_level,
+            refreshes: self.refreshes,
+            escalations: self.escalations,
+            cold_escalations: self.cold_escalations,
+            apply: self.apply_wall,
+            certify: self.certify_wall,
+            solve: self.solve_totals,
+        }
+    }
+
+    /// Serializes the engine to the versioned snapshot format
+    /// ([`dds_stream::snapshot`], kind [`SnapshotKind::Shard`]): identity
+    /// (shard count, admission seed, state bound — a restore must be
+    /// asked for the same partitioning), the global edge set in canonical
+    /// order, per-shard subsampling levels and drift counters, the
+    /// incumbent witness, and the armed-escalation bit. Retained samples,
+    /// degree counters, and witness edge counts are recomputed on restore
+    /// (pure functions of the above). `cursor` is the source-stream byte
+    /// offset a follow loop should resume from.
+    #[must_use]
+    pub fn snapshot(&self, cursor: u64) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SnapshotKind::Shard, cursor);
+        w.put_u32(self.config.shards as u32);
+        w.put_u64(self.config.sketch.seed);
+        w.put_u64(self.config.sketch.state_bound as u64);
+        w.put_u64(self.n as u64);
+        w.put_u64(self.epoch);
+        w.put_u64(self.refreshes);
+        w.put_u64(self.escalations);
+        w.put_u64(self.cold_escalations);
+        w.put_u32(self.merged_level);
+        w.put_u8(u8::from(self.escalate_next));
+        for shard in &self.shards {
+            w.put_u32(shard.sketch.level());
+            w.put_u64(shard.sketch.sample_mutations());
+        }
+        let mut edges: Vec<(VertexId, VertexId)> = self.edges().collect();
+        w.put_edges(&mut edges);
+        w.put_pair(self.witness.as_ref());
+        w.finish()
+    }
+
+    /// Reconstructs an engine from snapshot bytes under `config`. The
+    /// snapshot's identity fields (shard count, seed, state bound) must
+    /// match `config` — partitioning and admission are determined by
+    /// them, so a mismatch would silently scramble every invariant.
+    /// Returns the engine and the stored stream cursor.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] on malformed bytes or an
+    /// identity mismatch.
+    pub fn restore(config: ShardConfig, bytes: &[u8]) -> Result<(Self, u64), SnapshotError> {
+        let (mut r, cursor) = SnapshotReader::open(bytes, SnapshotKind::Shard)?;
+        let shards = r.take_u32()? as usize;
+        let seed = r.take_u64()?;
+        let state_bound = r.take_u64()? as usize;
+        if shards != config.shards
+            || seed != config.sketch.seed
+            || state_bound != config.sketch.state_bound
+        {
+            return Err(SnapshotError::Format(format!(
+                "snapshot identity (shards {shards}, seed {seed:#x}, bound {state_bound}) does \
+                 not match the requested config (shards {}, seed {:#x}, bound {})",
+                config.shards, config.sketch.seed, config.sketch.state_bound
+            )));
+        }
+        let n = r.take_u64()? as usize;
+        let epoch = r.take_u64()?;
+        let refreshes = r.take_u64()?;
+        let escalations = r.take_u64()?;
+        let cold_escalations = r.take_u64()?;
+        let merged_level = r.take_u32()?;
+        let escalate_next = match r.take_u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(SnapshotError::Format(format!(
+                    "bad escalation byte {other}"
+                )))
+            }
+        };
+        let mut levels = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let level = r.take_u32()?;
+            let mutations = r.take_u64()?;
+            levels.push((level, mutations));
+        }
+        let edges = r.take_edges()?;
+        let witness = r.take_pair()?;
+        r.finish()?;
+
+        // Untrusted ids must be range-checked against the stored vertex
+        // count before anything sizes a bitmap to it — a flipped byte
+        // must be a Format error, not an index panic.
+        if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u.max(v) as usize >= n) {
+            return Err(SnapshotError::Format(format!(
+                "edge {u} -> {v} is beyond the stored vertex count {n}"
+            )));
+        }
+        if let Some(pair) = &witness {
+            if let Some(&id) = pair
+                .s()
+                .iter()
+                .chain(pair.t())
+                .find(|&&id| id as usize >= n)
+            {
+                return Err(SnapshotError::Format(format!(
+                    "witness vertex {id} is beyond the stored vertex count {n}"
+                )));
+            }
+        }
+        let mut engine = ShardedEngine::new(config);
+        // Re-partition with the router, then rebuild every shard's state
+        // deterministically from its partition at the stored level.
+        let mut parts: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); shards];
+        for &(u, v) in &edges {
+            if u == v {
+                return Err(SnapshotError::Format(format!("self-loop {u} -> {u}")));
+            }
+            parts[engine.shard_of(u, v)].push((u, v));
+        }
+        for (shard, (part, &(level, mutations))) in engine
+            .shards
+            .iter_mut()
+            .zip(parts.into_iter().zip(levels.iter()))
+        {
+            let before = part.len();
+            shard.edges = part.iter().copied().collect();
+            if shard.edges.len() != before {
+                return Err(SnapshotError::Format(
+                    "duplicate edge in snapshot".to_string(),
+                ));
+            }
+            shard.n = part
+                .iter()
+                .map(|&(u, v)| (u.max(v) as usize) + 1)
+                .max()
+                .unwrap_or(0);
+            shard.sketch = SketchEngine::restore_at(config.sketch, level, part);
+            shard.sketch.set_sample_mutations(mutations);
+        }
+        engine.n = n;
+        engine.epoch = epoch;
+        engine.refreshes = refreshes;
+        engine.escalations = escalations;
+        engine.cold_escalations = cold_escalations;
+        engine.merged_level = merged_level;
+        engine.escalate_next = escalate_next;
+        engine.adopt_witness(witness);
+        Ok((engine, cursor))
+    }
+
+    /// Writes [`ShardedEngine::snapshot`] to `path` atomically.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] on write failure.
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        cursor: u64,
+    ) -> Result<(), SnapshotError> {
+        write_snapshot_file(&self.snapshot(cursor), path)
+    }
+
+    /// Reads a snapshot file and [`ShardedEngine::restore`]s from it.
+    ///
+    /// # Errors
+    /// Propagates read and format errors.
+    pub fn restore_from(
+        config: ShardConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, u64), SnapshotError> {
+        let bytes = read_snapshot_file(path)?;
+        ShardedEngine::restore(config, &bytes)
+    }
+}
+
+/// Replays `events` through `engine` in `batch`-sized slices, returning
+/// one report per epoch (the sharded analog of [`dds_stream::replay`]).
+///
+/// # Panics
+/// Panics if `batch` is zero.
+pub fn replay_sharded(
+    engine: &mut ShardedEngine,
+    events: &[TimedEvent],
+    batch: usize,
+) -> Vec<ShardReport> {
+    assert!(batch > 0, "batch size must be positive");
+    events
+        .chunks(batch)
+        .map(|chunk| engine.apply(&Batch::from_events(chunk.to_vec())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::DcExact;
+    use dds_graph::gen;
+    use dds_stream::DynamicGraph;
+
+    fn config(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            threads: shards,
+            sketch: SketchConfig {
+                state_bound: 64,
+                ..SketchConfig::default()
+            },
+            ..ShardConfig::default()
+        }
+    }
+
+    fn insert_all(engine: &mut ShardedEngine, edges: &[(u32, u32)]) -> ShardReport {
+        let mut batch = Batch::new();
+        for &(u, v) in edges {
+            batch.insert(u, v);
+        }
+        engine.apply(&batch)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_every_shard() {
+        let engine = ShardedEngine::new(config(4));
+        let mut hit = [false; 4];
+        for u in 0..40u32 {
+            for v in 40..80u32 {
+                let s = engine.shard_of(u, v);
+                assert_eq!(s, engine.shard_of(u, v), "routing must be stable");
+                hit[s] = true;
+            }
+        }
+        assert!(hit.iter().all(|&h| h), "1600 edges must touch all 4 shards");
+    }
+
+    #[test]
+    fn apply_matches_a_dynamic_graph_mirror_through_dirty_events() {
+        let mut engine = ShardedEngine::new(config(3));
+        let mut mirror = DynamicGraph::new();
+        let mut batch = Batch::new();
+        // Dirty stream: dups, self-loops, absent deletes.
+        for (u, v) in [(0, 1), (0, 1), (2, 2), (1, 2), (0, 1)] {
+            batch.insert(u, v);
+        }
+        batch.delete(9, 9).delete(0, 1).delete(0, 1);
+        for ev in &batch.events {
+            match ev.event {
+                Event::Insert(u, v) => {
+                    mirror.insert(u, v);
+                }
+                Event::Delete(u, v) => {
+                    mirror.delete(u, v);
+                }
+            }
+        }
+        let report = engine.apply(&batch);
+        assert_eq!(report.m as usize, mirror.m());
+        assert_eq!(report.n, mirror.n());
+        assert_eq!(report.inserts, 2);
+        assert_eq!(report.deletes, 1);
+        assert_eq!(report.ignored, 5);
+        let mut ours: Vec<_> = engine.edges().collect();
+        let mut theirs: Vec<_> = mirror.edges().collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+    }
+
+    #[test]
+    fn brackets_contain_the_exact_optimum_under_churn() {
+        let g = gen::planted(40, 120, 5, 5, 1.0, 7).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let mut engine = ShardedEngine::new(config(4));
+        for chunk in all.chunks(25) {
+            let report = insert_all(&mut engine, chunk);
+            assert!(report.lower <= report.upper * (1.0 + 1e-9));
+            let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+            assert!(report.density <= exact, "lower bound must hold");
+            assert!(
+                exact.to_f64() <= report.upper * (1.0 + 1e-9),
+                "upper bound must hold: exact {exact} vs upper {}",
+                report.upper
+            );
+        }
+        // Tear a third of the edges back out.
+        let mut batch = Batch::new();
+        for &(u, v) in all.iter().step_by(3) {
+            batch.delete(u, v);
+        }
+        let report = engine.apply(&batch);
+        let exact = DcExact::new().solve(&engine.materialize()).solution.density;
+        assert!(report.density <= exact);
+        assert!(exact.to_f64() <= report.upper * (1.0 + 1e-9));
+        assert!(engine.refreshes() >= 1);
+    }
+
+    #[test]
+    fn one_shard_is_the_serial_baseline_with_identical_semantics() {
+        let g = gen::gnm(30, 150, 9);
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let mut one = ShardedEngine::new(config(1));
+        let report = insert_all(&mut one, &all);
+        assert_eq!(report.m, 150);
+        assert!(report.refreshed);
+        assert!(report.lower > 0.0);
+        let exact = DcExact::new().solve(&one.materialize()).solution.density;
+        assert!(report.density <= exact);
+        assert!(exact.to_f64() <= report.upper * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn per_shard_state_bounds_hold() {
+        let mut engine = ShardedEngine::new(ShardConfig {
+            shards: 4,
+            threads: 2,
+            sketch: SketchConfig {
+                state_bound: 16,
+                ..SketchConfig::default()
+            },
+            ..ShardConfig::default()
+        });
+        let edges: Vec<(u32, u32)> = (0..600u32).map(|i| (i % 57, 57 + (i * 5) % 97)).collect();
+        for chunk in edges.chunks(50) {
+            insert_all(&mut engine, chunk);
+            assert!(
+                engine.shards.iter().all(|s| s.sketch.retained() <= 16),
+                "a shard broke its state bound"
+            );
+        }
+        assert!(engine.stats().levels.iter().any(|&l| l > 0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let g = gen::planted(40, 120, 5, 5, 1.0, 3).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let cfg = config(3);
+        let mut engine = ShardedEngine::new(cfg);
+        for chunk in all.chunks(30) {
+            insert_all(&mut engine, chunk);
+        }
+        let bytes = engine.snapshot(1234);
+        let (restored, cursor) = ShardedEngine::restore(cfg, &bytes).unwrap();
+        assert_eq!(cursor, 1234);
+        assert_eq!(restored.snapshot(1234), bytes, "round-trip identity");
+        assert_eq!(restored.m(), engine.m());
+        assert_eq!(restored.n(), engine.n());
+        assert_eq!(restored.epoch(), engine.epoch());
+        assert_eq!(restored.witness(), engine.witness());
+        assert_eq!(restored.witness_edges, engine.witness_edges);
+        let (a, b) = (engine.bounds(), restored.bounds());
+        assert_eq!(a.lower, b.lower);
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        assert_eq!(restored.stats().levels, engine.stats().levels);
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically_mid_replay() {
+        let g = gen::planted(50, 200, 6, 6, 1.0, 21).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let cfg = config(4);
+        let mut original = ShardedEngine::new(cfg);
+        for chunk in all[..100].chunks(20) {
+            insert_all(&mut original, chunk);
+        }
+        let bytes = original.snapshot(0);
+        let (mut restored, _) = ShardedEngine::restore(cfg, &bytes).unwrap();
+        // Replay the same remaining batches (with some churn) on both; the
+        // trajectories must be indistinguishable, report by report.
+        for round in 0..6 {
+            let mut batch = Batch::new();
+            for &(u, v) in all[100..].iter().skip(round).step_by(5).take(8) {
+                batch.insert(u, v);
+            }
+            for &(u, v) in all[..100].iter().skip(round * 7).step_by(11).take(3) {
+                batch.delete(u, v);
+            }
+            let a = original.apply(&batch);
+            let b = restored.apply(&batch);
+            assert_eq!(a.m, b.m, "round {round}");
+            assert_eq!(a.refreshed, b.refreshed, "round {round}");
+            assert_eq!(a.density, b.density, "round {round}");
+            assert_eq!(a.lower.to_bits(), b.lower.to_bits(), "round {round}");
+            assert_eq!(a.upper.to_bits(), b.upper.to_bits(), "round {round}");
+        }
+        assert_eq!(
+            original.snapshot(0),
+            restored.snapshot(0),
+            "final states must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_witness_and_edge_ids() {
+        use dds_stream::snapshot::{SnapshotKind, SnapshotWriter};
+        let cfg = config(2);
+        // Write header + identity by hand, then corrupt payload variants.
+        let build = |witness_id: VertexId, edge_v: VertexId| {
+            let mut w = SnapshotWriter::new(SnapshotKind::Shard, 0);
+            w.put_u32(2); // shards
+            w.put_u64(cfg.sketch.seed);
+            w.put_u64(cfg.sketch.state_bound as u64);
+            w.put_u64(2); // n
+            w.put_u64(1); // epoch
+            w.put_u64(0); // refreshes
+            w.put_u64(0); // escalations
+            w.put_u64(0); // cold escalations
+            w.put_u32(0); // merged level
+            w.put_u8(0); // escalate_next
+            for _ in 0..2 {
+                w.put_u32(0); // level
+                w.put_u64(0); // mutations
+            }
+            w.put_edges(&mut [(0, edge_v)]);
+            w.put_pair(Some(&Pair::new(vec![0], vec![witness_id])));
+            w.finish()
+        };
+        // Witness id beyond n: Format error, not an index panic.
+        let err = ShardedEngine::restore(cfg, &build(9, 1))
+            .expect_err("out-of-range witness must be rejected");
+        assert!(err.to_string().contains("witness vertex 9"), "{err}");
+        // Edge endpoint beyond n: same.
+        let err = ShardedEngine::restore(cfg, &build(1, 7))
+            .expect_err("out-of-range edge must be rejected");
+        assert!(
+            err.to_string().contains("beyond the stored vertex count"),
+            "{err}"
+        );
+        // The clean variant restores fine.
+        assert!(ShardedEngine::restore(cfg, &build(1, 1)).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_identity_mismatches() {
+        let engine = ShardedEngine::new(config(3));
+        let bytes = engine.snapshot(0);
+        assert!(ShardedEngine::restore(config(4), &bytes).is_err(), "shards");
+        let mut other = config(3);
+        other.sketch.seed = 99;
+        assert!(ShardedEngine::restore(other, &bytes).is_err(), "seed");
+        let mut other = config(3);
+        other.sketch.state_bound = 128;
+        assert!(ShardedEngine::restore(other, &bytes).is_err(), "bound");
+        assert!(ShardedEngine::restore(config(3), b"junk").is_err());
+    }
+
+    #[test]
+    fn replay_sharded_chunks_like_the_stream_replay() {
+        let events: Vec<TimedEvent> = (0..30u32)
+            .map(|i| TimedEvent {
+                time: u64::from(i),
+                event: Event::Insert(i % 6, 6 + (i + 1) % 6),
+            })
+            .collect();
+        let mut engine = ShardedEngine::new(config(2));
+        let reports = replay_sharded(&mut engine, &events, 7);
+        assert_eq!(reports.len(), 5);
+        assert_eq!(reports.last().unwrap().epoch, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::new(ShardConfig {
+            shards: 0,
+            ..ShardConfig::default()
+        });
+    }
+}

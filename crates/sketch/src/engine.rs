@@ -2,7 +2,6 @@
 //! two-tier refreshes (core-approx-on-sketch, escalated to exact-on-sketch
 //! when the sketch's own core bracket is too loose), and epoch reports.
 
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use dds_core::{core_approx, exact_on_sketch, SolveContext, SolveStats};
@@ -10,7 +9,7 @@ use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
 use dds_num::Density;
 
 use crate::maxtrack::MaxTracker;
-use crate::sample::EdgeSampler;
+use crate::sample::SampleStore;
 
 /// Relative inflation applied to the floating-point upper bound so
 /// rounding can never flip the certificate (same discipline as
@@ -20,6 +19,19 @@ const SAFETY: f64 = 1e-9;
 /// Retained sets smaller than this still wait for a few mutations before
 /// refreshing — otherwise tiny sketches would re-solve on every event.
 const DRIFT_FLOOR: usize = 32;
+
+/// The cold-start degradation threshold: a sweep-first refresh whose
+/// certified lower bound lands within this fraction of the bottom of the
+/// bracket — less than 10% of the structural upper bound — with no
+/// surviving incumbent to fall back on, has left the bracket pinned at
+/// the structural bound (the signature of an optimum the sweep-on-sample
+/// cannot see). The engine then arms a **one-shot escalation**: the next
+/// refresh runs with `escalate_factor` forced to 1 (always
+/// exact-on-sketch), after which the configured factor applies again.
+/// One-shot, because if even the exact solve of the sample cannot do
+/// better, the sample genuinely holds no signal and repeating the solve
+/// would burn flows for nothing.
+const COLD_START_FRACTION: f64 = 0.1;
 
 /// Configuration of a [`SketchEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -92,6 +104,11 @@ pub struct SketchStats {
     /// (the sketch's core bracket exceeded the configured
     /// [`SketchConfig::escalate_factor`]).
     pub escalations: u64,
+    /// How many refreshes ran with a **one-shot escalation** armed by the
+    /// cold-start degradation detector (a sweep-first refresh that left
+    /// the bracket pinned at the structural bound with no surviving
+    /// incumbent — see [`SketchEngine::escalation_armed`]).
+    pub cold_escalations: u64,
     /// Full rebuilds from the authoritative edge set (the
     /// [`SketchEngine::is_undersampled`] recovery path).
     pub rebuilds: u64,
@@ -160,9 +177,7 @@ pub struct SketchReport {
 #[derive(Debug)]
 pub struct SketchEngine {
     config: SketchConfig,
-    sampler: EdgeSampler,
-    level: u32,
-    retained: HashSet<(VertexId, VertexId)>,
+    sample: SampleStore,
     n: usize,
     m: u64,
     out_deg: MaxTracker,
@@ -177,6 +192,9 @@ pub struct SketchEngine {
     /// Retained-set changes (inserts, deletes, subsample drops) since the
     /// last refresh — the standalone refresh trigger.
     mutations: u64,
+    /// One-shot escalation armed by the cold-start degradation detector:
+    /// the next refresh runs with `escalate_factor` forced to 1.
+    escalate_once: bool,
     ctx: SolveContext,
     epoch: u64,
     ev_inserts: usize,
@@ -186,6 +204,7 @@ pub struct SketchEngine {
     subsamples: u64,
     refreshes: u64,
     escalations: u64,
+    cold_escalations: u64,
     rebuilds: u64,
     solve_totals: SolveStats,
     last_solve_stats: Option<SolveStats>,
@@ -212,9 +231,7 @@ impl SketchEngine {
         assert!(config.threads > 0, "need at least one solve thread");
         SketchEngine {
             config,
-            sampler: EdgeSampler::new(config.seed),
-            level: 0,
-            retained: HashSet::new(),
+            sample: SampleStore::new(config.seed),
             n: 0,
             m: 0,
             out_deg: MaxTracker::default(),
@@ -224,6 +241,7 @@ impl SketchEngine {
             in_t: Vec::new(),
             witness_edges: 0,
             mutations: 0,
+            escalate_once: false,
             ctx: SolveContext::new(),
             epoch: 0,
             ev_inserts: 0,
@@ -233,10 +251,80 @@ impl SketchEngine {
             subsamples: 0,
             refreshes: 0,
             escalations: 0,
+            cold_escalations: 0,
             rebuilds: 0,
             solve_totals: SolveStats::default(),
             last_solve_stats: None,
         }
+    }
+
+    /// Merges edge-partitioned part-sketches into one sketch of their
+    /// union, **by union of retained sets at the maximum part level** —
+    /// sound because admission is a deterministic, seed-keyed, *nested*
+    /// function of the edge alone: every part retains exactly the edges of
+    /// its partition admitted at its level, so filtering the union at
+    /// `L = max(levels)` yields precisely the retained set a single engine
+    /// at level `L` would hold over the whole edge set. Exact counters
+    /// (live `m`, count-of-counts degree maxima) **sum**: the partition is
+    /// disjoint, so per-vertex degrees add across parts
+    /// ([`MaxTracker::merge`]). The merged sketch then enforces its own
+    /// state bound (which may raise the level further — still nested,
+    /// still only drops) and starts with no witness: run a refresh.
+    ///
+    /// # Panics
+    /// Panics if any part's admission seed differs from `config.seed`
+    /// (unioning differently-seeded samples is meaningless) or if `parts`
+    /// is empty.
+    #[must_use]
+    pub fn merged(config: SketchConfig, parts: &[&SketchEngine]) -> Self {
+        assert!(!parts.is_empty(), "merging zero sketches");
+        let mut merged = SketchEngine::new(config);
+        let mut level = 0u32;
+        for part in parts {
+            assert_eq!(
+                part.sample.seed(),
+                config.seed,
+                "admission seeds must match for a sound union"
+            );
+            level = level.max(part.sample.level());
+        }
+        merged
+            .sample
+            .rebuild_at(level, parts.iter().flat_map(|p| p.sample.iter()));
+        for part in parts {
+            merged.n = merged.n.max(part.n);
+            merged.m += part.m;
+            merged.out_deg.merge(&part.out_deg);
+            merged.in_deg.merge(&part.in_deg);
+        }
+        merged.enforce_state_bound();
+        merged.peak_retained = merged.sample.len();
+        merged
+    }
+
+    /// Reconstructs a sketch from snapshot state: the authoritative live
+    /// edge set plus the stored subsampling `level`. Deterministic
+    /// admission makes the retained set a pure function of
+    /// `(seed, level, edges)`, so snapshots never serialise the sample
+    /// itself. Counters are rebuilt exactly; the witness starts empty
+    /// (run a refresh).
+    #[must_use]
+    pub fn restore_at<I: IntoIterator<Item = (VertexId, VertexId)>>(
+        config: SketchConfig,
+        level: u32,
+        edges: I,
+    ) -> Self {
+        let mut engine = SketchEngine::new(config);
+        let edges: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        for &(u, v) in &edges {
+            engine.n = engine.n.max(u as usize + 1).max(v as usize + 1);
+            engine.m += 1;
+            engine.out_deg.incr(u as usize);
+            engine.in_deg.incr(v as usize);
+        }
+        engine.sample.rebuild_at(level, edges);
+        engine.peak_retained = engine.sample.len();
+        engine
     }
 
     fn witness_contains(&self, u: VertexId, v: VertexId) -> bool {
@@ -254,13 +342,13 @@ impl SketchEngine {
         self.out_deg.incr(u as usize);
         self.in_deg.incr(v as usize);
         self.ev_inserts += 1;
-        if self.sampler.admits(self.level, u, v) && self.retained.insert((u, v)) {
+        if self.sample.try_insert(u, v) {
             self.mutations += 1;
             if self.witness_contains(u, v) {
                 self.witness_edges += 1;
             }
             self.enforce_state_bound();
-            self.peak_retained = self.peak_retained.max(self.retained.len());
+            self.peak_retained = self.peak_retained.max(self.sample.len());
         }
     }
 
@@ -278,7 +366,7 @@ impl SketchEngine {
         self.out_deg.decr(u as usize);
         self.in_deg.decr(v as usize);
         self.ev_deletes += 1;
-        if self.retained.remove(&(u, v)) {
+        if self.sample.remove(u, v) {
             self.mutations += 1;
             if self.witness_contains(u, v) {
                 self.witness_edges -= 1;
@@ -289,23 +377,33 @@ impl SketchEngine {
     /// Doubles the sampling rate's inverse until the retained set fits the
     /// bound again (admission sets are nested, so each bump only drops).
     fn enforce_state_bound(&mut self) {
-        while self.retained.len() > self.config.state_bound && self.level < 63 {
-            self.level += 1;
+        while self.sample.len() > self.config.state_bound && self.sample.level() < 63 {
             self.subsamples += 1;
             self.epoch_subsamples += 1;
-            let (sampler, level) = (self.sampler, self.level);
-            let dropped: Vec<(VertexId, VertexId)> = self
-                .retained
-                .iter()
-                .copied()
-                .filter(|&(u, v)| !sampler.admits(level, u, v))
-                .collect();
-            for (u, v) in dropped {
-                self.retained.remove(&(u, v));
+            for (u, v) in self.sample.raise_level() {
                 self.mutations += 1;
                 if self.witness_contains(u, v) {
                     self.witness_edges -= 1;
                 }
+            }
+        }
+    }
+
+    /// Raises the subsampling level to `level` (no-op if not above the
+    /// current one), dropping the edges the new level rejects — the
+    /// explicit form of the nested-admission bump, used by the shard
+    /// oracle to bring two sketches to a common level before comparing
+    /// their retained sets.
+    pub fn raise_to_level(&mut self, level: u32) {
+        if level <= self.sample.level() {
+            return;
+        }
+        self.subsamples += 1;
+        self.epoch_subsamples += 1;
+        for (u, v) in self.sample.raise_to(level) {
+            self.mutations += 1;
+            if self.witness_contains(u, v) {
+                self.witness_edges -= 1;
             }
         }
     }
@@ -322,8 +420,8 @@ impl SketchEngine {
     /// hysteresis keeps a borderline sketch from rebuild-thrashing.
     #[must_use]
     pub fn is_undersampled(&self) -> bool {
-        self.level > 0
-            && self.m.saturating_mul(2) <= (self.config.state_bound as u64) << (self.level - 1)
+        let level = self.sample.level();
+        level > 0 && self.m.saturating_mul(2) <= (self.config.state_bound as u64) << (level - 1)
     }
 
     /// Rebuilds the sketch from the authoritative live edge set: resets
@@ -334,7 +432,7 @@ impl SketchEngine {
     /// refresh afterwards.
     pub fn rebuild<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, edges: I) {
         let edges: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
-        self.retained.clear();
+        self.sample.clear();
         self.m = 0;
         self.out_deg.clear();
         self.in_deg.clear();
@@ -353,7 +451,7 @@ impl SketchEngine {
             self.out_deg.incr(u as usize);
             self.in_deg.incr(v as usize);
             let mut deepest = 0u32;
-            while deepest < 63 && self.sampler.admits(deepest + 1, u, v) {
+            while deepest < 63 && self.sample.admits_at(deepest + 1, u, v) {
                 deepest += 1;
             }
             admitted_at[deepest as usize] += 1;
@@ -366,26 +464,21 @@ impl SketchEngine {
             }
             level += 1;
         }
-        self.level = level;
-        for &(u, v) in &edges {
-            if self.sampler.admits(level, u, v) {
-                self.retained.insert((u, v));
-            }
-        }
-        self.peak_retained = self.peak_retained.max(self.retained.len());
+        self.sample.rebuild_at(level, edges);
+        self.peak_retained = self.peak_retained.max(self.sample.len());
         self.rebuilds += 1;
     }
 
     /// Whether the standalone refresh policy wants a solve now.
     fn needs_refresh(&self) -> bool {
-        if self.retained.is_empty() {
+        if self.sample.is_empty() {
             return false;
         }
         if self.witness.is_none() || self.witness_density().is_zero() {
             return true; // retained edges exist but no live witness
         }
         self.mutations as f64
-            >= self.config.refresh_drift * (self.retained.len().max(DRIFT_FLOOR) as f64)
+            >= self.config.refresh_drift * (self.sample.len().max(DRIFT_FLOOR) as f64)
     }
 
     /// Runs a refresh now — the two-tier scheme on the **materialised
@@ -402,16 +495,41 @@ impl SketchEngine {
     /// Returns the escalation's instrumentation (`None` when the core
     /// bracket sufficed).
     pub fn force_refresh(&mut self) -> Option<SolveStats> {
+        let incumbent_dead = self.witness.is_none() || self.witness_density().is_zero();
         let g = self.materialize();
         self.refreshes += 1;
         self.mutations = 0;
         self.last_solve_stats = None;
+        // The cold-start one-shot: an armed escalation forces this refresh
+        // exact, then disarms (the configured factor applies again next
+        // time).
+        let one_shot = std::mem::take(&mut self.escalate_once);
+        let factor = if one_shot {
+            self.cold_escalations += 1;
+            1.0
+        } else {
+            self.config.escalate_factor
+        };
         let approx = core_approx(&g);
         let lower_c = approx.solution.density.to_f64();
-        let escalate = lower_c <= 0.0 || approx.upper_bound > self.config.escalate_factor * lower_c;
+        let escalate = lower_c <= 0.0 || approx.upper_bound > factor * lower_c;
         if !escalate {
             let pair = (!approx.solution.pair.is_empty()).then_some(approx.solution.pair);
             self.adopt_witness(pair, &g);
+            // Cold-start degradation detection (the ROADMAP's sweep-first
+            // hole): with no surviving incumbent, a sweep-on-sample witness
+            // certifying less than [`COLD_START_FRACTION`] of the
+            // structural upper bound has pinned the bracket at the
+            // structural bound — the shape of an optimum the subsampled
+            // sweep cannot see. Arm a one-shot escalation so the *next*
+            // refresh pays for an exact solve of the sample instead of
+            // settling again.
+            if incumbent_dead && self.config.escalate_factor > 1.0 {
+                let upper = self.certified_upper();
+                if upper > 0.0 && self.witness_density().to_f64() < COLD_START_FRACTION * upper {
+                    self.escalate_once = true;
+                }
+            }
             return None;
         }
         let report = exact_on_sketch(&mut self.ctx, &g, self.config.threads);
@@ -461,8 +579,8 @@ impl SketchEngine {
             deletes: self.ev_deletes,
             n: self.n,
             m: self.m,
-            retained: self.retained.len(),
-            level: self.level,
+            retained: self.sample.len(),
+            level: self.sample.level(),
             subsampled: self.epoch_subsamples,
             refreshed,
             density,
@@ -521,7 +639,7 @@ impl SketchEngine {
     /// pair's true density.
     #[must_use]
     pub fn estimate(&self) -> f64 {
-        self.witness_density().to_f64() * (1u64 << self.level.min(63)) as f64
+        self.witness_density().to_f64() * (1u64 << self.sample.level().min(63)) as f64
     }
 
     /// Chernoff loss `ε` of [`estimate`](Self::estimate) at confidence
@@ -529,7 +647,7 @@ impl SketchEngine {
     /// holds no retained edges (there is no estimate to bracket).
     #[must_use]
     pub fn loss_epsilon(&self) -> f64 {
-        if self.level == 0 {
+        if self.sample.level() == 0 {
             return 0.0;
         }
         if self.witness_edges == 0 {
@@ -543,7 +661,7 @@ impl SketchEngine {
     #[must_use]
     pub fn materialize(&self) -> DiGraph {
         let mut b = GraphBuilder::with_min_vertices(self.n);
-        for &(u, v) in &self.retained {
+        for (u, v) in self.sample.iter() {
             b.add_edge(u, v);
         }
         b.build()
@@ -559,12 +677,13 @@ impl SketchEngine {
     #[must_use]
     pub fn stats(&self) -> SketchStats {
         SketchStats {
-            retained: self.retained.len(),
+            retained: self.sample.len(),
             peak_retained: self.peak_retained,
-            level: self.level,
+            level: self.sample.level(),
             subsamples: self.subsamples,
             refreshes: self.refreshes,
             escalations: self.escalations,
+            cold_escalations: self.cold_escalations,
             rebuilds: self.rebuilds,
             solve: self.solve_totals,
         }
@@ -579,13 +698,67 @@ impl SketchEngine {
     /// Retained edges right now.
     #[must_use]
     pub fn retained(&self) -> usize {
-        self.retained.len()
+        self.sample.len()
+    }
+
+    /// Iterates the retained edges (arbitrary order) — the sample the
+    /// refreshes solve, exposed for merging, differential oracles, and
+    /// snapshot verification.
+    pub fn retained_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.sample.iter()
     }
 
     /// Current subsampling level.
     #[must_use]
     pub fn level(&self) -> u32 {
-        self.level
+        self.sample.level()
+    }
+
+    /// The deterministic admission seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.sample.seed()
+    }
+
+    /// The exact count-of-counts degree maxima `(out, in)` over the live
+    /// edge set this sketch has ingested — the counters edge-partitioned
+    /// shards sum ([`MaxTracker::merge`]) into the global structural
+    /// upper bound.
+    #[must_use]
+    pub fn degree_trackers(&self) -> (&MaxTracker, &MaxTracker) {
+        (&self.out_deg, &self.in_deg)
+    }
+
+    /// Retained-set changes (inserts, deletes, subsample drops) since the
+    /// last refresh — the standalone drift trigger, exposed so embedding
+    /// engines that pool several sketches (`dds-shard`) can run the same
+    /// policy over the summed drift.
+    #[must_use]
+    pub fn sample_mutations(&self) -> u64 {
+        self.mutations
+    }
+
+    /// Overwrites the drift counter: embedding engines zero it after a
+    /// pooled refresh (the analog of what [`SketchEngine::force_refresh`]
+    /// does for the standalone policy), and snapshot restores put the
+    /// saved value back so refresh timing resumes bit-identically.
+    pub fn set_sample_mutations(&mut self, mutations: u64) {
+        self.mutations = mutations;
+    }
+
+    /// Whether the cold-start detector has armed a one-shot escalation
+    /// for the next refresh (see [`SketchStats::cold_escalations`]).
+    #[must_use]
+    pub fn escalation_armed(&self) -> bool {
+        self.escalate_once
+    }
+
+    /// Arms a one-shot escalation by hand: the next refresh runs with
+    /// `escalate_factor` forced to 1, then the configured factor applies
+    /// again. The sharded engine uses this to carry an armed escalation
+    /// across merged sketches (each merge starts a fresh engine).
+    pub fn arm_escalation(&mut self) {
+        self.escalate_once = true;
     }
 
     /// Exact live edge count of the full graph (counter).
@@ -822,10 +995,176 @@ mod tests {
         let down = sk.level() - 1;
         let admitted_down = edges
             .iter()
-            .filter(|&&(u, v)| EdgeSampler::new(sk.config.seed).admits(down, u, v))
+            .filter(|&&(u, v)| sk.sample.admits_at(down, u, v))
             .count();
         assert!(admitted_down > 64, "level was not minimal");
         assert_eq!(sk.m(), 400);
+    }
+
+    /// A spray of edges split across k deterministic partitions and merged
+    /// back must equal the single engine over the whole stream, once both
+    /// sit at the same level — the union-soundness the sharded engine's
+    /// certification rests on.
+    #[test]
+    fn merged_partitions_equal_the_single_engine() {
+        let config = SketchConfig {
+            state_bound: 48,
+            ..SketchConfig::default()
+        };
+        let edges: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 61, 61 + (i * 7) % 83)).collect();
+        let mut single = SketchEngine::new(config);
+        let mut parts: Vec<SketchEngine> = (0..3).map(|_| SketchEngine::new(config)).collect();
+        for &(u, v) in &edges {
+            single.insert(u, v);
+            parts[((u ^ v) % 3) as usize].insert(u, v);
+        }
+        // Drop a slice again, to exercise merged deletes too.
+        for &(u, v) in edges.iter().step_by(5) {
+            single.delete(u, v);
+            parts[((u ^ v) % 3) as usize].delete(u, v);
+        }
+        let refs: Vec<&SketchEngine> = parts.iter().collect();
+        let mut merged = SketchEngine::merged(config, &refs);
+        assert_eq!(merged.m(), single.m(), "live counters must sum");
+        let (mo, mi) = merged.degree_trackers();
+        let (so, si) = single.degree_trackers();
+        assert_eq!((mo.max(), mi.max()), (so.max(), si.max()));
+        // Bring both to a common level; the retained sets must coincide.
+        let level = merged.level().max(single.level());
+        merged.raise_to_level(level);
+        single.raise_to_level(level);
+        let mut a: Vec<_> = merged.retained_edges().collect();
+        let mut b: Vec<_> = single.retained_edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "merged sample diverged from the single engine");
+    }
+
+    #[test]
+    #[should_panic(expected = "admission seeds must match")]
+    fn merging_mismatched_seeds_panics() {
+        let a = SketchEngine::new(SketchConfig::default());
+        let b = SketchEngine::new(SketchConfig {
+            seed: 1,
+            ..SketchConfig::default()
+        });
+        let _ = SketchEngine::merged(SketchConfig::default(), &[&a, &b]);
+    }
+
+    /// `restore_at` rebuilds a snapshot's sketch as a pure function of
+    /// `(seed, level, edges)` — identical retained set and counters.
+    #[test]
+    fn restore_at_reconstructs_the_sample() {
+        let config = SketchConfig {
+            state_bound: 32,
+            ..SketchConfig::default()
+        };
+        let mut live = SketchEngine::new(config);
+        let edges: Vec<(u32, u32)> = (0..300u32).map(|i| (i % 41, 41 + (i * 11) % 59)).collect();
+        for &(u, v) in &edges {
+            live.insert(u, v);
+        }
+        let restored = SketchEngine::restore_at(config, live.level(), edges.iter().copied());
+        assert_eq!(restored.level(), live.level());
+        assert_eq!(restored.m(), live.m());
+        assert_eq!(restored.n(), live.n());
+        let mut a: Vec<_> = restored.retained_edges().collect();
+        let mut b: Vec<_> = live.retained_edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        let (ro, ri) = restored.degree_trackers();
+        let (lo, li) = live.degree_trackers();
+        assert_eq!((ro.max(), ri.max()), (lo.max(), li.max()));
+    }
+
+    /// The one-shot escalation machinery: an armed engine must run its
+    /// next refresh exact-on-sketch regardless of the configured factor,
+    /// then disarm and count the event.
+    #[test]
+    fn armed_escalation_fires_exactly_once() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            escalate_factor: 2.0, // sweep-first: never escalates on its own
+            ..SketchConfig::default()
+        });
+        for (u, v) in k22() {
+            sk.insert(u, v);
+        }
+        let report = sk.seal_epoch();
+        assert!(report.refreshed);
+        assert!(report.solve_stats.is_none(), "factor 2 stays sweep-first");
+        assert!(!sk.escalation_armed(), "K_{{2,2}} cold start is healthy");
+        sk.arm_escalation();
+        sk.force_refresh();
+        assert_eq!(sk.stats().escalations, 1, "armed refresh must go exact");
+        assert_eq!(sk.stats().cold_escalations, 1);
+        assert!(!sk.escalation_armed(), "one-shot must disarm after firing");
+        sk.force_refresh();
+        assert_eq!(sk.stats().escalations, 1, "the shot does not repeat");
+    }
+
+    /// The cold-start detector end to end: subsample a graph whose
+    /// optimum the sweep-on-sample cannot see (scattered sample, high
+    /// structural bound), then check the sweep-first refresh arms and the
+    /// next one escalates.
+    #[test]
+    fn cold_start_degradation_arms_a_one_shot_escalation() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            state_bound: 24,
+            escalate_factor: 3.0,
+            ..SketchConfig::default()
+        });
+        // Two opposed hub stars: m = 2400, d⁺_max = d⁻_max = 1200 pins the
+        // structural bound at √2400 ≈ 49, while the level-≈7 sample
+        // retains ~20 scattered star edges whose best pair certifies
+        // ~√12 ≈ 3.5 — under 10% of the bound, with no incumbent: the
+        // pinned shape.
+        for v in 1..=1200u32 {
+            sk.insert(0, v);
+        }
+        for u in 1201..=2400u32 {
+            sk.insert(u, 2401);
+        }
+        let report = sk.seal_epoch();
+        assert!(report.refreshed);
+        assert!(
+            report.solve_stats.is_none(),
+            "factor 3 must start sweep-first"
+        );
+        assert!(
+            sk.escalation_armed(),
+            "lower {} vs upper {}: cold start must arm",
+            report.lower,
+            report.upper
+        );
+        // The armed refresh goes exact-on-sketch.
+        let stats = sk.force_refresh();
+        assert!(
+            stats.is_some(),
+            "armed refresh must escalate to exact-on-sketch"
+        );
+        assert!(!sk.escalation_armed(), "one-shot must disarm after firing");
+        assert_eq!(sk.stats().cold_escalations, 1);
+        assert_eq!(sk.stats().escalations, 1);
+    }
+
+    /// A healthy cold start (dense optimum, sweep recovers most of the
+    /// bound) must NOT arm the escalation.
+    #[test]
+    fn healthy_sweeps_do_not_arm_escalation() {
+        let mut sk = SketchEngine::new(SketchConfig {
+            escalate_factor: 2.0,
+            ..SketchConfig::default()
+        });
+        for u in 0..8u32 {
+            for v in 8..16u32 {
+                sk.insert(u, v);
+            }
+        }
+        let report = sk.seal_epoch();
+        assert!(report.refreshed);
+        assert!(!sk.escalation_armed(), "dense cold start must stay calm");
+        assert_eq!(sk.stats().cold_escalations, 0);
     }
 
     #[test]

@@ -44,6 +44,16 @@ impl MaxTracker {
 
     /// Increments `id`'s counter.
     pub fn incr(&mut self, id: usize) {
+        self.add(id, 1);
+    }
+
+    /// Adds `by` to `id`'s counter in one `O(1)` step — the bulk form
+    /// [`MaxTracker::merge`] is built on (a merge lands one `add` per id
+    /// instead of `count` repeated `incr`s).
+    pub fn add(&mut self, id: usize, by: u32) {
+        if by == 0 {
+            return;
+        }
         if self.count.len() <= id {
             self.count.resize(id + 1, 0);
         }
@@ -51,9 +61,25 @@ impl MaxTracker {
         if c > 0 {
             *self.freq_slot(c) -= 1;
         }
-        self.count[id] = c + 1;
-        *self.freq_slot(c + 1) += 1;
-        self.max = self.max.max(c + 1);
+        self.count[id] = c + by;
+        *self.freq_slot(c + by) += 1;
+        self.max = self.max.max(c + by);
+    }
+
+    /// Folds `other`'s counters into `self`: after the call,
+    /// `self.count(id) = old_count(id) + other.count(id)` for every id, and
+    /// the maximum is exact again — a count-of-counts *add*, `O(ids(other))`
+    /// with no rescan of `self`.
+    ///
+    /// This is how edge-partitioned shards sum their exact degree counters
+    /// into the global ones: a vertex's edges land in several shards, so
+    /// the global maximum is a property of the per-id **sums**, not of the
+    /// per-shard maxima (`max(Σ) ≥ max_s(max)` with equality only when one
+    /// shard holds a global-max vertex's whole degree).
+    pub fn merge(&mut self, other: &MaxTracker) {
+        for (id, &c) in other.count.iter().enumerate() {
+            self.add(id, c);
+        }
     }
 
     /// Decrements `id`'s counter.
@@ -172,6 +198,77 @@ mod tests {
         assert_eq!(t.max(), 0);
         t.incr(2);
         assert_eq!(t.max(), 1);
+    }
+
+    /// The ISSUE-5 satellite: merging two trackers must agree with a
+    /// tracker rebuilt from the union of the underlying increments — per-id
+    /// counts, the exact maximum, and continued incr/decr behaviour.
+    #[test]
+    fn merge_matches_a_rebuilt_tracker() {
+        // Two "shards" of increments with overlapping ids, so the merged
+        // maximum exceeds both per-shard maxima (id 3: 3 + 4 = 7).
+        let a_incrs: &[usize] = &[0, 0, 3, 3, 3, 9];
+        let b_incrs: &[usize] = &[3, 3, 3, 3, 5, 5, 17];
+        let mut a = MaxTracker::default();
+        let mut b = MaxTracker::default();
+        for &id in a_incrs {
+            a.incr(id);
+        }
+        for &id in b_incrs {
+            b.incr(id);
+        }
+        assert_eq!((a.max(), b.max()), (3, 4));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut rebuilt = MaxTracker::default();
+        for &id in a_incrs.iter().chain(b_incrs) {
+            rebuilt.incr(id);
+        }
+        assert_eq!(merged.max(), 7, "per-id sums beat per-shard maxima");
+        assert_eq!(merged.max(), rebuilt.max());
+        for id in 0..20 {
+            assert_eq!(merged.count(id), rebuilt.count(id), "count of {id}");
+        }
+        // The merged tracker keeps tracking exactly like the rebuilt one.
+        merged.decr(3);
+        rebuilt.decr(3);
+        for _ in 0..6 {
+            merged.decr(3);
+            rebuilt.decr(3);
+            assert_eq!(merged.max(), rebuilt.max());
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_disjoint_trackers() {
+        let mut t = MaxTracker::default();
+        t.incr(1);
+        t.merge(&MaxTracker::default());
+        assert_eq!((t.max(), t.count(1)), (1, 1));
+        let mut empty = MaxTracker::default();
+        empty.merge(&t);
+        assert_eq!((empty.max(), empty.count(1)), (1, 1));
+        let mut other = MaxTracker::default();
+        other.incr(40);
+        other.incr(40);
+        t.merge(&other);
+        assert_eq!(t.max(), 2);
+        assert_eq!((t.count(1), t.count(40)), (1, 2));
+    }
+
+    #[test]
+    fn add_is_a_bulk_incr() {
+        let mut bulk = MaxTracker::default();
+        bulk.add(4, 5);
+        bulk.add(4, 0); // no-op
+        let mut steps = MaxTracker::default();
+        for _ in 0..5 {
+            steps.incr(4);
+        }
+        assert_eq!(bulk.max(), steps.max());
+        assert_eq!(bulk.count(4), steps.count(4));
+        bulk.decr(4);
+        assert_eq!(bulk.max(), 4);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   at level `ℓ`, so a level bump only drops retained edges, never
 //!   requires edges the sketch already threw away.
 
+use std::collections::HashSet;
+
 use dds_graph::VertexId;
 
 /// Seeded deterministic admission of edges at a subsampling level.
@@ -40,6 +42,126 @@ impl EdgeSampler {
     /// Levels ≥ 64 are clamped to the all-but-impossible 2⁻⁶³.
     pub(crate) fn admits(self, level: u32, u: VertexId, v: VertexId) -> bool {
         self.hash(u, v) <= u64::MAX >> level.min(63)
+    }
+}
+
+/// The retained sample itself: the admission sampler, the current level,
+/// and the set of retained edges — everything about a sketch that is *not*
+/// an exact counter. Factored out of the engine so that merging
+/// (edge-partitioned shards unioning their samples), snapshotting (the
+/// retained set is reconstructible from `(seed, level)` plus the
+/// authoritative edge set, so a snapshot stores only those), and level
+/// manipulation live in one place with the nesting invariant.
+#[derive(Clone, Debug)]
+pub(crate) struct SampleStore {
+    sampler: EdgeSampler,
+    seed: u64,
+    level: u32,
+    retained: HashSet<(VertexId, VertexId)>,
+}
+
+impl SampleStore {
+    /// An empty store at level 0.
+    pub(crate) fn new(seed: u64) -> Self {
+        SampleStore {
+            sampler: EdgeSampler::new(seed),
+            seed,
+            level: 0,
+            retained: HashSet::new(),
+        }
+    }
+
+    /// The admission seed (part of the snapshot identity).
+    pub(crate) fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current subsampling level.
+    pub(crate) fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of retained edges.
+    pub(crate) fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether nothing is retained.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// Iterates the retained edges (arbitrary order).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.retained.iter().copied()
+    }
+
+    /// Whether the sampler admits the edge at an explicit level.
+    pub(crate) fn admits_at(&self, level: u32, u: VertexId, v: VertexId) -> bool {
+        self.sampler.admits(level, u, v)
+    }
+
+    /// Inserts the edge if the current level admits it. Returns whether the
+    /// retained set actually grew.
+    pub(crate) fn try_insert(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.sampler.admits(self.level, u, v) && self.retained.insert((u, v))
+    }
+
+    /// Removes the edge. Returns whether it was retained.
+    pub(crate) fn remove(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.retained.remove(&(u, v))
+    }
+
+    /// Raises the level by one (halving the admission rate) and drops the
+    /// edges the new level rejects, returning them so the caller can settle
+    /// witness bookkeeping. Nested admission guarantees this only drops.
+    pub(crate) fn raise_level(&mut self) -> Vec<(VertexId, VertexId)> {
+        self.raise_to(self.level + 1)
+    }
+
+    /// Raises the level to `level` (no-op if not above the current one),
+    /// returning the dropped edges.
+    pub(crate) fn raise_to(&mut self, level: u32) -> Vec<(VertexId, VertexId)> {
+        let level = level.min(63);
+        if level <= self.level {
+            return Vec::new();
+        }
+        self.level = level;
+        let (sampler, lvl) = (self.sampler, self.level);
+        let dropped: Vec<(VertexId, VertexId)> = self
+            .retained
+            .iter()
+            .copied()
+            .filter(|&(u, v)| !sampler.admits(lvl, u, v))
+            .collect();
+        for &(u, v) in &dropped {
+            self.retained.remove(&(u, v));
+        }
+        dropped
+    }
+
+    /// Replaces the store's contents with the subset of `edges` admitted at
+    /// `level` — the restore path: a snapshot carries only `(seed, level)`
+    /// and the authoritative edge set, because deterministic admission
+    /// makes the retained set a pure function of those.
+    pub(crate) fn rebuild_at<I: IntoIterator<Item = (VertexId, VertexId)>>(
+        &mut self,
+        level: u32,
+        edges: I,
+    ) {
+        self.level = level.min(63);
+        self.retained.clear();
+        for (u, v) in edges {
+            if self.sampler.admits(self.level, u, v) {
+                self.retained.insert((u, v));
+            }
+        }
+    }
+
+    /// Clears the retained set and resets the level to 0.
+    pub(crate) fn clear(&mut self) {
+        self.level = 0;
+        self.retained.clear();
     }
 }
 

@@ -172,6 +172,13 @@ impl DeltaDrift {
     pub(crate) fn degree_maxima(&self) -> (u64, u64) {
         (self.out.max(), self.r#in.max())
     }
+
+    /// The delta edges in canonical (sorted) order — the snapshot form.
+    pub(crate) fn edges_sorted(&self) -> Vec<(VertexId, VertexId)> {
+        let mut edges: Vec<_> = self.inserted.iter().copied().collect();
+        edges.sort_unstable();
+        edges
+    }
 }
 
 /// The surviving certified edges: the edge set frozen at the last
@@ -214,46 +221,25 @@ impl CertEdges {
     pub(crate) fn degree_maxima(&self) -> (u64, u64) {
         (self.out.max(), self.r#in.max())
     }
-}
 
-/// Picks the denser of two candidate pairs, measured on the current graph
-/// in **one** edge scan (`O(n + m)` — the same order as the witness
-/// recount a solve adoption pays anyway). The sketch tier uses it to keep
-/// the better of the fresh sketched pair and the incumbent witness: both
-/// are genuine pairs of the full graph, so taking the max is sound, and
-/// it stops a spurious sweep-on-sample pair from evicting a good
-/// incumbent.
-pub(crate) fn denser_pair(g: &DynamicGraph, a: Pair, b: Pair) -> Pair {
-    let mut membership = vec![0u8; g.n()];
-    const A_S: u8 = 1;
-    const A_T: u8 = 2;
-    const B_S: u8 = 4;
-    const B_T: u8 = 8;
-    for (pair, s_bit, t_bit) in [(&a, A_S, A_T), (&b, B_S, B_T)] {
-        for &u in pair.s() {
-            membership[u as usize] |= s_bit;
-        }
-        for &v in pair.t() {
-            membership[v as usize] |= t_bit;
-        }
+    /// The surviving certified edges in canonical (sorted) order — the
+    /// snapshot form.
+    pub(crate) fn edges_sorted(&self) -> Vec<(VertexId, VertexId)> {
+        let mut edges: Vec<_> = self.present.iter().copied().collect();
+        edges.sort_unstable();
+        edges
     }
-    let (mut ea, mut eb) = (0u64, 0u64);
-    for (u, v) in g.edges() {
-        let (mu, mv) = (membership[u as usize], membership[v as usize]);
-        ea += u64::from(mu & A_S != 0 && mv & A_T != 0);
-        eb += u64::from(mu & B_S != 0 && mv & B_T != 0);
-    }
-    let density = |pair: &Pair, edges: u64| {
-        if pair.is_empty() {
-            Density::ZERO
-        } else {
-            Density::new(edges, pair.s().len() as u64, pair.t().len() as u64)
+
+    /// Rebuilds the certified edge set from a snapshot's edge list (the
+    /// restore path — [`CertEdges::reset`] freezes a live graph instead).
+    pub(crate) fn restore<I: IntoIterator<Item = (VertexId, VertexId)>>(edges: I) -> Self {
+        let mut cert = CertEdges::default();
+        for (u, v) in edges {
+            cert.present.insert((u, v));
+            cert.out.incr(u as usize);
+            cert.r#in.incr(v as usize);
         }
-    };
-    if density(&a, ea) >= density(&b, eb) {
-        a
-    } else {
-        b
+        cert
     }
 }
 
@@ -376,6 +362,54 @@ impl BoundTracker {
     /// exact solve; up to 2 for the core approximation).
     pub(crate) fn gap_at_solve(&self) -> f64 {
         self.gap_at_solve
+    }
+
+    /// The snapshot form of the certificate state: `ρ₁`, the gap, the
+    /// witness pair, and the delta/certified edge sets in canonical order.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_state(
+        &self,
+    ) -> (
+        f64,
+        f64,
+        Option<&Pair>,
+        Vec<(VertexId, VertexId)>,
+        Vec<(VertexId, VertexId)>,
+    ) {
+        (
+            self.rho_at_solve,
+            self.gap_at_solve,
+            self.witness.pair(),
+            self.drift.edges_sorted(),
+            self.cert.edges_sorted(),
+        )
+    }
+
+    /// Rebuilds a tracker from snapshot state: `rho_at_solve` is stored
+    /// already-inflated (bit-exact round trip, no double inflation), the
+    /// witness is recounted against the restored graph, and the drift /
+    /// certified-edge trackers are replayed from their edge lists.
+    pub(crate) fn restore(
+        g: &DynamicGraph,
+        rho_at_solve: f64,
+        gap_at_solve: f64,
+        witness: Option<Pair>,
+        drift_edges: &[(VertexId, VertexId)],
+        cert_edges: Vec<(VertexId, VertexId)>,
+    ) -> Self {
+        let mut drift = DeltaDrift::default();
+        for &(u, v) in drift_edges {
+            drift.on_insert(u, v);
+        }
+        let mut tracker = BoundTracker {
+            rho_at_solve,
+            gap_at_solve,
+            drift,
+            cert: CertEdges::restore(cert_edges),
+            witness: WitnessState::default(),
+        };
+        tracker.witness.reset(g, witness);
+        tracker
     }
 
     /// Exact density of the witness on the current graph.

@@ -8,9 +8,11 @@ use dds_graph::{DiGraph, Pair};
 use dds_num::Density;
 use dds_sketch::{SketchConfig, SketchEngine, SketchStats};
 
-use crate::bounds::{denser_pair, structural_upper, BoundTracker, CertifiedBounds};
+use crate::bounds::{structural_upper, BoundTracker, CertifiedBounds};
 use crate::events::{Batch, Event, TimedEvent};
+use crate::snapshot::{SnapshotError, SnapshotKind, SnapshotReader, SnapshotWriter};
 use crate::state::DynamicGraph;
+use crate::witness::denser_pair;
 
 /// Which full solver backs a re-solve.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -413,6 +415,142 @@ impl StreamEngine {
     pub fn materialize(&self) -> DiGraph {
         self.state.materialize()
     }
+
+    /// Serializes the engine to the versioned snapshot format (see
+    /// [`crate::snapshot`]): the live edge set, the certificate state
+    /// (`ρ₁`, the gap, the witness pair, the delta and surviving-certified
+    /// edge sets — everything the drift bounds need to keep certifying
+    /// bit-identically after a restart), and the sketch tier's subsampling
+    /// level when one is maintained. `cursor` is the source-stream byte
+    /// offset a follow loop should resume from (0 if unused).
+    ///
+    /// Round-trip identity holds: [`StreamEngine::restore`] of these bytes
+    /// yields an engine whose own `snapshot` is byte-identical.
+    #[must_use]
+    pub fn snapshot(&self, cursor: u64) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SnapshotKind::Stream, cursor);
+        w.put_u64(self.state.n() as u64);
+        w.put_u64(self.epoch);
+        w.put_u64(self.resolves);
+        w.put_u64(self.sketch_resolves);
+        let mut edges: Vec<_> = self.state.edges().collect();
+        w.put_edges(&mut edges);
+        let (rho, gap, witness, mut drift, mut cert) = self.tracker.snapshot_state();
+        w.put_f64(rho);
+        w.put_f64(gap);
+        w.put_pair(witness);
+        w.put_edges(&mut drift);
+        w.put_edges(&mut cert);
+        match &self.sketch {
+            Some(sk) => {
+                w.put_u8(1);
+                w.put_u32(sk.level());
+            }
+            None => w.put_u8(0),
+        }
+        w.finish()
+    }
+
+    /// Reconstructs an engine from snapshot bytes under `config` (the
+    /// config is the caller's, like [`StreamEngine::new`] — snapshots
+    /// carry state, not policy). Returns the engine and the stored stream
+    /// cursor. The solver context starts cold (arena/memo warmth is a
+    /// perf property, not state); the sketch tier, when configured, is
+    /// rebuilt deterministically from the edge set at the stored level.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] on malformed bytes, a kind/
+    /// version mismatch, or an edge list violating the simple-graph
+    /// invariants.
+    pub fn restore(config: StreamConfig, bytes: &[u8]) -> Result<(Self, u64), SnapshotError> {
+        let (mut r, cursor) = SnapshotReader::open(bytes, SnapshotKind::Stream)?;
+        let n = r.take_u64()? as usize;
+        let epoch = r.take_u64()?;
+        let resolves = r.take_u64()?;
+        let sketch_resolves = r.take_u64()?;
+        let edges = r.take_edges()?;
+        let rho = r.take_f64()?;
+        let gap = r.take_f64()?;
+        let witness = r.take_pair()?;
+        let drift = r.take_edges()?;
+        let cert = r.take_edges()?;
+        let sketch_level = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_u32()?),
+            other => {
+                return Err(SnapshotError::Format(format!(
+                    "bad sketch presence byte {other}"
+                )))
+            }
+        };
+        r.finish()?;
+
+        let mut state = DynamicGraph::new();
+        for &(u, v) in &edges {
+            if !state.insert(u, v) {
+                return Err(SnapshotError::Format(format!(
+                    "snapshot edge list violates the simple-graph invariants at {u} -> {v}"
+                )));
+            }
+        }
+        state.ensure_vertices(n);
+        // Untrusted ids must be range-checked before anything sizes a
+        // bitmap to n — a flipped byte must be a Format error, not an
+        // index panic.
+        if let Some(pair) = &witness {
+            if let Some(&id) = pair
+                .s()
+                .iter()
+                .chain(pair.t())
+                .find(|&&id| id as usize >= state.n())
+            {
+                return Err(SnapshotError::Format(format!(
+                    "witness vertex {id} is beyond the stored vertex count {}",
+                    state.n()
+                )));
+            }
+        }
+        let tracker = BoundTracker::restore(&state, rho, gap, witness, &drift, cert);
+        let sketch = config.sketch.map(|tier| {
+            SketchEngine::restore_at(
+                tier.config,
+                sketch_level.unwrap_or(0),
+                edges.iter().copied(),
+            )
+        });
+        let mut engine = StreamEngine::new(config);
+        engine.state = state;
+        engine.tracker = tracker;
+        engine.sketch = sketch;
+        engine.epoch = epoch;
+        engine.resolves = resolves;
+        engine.sketch_resolves = sketch_resolves;
+        Ok((engine, cursor))
+    }
+
+    /// Writes [`StreamEngine::snapshot`] to `path` atomically.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] on write failure.
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        cursor: u64,
+    ) -> Result<(), SnapshotError> {
+        crate::snapshot::write_snapshot_file(&self.snapshot(cursor), path)
+    }
+
+    /// Reads a snapshot file and [`StreamEngine::restore`]s from it.
+    ///
+    /// # Errors
+    /// Propagates read and format errors.
+    pub fn restore_from(
+        config: StreamConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, u64), SnapshotError> {
+        let bytes = crate::snapshot::read_snapshot_file(path)?;
+        StreamEngine::restore(config, &bytes)
+    }
 }
 
 /// How [`replay`] groups a timestamped event stream into batches.
@@ -450,7 +588,7 @@ pub(crate) fn sketch_tier_refresh(
     let stats = sk.force_refresh();
     let fresh = sk.witness_pair().cloned().filter(|p| !p.is_empty());
     let pair = match (fresh, incumbent) {
-        (Some(a), Some(b)) => Some(denser_pair(state, a, b)),
+        (Some(a), Some(b)) => Some(denser_pair(state.n(), state.edges(), a, b)),
         (a, b) => a.or(b),
     };
     (pair, stats)
@@ -767,6 +905,98 @@ mod tests {
         assert_eq!(by_count.m(), by_window.m());
         assert_eq!(a.len(), 5); // ceil(30 / 7)
         assert_eq!(b.len(), 3); // three 10-tick windows
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let g = gen::planted(30, 60, 4, 4, 1.0, 11).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let config = StreamConfig::default();
+        let mut engine = StreamEngine::new(config);
+        insert_all(&mut engine, &all[..40]);
+        // Leave some drift in flight so the snapshot carries a non-trivial
+        // certificate state (delta edges, eroded certified set).
+        let mut batch = Batch::new();
+        for &(u, v) in &all[40..50] {
+            batch.insert(u, v);
+        }
+        batch.delete(all[0].0, all[0].1);
+        engine.apply(&batch);
+
+        let bytes = engine.snapshot(777);
+        let (restored, cursor) = StreamEngine::restore(config, &bytes).unwrap();
+        assert_eq!(cursor, 777);
+        assert_eq!(restored.snapshot(777), bytes, "round-trip identity");
+        assert_eq!((restored.n(), restored.m()), (engine.n(), engine.m()));
+        assert_eq!(restored.epoch(), engine.epoch());
+        assert_eq!(restored.resolves(), engine.resolves());
+        let (a, b) = (engine.bounds(), restored.bounds());
+        assert_eq!(a.lower, b.lower);
+        assert_eq!(a.upper.to_bits(), b.upper.to_bits(), "certificate state");
+        assert_eq!(restored.witness(), engine.witness());
+    }
+
+    #[test]
+    fn snapshot_preserves_the_sketch_tier_level() {
+        let config = StreamConfig {
+            sketch: Some(SketchTier {
+                min_m: 0,
+                config: dds_sketch::SketchConfig {
+                    state_bound: 16,
+                    ..dds_sketch::SketchConfig::default()
+                },
+            }),
+            ..Default::default()
+        };
+        let mut engine = StreamEngine::new(config);
+        let g = gen::gnm(40, 200, 5);
+        insert_all(&mut engine, &g.edges().collect::<Vec<_>>());
+        let level = engine.sketch_stats().unwrap().level;
+        assert!(level > 0, "200 edges past bound 16 must subsample");
+        let bytes = engine.snapshot(0);
+        let (restored, _) = StreamEngine::restore(config, &bytes).unwrap();
+        let stats = restored.sketch_stats().unwrap();
+        assert_eq!(stats.level, level);
+        assert_eq!(
+            stats.retained,
+            engine.sketch_stats().unwrap().retained,
+            "deterministic admission must rebuild the same sample"
+        );
+        assert_eq!(restored.snapshot(0), bytes);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_and_mismatched_snapshots() {
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        insert_all(&mut engine, &[(0, 1), (1, 2)]);
+        let bytes = engine.snapshot(0);
+        assert!(StreamEngine::restore(StreamConfig::default(), &bytes[..10]).is_err());
+        let mut corrupt = bytes.clone();
+        corrupt[4] = 200; // version byte
+        assert!(StreamEngine::restore(StreamConfig::default(), &corrupt).is_err());
+        assert!(StreamEngine::restore(StreamConfig::default(), b"junk").is_err());
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_witness_ids() {
+        use crate::snapshot::{SnapshotKind, SnapshotWriter};
+        // A hand-built snapshot whose witness mentions vertex 9 while the
+        // graph holds ids < 2: must be a Format error, not an index panic.
+        let mut w = SnapshotWriter::new(SnapshotKind::Stream, 0);
+        w.put_u64(2); // n
+        w.put_u64(1); // epoch
+        w.put_u64(1); // resolves
+        w.put_u64(0); // sketch_resolves
+        w.put_edges(&mut [(0, 1)]);
+        w.put_f64(1.0); // rho at solve
+        w.put_f64(1.0); // gap
+        w.put_pair(Some(&Pair::new(vec![0], vec![9])));
+        w.put_edges(&mut []); // drift
+        w.put_edges(&mut []); // cert
+        w.put_u8(0); // no sketch
+        let err = StreamEngine::restore(StreamConfig::default(), &w.finish())
+            .expect_err("out-of-range witness must be rejected");
+        assert!(err.to_string().contains("witness vertex 9"), "{err}");
     }
 
     #[test]

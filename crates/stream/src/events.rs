@@ -141,39 +141,50 @@ impl From<std::io::Error> for StreamError {
 pub fn read_events(reader: impl Read) -> Result<Vec<TimedEvent>, StreamError> {
     let mut out = Vec::new();
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        let lineno = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
-            continue;
+        if let Some(ev) = parse_event_line(&line?, idx + 1)? {
+            out.push(ev);
         }
-        let mut fields = trimmed.split_whitespace();
-        let time: u64 = parse_field(fields.next(), "timestamp", lineno)?;
-        let op = fields.next().ok_or_else(|| StreamError::Parse {
-            line: lineno,
-            msg: "missing op (+ or -)".into(),
-        })?;
-        let u: VertexId = parse_field(fields.next(), "source vertex", lineno)?;
-        let v: VertexId = parse_field(fields.next(), "target vertex", lineno)?;
-        if let Some(extra) = fields.next() {
-            return Err(StreamError::Parse {
-                line: lineno,
-                msg: format!("unexpected trailing field {extra:?}"),
-            });
-        }
-        let event = match op {
-            "+" => Event::Insert(u, v),
-            "-" => Event::Delete(u, v),
-            other => {
-                return Err(StreamError::Parse {
-                    line: lineno,
-                    msg: format!("unknown op {other:?} (expected + or -)"),
-                })
-            }
-        };
-        out.push(TimedEvent { time, event });
     }
     Ok(out)
+}
+
+/// Parses one line of the event format: `Ok(None)` for blanks and
+/// comments, `Ok(Some(event))` for a mutation. Shared by [`read_events`]
+/// and the incremental tail loop in [`crate::follow_events`], so a
+/// followed file and a batch-loaded file can never parse differently.
+pub(crate) fn parse_event_line(
+    line: &str,
+    lineno: usize,
+) -> Result<Option<TimedEvent>, StreamError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut fields = trimmed.split_whitespace();
+    let time: u64 = parse_field(fields.next(), "timestamp", lineno)?;
+    let op = fields.next().ok_or_else(|| StreamError::Parse {
+        line: lineno,
+        msg: "missing op (+ or -)".into(),
+    })?;
+    let u: VertexId = parse_field(fields.next(), "source vertex", lineno)?;
+    let v: VertexId = parse_field(fields.next(), "target vertex", lineno)?;
+    if let Some(extra) = fields.next() {
+        return Err(StreamError::Parse {
+            line: lineno,
+            msg: format!("unexpected trailing field {extra:?}"),
+        });
+    }
+    let event = match op {
+        "+" => Event::Insert(u, v),
+        "-" => Event::Delete(u, v),
+        other => {
+            return Err(StreamError::Parse {
+                line: lineno,
+                msg: format!("unknown op {other:?} (expected + or -)"),
+            })
+        }
+    };
+    Ok(Some(TimedEvent { time, event }))
 }
 
 fn parse_field<T: std::str::FromStr>(

@@ -102,13 +102,26 @@
 //! assert!(report.lower <= report.upper);
 //! ```
 
+//! # Persistence and serving
+//!
+//! [`StreamEngine::snapshot`]/[`StreamEngine::restore`] freeze and revive
+//! the whole maintenance state — edge set, certificate anchors, witness,
+//! sketch level — in the versioned binary format of [`snapshot`], and
+//! [`follow_events`] tails a growing event file with checkpoint-friendly
+//! byte cursors, turning a replay into a restartable serving loop (`dds
+//! stream --follow`). The `dds-shard` crate builds its edge-partitioned
+//! parallel engine on the same primitives.
+
 #![warn(missing_docs)]
 
 mod bounds;
 mod engine;
 mod events;
+mod follow;
+pub mod snapshot;
 mod state;
 mod window;
+mod witness;
 
 pub use bounds::CertifiedBounds;
 pub use engine::{
@@ -117,5 +130,8 @@ pub use engine::{
 pub use events::{
     load_events, read_events, save_events, write_events, Batch, Event, StreamError, TimedEvent,
 };
+pub use follow::{follow_events, FollowConfig, FollowOutcome};
+pub use snapshot::SnapshotError;
 pub use state::DynamicGraph;
 pub use window::{replay_window, WindowConfig, WindowEngine, WindowMode, WindowReport};
+pub use witness::denser_pair;

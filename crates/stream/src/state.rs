@@ -99,6 +99,15 @@ impl DynamicGraph {
         true
     }
 
+    /// Registers vertex ids up to `n` without touching the edge set —
+    /// the snapshot-restore path, where the stored vertex count can
+    /// exceed the largest id any surviving edge mentions (ids the stream
+    /// once named still count, exactly as [`DynamicGraph::insert`]
+    /// registers no-op endpoints). Never shrinks.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
     /// Deletes `u → v`. Returns `false` (state unchanged) if absent.
     pub fn delete(&mut self, u: VertexId, v: VertexId) -> bool {
         if !self.edges.remove(&(u, v)) {

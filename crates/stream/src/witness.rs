@@ -1,0 +1,92 @@
+//! Witness-adoption helpers shared by every engine that keeps a densest-
+//! pair witness alive over a mutable edge set.
+//!
+//! The stream, window, and sharded engines all face the same moment after
+//! a sketch-tier refresh: two candidate witnesses exist — the *fresh* pair
+//! the refresh solved on the sample, and the *incumbent* pair carried from
+//! the previous certification — and both are genuine pairs of the full
+//! graph, so the sound choice is simply whichever is denser **measured on
+//! the full graph** (a subsampled solve can be wrong about which is best;
+//! the full-graph measurement cannot). That comparison used to live inside
+//! `StreamEngine`'s re-solve; it is a free function here so the engines
+//! cannot diverge on adoption policy.
+
+use dds_graph::{Pair, VertexId};
+use dds_num::Density;
+
+/// Picks the denser of two candidate pairs, measured over `edges` (the
+/// full live edge set, iterated once — `O(n + m)`, the same order as the
+/// witness recount an adoption pays anyway). `n` must be at least one past
+/// the largest vertex id either pair mentions. Ties keep `a` (by
+/// convention the *fresh* pair, so a refresh that matches the incumbent
+/// still rotates the witness forward).
+pub fn denser_pair<I>(n: usize, edges: I, a: Pair, b: Pair) -> Pair
+where
+    I: IntoIterator<Item = (VertexId, VertexId)>,
+{
+    let mut membership = vec![0u8; n];
+    const A_S: u8 = 1;
+    const A_T: u8 = 2;
+    const B_S: u8 = 4;
+    const B_T: u8 = 8;
+    for (pair, s_bit, t_bit) in [(&a, A_S, A_T), (&b, B_S, B_T)] {
+        for &u in pair.s() {
+            membership[u as usize] |= s_bit;
+        }
+        for &v in pair.t() {
+            membership[v as usize] |= t_bit;
+        }
+    }
+    let (mut ea, mut eb) = (0u64, 0u64);
+    for (u, v) in edges {
+        let (mu, mv) = (membership[u as usize], membership[v as usize]);
+        ea += u64::from(mu & A_S != 0 && mv & A_T != 0);
+        eb += u64::from(mu & B_S != 0 && mv & B_T != 0);
+    }
+    let density = |pair: &Pair, edges: u64| {
+        if pair.is_empty() {
+            Density::ZERO
+        } else {
+            Density::new(edges, pair.s().len() as u64, pair.t().len() as u64)
+        }
+    };
+    if density(&a, ea) >= density(&b, eb) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_denser_measured_on_the_full_graph() {
+        // K_{2,2} on {0,1}×{2,3} plus a single stray edge 4→5.
+        let edges = [(0, 2), (0, 3), (1, 2), (1, 3), (4, 5)];
+        let dense = Pair::new(vec![0, 1], vec![2, 3]);
+        let stray = Pair::new(vec![4], vec![5]);
+        let won = denser_pair(6, edges, stray.clone(), dense.clone());
+        assert_eq!(won, dense);
+        // Order must not matter for a strict winner.
+        let won = denser_pair(6, edges, dense.clone(), stray);
+        assert_eq!(won, dense);
+    }
+
+    #[test]
+    fn ties_keep_the_first_pair() {
+        let edges = [(0, 1), (2, 3)];
+        let a = Pair::new(vec![0], vec![1]);
+        let b = Pair::new(vec![2], vec![3]);
+        assert_eq!(denser_pair(4, edges, a.clone(), b), a);
+    }
+
+    #[test]
+    fn empty_pairs_lose_to_anything_live() {
+        let edges = [(0, 1)];
+        let live = Pair::new(vec![0], vec![1]);
+        let empty = Pair::new(vec![], vec![]);
+        assert_eq!(denser_pair(2, edges, empty, live.clone()), live);
+    }
+}
