@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod stream_workloads;
 pub mod workloads;

@@ -9,15 +9,18 @@
 //! cargo run -p dds-bench --release -- stream-gen churn --events 100000 --out churn.events
 //! ```
 
-use dds_bench::{experiments, stream_workloads};
+use dds_bench::{experiments, perf, stream_workloads};
 
 const USAGE: &str = "usage:
   dds-bench (all | e1..e16)... [--quick]
+  dds-bench full [--quick] [--dir D]     write BENCH_E12..E16.json perf records
+  dds-bench compare [--dir D]            diff a fresh run against the committed records
   dds-bench smoke
   dds-bench window-smoke
   dds-bench sketch-smoke
   dds-bench shard-smoke
   dds-bench snapshot-smoke
+  dds-bench obs-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -49,6 +52,40 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("snapshot-smoke") {
         smoke_snapshot();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("obs-smoke") {
+        smoke_obs();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("full") {
+        let quick = args.iter().any(|a| a == "--quick");
+        let dir = flag_value(&args, "--dir").unwrap_or_else(|| ".".into());
+        if let Err(e) = perf::run_full(std::path::Path::new(&dir), quick) {
+            eprintln!("dds-bench full: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("compare") {
+        let dir = flag_value(&args, "--dir").unwrap_or_else(|| ".".into());
+        match perf::compare(std::path::Path::new(&dir)) {
+            Ok(regressions) if regressions.is_empty() => println!("compare: OK"),
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!(
+                        "REGRESSION {} {}: baseline {} vs fresh {}",
+                        r.exp, r.what, r.old, r.new
+                    );
+                }
+                eprintln!("compare: {} regression(s)", regressions.len());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("dds-bench compare: {e}");
+                std::process::exit(2);
+            }
+        }
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -127,6 +164,14 @@ fn stream_gen(args: &[String]) -> Result<(), String> {
 fn parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("invalid value {raw:?} for {flag}"))
+}
+
+/// The value following `flag` in `args`, if any.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// CI window smoke: a seeded 20k-event sliding-window replay through the
@@ -464,6 +509,137 @@ fn smoke_snapshot() {
         a.len()
     );
     println!("snapshot-smoke: OK");
+}
+
+/// CI obs smoke: a 100k-event follow replay through the real tail loop
+/// with a metrics registry attached, asserting (1) the exposition text
+/// parses and its counters reconcile exactly with the driver's own epoch
+/// and event counts, and (2) attaching metrics costs at most 2% of the
+/// apply time over the detached default. The timing gate is the minimum
+/// over 5 adjacent disabled/enabled pairs of the pairwise ratio: pairing
+/// cancels slow-machine drift between rounds, and a real overhead
+/// regression lifts every round's ratio while scheduler noise cannot
+/// push all five above the budget. Only the `engine.apply` calls are
+/// timed — that is the instrumented path; the tail loop's polling and
+/// file IO would just add variance.
+/// Counters are always-live cells behind the engine's stats accessors,
+/// histograms and gauges only activate on attach — this is the check
+/// that the fast path stays fast.
+fn smoke_obs() {
+    use dds_obs::{parse_exposition, Registry};
+    use dds_stream::{follow_events, FollowConfig, StreamConfig, StreamEngine};
+    use std::time::Duration;
+
+    const EVENTS: usize = 100_000;
+    const ROUNDS: usize = 5;
+    const OVERHEAD_FACTOR: f64 = 1.02;
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), EVENTS, 0xDD5);
+    let path = std::env::temp_dir().join(format!("dds_obs_smoke_{}.events", std::process::id()));
+    dds_stream::save_events(&events, &path).expect("write event file");
+
+    let run = |registry: Option<&Registry>| {
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        if let Some(reg) = registry {
+            engine.attach_obs(reg);
+        }
+        let mut epochs = 0u64;
+        let mut apply_wall = Duration::ZERO;
+        let outcome = follow_events(
+            &path,
+            FollowConfig {
+                batch: 100,
+                poll: Duration::from_millis(1),
+                idle_exit: Some(Duration::ZERO),
+                cursor: 0,
+            },
+            |batch, _| {
+                let t0 = std::time::Instant::now();
+                engine.apply(&batch);
+                apply_wall += t0.elapsed();
+                epochs += 1;
+                std::ops::ControlFlow::Continue(())
+            },
+        )
+        .expect("follow");
+        (outcome, epochs, apply_wall)
+    };
+
+    let mut disabled_wall = f64::INFINITY;
+    let mut enabled_wall = f64::INFINITY;
+    let mut best_ratio = f64::INFINITY;
+    let mut reconciled = None;
+    for round in 0..ROUNDS {
+        let (_, _, wall) = run(None);
+        let disabled = wall.as_secs_f64();
+        disabled_wall = disabled_wall.min(disabled);
+        let registry = Registry::new();
+        let (outcome, epochs, wall) = run(Some(&registry));
+        let enabled = wall.as_secs_f64();
+        enabled_wall = enabled_wall.min(enabled);
+        best_ratio = best_ratio.min(enabled / disabled);
+        if round == ROUNDS - 1 {
+            reconciled = Some((registry, outcome, epochs));
+        }
+    }
+    let (registry, outcome, epochs) = reconciled.expect("the rounds ran");
+
+    // Exposition parses, and its counters reconcile with the driver.
+    let parsed = parse_exposition(&registry.exposition()).expect("exposition must parse");
+    assert_eq!(
+        parsed.get("dds_stream_epochs_total"),
+        Some(&(epochs as f64)),
+        "epoch counter must match the driver's count"
+    );
+    assert_eq!(outcome.epochs, epochs, "tail outcome disagrees with driver");
+    // The workload is EVENTS churn events plus the generator's warm-up
+    // prefix — reconcile against what was actually written.
+    let total = events.len() as u64;
+    assert_eq!(outcome.events, total, "the tail must replay every event");
+    let applied = ["inserts", "deletes", "ignored"]
+        .iter()
+        .map(|k| {
+            registry
+                .counter_value(&format!("dds_stream_{k}_total"))
+                .unwrap_or(0)
+        })
+        .sum::<u64>();
+    assert_eq!(
+        applied, total,
+        "inserts + deletes + ignored must cover every event"
+    );
+    let resolves = registry
+        .counter_value("dds_stream_resolves_total")
+        .unwrap_or(0);
+    assert!(
+        resolves >= 1,
+        "a 100k churn replay must re-solve at least once"
+    );
+    println!(
+        "obs-smoke: {total} events, {epochs} epochs, {resolves} re-solves; \
+         exposition {} series, wall enabled {enabled_wall:.3}s vs disabled {disabled_wall:.3}s",
+        parsed.len(),
+    );
+
+    // The atomic exposition writer round-trips through a file too.
+    let prom = std::env::temp_dir().join(format!("dds_obs_smoke_{}.prom", std::process::id()));
+    registry
+        .write_exposition_file(&prom)
+        .expect("atomic exposition write");
+    let reread = parse_exposition(&std::fs::read_to_string(&prom).expect("read exposition"))
+        .expect("written exposition must parse");
+    assert_eq!(reread, parsed, "file round-trip must preserve every series");
+
+    assert!(
+        best_ratio <= OVERHEAD_FACTOR,
+        "metrics overhead budget exceeded: every one of {ROUNDS} paired rounds ran the \
+         attached replay more than {OVERHEAD_FACTOR}x its adjacent detached replay \
+         (best ratio {best_ratio:.3})"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&prom).ok();
+    println!(
+        "obs-smoke: OK (best paired overhead ratio {best_ratio:.3}, budget {OVERHEAD_FACTOR}x)"
+    );
 }
 
 /// CI smoke: the n = 500 planted-block exact solve, with a hard budget on

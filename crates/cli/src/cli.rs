@@ -5,12 +5,13 @@ use std::io::Write;
 
 use dds_core::{
     core_approx, parallel, top_k_dense_pairs, DcExact, DdsSolution, ExactOptions, ExhaustivePeel,
-    FlowExact, GridPeel, TopKSolver,
+    FlowExact, GridPeel, SolveStats, TopKSolver,
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
+use dds_obs::{Registry, Tracer};
 use dds_shard::{ShardConfig, ShardedEngine};
-use dds_sketch::{SketchConfig, SketchEngine};
+use dds_sketch::{SketchConfig, SketchEngine, SketchStats};
 use dds_stream::{
     batch_slices, follow_events, BatchBy, DynamicGraph, Event, FollowConfig, SketchTier,
     SolverKind, StreamConfig, StreamEngine, WindowConfig, WindowEngine, WindowMode,
@@ -80,12 +81,16 @@ const USAGE: &str = "usage:
   dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
               [--threads N] [--window W [--no-escalate]] [--sketch [--sketch-min-m M] [--sketch-bound B]]
               [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
+              [--metrics FILE [--metrics-every E]] [--trace FILE]
               (--window: expire edges W ticks after arrival; --sketch: re-certify via exact-on-sketch past M live edges;
-               --follow: tail the growing event file, sealing epochs every N events and checkpointing to FILE)
+               --follow: tail the growing event file, sealing epochs every N events and checkpointing to FILE;
+               --metrics: keep a Prometheus-style exposition file fresh every E epochs, plus FILE.jsonl at exit;
+               --trace: stream deterministic span JSONL — identical replays diff byte-for-byte)
   dds sketch  <event-file> [--batch N | --time-window T] [--bound B] [--drift F] [--threads N] [--seed S] [--log-every K]
               (standalone sublinear sketch replay: certified bracket + (1+eps) estimate per epoch)
   dds shard   <event-file> [--shards K] [--batch N] [--bound B] [--seed S] [--threads N] [--drift F] [--log-every K]
               [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
+              [--metrics FILE [--metrics-every E]] [--trace FILE]
               (edge-partitioned parallel ingestion over K shards with merged certification; --resume restarts
                from the checkpoint and replays nothing twice)
   dds help";
@@ -135,6 +140,73 @@ fn write_solution(out: &mut dyn Write, sol: &DdsSolution) -> Result<(), CliError
     writeln!(out, "S = {:?}", sol.pair.s())?;
     writeln!(out, "T = {:?}", sol.pair.t())?;
     Ok(())
+}
+
+/// The one formatter for accumulated [`SolveStats`] — every command that
+/// reports exact-solve instrumentation (`dds exact`, the stream/window
+/// replay summaries, `dds sketch`, `dds shard`) goes through here, so the
+/// counters and their order cannot drift between commands again.
+fn write_solve_totals(out: &mut dyn Write, label: &str, s: &SolveStats) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{label}: {} ratios, {} flow decisions, {} arena reuse hits, {} core cache hits",
+        s.ratios_solved, s.flow_decisions, s.arena_reuse_hits, s.core_cache_hits,
+    )?;
+    Ok(())
+}
+
+/// The one formatter for the sketch-tier summary line shared by the
+/// stream and window replays (`what` names their re-certification unit:
+/// "re-solves" vs "refreshes").
+fn write_sketch_tier(
+    out: &mut dyn Write,
+    sketched: impl fmt::Display,
+    total: impl fmt::Display,
+    what: &str,
+    stats: &SketchStats,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "sketch tier: {sketched} of {total} {what} sketched; retained {} (peak {}), level {}, {} subsamples, {} refreshes",
+        stats.retained, stats.peak_retained, stats.level, stats.subsamples, stats.refreshes,
+    )?;
+    Ok(())
+}
+
+/// Per-epoch mode label for an exact re-certification (`verb` is the
+/// command's word for it: RESOLVE, EXACT, …).
+fn solve_mode_label(verb: &str, s: Option<SolveStats>) -> String {
+    match s {
+        Some(s) => format!(
+            "{verb} ({} ratios, {} flows, {} arena hits)",
+            s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
+        ),
+        None => verb.to_string(),
+    }
+}
+
+/// Per-epoch mode label for a sketch-backed re-certification.
+fn sketch_mode_label(
+    verb: &str,
+    retained: impl fmt::Display,
+    level: impl fmt::Display,
+    flows: impl fmt::Display,
+) -> String {
+    format!("{verb} (retained {retained}, level {level}, {flows} flows)")
+}
+
+/// Mode label for a stream-engine re-solve — sketch tier if it ran,
+/// exact otherwise. Shared by the replay summary and the follow loop.
+fn stream_mode_label(sketch: Option<&SketchStats>, solve: Option<SolveStats>) -> String {
+    match sketch {
+        Some(sk) => sketch_mode_label(
+            "SKETCH RESOLVE",
+            sk.retained,
+            sk.level,
+            solve.map_or(0, |s| s.flow_decisions),
+        ),
+        None => solve_mode_label("RESOLVE", solve),
+    }
 }
 
 fn cmd_stats<'a>(
@@ -189,8 +261,7 @@ fn cmd_exact<'a>(
         DcExact::with_options(opts).solve(&g)
     };
     write_solution(out, &report.solution)?;
-    writeln!(out, "ratios solved        {}", report.ratios_solved)?;
-    writeln!(out, "flow decisions       {}", report.flow_decisions)?;
+    write_solve_totals(out, "solve totals", &report.stats())?;
     writeln!(
         out,
         "pruned (structural)  {}",
@@ -198,8 +269,6 @@ fn cmd_exact<'a>(
     )?;
     writeln!(out, "pruned (gamma)       {}", report.ratios_pruned_gamma)?;
     writeln!(out, "pruned (exact tie)   {}", report.ratios_pruned_tie)?;
-    writeln!(out, "arena reuse hits     {}", report.arena_reuse_hits)?;
-    writeln!(out, "core cache hits      {}", report.core_cache_hits)?;
     if let Some(w) = report.warm_start_density {
         writeln!(out, "warm start density   {w:.6}")?;
     }
@@ -527,8 +596,9 @@ fn cmd_stream<'a>(
     let mut sketch_bound = SketchConfig::default().state_bound;
     let mut follow = false;
     let mut serving = ServingFlags::default();
+    let mut obs = ObsFlags::default();
     while let Some(flag) = it.next() {
-        if serving.parse(flag, it)? {
+        if serving.parse(flag, it)? || obs.parse(flag, it)? {
             continue;
         }
         match flag {
@@ -608,6 +678,7 @@ fn cmd_stream<'a>(
         ));
     }
     serving.validate(follow)?;
+    obs.validate()?;
     if serving.checkpoint.is_some() && !follow {
         return Err(CliError::Usage(
             "--checkpoint requires --follow for dds stream (replay mode loads the whole file; \
@@ -647,7 +718,7 @@ fn cmd_stream<'a>(
             threads,
             sketch: tier,
         };
-        return stream_follow(out, path, config, batch, log_every, &serving);
+        return stream_follow(out, path, config, batch, log_every, &serving, &obs);
     }
     let events = dds_stream::load_events(path)?;
     if let Some(w) = window {
@@ -669,6 +740,7 @@ fn cmd_stream<'a>(
             },
             batch_by,
             log_every,
+            &obs,
         );
     }
     if !escalate {
@@ -681,6 +753,12 @@ fn cmd_stream<'a>(
         threads,
         sketch: tier,
     });
+    let registry = obs.registry();
+    if let Some(reg) = &registry {
+        engine.attach_obs(reg);
+    }
+    let tracer = obs.tracer()?;
+    engine.attach_tracer(tracer.clone());
     let started = std::time::Instant::now();
     let reports = dds_stream::replay(&mut engine, &events, batch_by);
     let wall = started.elapsed();
@@ -696,19 +774,7 @@ fn cmd_stream<'a>(
             || r.epoch == last_epoch;
         if logged {
             let mode = if r.resolved {
-                match (r.sketch, r.solve_stats) {
-                    (Some(sk), _) => format!(
-                        "SKETCH RESOLVE (retained {}, level {}, {} flows)",
-                        sk.retained,
-                        sk.level,
-                        r.solve_stats.map_or(0, |s| s.flow_decisions),
-                    ),
-                    (None, Some(s)) => format!(
-                        "RESOLVE ({} ratios, {} flows, {} arena hits)",
-                        s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
-                    ),
-                    (None, None) => "RESOLVE".into(),
-                }
+                stream_mode_label(r.sketch.as_ref(), r.solve_stats)
             } else {
                 "incremental".into()
             };
@@ -746,33 +812,24 @@ fn cmd_stream<'a>(
         out,
         "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack})"
     )?;
-    let (flows, ratios, arena_hits) = reports.iter().filter_map(|r| r.solve_stats).fold(
-        (0usize, 0usize, 0usize),
-        |(f, ra, ah), s| {
-            (
-                f + s.flow_decisions,
-                ra + s.ratios_solved,
-                ah + s.arena_reuse_hits,
-            )
-        },
-    );
-    if ratios > 0 {
-        writeln!(
-            out,
-            "re-solve totals: {ratios} ratios, {flows} flow decisions, {arena_hits} arena reuse hits"
-        )?;
+    let totals =
+        reports
+            .iter()
+            .filter_map(|r| r.solve_stats)
+            .fold(SolveStats::default(), |mut acc, s| {
+                acc.merge(s);
+                acc
+            });
+    if totals.ratios_solved > 0 {
+        write_solve_totals(out, "re-solve totals", &totals)?;
     }
     if let Some(stats) = engine.sketch_stats() {
-        writeln!(
+        write_sketch_tier(
             out,
-            "sketch tier: {} of {} re-solves sketched; retained {} (peak {}), level {}, {} subsamples, {} refreshes",
             engine.sketch_resolves(),
             engine.resolves(),
-            stats.retained,
-            stats.peak_retained,
-            stats.level,
-            stats.subsamples,
-            stats.refreshes,
+            "re-solves",
+            &stats,
         )?;
     }
     if let Some(last) = reports.last() {
@@ -790,6 +847,10 @@ fn cmd_stream<'a>(
             )?;
         }
     }
+    if let Some(sink) = obs.sink(registry.as_ref()) {
+        sink.finish(out)?;
+    }
+    tracer.flush()?;
     Ok(())
 }
 
@@ -802,6 +863,7 @@ fn stream_window(
     config: WindowConfig,
     batch_by: BatchBy,
     log_every: usize,
+    obs: &ObsFlags,
 ) -> Result<(), CliError> {
     let (window, tolerance, slack, escalate) = (
         config.window,
@@ -810,6 +872,12 @@ fn stream_window(
         config.exact_escalation,
     );
     let mut engine = WindowEngine::new(config);
+    let registry = obs.registry();
+    if let Some(reg) = &registry {
+        engine.attach_obs(reg);
+    }
+    let tracer = obs.tracer()?;
+    engine.attach_tracer(tracer.clone());
     let started = std::time::Instant::now();
     let reports = dds_stream::replay_window(&mut engine, events, batch_by);
     let wall = started.elapsed();
@@ -831,16 +899,10 @@ fn stream_window(
                     let (x, y) = r.core.unwrap_or((0, 0));
                     format!("CORE REFRESH [{x},{y}]")
                 }
-                WindowMode::ExactResolve => match r.solve_stats {
-                    Some(s) => format!(
-                        "EXACT ({} ratios, {} flows, {} arena hits)",
-                        s.ratios_solved, s.flow_decisions, s.arena_reuse_hits
-                    ),
-                    None => "EXACT".into(),
-                },
-                WindowMode::SketchRefresh => match r.sketch {
-                    Some(sk) => format!(
-                        "SKETCH REFRESH (retained {}, level {}, {} flows)",
+                WindowMode::ExactResolve => solve_mode_label("EXACT", r.solve_stats),
+                WindowMode::SketchRefresh => match &r.sketch {
+                    Some(sk) => sketch_mode_label(
+                        "SKETCH REFRESH",
                         sk.retained,
                         sk.level,
                         r.solve_stats.map_or(0, |s| s.flow_decisions),
@@ -894,15 +956,12 @@ fn stream_window(
         engine.repairs(),
     )?;
     if let Some(stats) = engine.sketch_stats() {
-        writeln!(
+        write_sketch_tier(
             out,
-            "sketch tier: {} of {} refreshes sketched; retained {} (peak {}), level {}, {} subsamples",
             engine.sketch_refreshes(),
             engine.refreshes(),
-            stats.retained,
-            stats.peak_retained,
-            stats.level,
-            stats.subsamples,
+            "refreshes",
+            &stats,
         )?;
     }
     writeln!(
@@ -920,6 +979,10 @@ fn stream_window(
             writeln!(out, "maintained core [{x},{y}]")?;
         }
     }
+    if let Some(sink) = obs.sink(registry.as_ref()) {
+        sink.finish(out)?;
+    }
+    tracer.flush()?;
     Ok(())
 }
 
@@ -1008,6 +1071,102 @@ impl ServingFlags {
     }
 }
 
+/// The observability flags shared by `dds stream` and `dds shard`:
+/// `--metrics FILE` keeps a Prometheus-style exposition file fresh
+/// (rewritten atomically every `--metrics-every` epochs while serving,
+/// plus a final `FILE.jsonl` snapshot at exit); `--trace FILE` streams
+/// span JSONL in deterministic mode — no wall-clock in the output, so
+/// two identical replays produce byte-identical traces.
+#[derive(Debug, Default)]
+struct ObsFlags {
+    metrics: Option<String>,
+    metrics_every: Option<u64>,
+    trace: Option<String>,
+}
+
+impl ObsFlags {
+    /// Tries to consume `flag`; returns whether it was one of ours.
+    fn parse<'a>(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<bool, CliError> {
+        match flag {
+            "--metrics" => self.metrics = Some(parse_flag_value("--metrics", it.next())?),
+            "--metrics-every" => {
+                let every: u64 = parse_flag_value("--metrics-every", it.next())?;
+                if every == 0 {
+                    return Err(CliError::Usage("--metrics-every must be positive".into()));
+                }
+                self.metrics_every = Some(every);
+            }
+            "--trace" => self.trace = Some(parse_flag_value("--trace", it.next())?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn validate(&self) -> Result<(), CliError> {
+        if self.metrics.is_none() && self.metrics_every.is_some() {
+            return Err(CliError::Usage("--metrics-every requires --metrics".into()));
+        }
+        Ok(())
+    }
+
+    /// A fresh registry when `--metrics` asked for one.
+    fn registry(&self) -> Option<Registry> {
+        self.metrics.as_ref().map(|_| Registry::new())
+    }
+
+    /// A live tracer when `--trace` asked for one, detached otherwise.
+    fn tracer(&self) -> Result<Tracer, CliError> {
+        match &self.trace {
+            Some(path) => Ok(Tracer::to_file(path, false)?),
+            None => Ok(Tracer::detached()),
+        }
+    }
+
+    /// Where the serving loop flushes the exposition, if anywhere.
+    fn sink<'a>(&'a self, registry: Option<&'a Registry>) -> Option<MetricsSink<'a>> {
+        match (registry, &self.metrics) {
+            (Some(registry), Some(path)) => Some(MetricsSink {
+                registry,
+                path,
+                every: self.metrics_every.unwrap_or(50),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A metrics exposition file kept fresh by the serving loop.
+struct MetricsSink<'a> {
+    registry: &'a Registry,
+    path: &'a str,
+    every: u64,
+}
+
+impl MetricsSink<'_> {
+    /// Rewrites the exposition file (atomically: tmp sibling + rename, so
+    /// a concurrent scraper never sees a torn file).
+    fn refresh(&self) -> std::io::Result<()> {
+        self.registry.write_exposition_file(self.path)
+    }
+
+    /// Final flush: fresh exposition plus the JSONL snapshot next to it.
+    fn finish(&self, out: &mut dyn Write) -> Result<(), CliError> {
+        self.refresh()?;
+        self.registry
+            .write_jsonl_file(format!("{}.jsonl", self.path))?;
+        writeln!(
+            out,
+            "metrics exposition at {} (snapshot {}.jsonl)",
+            self.path, self.path
+        )?;
+        Ok(())
+    }
+}
+
 /// One epoch's loggable facts, engine-agnostic — what the shared serving
 /// loop prints per row.
 struct EpochRow {
@@ -1034,14 +1193,16 @@ struct ServingSetup<'a> {
 
 /// The serving loop shared by `dds stream --follow` and `dds shard`:
 /// tail the event file, apply each sealed batch through `apply`, print
-/// the per-epoch row, and checkpoint via `save` every
-/// `--checkpoint-every` epochs and once more at the end — so the row
-/// format, checkpoint cadence, and error plumbing cannot diverge between
-/// the two commands. Returns the tail outcome and the wall clock spent.
+/// the per-epoch row, checkpoint via `save` every `--checkpoint-every`
+/// epochs and once more at the end, and keep the `--metrics` exposition
+/// fresh on its own epoch cadence — so the row format, checkpoint and
+/// scrape cadence, and error plumbing cannot diverge between the two
+/// commands. Returns the tail outcome and the wall clock spent.
 fn run_serving_loop<E>(
     out: &mut dyn Write,
     setup: &ServingSetup<'_>,
     serving: &ServingFlags,
+    metrics: Option<&MetricsSink<'_>>,
     engine: &mut E,
     apply: impl Fn(&mut E, &dds_stream::Batch) -> EpochRow,
     save: impl Fn(&E, &str, u64) -> Result<(), dds_stream::SnapshotError>,
@@ -1082,6 +1243,14 @@ fn run_serving_loop<E>(
                     }
                 }
             }
+            if let Some(sink) = metrics {
+                if row.epoch.is_multiple_of(sink.every) {
+                    if let Err(e) = sink.refresh() {
+                        deferred = Some(e.into());
+                        return std::ops::ControlFlow::Break(());
+                    }
+                }
+            }
             std::ops::ControlFlow::Continue(())
         },
     )?;
@@ -1092,6 +1261,9 @@ fn run_serving_loop<E>(
         save(engine, ck, outcome.cursor)?;
         checkpoints += 1;
         writeln!(out, "checkpointed {checkpoints} times to {ck}")?;
+    }
+    if let Some(sink) = metrics {
+        sink.finish(out)?;
     }
     Ok((outcome, started.elapsed()))
 }
@@ -1106,6 +1278,7 @@ fn stream_follow(
     batch: usize,
     log_every: usize,
     serving: &ServingFlags,
+    obs: &ObsFlags,
 ) -> Result<(), CliError> {
     let (mut engine, cursor) = match &serving.checkpoint {
         Some(ck) if serving.resume && std::path::Path::new(ck).exists() => {
@@ -1120,6 +1293,12 @@ fn stream_follow(
         }
         _ => (StreamEngine::new(config), 0),
     };
+    let registry = obs.registry();
+    if let Some(reg) = &registry {
+        engine.attach_obs(reg);
+    }
+    let tracer = obs.tracer()?;
+    engine.attach_tracer(tracer.clone());
     writeln!(out, "following {path} from byte {cursor} (batch {batch})")?;
     let setup = ServingSetup {
         path,
@@ -1132,6 +1311,7 @@ fn stream_follow(
         out,
         &setup,
         serving,
+        obs.sink(registry.as_ref()).as_ref(),
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
@@ -1142,7 +1322,9 @@ fn stream_follow(
                 lower: r.lower,
                 upper: r.upper,
                 factor: r.certified_factor,
-                mode: r.resolved.then(|| "RESOLVE".to_string()),
+                mode: r
+                    .resolved
+                    .then(|| stream_mode_label(r.sketch.as_ref(), r.solve_stats)),
             }
         },
         |engine, ck, cur| engine.save_snapshot(ck, cur),
@@ -1159,6 +1341,7 @@ fn stream_follow(
         bounds.upper,
         outcome.cursor,
     )?;
+    tracer.flush()?;
     Ok(())
 }
 
@@ -1183,8 +1366,9 @@ fn cmd_shard<'a>(
     let mut log_every = 0usize;
     let mut follow = false;
     let mut serving = ServingFlags::default();
+    let mut obs = ObsFlags::default();
     while let Some(flag) = it.next() {
-        if serving.parse(flag, it)? {
+        if serving.parse(flag, it)? || obs.parse(flag, it)? {
             continue;
         }
         match flag {
@@ -1226,6 +1410,7 @@ fn cmd_shard<'a>(
         }
     }
     serving.validate(follow)?;
+    obs.validate()?;
     let config = ShardConfig {
         shards,
         threads: threads.unwrap_or(shards),
@@ -1249,6 +1434,12 @@ fn cmd_shard<'a>(
         }
         _ => (ShardedEngine::new(config), 0),
     };
+    let registry = obs.registry();
+    if let Some(reg) = &registry {
+        engine.attach_obs(reg);
+    }
+    let tracer = obs.tracer()?;
+    engine.attach_tracer(tracer.clone());
     writeln!(
         out,
         "{} {path} across {shards} shards ({} apply workers, batch {batch}, bound {bound}/shard)",
@@ -1266,6 +1457,7 @@ fn cmd_shard<'a>(
         out,
         &setup,
         &serving,
+        obs.sink(registry.as_ref()).as_ref(),
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
@@ -1277,10 +1469,10 @@ fn cmd_shard<'a>(
                 upper: r.upper,
                 factor: r.certified_factor,
                 mode: r.refreshed.then(|| {
-                    format!(
-                        "MERGED REFRESH (level {}, retained {}, {} flows)",
-                        r.merged_level.unwrap_or(0),
+                    sketch_mode_label(
+                        "MERGED REFRESH",
                         r.retained,
+                        r.merged_level.unwrap_or(0),
                         r.solve_stats.map_or(0, |s| s.flow_decisions),
                     )
                 }),
@@ -1311,6 +1503,9 @@ fn cmd_shard<'a>(
         stats.apply,
         stats.certify,
     )?;
+    if stats.solve.ratios_solved > 0 {
+        write_solve_totals(out, "escalated solve totals", &stats.solve)?;
+    }
     writeln!(
         out,
         "final density {} over n = {}, m = {}, bracket [{:.4}, {:.4}]",
@@ -1328,6 +1523,7 @@ fn cmd_shard<'a>(
             pair.t().len()
         )?;
     }
+    tracer.flush()?;
     Ok(())
 }
 
@@ -1424,13 +1620,7 @@ fn cmd_sketch<'a>(
             || i + 1 == epochs;
         if logged {
             let mode = if r.refreshed {
-                match r.solve_stats {
-                    Some(s) => format!(
-                        "REFRESH ({} ratios, {} flows)",
-                        s.ratios_solved, s.flow_decisions
-                    ),
-                    None => "REFRESH".into(),
-                }
+                solve_mode_label("REFRESH", r.solve_stats)
             } else {
                 "incremental".into()
             };
@@ -1464,14 +1654,7 @@ fn cmd_sketch<'a>(
         1u64 << stats.level.min(63),
         config.state_bound,
     )?;
-    writeln!(
-        out,
-        "exact-on-sketch totals: {} ratios, {} flow decisions, {} arena reuse hits, {} core cache hits",
-        stats.solve.ratios_solved,
-        stats.solve.flow_decisions,
-        stats.solve.arena_reuse_hits,
-        stats.solve.core_cache_hits,
-    )?;
+    write_solve_totals(out, "exact-on-sketch totals", &stats.solve)?;
     if let Some(pair) = sketch.witness_pair() {
         writeln!(
             out,
@@ -2016,5 +2199,138 @@ mod tests {
     #[test]
     fn help_mentions_stream() {
         assert!(run_ok(&["help"]).contains("dds stream"));
+    }
+
+    fn temp_path(tag: &str) -> String {
+        std::env::temp_dir()
+            .join(format!(
+                "dds_cli_{tag}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn stream_metrics_and_trace_files_emit() {
+        let path = temp_events();
+        let metrics = temp_path("metrics.prom");
+        let trace = temp_path("trace.jsonl");
+        let out = run_ok(&[
+            "stream",
+            &path,
+            "--batch",
+            "2",
+            "--metrics",
+            &metrics,
+            "--trace",
+            &trace,
+        ]);
+        assert!(out.contains("metrics exposition at"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = dds_obs::parse_exposition(&text).unwrap();
+        // 6 events at batch 2 seal exactly 3 epochs; the counter must
+        // reconcile with the replay's own epoch count.
+        assert_eq!(parsed.get("dds_stream_epochs_total"), Some(&3.0), "{text}");
+        assert!(
+            parsed.get("dds_stream_inserts_total") >= Some(&4.0),
+            "{text}"
+        );
+        assert!(
+            std::fs::metadata(format!("{metrics}.jsonl")).unwrap().len() > 0,
+            "jsonl snapshot must land"
+        );
+        let spans = std::fs::read_to_string(&trace).unwrap();
+        assert!(spans.contains("\"span\":\"stream.apply\""), "{spans}");
+        assert!(
+            !spans.contains("dur_us"),
+            "CLI traces are deterministic (no wall-clock): {spans}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(format!("{metrics}.jsonl")).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn stream_follow_keeps_exposition_fresh() {
+        let path = temp_events();
+        let metrics = temp_path("follow_metrics.prom");
+        let out = run_ok(&[
+            "stream",
+            &path,
+            "--follow",
+            "--batch",
+            "3",
+            "--idle-ms",
+            "80",
+            "--poll-ms",
+            "10",
+            "--metrics",
+            &metrics,
+            "--metrics-every",
+            "1",
+        ]);
+        assert!(out.contains("followed 6 events"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = dds_obs::parse_exposition(&text).unwrap();
+        assert_eq!(parsed.get("dds_stream_epochs_total"), Some(&2.0), "{text}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(format!("{metrics}.jsonl")).ok();
+    }
+
+    #[test]
+    fn shard_metrics_and_trace_emit() {
+        let path = temp_events();
+        let metrics = temp_path("shard_metrics.prom");
+        let trace = temp_path("shard_trace.jsonl");
+        let out = run_ok(&[
+            "shard",
+            &path,
+            "--shards",
+            "2",
+            "--batch",
+            "2",
+            "--metrics",
+            &metrics,
+            "--trace",
+            &trace,
+        ]);
+        assert!(out.contains("metrics exposition at"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = dds_obs::parse_exposition(&text).unwrap();
+        assert_eq!(parsed.get("dds_shard_epochs_total"), Some(&3.0), "{text}");
+        assert!(
+            parsed.contains_key("dds_sketch_refreshes_total"),
+            "merged sketch refreshes must sum into the shared registry: {text}"
+        );
+        let spans = std::fs::read_to_string(&trace).unwrap();
+        assert!(spans.contains("\"span\":\"shard.apply\""), "{spans}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&metrics).ok();
+        std::fs::remove_file(format!("{metrics}.jsonl")).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn obs_usage_errors() {
+        let path = temp_events();
+        for bad in [
+            vec!["stream", &path, "--metrics-every", "5"],
+            vec![
+                "stream",
+                &path,
+                "--metrics",
+                "/tmp/m.prom",
+                "--metrics-every",
+                "0",
+            ],
+            vec!["shard", &path, "--metrics-every", "5"],
+        ] {
+            assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -35,9 +35,76 @@
 
 use dds_flow::FlowArena;
 use dds_graph::{DiGraph, Pair};
+use dds_obs::{Counter, Registry};
 use dds_xycore::CoreCache;
 
+use crate::exact::engine::ExactReport;
 use crate::DdsSolution;
+
+/// Obs-backed lifetime counters of a [`SolveContext`] (the `dds_exact_*`
+/// series): standalone atomics by default, swapped for registered handles
+/// by [`SolveContext::attach_obs`]. Every exact solve publishes its
+/// report's counters here at the single fold point in `run_with_context`
+/// — never inside a flow inner loop.
+#[derive(Debug, Default)]
+pub(crate) struct ExactMetrics {
+    pub(crate) solves: Counter,
+    pub(crate) ratios_solved: Counter,
+    pub(crate) ratios_pruned_tie: Counter,
+    pub(crate) flow_decisions: Counter,
+    pub(crate) arena_reuse_hits: Counter,
+    pub(crate) core_cache_hits: Counter,
+}
+
+impl Clone for ExactMetrics {
+    /// Snapshots values into fresh standalone cells: a cloned context
+    /// counts independently instead of double-writing shared handles.
+    fn clone(&self) -> Self {
+        let copy = |c: &Counter| {
+            let fresh = Counter::standalone();
+            fresh.store(c.get());
+            fresh
+        };
+        ExactMetrics {
+            solves: copy(&self.solves),
+            ratios_solved: copy(&self.ratios_solved),
+            ratios_pruned_tie: copy(&self.ratios_pruned_tie),
+            flow_decisions: copy(&self.flow_decisions),
+            arena_reuse_hits: copy(&self.arena_reuse_hits),
+            core_cache_hits: copy(&self.core_cache_hits),
+        }
+    }
+}
+
+impl ExactMetrics {
+    fn attach(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Counter, name: &str| {
+            let new = registry.counter(name);
+            new.add(old.get());
+            *old = new;
+        };
+        transfer(&mut self.solves, "dds_exact_solves_total");
+        transfer(&mut self.ratios_solved, "dds_exact_ratios_solved_total");
+        transfer(
+            &mut self.ratios_pruned_tie,
+            "dds_exact_ratios_pruned_tie_total",
+        );
+        transfer(&mut self.flow_decisions, "dds_exact_flow_decisions_total");
+        transfer(
+            &mut self.arena_reuse_hits,
+            "dds_exact_arena_reuse_hits_total",
+        );
+        transfer(&mut self.core_cache_hits, "dds_exact_core_cache_hits_total");
+    }
+
+    pub(crate) fn record(&self, report: &ExactReport) {
+        self.ratios_solved.add(report.ratios_solved as u64);
+        self.ratios_pruned_tie.add(report.ratios_pruned_tie as u64);
+        self.flow_decisions.add(report.flow_decisions as u64);
+        self.arena_reuse_hits.add(report.arena_reuse_hits as u64);
+        self.core_cache_hits.add(report.core_cache_hits as u64);
+    }
+}
 
 /// Reusable state for the exact solvers; see the module docs.
 #[derive(Clone, Debug, Default)]
@@ -48,7 +115,7 @@ pub struct SolveContext {
     /// The graph of the previous solve — the memoised cores are valid for
     /// exactly this graph and no other.
     last_graph: Option<DiGraph>,
-    solves: usize,
+    pub(crate) metrics: ExactMetrics,
 }
 
 impl SolveContext {
@@ -61,7 +128,14 @@ impl SolveContext {
     /// Number of solves this context has served.
     #[must_use]
     pub fn solves(&self) -> usize {
-        self.solves
+        self.metrics.solves.get() as usize
+    }
+
+    /// Re-homes this context's lifetime counters in `registry` (the
+    /// `dds_exact_*` series), transferring the values accumulated so far.
+    /// Handles in the registry sum across every context attached to it.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.metrics.attach(registry);
     }
 
     /// Sum of arena reuse hits across all worker arenas (lifetime total).
@@ -94,7 +168,7 @@ impl SolveContext {
             self.cores.clear();
             self.last_graph = Some(g.clone());
         }
-        self.solves += 1;
+        self.metrics.solves.inc();
     }
 
     /// The previous solve's witness re-validated against `g`: `None` when

@@ -766,6 +766,7 @@ pub(crate) fn run_with_context(
 
     report.arena_reuse_hits = ctx.arena_reuse_hits() - arena_hits_before;
     report.core_cache_hits = ctx.core_cache_hits() - core_hits_before;
+    ctx.metrics.record(&report);
     ctx.store_incumbent(&report.solution);
     report
 }

@@ -23,6 +23,18 @@ pub struct SolveStats {
     pub core_cache_hits: usize,
 }
 
+impl SolveStats {
+    /// Folds another solve's counters into this accumulator — the one
+    /// shared accumulation path for every engine that totals escalated
+    /// solves (`dds-sketch`, `dds-shard`, the stream engines).
+    pub fn merge(&mut self, other: SolveStats) {
+        self.ratios_solved += other.ratios_solved;
+        self.flow_decisions += other.flow_decisions;
+        self.arena_reuse_hits += other.arena_reuse_hits;
+        self.core_cache_hits += other.core_cache_hits;
+    }
+}
+
 /// A candidate or final answer to the DDS problem: the pair and its exact
 /// density.
 ///

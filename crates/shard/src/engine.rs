@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use dds_core::{parallel, SolveStats};
 use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
 use dds_num::Density;
+use dds_obs::{span, Counter, Gauge, Histogram, Registry, Tracer};
 use dds_sketch::{MaxTracker, SketchConfig, SketchEngine};
 use dds_stream::snapshot::{
     read_snapshot_file, write_snapshot_file, SnapshotError, SnapshotKind, SnapshotReader,
@@ -217,13 +218,63 @@ pub struct ShardedEngine {
     /// starts a fresh [`SketchEngine`]).
     escalate_next: bool,
     merged_level: u32,
-    epoch: u64,
-    refreshes: u64,
-    escalations: u64,
-    cold_escalations: u64,
+    metrics: ShardMetrics,
+    tracer: Tracer,
+    /// Registry to re-home each merged refresh's fresh [`SketchEngine`]
+    /// into (the merged engines are short-lived; their `dds_sketch_*`
+    /// counters only survive by summing into a shared registry).
+    obs: Option<Registry>,
     solve_totals: SolveStats,
     apply_wall: Duration,
     certify_wall: Duration,
+}
+
+/// Obs-backed lifetime counters of a [`ShardedEngine`] (the `dds_shard_*`
+/// series): standalone atomics by default — [`ShardStats`] and the public
+/// accessors read them as views — re-homed into a shared registry by
+/// [`ShardedEngine::attach_obs`]. The gauges and the latency histograms
+/// are no-ops until attached.
+#[derive(Debug, Default)]
+struct ShardMetrics {
+    epochs: Counter,
+    refreshes: Counter,
+    escalations: Counter,
+    cold_escalations: Counter,
+    inserts: Counter,
+    deletes: Counter,
+    ignored: Counter,
+    retained: Option<Gauge>,
+    merged_level: Option<Gauge>,
+    edges: Option<Gauge>,
+    apply_latency: Histogram,
+    certify_latency: Histogram,
+    merge_latency: Histogram,
+}
+
+impl ShardMetrics {
+    fn attach(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Counter, name: &str| {
+            let new = registry.counter(name);
+            new.add(old.get());
+            *old = new;
+        };
+        transfer(&mut self.epochs, "dds_shard_epochs_total");
+        transfer(&mut self.refreshes, "dds_shard_refreshes_total");
+        transfer(&mut self.escalations, "dds_shard_escalations_total");
+        transfer(
+            &mut self.cold_escalations,
+            "dds_shard_cold_escalations_total",
+        );
+        transfer(&mut self.inserts, "dds_shard_inserts_total");
+        transfer(&mut self.deletes, "dds_shard_deletes_total");
+        transfer(&mut self.ignored, "dds_shard_ignored_total");
+        self.retained = Some(registry.gauge("dds_shard_retained"));
+        self.merged_level = Some(registry.gauge("dds_shard_merged_level"));
+        self.edges = Some(registry.gauge("dds_shard_edges"));
+        self.apply_latency = registry.histogram("dds_shard_apply_latency_us");
+        self.certify_latency = registry.histogram("dds_shard_certify_latency_us");
+        self.merge_latency = registry.histogram("dds_shard_merge_latency_us");
+    }
 }
 
 /// The deterministic edge router: a seeded splitmix64 finaliser over the
@@ -261,14 +312,34 @@ impl ShardedEngine {
             witness_edges: 0,
             escalate_next: false,
             merged_level: 0,
-            epoch: 0,
-            refreshes: 0,
-            escalations: 0,
-            cold_escalations: 0,
+            metrics: ShardMetrics::default(),
+            tracer: Tracer::detached(),
+            obs: None,
             solve_totals: SolveStats::default(),
             apply_wall: Duration::ZERO,
             certify_wall: Duration::ZERO,
         }
+    }
+
+    /// Re-homes this engine's lifetime counters in `registry` (the
+    /// `dds_shard_*` series, plus the `dds_sketch_*`/`dds_exact_*` series
+    /// of every per-shard sketch — and of every future merged refresh's
+    /// sketch — which sum into the shared registry handles), transferring
+    /// the values accumulated so far and enabling the gauges and latency
+    /// histograms.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.metrics.attach(registry);
+        for shard in &mut self.shards {
+            shard.sketch.attach_obs(registry);
+        }
+        self.obs = Some(registry.clone());
+    }
+
+    /// Routes this engine's spans (`shard.apply` with a nested
+    /// `shard.merge`) to `tracer`. The default is the detached tracer:
+    /// spans are inert and never read the clock.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Which shard owns the edge `u → v` (deterministic, seed-keyed).
@@ -283,6 +354,7 @@ impl ShardedEngine {
     /// policy asks for one).
     pub fn apply(&mut self, batch: &Batch) -> ShardReport {
         let start = Instant::now();
+        let mut span = span!(self.tracer, "shard.apply");
         let shards_n = self.config.shards;
         let mut parts: Vec<Vec<TimedEvent>> = vec![Vec::new(); shards_n];
         for ev in &batch.events {
@@ -298,6 +370,7 @@ impl ShardedEngine {
         });
         let apply = start.elapsed();
         self.apply_wall += apply;
+        self.metrics.apply_latency.observe(apply);
 
         let (mut inserts, mut deletes, mut ignored) = (0usize, 0usize, 0usize);
         let mut witness_delta = 0i64;
@@ -312,7 +385,11 @@ impl ShardedEngine {
             .witness_edges
             .checked_add_signed(witness_delta)
             .expect("witness edge count underflow");
-        self.epoch += 1;
+        self.metrics.epochs.inc();
+        let epoch = self.metrics.epochs.get();
+        self.metrics.inserts.add(inserts as u64);
+        self.metrics.deletes.add(deletes as u64);
+        self.metrics.ignored.add(ignored as u64);
 
         let certify_start = Instant::now();
         let refreshed = self.needs_refresh();
@@ -327,9 +404,20 @@ impl ShardedEngine {
         let upper = self.structural_upper();
         let certify = certify_start.elapsed();
         self.certify_wall += certify;
+        self.metrics.certify_latency.observe(certify);
+        if let Some(g) = &self.metrics.retained {
+            g.set(self.retained() as u64);
+        }
+        if let Some(g) = &self.metrics.edges {
+            g.set(self.m());
+        }
+        span.record("epoch", epoch);
+        span.record("events", batch.events.len() as u64);
+        span.record("m", self.m());
+        span.record_flag("refreshed", refreshed);
 
         ShardReport {
-            epoch: self.epoch,
+            epoch,
             events: batch.events.len(),
             inserts,
             deletes,
@@ -382,21 +470,23 @@ impl ShardedEngine {
     /// history-independence is what makes a restored engine resume
     /// bit-identically.
     fn refresh_merged(&mut self) -> (Option<SolveStats>, u32) {
-        self.refreshes += 1;
+        let timer = self.metrics.merge_latency.timer();
+        let mut span = span!(self.tracer, "shard.merge");
+        self.metrics.refreshes.inc();
         let incumbent_dead = self.witness.is_none() || self.witness_density().is_zero();
         let parts: Vec<&SketchEngine> = self.shards.iter().map(|s| &s.sketch).collect();
         let mut merged = SketchEngine::merged(self.config.sketch, &parts);
+        if let Some(registry) = &self.obs {
+            merged.attach_obs(registry);
+        }
         if std::mem::take(&mut self.escalate_next) {
             merged.arm_escalation();
-            self.cold_escalations += 1;
+            self.metrics.cold_escalations.inc();
         }
         let stats = merged.force_refresh();
         if let Some(stats) = stats {
-            self.escalations += 1;
-            self.solve_totals.ratios_solved += stats.ratios_solved;
-            self.solve_totals.flow_decisions += stats.flow_decisions;
-            self.solve_totals.arena_reuse_hits += stats.arena_reuse_hits;
-            self.solve_totals.core_cache_hits += stats.core_cache_hits;
+            self.metrics.escalations.inc();
+            self.solve_totals.merge(stats);
         }
         // The merged engine's cold-start detector always sees a dead
         // incumbent (it is freshly built); only honour it when the
@@ -412,6 +502,13 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             shard.sketch.set_sample_mutations(0);
         }
+        if let Some(g) = &self.metrics.merged_level {
+            g.set(u64::from(self.merged_level));
+        }
+        span.record("level", u64::from(self.merged_level));
+        span.record_flag("escalated", stats.is_some());
+        span.close();
+        timer.stop();
         (stats, self.merged_level)
     }
 
@@ -517,13 +614,13 @@ impl ShardedEngine {
     /// Number of batches applied so far.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.metrics.epochs.get()
     }
 
     /// Number of merged refreshes so far.
     #[must_use]
     pub fn refreshes(&self) -> u64 {
-        self.refreshes
+        self.metrics.refreshes.get()
     }
 
     /// Number of shards `K`.
@@ -561,9 +658,9 @@ impl ShardedEngine {
             retained: self.retained(),
             levels: self.shards.iter().map(|s| s.sketch.level()).collect(),
             merged_level: self.merged_level,
-            refreshes: self.refreshes,
-            escalations: self.escalations,
-            cold_escalations: self.cold_escalations,
+            refreshes: self.metrics.refreshes.get(),
+            escalations: self.metrics.escalations.get(),
+            cold_escalations: self.metrics.cold_escalations.get(),
             apply: self.apply_wall,
             certify: self.certify_wall,
             solve: self.solve_totals,
@@ -575,10 +672,13 @@ impl ShardedEngine {
     /// (shard count, admission seed, state bound — a restore must be
     /// asked for the same partitioning), the global edge set in canonical
     /// order, per-shard subsampling levels and drift counters, the
-    /// incumbent witness, and the armed-escalation bit. Retained samples,
-    /// degree counters, and witness edge counts are recomputed on restore
-    /// (pure functions of the above). `cursor` is the source-stream byte
-    /// offset a follow loop should resume from.
+    /// incumbent witness, and the armed-escalation bit. The lifetime
+    /// metric counters (epochs, refreshes, escalations, ingest tallies)
+    /// ride along so a restored engine's `dds_shard_*_total` series
+    /// continue instead of restarting at zero. Retained samples, degree
+    /// counters, and witness edge counts are recomputed on restore (pure
+    /// functions of the above). `cursor` is the source-stream byte offset
+    /// a follow loop should resume from.
     #[must_use]
     pub fn snapshot(&self, cursor: u64) -> Vec<u8> {
         let mut w = SnapshotWriter::new(SnapshotKind::Shard, cursor);
@@ -586,10 +686,13 @@ impl ShardedEngine {
         w.put_u64(self.config.sketch.seed);
         w.put_u64(self.config.sketch.state_bound as u64);
         w.put_u64(self.n as u64);
-        w.put_u64(self.epoch);
-        w.put_u64(self.refreshes);
-        w.put_u64(self.escalations);
-        w.put_u64(self.cold_escalations);
+        w.put_u64(self.metrics.epochs.get());
+        w.put_u64(self.metrics.refreshes.get());
+        w.put_u64(self.metrics.escalations.get());
+        w.put_u64(self.metrics.cold_escalations.get());
+        w.put_u64(self.metrics.inserts.get());
+        w.put_u64(self.metrics.deletes.get());
+        w.put_u64(self.metrics.ignored.get());
         w.put_u32(self.merged_level);
         w.put_u8(u8::from(self.escalate_next));
         for shard in &self.shards {
@@ -631,6 +734,9 @@ impl ShardedEngine {
         let refreshes = r.take_u64()?;
         let escalations = r.take_u64()?;
         let cold_escalations = r.take_u64()?;
+        let inserts = r.take_u64()?;
+        let deletes = r.take_u64()?;
+        let ignored = r.take_u64()?;
         let merged_level = r.take_u32()?;
         let escalate_next = match r.take_u8()? {
             0 => false,
@@ -702,10 +808,13 @@ impl ShardedEngine {
             shard.sketch.set_sample_mutations(mutations);
         }
         engine.n = n;
-        engine.epoch = epoch;
-        engine.refreshes = refreshes;
-        engine.escalations = escalations;
-        engine.cold_escalations = cold_escalations;
+        engine.metrics.epochs.store(epoch);
+        engine.metrics.refreshes.store(refreshes);
+        engine.metrics.escalations.store(escalations);
+        engine.metrics.cold_escalations.store(cold_escalations);
+        engine.metrics.inserts.store(inserts);
+        engine.metrics.deletes.store(deletes);
+        engine.metrics.ignored.store(ignored);
         engine.merged_level = merged_level;
         engine.escalate_next = escalate_next;
         engine.adopt_witness(witness);
@@ -967,6 +1076,9 @@ mod tests {
             w.put_u64(0); // refreshes
             w.put_u64(0); // escalations
             w.put_u64(0); // cold escalations
+            w.put_u64(1); // inserts
+            w.put_u64(0); // deletes
+            w.put_u64(0); // ignored
             w.put_u32(0); // merged level
             w.put_u8(0); // escalate_next
             for _ in 0..2 {

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use dds_core::{core_approx, exact_on_sketch, SolveContext, SolveStats};
 use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
 use dds_num::Density;
+use dds_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::maxtrack::MaxTracker;
 use crate::sample::SampleStore;
@@ -201,13 +202,58 @@ pub struct SketchEngine {
     ev_deletes: usize,
     epoch_subsamples: u32,
     peak_retained: usize,
-    subsamples: u64,
-    refreshes: u64,
-    escalations: u64,
-    cold_escalations: u64,
-    rebuilds: u64,
+    metrics: SketchMetrics,
     solve_totals: SolveStats,
     last_solve_stats: Option<SolveStats>,
+}
+
+/// Obs-backed lifetime counters of a [`SketchEngine`] (the `dds_sketch_*`
+/// series): standalone atomics by default — [`SketchStats`] reads them as
+/// a view — re-homed into a shared registry by
+/// [`SketchEngine::attach_obs`]. The latency histogram and the gauges are
+/// no-ops until attached.
+#[derive(Debug, Default)]
+struct SketchMetrics {
+    subsamples: Counter,
+    refreshes: Counter,
+    escalations: Counter,
+    cold_escalations: Counter,
+    rebuilds: Counter,
+    retained: Option<Gauge>,
+    level: Option<Gauge>,
+    refresh_latency: Histogram,
+}
+
+impl SketchMetrics {
+    fn attach(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Counter, name: &str| {
+            let new = registry.counter(name);
+            new.add(old.get());
+            *old = new;
+        };
+        transfer(&mut self.subsamples, "dds_sketch_subsamples_total");
+        transfer(&mut self.refreshes, "dds_sketch_refreshes_total");
+        transfer(&mut self.escalations, "dds_sketch_escalations_total");
+        transfer(
+            &mut self.cold_escalations,
+            "dds_sketch_cold_escalations_total",
+        );
+        transfer(&mut self.rebuilds, "dds_sketch_rebuilds_total");
+        self.retained = Some(registry.gauge("dds_sketch_retained"));
+        self.level = Some(registry.gauge("dds_sketch_level"));
+        self.refresh_latency = registry.histogram("dds_sketch_refresh_latency_us");
+    }
+
+    /// Publishes the retained-state gauges (fold points only, never the
+    /// per-event hot path).
+    fn publish_state(&self, retained: usize, level: u32) {
+        if let Some(g) = &self.retained {
+            g.set(retained as u64);
+        }
+        if let Some(g) = &self.level {
+            g.set(u64::from(level));
+        }
+    }
 }
 
 impl SketchEngine {
@@ -248,14 +294,21 @@ impl SketchEngine {
             ev_deletes: 0,
             epoch_subsamples: 0,
             peak_retained: 0,
-            subsamples: 0,
-            refreshes: 0,
-            escalations: 0,
-            cold_escalations: 0,
-            rebuilds: 0,
+            metrics: SketchMetrics::default(),
             solve_totals: SolveStats::default(),
             last_solve_stats: None,
         }
+    }
+
+    /// Re-homes this engine's lifetime counters in `registry` (the
+    /// `dds_sketch_*` series plus the embedded solver context's
+    /// `dds_exact_*`), transferring the values accumulated so far and
+    /// enabling the refresh-latency histogram and retained-state gauges.
+    /// Several engines attached to one registry (the sharded engine's
+    /// per-shard sketches) sum into the same series.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.metrics.attach(registry);
+        self.ctx.attach_obs(registry);
     }
 
     /// Merges edge-partitioned part-sketches into one sketch of their
@@ -378,7 +431,7 @@ impl SketchEngine {
     /// bound again (admission sets are nested, so each bump only drops).
     fn enforce_state_bound(&mut self) {
         while self.sample.len() > self.config.state_bound && self.sample.level() < 63 {
-            self.subsamples += 1;
+            self.metrics.subsamples.inc();
             self.epoch_subsamples += 1;
             for (u, v) in self.sample.raise_level() {
                 self.mutations += 1;
@@ -398,7 +451,7 @@ impl SketchEngine {
         if level <= self.sample.level() {
             return;
         }
-        self.subsamples += 1;
+        self.metrics.subsamples.inc();
         self.epoch_subsamples += 1;
         for (u, v) in self.sample.raise_to(level) {
             self.mutations += 1;
@@ -466,7 +519,10 @@ impl SketchEngine {
         }
         self.sample.rebuild_at(level, edges);
         self.peak_retained = self.peak_retained.max(self.sample.len());
-        self.rebuilds += 1;
+        // Gauges publish at the seal/refresh fold points only: per-shard
+        // engines rebuild from parallel apply workers, and a single
+        // shard's partial view must not overwrite the shared gauges.
+        self.metrics.rebuilds.inc();
     }
 
     /// Whether the standalone refresh policy wants a solve now.
@@ -495,9 +551,12 @@ impl SketchEngine {
     /// Returns the escalation's instrumentation (`None` when the core
     /// bracket sufficed).
     pub fn force_refresh(&mut self) -> Option<SolveStats> {
+        let timer = self.metrics.refresh_latency.timer();
         let incumbent_dead = self.witness.is_none() || self.witness_density().is_zero();
         let g = self.materialize();
-        self.refreshes += 1;
+        self.metrics.refreshes.inc();
+        self.metrics
+            .publish_state(self.sample.len(), self.sample.level());
         self.mutations = 0;
         self.last_solve_stats = None;
         // The cold-start one-shot: an armed escalation forces this refresh
@@ -505,7 +564,7 @@ impl SketchEngine {
         // time).
         let one_shot = std::mem::take(&mut self.escalate_once);
         let factor = if one_shot {
-            self.cold_escalations += 1;
+            self.metrics.cold_escalations.inc();
             1.0
         } else {
             self.config.escalate_factor
@@ -530,18 +589,17 @@ impl SketchEngine {
                     self.escalate_once = true;
                 }
             }
+            timer.stop();
             return None;
         }
         let report = exact_on_sketch(&mut self.ctx, &g, self.config.threads);
         let stats = report.stats();
-        self.solve_totals.ratios_solved += stats.ratios_solved;
-        self.solve_totals.flow_decisions += stats.flow_decisions;
-        self.solve_totals.arena_reuse_hits += stats.arena_reuse_hits;
-        self.solve_totals.core_cache_hits += stats.core_cache_hits;
+        self.solve_totals.merge(stats);
         self.last_solve_stats = Some(stats);
-        self.escalations += 1;
+        self.metrics.escalations.inc();
         let pair = (!report.solution.pair.is_empty()).then_some(report.solution.pair);
         self.adopt_witness(pair, &g);
+        timer.stop();
         self.last_solve_stats
     }
 
@@ -605,6 +663,8 @@ impl SketchEngine {
         self.ev_inserts = 0;
         self.ev_deletes = 0;
         self.epoch_subsamples = 0;
+        self.metrics
+            .publish_state(self.sample.len(), self.sample.level());
         report
     }
 
@@ -680,11 +740,11 @@ impl SketchEngine {
             retained: self.sample.len(),
             peak_retained: self.peak_retained,
             level: self.sample.level(),
-            subsamples: self.subsamples,
-            refreshes: self.refreshes,
-            escalations: self.escalations,
-            cold_escalations: self.cold_escalations,
-            rebuilds: self.rebuilds,
+            subsamples: self.metrics.subsamples.get(),
+            refreshes: self.metrics.refreshes.get(),
+            escalations: self.metrics.escalations.get(),
+            cold_escalations: self.metrics.cold_escalations.get(),
+            rebuilds: self.metrics.rebuilds.get(),
             solve: self.solve_totals,
         }
     }
@@ -782,13 +842,13 @@ impl SketchEngine {
     /// Number of refreshes so far (core sweeps of the sketch).
     #[must_use]
     pub fn refreshes(&self) -> u64 {
-        self.refreshes
+        self.metrics.refreshes.get()
     }
 
     /// Number of refreshes that escalated to an exact-on-sketch solve.
     #[must_use]
     pub fn escalations(&self) -> u64 {
-        self.escalations
+        self.metrics.escalations.get()
     }
 
     /// The engine's long-lived solver context.

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use dds_core::{core_approx, parallel, DcExact, ExactOptions, SolveContext, SolveStats};
 use dds_graph::{DiGraph, Pair};
 use dds_num::Density;
+use dds_obs::{span, Counter, Gauge, Histogram, Registry, Tracer};
 use dds_sketch::{SketchConfig, SketchEngine, SketchStats};
 
 use crate::bounds::{structural_upper, BoundTracker, CertifiedBounds};
@@ -167,11 +168,70 @@ pub struct StreamEngine {
     tracker: BoundTracker,
     ctx: SolveContext,
     sketch: Option<SketchEngine>,
-    epoch: u64,
-    resolves: u64,
-    sketch_resolves: u64,
+    metrics: StreamMetrics,
+    tracer: Tracer,
     last_solve_stats: Option<SolveStats>,
     last_resolve_sketched: bool,
+}
+
+/// Why a re-solve fired (feeds the `dds_stream_resolve_cause_*` counters).
+#[derive(Clone, Copy, Debug)]
+enum ResolveCause {
+    /// Edges exist but no certificate does (first solve, or the witness
+    /// decayed to nothing).
+    Cold,
+    /// The certified band broke: `upper > gap₀ · band(lower)`.
+    Band,
+}
+
+/// Obs-backed lifetime counters of a [`StreamEngine`] (the `dds_stream_*`
+/// series): standalone atomics by default — epoch numbering and the
+/// `resolves()`/`sketch_resolves()` accessors read them as views — re-homed
+/// into a shared registry by [`StreamEngine::attach_obs`]. The gauge and
+/// the latency histograms are no-ops until attached.
+#[derive(Debug, Default)]
+struct StreamMetrics {
+    epochs: Counter,
+    resolves: Counter,
+    sketch_resolves: Counter,
+    inserts: Counter,
+    deletes: Counter,
+    ignored: Counter,
+    resolve_cold: Counter,
+    resolve_band: Counter,
+    edges: Option<Gauge>,
+    apply_latency: Histogram,
+    resolve_latency: Histogram,
+}
+
+impl StreamMetrics {
+    fn attach(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Counter, name: &str| {
+            let new = registry.counter(name);
+            new.add(old.get());
+            *old = new;
+        };
+        transfer(&mut self.epochs, "dds_stream_epochs_total");
+        transfer(&mut self.resolves, "dds_stream_resolves_total");
+        transfer(
+            &mut self.sketch_resolves,
+            "dds_stream_sketch_resolves_total",
+        );
+        transfer(&mut self.inserts, "dds_stream_inserts_total");
+        transfer(&mut self.deletes, "dds_stream_deletes_total");
+        transfer(&mut self.ignored, "dds_stream_ignored_total");
+        transfer(
+            &mut self.resolve_cold,
+            "dds_stream_resolve_cause_cold_total",
+        );
+        transfer(
+            &mut self.resolve_band,
+            "dds_stream_resolve_cause_band_total",
+        );
+        self.edges = Some(registry.gauge("dds_stream_edges"));
+        self.apply_latency = registry.histogram("dds_stream_apply_latency_us");
+        self.resolve_latency = registry.histogram("dds_stream_resolve_latency_us");
+    }
 }
 
 impl StreamEngine {
@@ -187,12 +247,31 @@ impl StreamEngine {
             ctx: SolveContext::new(),
             sketch: config.sketch.map(|tier| SketchEngine::new(tier.config)),
             config,
-            epoch: 0,
-            resolves: 0,
-            sketch_resolves: 0,
+            metrics: StreamMetrics::default(),
+            tracer: Tracer::detached(),
             last_solve_stats: None,
             last_resolve_sketched: false,
         }
+    }
+
+    /// Re-homes this engine's lifetime counters in `registry` (the
+    /// `dds_stream_*` series, plus the `dds_exact_*` series of its solver
+    /// context and the `dds_sketch_*` series of its sketch tier when one
+    /// is maintained), transferring the values accumulated so far and
+    /// enabling the latency histograms and the edge gauge.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.metrics.attach(registry);
+        self.ctx.attach_obs(registry);
+        if let Some(sk) = &mut self.sketch {
+            sk.attach_obs(registry);
+        }
+    }
+
+    /// Routes this engine's spans (`stream.apply` with a nested
+    /// `stream.resolve`) to `tracer`. The default is the detached tracer:
+    /// spans are inert and never read the clock.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Applies one batch: `O(batch)` bound maintenance, plus a full solve
@@ -200,6 +279,7 @@ impl StreamEngine {
     /// configured tolerance.
     pub fn apply(&mut self, batch: &Batch) -> EpochReport {
         let start = Instant::now();
+        let mut span = span!(self.tracer, "stream.apply");
         let (mut inserts, mut deletes, mut ignored) = (0usize, 0usize, 0usize);
         for ev in &batch.events {
             match ev.event {
@@ -227,15 +307,21 @@ impl StreamEngine {
                 }
             }
         }
-        self.epoch += 1;
+        self.metrics.epochs.inc();
+        let epoch = self.metrics.epochs.get();
 
-        let resolved = self.certificate_invalidated();
-        if resolved {
+        let cause = self.resolve_cause();
+        let resolved = cause.is_some();
+        if let Some(cause) = cause {
+            match cause {
+                ResolveCause::Cold => self.metrics.resolve_cold.inc(),
+                ResolveCause::Band => self.metrics.resolve_band.inc(),
+            }
             if std::env::var_os("DDS_STREAM_DEBUG").is_some() {
                 let b = self.tracker.bounds(&self.state);
                 eprintln!(
                     "resolve@{} v{}: lower={:.4} upper={:.4} {}",
-                    self.epoch,
+                    epoch,
                     self.state.version(),
                     b.lower.to_f64(),
                     b.upper,
@@ -244,10 +330,22 @@ impl StreamEngine {
             }
             self.resolve();
         }
+        self.metrics.inserts.add(inserts as u64);
+        self.metrics.deletes.add(deletes as u64);
+        self.metrics.ignored.add(ignored as u64);
+        if let Some(g) = &self.metrics.edges {
+            g.set(self.state.m() as u64);
+        }
+        span.record("epoch", epoch);
+        span.record("events", batch.events.len() as u64);
+        span.record("m", self.state.m() as u64);
+        span.record_flag("resolved", resolved);
 
         let bounds = self.tracker.bounds(&self.state);
+        let elapsed = start.elapsed();
+        self.metrics.apply_latency.observe(elapsed);
         EpochReport {
-            epoch: self.epoch,
+            epoch,
             events: batch.events.len(),
             inserts,
             deletes,
@@ -269,28 +367,30 @@ impl StreamEngine {
             lower: bounds.lower.to_f64(),
             upper: bounds.upper,
             certified_factor: bounds.certified_factor(),
-            elapsed: start.elapsed(),
+            elapsed,
         }
     }
 
-    fn certificate_invalidated(&self) -> bool {
+    fn resolve_cause(&self) -> Option<ResolveCause> {
         if self.state.m() == 0 {
             // Nothing to find; the empty certificate [0, 0] is exact.
-            return false;
+            return None;
         }
         let bounds = self.tracker.bounds(&self.state);
         let lower = bounds.lower.to_f64();
         if lower <= 0.0 {
             // Edges exist but the witness is gone (or there has never been
             // a solve): no meaningful certificate.
-            return true;
+            return Some(ResolveCause::Cold);
         }
         let band =
             crate::bounds::certification_band(lower, self.config.tolerance, self.config.slack);
-        bounds.upper > self.tracker.gap_at_solve() * band
+        (bounds.upper > self.tracker.gap_at_solve() * band).then_some(ResolveCause::Band)
     }
 
     fn resolve(&mut self) {
+        let timer = self.metrics.resolve_latency.timer();
+        let mut span = span!(self.tracer, "stream.resolve");
         self.last_resolve_sketched = self
             .config
             .sketch
@@ -307,7 +407,7 @@ impl StreamEngine {
             let incumbent = self.tracker.witness().cloned();
             let (pair, stats) = sketch_tier_refresh(sk, &self.state, incumbent);
             self.last_solve_stats = stats;
-            self.sketch_resolves += 1;
+            self.metrics.sketch_resolves.inc();
             (pair, structural_upper(&self.state))
         } else {
             let g = self.state.materialize();
@@ -338,7 +438,11 @@ impl StreamEngine {
         };
         let pair = pair.filter(|p| !p.is_empty());
         self.tracker.reset_after_solve(&self.state, pair, rho_upper);
-        self.resolves += 1;
+        self.metrics.resolves.inc();
+        span.record_flag("sketched", self.last_resolve_sketched);
+        span.record("m", self.state.m() as u64);
+        span.close();
+        timer.stop();
     }
 
     /// Forces a full solve now, regardless of the certificate, and returns
@@ -363,19 +467,19 @@ impl StreamEngine {
     /// Number of batches applied so far.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.metrics.epochs.get()
     }
 
     /// Number of full solves run so far.
     #[must_use]
     pub fn resolves(&self) -> u64 {
-        self.resolves
+        self.metrics.resolves.get()
     }
 
     /// How many of those re-solves went through the sketch tier.
     #[must_use]
     pub fn sketch_resolves(&self) -> u64 {
-        self.sketch_resolves
+        self.metrics.sketch_resolves.get()
     }
 
     /// Lifetime counters of the maintained sketch, when the tier is
@@ -421,7 +525,9 @@ impl StreamEngine {
     /// (`ρ₁`, the gap, the witness pair, the delta and surviving-certified
     /// edge sets — everything the drift bounds need to keep certifying
     /// bit-identically after a restart), and the sketch tier's subsampling
-    /// level when one is maintained. `cursor` is the source-stream byte
+    /// level when one is maintained. The lifetime metric counters ride
+    /// along so a restored engine's `dds_stream_*_total` series continue
+    /// instead of restarting at zero. `cursor` is the source-stream byte
     /// offset a follow loop should resume from (0 if unused).
     ///
     /// Round-trip identity holds: [`StreamEngine::restore`] of these bytes
@@ -430,9 +536,14 @@ impl StreamEngine {
     pub fn snapshot(&self, cursor: u64) -> Vec<u8> {
         let mut w = SnapshotWriter::new(SnapshotKind::Stream, cursor);
         w.put_u64(self.state.n() as u64);
-        w.put_u64(self.epoch);
-        w.put_u64(self.resolves);
-        w.put_u64(self.sketch_resolves);
+        w.put_u64(self.metrics.epochs.get());
+        w.put_u64(self.metrics.resolves.get());
+        w.put_u64(self.metrics.sketch_resolves.get());
+        w.put_u64(self.metrics.inserts.get());
+        w.put_u64(self.metrics.deletes.get());
+        w.put_u64(self.metrics.ignored.get());
+        w.put_u64(self.metrics.resolve_cold.get());
+        w.put_u64(self.metrics.resolve_band.get());
         let mut edges: Vec<_> = self.state.edges().collect();
         w.put_edges(&mut edges);
         let (rho, gap, witness, mut drift, mut cert) = self.tracker.snapshot_state();
@@ -468,6 +579,11 @@ impl StreamEngine {
         let epoch = r.take_u64()?;
         let resolves = r.take_u64()?;
         let sketch_resolves = r.take_u64()?;
+        let inserts = r.take_u64()?;
+        let deletes = r.take_u64()?;
+        let ignored = r.take_u64()?;
+        let resolve_cold = r.take_u64()?;
+        let resolve_band = r.take_u64()?;
         let edges = r.take_edges()?;
         let rho = r.take_f64()?;
         let gap = r.take_f64()?;
@@ -522,9 +638,14 @@ impl StreamEngine {
         engine.state = state;
         engine.tracker = tracker;
         engine.sketch = sketch;
-        engine.epoch = epoch;
-        engine.resolves = resolves;
-        engine.sketch_resolves = sketch_resolves;
+        engine.metrics.epochs.store(epoch);
+        engine.metrics.resolves.store(resolves);
+        engine.metrics.sketch_resolves.store(sketch_resolves);
+        engine.metrics.inserts.store(inserts);
+        engine.metrics.deletes.store(deletes);
+        engine.metrics.ignored.store(ignored);
+        engine.metrics.resolve_cold.store(resolve_cold);
+        engine.metrics.resolve_band.store(resolve_band);
         Ok((engine, cursor))
     }
 
@@ -987,6 +1108,11 @@ mod tests {
         w.put_u64(1); // epoch
         w.put_u64(1); // resolves
         w.put_u64(0); // sketch_resolves
+        w.put_u64(1); // inserts
+        w.put_u64(0); // deletes
+        w.put_u64(0); // ignored
+        w.put_u64(1); // resolve_cause_cold
+        w.put_u64(0); // resolve_cause_band
         w.put_edges(&mut [(0, 1)]);
         w.put_f64(1.0); // rho at solve
         w.put_f64(1.0); // gap

@@ -112,6 +112,20 @@ pub enum StreamError {
         /// What went wrong on that line.
         msg: String,
     },
+    /// A line failed to parse mid-tail ([`crate::follow_events`]); beyond
+    /// the line number it pins the exact stream position, so an operator
+    /// can fix the producer and resume from a cursor before the damage.
+    Tail {
+        /// 1-based line number counted from the follow start cursor.
+        line: usize,
+        /// Byte offset where the offending line begins.
+        byte: u64,
+        /// Index of the next event (events successfully decoded before
+        /// the offending line, counted from the follow start cursor).
+        event: u64,
+        /// What went wrong on that line.
+        msg: String,
+    },
     /// An underlying IO failure.
     Io(std::io::Error),
 }
@@ -120,6 +134,12 @@ impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            StreamError::Tail {
+                line,
+                byte,
+                event,
+                msg,
+            } => write!(f, "line {line} (byte {byte}, event {event}): {msg}"),
             StreamError::Io(e) => write!(f, "io error: {e}"),
         }
     }

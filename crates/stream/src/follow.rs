@@ -70,11 +70,14 @@ pub struct FollowOutcome {
 /// event. See the module docs for the resume contract.
 ///
 /// # Errors
-/// Returns [`StreamError::Io`] on file errors and [`StreamError::Parse`]
-/// on a malformed line. The reported line number counts from the start
-/// cursor, not the start of the file (a resumed tail never reads the
-/// bytes before its cursor, so it cannot know their line count) — it is
-/// absolute exactly when `config.cursor == 0`.
+/// Returns [`StreamError::Io`] on file errors and [`StreamError::Tail`]
+/// on a malformed line — the tail variant carries the byte offset where
+/// the offending line begins and the index of the next event, so an
+/// operator can fix the producer and resume from a cursor just before the
+/// damage. The reported line number counts from the start cursor, not the
+/// start of the file (a resumed tail never reads the bytes before its
+/// cursor, so it cannot know their line count) — it is absolute exactly
+/// when `config.cursor == 0`.
 ///
 /// # Panics
 /// Panics if `config.batch` is zero.
@@ -119,12 +122,15 @@ where
             while let Some(nl) = slice.iter().position(|&b| b == b'\n') {
                 carry.extend_from_slice(&slice[..nl]);
                 slice = &slice[nl + 1..];
+                let begins_at = line_start;
                 let end = line_start + carry.len() as u64 + 1;
                 lineno += 1;
                 let line = String::from_utf8_lossy(&carry).into_owned();
                 carry.clear();
                 line_start = end;
-                if let Some(ev) = parse_event_line(&line, lineno)? {
+                let parsed = parse_event_line(&line, lineno)
+                    .map_err(|e| tail_error(e, begins_at, outcome.events + pending.len() as u64))?;
+                if let Some(ev) = parsed {
                     pending.push((ev, end));
                 }
             }
@@ -160,7 +166,10 @@ where
                     let line = String::from_utf8_lossy(&carry).into_owned();
                     let end = line_start + carry.len() as u64;
                     carry.clear();
-                    if let Some(ev) = parse_event_line(&line, lineno)? {
+                    let parsed = parse_event_line(&line, lineno).map_err(|e| {
+                        tail_error(e, line_start, outcome.events + pending.len() as u64)
+                    })?;
+                    if let Some(ev) = parsed {
                         pending.push((ev, end));
                     }
                 }
@@ -179,6 +188,21 @@ where
             }
         }
         std::thread::sleep(config.poll);
+    }
+}
+
+/// Upgrades a [`StreamError::Parse`] from the line parser to the richer
+/// [`StreamError::Tail`], pinning the byte offset where the offending line
+/// begins and the index of the next event.
+fn tail_error(err: StreamError, byte: u64, event: u64) -> StreamError {
+    match err {
+        StreamError::Parse { line, msg } => StreamError::Tail {
+            line,
+            byte,
+            event,
+            msg,
+        },
+        other => other,
     }
 }
 
@@ -319,6 +343,35 @@ mod tests {
         let err = follow_events(&path, quick(10, 0), |_, _| ControlFlow::Continue(()))
             .expect_err("malformed line must fail");
         assert!(err.to_string().contains("line 2"), "{err}");
+        // The tail variant pins the stream position: the bad line starts
+        // at byte 8 and one event decoded before it.
+        match err {
+            StreamError::Tail {
+                line, byte, event, ..
+            } => {
+                assert_eq!((line, byte, event), (2, 8, 1));
+            }
+            other => panic!("expected a tail error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn idle_flush_parse_errors_pin_the_tail_position() {
+        let path = temp_path("bad_tail");
+        // The final line has no trailing newline: it parses at idle-exit
+        // time, and its error must still carry cursor and event index.
+        std::fs::write(&path, "0 + 1 2\n1 + 3 4\n2 * 5 6").unwrap();
+        let err = follow_events(&path, quick(10, 0), |_, _| ControlFlow::Continue(()))
+            .expect_err("malformed unterminated line must fail");
+        match err {
+            StreamError::Tail {
+                line, byte, event, ..
+            } => {
+                assert_eq!((line, byte, event), (3, 16, 2));
+            }
+            other => panic!("expected a tail error, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

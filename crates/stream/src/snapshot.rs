@@ -12,11 +12,16 @@
 //! (`snapshot(restore(s)) == s` byte for byte, because every serialized
 //! list is written in canonical sorted order).
 //!
-//! # Format (version 1)
+//! # Format (version 2)
+//!
+//! Version 2 widens both payloads with the engines' lifetime metric
+//! counters (ingest tallies and resolve-cause splits), so a restored
+//! engine's `dds_*_total` series continue from where the snapshotted run
+//! left off instead of restarting at zero.
 //!
 //! ```text
 //! magic   4 bytes  "DDSS"
-//! version u32      1
+//! version u32      2
 //! kind    u8       0 = StreamEngine, 1 = ShardedEngine
 //! cursor  u64      byte offset into the source event file (0 if unused);
 //!                  follow-mode checkpoints resume tailing from here
@@ -39,7 +44,7 @@ use dds_graph::{Pair, VertexId};
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DDSS";
 
 /// The current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Which engine wrote the snapshot (byte 8 of the header).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 use dds_core::{core_approx, parallel, DcExact, ExactOptions, SolveContext, SolveStats};
 use dds_graph::{DiGraph, Pair, VertexId};
 use dds_num::Density;
+use dds_obs::{span, Counter, Gauge, Histogram, Registry, Tracer};
 use dds_sketch::{SketchEngine, SketchStats};
 use dds_xycore::DecrementalCore;
 
@@ -206,13 +207,69 @@ pub struct WindowEngine {
     sketch: Option<SketchEngine>,
     /// Stream time of the last exact escalation (rate-limit anchor).
     last_escalation: Option<u64>,
-    epoch: u64,
-    refreshes: u64,
-    exact_solves: u64,
-    sketch_refreshes: u64,
-    expired_total: u64,
-    repairs_total: u64,
+    metrics: WindowMetrics,
+    tracer: Tracer,
     last_solve_stats: Option<SolveStats>,
+}
+
+/// Obs-backed lifetime counters of a [`WindowEngine`] (the `dds_window_*`
+/// series): standalone atomics by default — the public accessors read them
+/// as views — re-homed into a shared registry by
+/// [`WindowEngine::attach_obs`]. The gauge and the latency histograms are
+/// no-ops until attached.
+#[derive(Debug, Default)]
+struct WindowMetrics {
+    epochs: Counter,
+    refreshes: Counter,
+    exact_solves: Counter,
+    sketch_refreshes: Counter,
+    expired: Counter,
+    repairs: Counter,
+    refresh_cold: Counter,
+    refresh_band: Counter,
+    edges: Option<Gauge>,
+    apply_latency: Histogram,
+    refresh_latency: Histogram,
+}
+
+impl WindowMetrics {
+    fn attach(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Counter, name: &str| {
+            let new = registry.counter(name);
+            new.add(old.get());
+            *old = new;
+        };
+        transfer(&mut self.epochs, "dds_window_epochs_total");
+        transfer(&mut self.refreshes, "dds_window_refreshes_total");
+        transfer(&mut self.exact_solves, "dds_window_exact_solves_total");
+        transfer(
+            &mut self.sketch_refreshes,
+            "dds_window_sketch_refreshes_total",
+        );
+        transfer(&mut self.expired, "dds_window_expired_total");
+        transfer(&mut self.repairs, "dds_window_repairs_total");
+        transfer(
+            &mut self.refresh_cold,
+            "dds_window_refresh_cause_cold_total",
+        );
+        transfer(
+            &mut self.refresh_band,
+            "dds_window_refresh_cause_band_total",
+        );
+        self.edges = Some(registry.gauge("dds_window_edges"));
+        self.apply_latency = registry.histogram("dds_window_apply_latency_us");
+        self.refresh_latency = registry.histogram("dds_window_refresh_latency_us");
+    }
+}
+
+/// Why a window refresh fired (feeds the `dds_window_refresh_cause_*`
+/// counters).
+#[derive(Clone, Copy, Debug)]
+enum RefreshCause {
+    /// Edges exist but every maintained pair decayed away.
+    Cold,
+    /// The certified band broke.
+    Band,
 }
 
 impl WindowEngine {
@@ -241,14 +298,30 @@ impl WindowEngine {
             sketch: config.sketch.map(|tier| SketchEngine::new(tier.config)),
             config,
             last_escalation: None,
-            epoch: 0,
-            refreshes: 0,
-            exact_solves: 0,
-            sketch_refreshes: 0,
-            expired_total: 0,
-            repairs_total: 0,
+            metrics: WindowMetrics::default(),
+            tracer: Tracer::detached(),
             last_solve_stats: None,
         }
+    }
+
+    /// Re-homes this engine's lifetime counters in `registry` (the
+    /// `dds_window_*` series, plus the `dds_exact_*` series of its solver
+    /// context and the `dds_sketch_*` series of its sketch tier when one
+    /// is maintained), transferring the values accumulated so far and
+    /// enabling the latency histograms and the edge gauge.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.metrics.attach(registry);
+        self.ctx.attach_obs(registry);
+        if let Some(sk) = &mut self.sketch {
+            sk.attach_obs(registry);
+        }
+    }
+
+    /// Routes this engine's spans (`window.apply` with a nested
+    /// `window.refresh`) to `tracer`. The default is the detached tracer:
+    /// spans are inert and never read the clock.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Applies one batch: expiry + event ingestion in `O(batch + repairs)`,
@@ -260,8 +333,9 @@ impl WindowEngine {
     /// delays that edge's expiry to the ring's pace.
     pub fn apply(&mut self, batch: &Batch) -> WindowReport {
         let start = Instant::now();
-        let expired_before = self.expired_total;
-        let repairs_before = self.repairs_total;
+        let mut span = span!(self.tracer, "window.apply");
+        let expired_before = self.metrics.expired.get();
+        let repairs_before = self.metrics.repairs.get();
         let (mut arrivals, mut renewals, mut deletes, mut ignored) =
             (0usize, 0usize, 0usize, 0usize);
         for ev in &batch.events {
@@ -300,22 +374,37 @@ impl WindowEngine {
                 }
             }
         }
-        self.epoch += 1;
+        self.metrics.epochs.inc();
+        let epoch = self.metrics.epochs.get();
 
-        let mode = if self.certificate_invalidated() {
+        let cause = self.refresh_cause();
+        let mode = if let Some(cause) = cause {
+            match cause {
+                RefreshCause::Cold => self.metrics.refresh_cold.inc(),
+                RefreshCause::Band => self.metrics.refresh_band.inc(),
+            }
             self.refresh()
         } else {
             WindowMode::Incremental
         };
+        if let Some(g) = &self.metrics.edges {
+            g.set(self.state.m() as u64);
+        }
+        span.record("epoch", epoch);
+        span.record("events", batch.events.len() as u64);
+        span.record("m", self.state.m() as u64);
+        span.record_flag("refreshed", mode != WindowMode::Incremental);
 
         let bounds = self.bounds();
         let lower = bounds.lower.to_f64();
+        let elapsed = start.elapsed();
+        self.metrics.apply_latency.observe(elapsed);
         WindowReport {
-            epoch: self.epoch,
+            epoch,
             events: batch.events.len(),
             arrivals,
             renewals,
-            expired: (self.expired_total - expired_before) as usize,
+            expired: (self.metrics.expired.get() - expired_before) as usize,
             deletes,
             ignored,
             now: self.now,
@@ -323,7 +412,7 @@ impl WindowEngine {
             m: self.state.m(),
             mode,
             core: self.core_thresholds(),
-            repairs: (self.repairs_total - repairs_before) as usize,
+            repairs: (self.metrics.repairs.get() - repairs_before) as usize,
             solve_stats: if matches!(mode, WindowMode::ExactResolve | WindowMode::SketchRefresh) {
                 self.last_solve_stats
             } else {
@@ -341,7 +430,7 @@ impl WindowEngine {
             within_band: self.state.m() == 0
                 || (lower > 0.0
                     && bounds.upper <= self.gap_at_cert * self.band(lower) * (1.0 + SAFETY)),
-            elapsed: start.elapsed(),
+            elapsed,
         }
     }
 
@@ -364,7 +453,7 @@ impl WindowEngine {
             self.live_since.remove(&e);
             let deleted = self.state.delete(e.0, e.1);
             debug_assert!(deleted, "ring edge missing from the graph");
-            self.expired_total += 1;
+            self.metrics.expired.inc();
             self.on_removed(e.0, e.1);
         }
     }
@@ -376,7 +465,7 @@ impl WindowEngine {
         self.cert.on_delete(u, v);
         self.witness.on_delete(u, v);
         if let Some(core) = &mut self.core {
-            self.repairs_total += core.delete_edge(u, v) as u64;
+            self.metrics.repairs.add(core.delete_edge(u, v) as u64);
         }
         if let Some(sk) = &mut self.sketch {
             sk.delete(u, v);
@@ -388,16 +477,16 @@ impl WindowEngine {
         certification_band(lower, self.config.tolerance, self.config.slack)
     }
 
-    fn certificate_invalidated(&self) -> bool {
+    fn refresh_cause(&self) -> Option<RefreshCause> {
         if self.state.m() == 0 {
-            return false; // the empty certificate [0, 0] is exact
+            return None; // the empty certificate [0, 0] is exact
         }
         let bounds = self.bounds();
         let lower = bounds.lower.to_f64();
         if lower <= 0.0 {
-            return true; // edges exist but every maintained pair is gone
+            return Some(RefreshCause::Cold); // every maintained pair is gone
         }
-        bounds.upper > self.gap_at_cert * self.band(lower)
+        (bounds.upper > self.gap_at_cert * self.band(lower)).then_some(RefreshCause::Band)
     }
 
     /// Re-certifies. Sketch tier engaged: exact-on-sketch only (see
@@ -406,16 +495,22 @@ impl WindowEngine {
     /// the band (and escalation is enabled). Resets the drift budget and
     /// measures the fresh gap.
     fn refresh(&mut self) -> WindowMode {
+        let timer = self.metrics.refresh_latency.timer();
+        let mut span = span!(self.tracer, "window.refresh");
         if self
             .config
             .sketch
             .is_some_and(|tier| self.state.m() >= tier.min_m)
         {
-            return self.sketch_refresh();
+            let mode = self.sketch_refresh();
+            span.record_str("mode", "sketch");
+            span.close();
+            timer.stop();
+            return mode;
         }
         let g = self.state.materialize();
         let approx = core_approx(&g);
-        self.refreshes += 1;
+        self.metrics.refreshes.inc();
         self.core = (!approx.solution.pair.is_empty()).then(|| {
             DecrementalCore::from_mask(&g, approx.x, approx.y, approx.solution.pair.to_mask(g.n()))
         });
@@ -447,7 +542,7 @@ impl WindowEngine {
                 self.rho_at_cert = report.solution.density.to_f64() * (1.0 + SAFETY);
                 let pair = (!report.solution.pair.is_empty()).then_some(report.solution.pair);
                 self.witness.reset(&self.state, pair);
-                self.exact_solves += 1;
+                self.metrics.exact_solves.inc();
                 self.last_escalation = Some(self.now);
                 mode = WindowMode::ExactResolve;
             }
@@ -455,6 +550,15 @@ impl WindowEngine {
 
         let bounds = self.bounds();
         self.gap_at_cert = bounds.certified_factor().max(1.0);
+        span.record_str(
+            "mode",
+            match mode {
+                WindowMode::ExactResolve => "exact",
+                _ => "core",
+            },
+        );
+        span.close();
+        timer.stop();
         mode
     }
 
@@ -467,8 +571,8 @@ impl WindowEngine {
         let incumbent = self.witness.pair().cloned();
         let (pair, stats) = sketch_tier_refresh(sk, &self.state, incumbent);
         self.last_solve_stats = stats;
-        self.refreshes += 1;
-        self.sketch_refreshes += 1;
+        self.metrics.refreshes.inc();
+        self.metrics.sketch_refreshes.inc();
         self.core = None;
         self.rho_at_cert = structural_upper(&self.state);
         self.witness.reset(&self.state, pair);
@@ -530,26 +634,26 @@ impl WindowEngine {
     /// Number of batches applied so far.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.metrics.epochs.get()
     }
 
     /// Number of certification refreshes (core sweeps) run so far,
     /// including the ones that escalated.
     #[must_use]
     pub fn refreshes(&self) -> u64 {
-        self.refreshes
+        self.metrics.refreshes.get()
     }
 
     /// Number of exact escalations run so far.
     #[must_use]
     pub fn exact_solves(&self) -> u64 {
-        self.exact_solves
+        self.metrics.exact_solves.get()
     }
 
     /// How many refreshes went through the sketch tier.
     #[must_use]
     pub fn sketch_refreshes(&self) -> u64 {
-        self.sketch_refreshes
+        self.metrics.sketch_refreshes.get()
     }
 
     /// Lifetime counters of the maintained sketch, when the tier is
@@ -562,13 +666,13 @@ impl WindowEngine {
     /// Edges expired by the window so far.
     #[must_use]
     pub fn expired(&self) -> u64 {
-        self.expired_total
+        self.metrics.expired.get()
     }
 
     /// Vertices peeled by decremental core repair so far.
     #[must_use]
     pub fn repairs(&self) -> u64 {
-        self.repairs_total
+        self.metrics.repairs.get()
     }
 
     /// Instrumentation of the most recent exact escalation, if any since
