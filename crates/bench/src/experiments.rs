@@ -1,6 +1,7 @@
-//! The experiment suite (E1–E16): one function per table/figure of the
+//! The experiment suite (E1–E17): one function per table/figure of the
 //! reconstructed evaluation (`DESIGN.md §4`; E12–E16 cover the streaming
-//! subsystems). Each prints an aligned table to stdout, writes the same
+//! subsystems, E17 the persistent worker pool). Each prints an aligned
+//! table to stdout, writes the same
 //! data to `bench_results/<id>.csv`, and states the *expected shape* so
 //! `EXPERIMENTS.md` can record measured-vs-expected.
 
@@ -13,7 +14,7 @@ use dds_xycore::{max_product_core, skyline};
 use crate::report::{fmt_duration, time, Table};
 use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e16`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e17`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -36,14 +37,15 @@ pub fn run(id: &str, quick: bool) {
         "e14" => e14_window(quick),
         "e15" => e15_sketch_tier(quick),
         "e16" => e16_shard_scaling(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e16)"),
+        "e17" => e17_pool_parallel(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e17)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -1198,6 +1200,211 @@ pub fn e16_shard_scaling(quick: bool) {
             );
         }
     }
+}
+
+/// E17 — the persistent worker pool. Two sweeps:
+///
+/// 1. **Per-ratio parallelism on a single-dominant-ratio instance.** The
+///    planted block concentrates nearly all solve time in the ratios
+///    around the planted `|S|/|T|`, which is exactly where the interval
+///    queue alone cannot help: one interval, one worker, everyone else
+///    idle. Config A is the serial engine (threads = 1), config B is the
+///    pool-backed interval queue with the per-ratio levers *off*, and
+///    config C turns on parallel Dinic phases plus speculative guess
+///    racing. All three must land on the **bit-identical** density (the
+///    levers change scheduling, never answers); with ≥ 4 real cores and
+///    full workloads, C must beat B by ≥ 2x — on fewer cores the table
+///    still records the honest numbers and the assertion is skipped.
+/// 2. **Shard apply scaling at batch 2500** (batch 250 in quick mode)
+///    through the same pool: K ∈ {1, 4} shard replays of the churn
+///    workload, asserting K = 4 beats K = 1 by ≥ 2x on ≥ 4 cores.
+///
+/// The pool's own counters (tasks, steals, parks) are printed as deltas
+/// around the sweep, pinning that the work actually routed through it.
+pub fn e17_pool_parallel(quick: bool) {
+    use dds_core::{SolveContext, WorkerPool};
+
+    println!(
+        "\n=== E17: worker pool + per-ratio parallelism (expected: bit-identical densities at every config, C >= 2x B and K4 >= 2x K1 with >= 4 cores)"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let n = if quick { 250 } else { 2_500 };
+    let p = planted_block(n);
+    let planted_rho = p.pair.density(&p.graph);
+    let pool_before = WorkerPool::global().stats();
+    println!(
+        "planted block: n = {n}, m = {}, planted rho = {} ({cores} core(s), pool width {})",
+        p.graph.m(),
+        planted_rho,
+        WorkerPool::global().width(),
+    );
+
+    let mut t = Table::new(
+        "exact solve: serial vs interval queue vs per-ratio levers",
+        &[
+            "config",
+            "threads",
+            "wall_ms",
+            "ratios",
+            "flows",
+            "spec",
+            "spec_wins",
+            "density",
+        ],
+    );
+    let levers_off = ExactOptions {
+        per_ratio_parallel: false,
+        speculation: false,
+        ..ExactOptions::default()
+    };
+    let (serial, wall_a) = time(|| DcExact::new().solve(&p.graph));
+    let (queue_only, wall_b) = time(|| {
+        let mut ctx = SolveContext::new();
+        parallel::dc_exact_parallel_with(&mut ctx, &p.graph, levers_off, cores)
+    });
+    let (levers_on, wall_c) = time(|| {
+        let mut ctx = SolveContext::new();
+        parallel::dc_exact_parallel_with(&mut ctx, &p.graph, ExactOptions::default(), cores)
+    });
+    for (label, threads, report, wall) in [
+        ("A serial", 1, &serial, wall_a),
+        ("B queue-only", cores, &queue_only, wall_b),
+        ("C levers-on", cores, &levers_on, wall_c),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            threads.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            report.ratios_solved.to_string(),
+            report.flow_decisions.to_string(),
+            report.speculative_solves.to_string(),
+            report.speculative_wins.to_string(),
+            format!("{:.6}", report.solution.density.to_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e17_pool_parallel");
+    assert_eq!(
+        queue_only.solution.density, serial.solution.density,
+        "pool-backed interval queue diverged from serial"
+    );
+    assert_eq!(
+        levers_on.solution.density, serial.solution.density,
+        "per-ratio levers diverged from serial"
+    );
+    assert_eq!(
+        levers_on.solution.pair.density(&p.graph),
+        serial.solution.density,
+        "the parallel witness must certify the serial density"
+    );
+    assert!(
+        serial.solution.density >= planted_rho,
+        "solver missed the planted block"
+    );
+    if !quick && cores >= 4 {
+        let ratio = wall_b.as_secs_f64() / wall_c.as_secs_f64().max(1e-9);
+        assert!(
+            ratio >= 2.0,
+            "per-ratio levers must beat the interval queue alone by >= 2x on {cores} cores \
+             (B {:.0} ms / C {:.0} ms = {ratio:.2}x)",
+            wall_b.as_secs_f64() * 1e3,
+            wall_c.as_secs_f64() * 1e3,
+        );
+    } else {
+        println!(
+            "lever speedup assertion skipped ({}): B/C = {:.2}x",
+            if quick {
+                "quick mode"
+            } else {
+                "fewer than 4 cores"
+            },
+            wall_b.as_secs_f64() / wall_c.as_secs_f64().max(1e-9),
+        );
+    }
+
+    // Sweep 2: shard apply scaling at the PR's batch size through the
+    // same global pool (`for_each_mut` routes the per-shard applies).
+    use dds_shard::{ShardConfig, ShardedEngine};
+    use dds_sketch::SketchConfig;
+    let (sn, sbg, sblock, sevents, sbatch, sbound) = if quick {
+        (300, 1_500, (48, 48), 10_000usize, 250, 300)
+    } else {
+        (4_000, 160_000, (256, 256), 1_000_000usize, 2_500, 4_000)
+    };
+    let stream = crate::stream_workloads::churn(sn, sbg, sblock, sevents, 0xDD5);
+    let mut t = Table::new(
+        format!("shard apply scaling at batch {sbatch}: K shards, min(K, cores) workers"),
+        &["K", "workers", "epochs", "apply_ms", "speedup", "wall"],
+    );
+    let mut apply_by_k: Vec<(usize, f64)> = Vec::new();
+    for k in [1usize, 4] {
+        let config = ShardConfig {
+            shards: k,
+            threads: k.min(cores).max(1),
+            sketch: SketchConfig {
+                state_bound: sbound,
+                ..SketchConfig::default()
+            },
+            ..ShardConfig::default()
+        };
+        let mut engine = ShardedEngine::new(config);
+        let (mut apply_ms, mut wall) = (0.0f64, 0.0f64);
+        let mut epochs = 0usize;
+        for chunk in stream.chunks(sbatch) {
+            let r = engine.apply(&dds_stream::Batch::from_events(chunk.to_vec()));
+            assert!(
+                r.lower <= r.upper * (1.0 + 1e-9),
+                "K={k}: epoch {epochs} inverted bracket [{}, {}]",
+                r.lower,
+                r.upper
+            );
+            apply_ms += r.apply.as_secs_f64() * 1e3;
+            wall += r.elapsed.as_secs_f64();
+            epochs += 1;
+        }
+        let speedup = apply_by_k
+            .first()
+            .map_or("1.00x".to_string(), |&(_, base)| {
+                format!("{:.2}x", base / apply_ms.max(1e-9))
+            });
+        apply_by_k.push((k, apply_ms));
+        t.row(vec![
+            k.to_string(),
+            k.min(cores).max(1).to_string(),
+            epochs.to_string(),
+            format!("{apply_ms:.0}"),
+            speedup,
+            format!("{wall:.2}s"),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e17_shard_apply");
+    let base = apply_by_k[0].1;
+    let four = apply_by_k[1].1;
+    if !quick && cores >= 4 {
+        assert!(
+            base / four.max(1e-9) >= 2.0,
+            "K=4 apply ({four:.0} ms) must beat K=1 ({base:.0} ms) by >= 2x on {cores} cores"
+        );
+    } else {
+        println!(
+            "apply speedup assertion skipped ({}): K1/K4 = {:.2}x",
+            if quick {
+                "quick mode"
+            } else {
+                "fewer than 4 cores"
+            },
+            base / four.max(1e-9),
+        );
+    }
+
+    let pool_after = WorkerPool::global().stats();
+    println!(
+        "pool deltas: {} tasks, {} steals, {} parks",
+        pool_after.tasks - pool_before.tasks,
+        pool_after.steals - pool_before.steals,
+        pool_after.parks - pool_before.parks,
+    );
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@
 use dds_bench::{experiments, perf, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e16)... [--quick]
-  dds-bench full [--quick] [--dir D]     write BENCH_E12..E16.json perf records
+  dds-bench (all | e1..e17)... [--quick]
+  dds-bench full [--quick] [--dir D]     write BENCH_E12..E17.json perf records
   dds-bench compare [--dir D]            diff a fresh run against the committed records
   dds-bench smoke
   dds-bench window-smoke
@@ -21,6 +21,7 @@ const USAGE: &str = "usage:
   dds-bench shard-smoke
   dds-bench snapshot-smoke
   dds-bench obs-smoke
+  dds-bench pool-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -56,6 +57,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("obs-smoke") {
         smoke_obs();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("pool-smoke") {
+        smoke_pool();
         return;
     }
     if args.first().map(String::as_str) == Some("full") {
@@ -639,6 +644,107 @@ fn smoke_obs() {
     std::fs::remove_file(&prom).ok();
     println!(
         "obs-smoke: OK (best paired overhead ratio {best_ratio:.3}, budget {OVERHEAD_FACTOR}x)"
+    );
+}
+
+/// CI pool smoke: E17 in quick mode (the pool-backed exact engine must
+/// land on the bit-identical serial density at every lever combination —
+/// asserted inside the experiment), plus two deterministic gates of its
+/// own: (1) parallel Dinic through a real 4-wide pool must match the
+/// serial solver's flow value and canonical cut sides bit for bit on a
+/// network past [`dds_flow::PARALLEL_EDGE_THRESHOLD`]; (2) with ≥ 2 real
+/// cores, the K = 4 shard apply must beat K = 1 through the same pool
+/// (as in E16 — on a single-core host the honest numbers are printed and
+/// the assertion is skipped).
+fn smoke_pool() {
+    use dds_core::WorkerPool;
+    use dds_flow::{FlowNetwork, PARALLEL_EDGE_THRESHOLD};
+
+    dds_bench::experiments::run("e17", true);
+
+    // Parallel Dinic bit-identity on a layered network wide enough to
+    // cross the parallel threshold, driven by a real multi-worker pool.
+    let k = 66;
+    let build = || {
+        let mut net = FlowNetwork::new(2 * k + 2);
+        let (s, t) = (0, 1);
+        for i in 0..k {
+            net.add_edge(s, 2 + i, 40 + (i as u128 % 9));
+            net.add_edge(2 + k + i, t, 40 + (i as u128 % 7));
+        }
+        for i in 0..k {
+            for j in 0..k {
+                net.add_edge(2 + i, 2 + k + j, 1 + ((i * 31 + j * 17) as u128 % 23));
+            }
+        }
+        (net, s, t)
+    };
+    let (mut serial, s, t) = build();
+    let (mut par, _, _) = build();
+    assert!(par.num_edges() >= PARALLEL_EDGE_THRESHOLD);
+    let pool = WorkerPool::with_workers(3);
+    let want = serial.max_flow(s, t);
+    let got = par.max_flow_with(s, t, &pool);
+    assert_eq!(got, want, "parallel Dinic flow value diverged");
+    assert_eq!(
+        par.min_cut_source_side(s),
+        serial.min_cut_source_side(s),
+        "parallel Dinic minimal cut diverged"
+    );
+    assert_eq!(
+        par.max_cut_source_side(t),
+        serial.max_cut_source_side(t),
+        "parallel Dinic maximal cut diverged"
+    );
+    println!(
+        "pool-smoke: parallel Dinic bit-identical on {} edges (flow {want})",
+        par.num_edges()
+    );
+
+    // Shard apply scaling through the global pool, gated like E16: the
+    // speedup assertion only fires with real cores behind it.
+    use dds_shard::{ShardConfig, ShardedEngine};
+    use dds_sketch::SketchConfig;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), 20_000, 0xDD5);
+    let apply_ms_at = |k: usize| {
+        let mut engine = ShardedEngine::new(ShardConfig {
+            shards: k,
+            threads: k.min(cores).max(1),
+            sketch: SketchConfig {
+                state_bound: 500,
+                ..SketchConfig::default()
+            },
+            ..ShardConfig::default()
+        });
+        let mut apply_ms = 0.0f64;
+        for chunk in events.chunks(500) {
+            let r = engine.apply(&dds_stream::Batch::from_events(chunk.to_vec()));
+            apply_ms += r.apply.as_secs_f64() * 1e3;
+        }
+        apply_ms
+    };
+    let base = apply_ms_at(1);
+    let four = apply_ms_at(4);
+    if cores >= 2 {
+        assert!(
+            four < base,
+            "K=4 apply ({four:.0} ms) must beat K=1 ({base:.0} ms) with {cores} cores"
+        );
+        println!("pool-smoke: K=4 apply {four:.0} ms vs K=1 {base:.0} ms ({cores} cores)");
+    } else {
+        println!(
+            "pool-smoke: speedup assertion skipped on a single-core host \
+             (K=4 apply {four:.0} ms vs K=1 {base:.0} ms measures overhead, not parallelism)"
+        );
+    }
+    let stats = WorkerPool::global().stats();
+    println!(
+        "pool-smoke: OK (global pool width {}, lifetime {} tasks, {} steals, {} parks)",
+        WorkerPool::global().width(),
+        stats.tasks,
+        stats.steals,
+        stats.parks,
     );
 }
 

@@ -1,7 +1,8 @@
 //! Machine-readable perf trajectory for the streaming experiments.
 //!
-//! `dds-bench full [--quick] [--dir D]` measures the five streaming
-//! experiments (E12–E16) and writes one `BENCH_<EXP>.json` per
+//! `dds-bench full [--quick] [--dir D]` measures the perf-tracked
+//! experiments (the streaming suite E12–E16 plus the worker-pool exact
+//! kernel E17) and writes one `BENCH_<EXP>.json` per
 //! experiment; `dds-bench compare [--dir D]` re-measures each experiment
 //! in the mode its committed baseline records and diffs the counters,
 //! failing on regressions past tolerance. The JSON is deliberately flat
@@ -12,7 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
-use dds_core::{DcExact, SolveStats};
+use dds_core::{parallel, DcExact, ExactOptions, SolveContext, SolveStats};
 use dds_shard::{ShardConfig, ShardedEngine};
 use dds_sketch::{SketchConfig, SketchEngine};
 use dds_stream::{
@@ -24,7 +25,7 @@ use crate::report::time;
 use crate::{stream_workloads, workloads};
 
 /// The experiments `full`/`compare` cover, in order.
-pub const EXPERIMENTS: [&str; 5] = ["e12", "e13", "e14", "e15", "e16"];
+pub const EXPERIMENTS: [&str; 6] = ["e12", "e13", "e14", "e15", "e16", "e17"];
 
 /// Relative tolerance on deterministic counters when comparing runs.
 /// The streams are seeded and the engines deterministic, so counters
@@ -45,7 +46,7 @@ pub const WALL_SLACK_MS: u64 = 1_000;
 /// One experiment's measured perf record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
-    /// Experiment id (`e12`…`e16`).
+    /// Experiment id (`e12`…`e17`).
     pub exp: String,
     /// Workload mode: `quick` or `full`.
     pub mode: String,
@@ -181,7 +182,8 @@ pub fn measure(exp: &str, quick: bool) -> BenchRecord {
         "e14" => measure_e14(quick),
         "e15" => measure_e15(quick),
         "e16" => measure_e16(quick),
-        other => panic!("unknown experiment {other:?} (expected e12..e16)"),
+        "e17" => measure_e17(quick),
+        other => panic!("unknown experiment {other:?} (expected e12..e17)"),
     };
     BenchRecord {
         exp: exp.to_string(),
@@ -383,6 +385,37 @@ fn measure_e16(quick: bool) -> Measurement {
             ("retained", stats.retained as u64),
         ]),
         factor_map([("max_certified", max_factor)]),
+    )
+}
+
+/// E17 — the worker pool's exact kernel: the serial engine's
+/// deterministic counters plus the pool-backed (all levers on, one
+/// worker per core) wall clock on the planted single-dominant-ratio
+/// instance. The density ratio factor pins answer identity: anything
+/// other than exactly 1.0 means the parallel engine diverged.
+fn measure_e17(quick: bool) -> Measurement {
+    let p = workloads::planted_block(if quick { 250 } else { 2_500 });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let serial = DcExact::new().solve(&p.graph);
+    let s = serial.stats();
+    let mut ctx = SolveContext::new();
+    let (par, wall) = time(|| {
+        parallel::dc_exact_parallel_with(&mut ctx, &p.graph, ExactOptions::default(), cores)
+    });
+    assert_eq!(
+        par.solution.density, serial.solution.density,
+        "pool-backed solve diverged from serial"
+    );
+    (
+        wall.as_millis() as u64,
+        counter_map([
+            ("ratios_solved", s.ratios_solved as u64),
+            ("flow_decisions", s.flow_decisions as u64),
+        ]),
+        factor_map([(
+            "parallel_vs_serial_density",
+            par.solution.density.to_f64() / serial.solution.density.to_f64().max(f64::MIN_POSITIVE),
+        )]),
     )
 }
 

@@ -93,7 +93,9 @@ const USAGE: &str = "usage:
               [--metrics FILE [--metrics-every E]] [--trace FILE]
               (edge-partitioned parallel ingestion over K shards with merged certification; --resume restarts
                from the checkpoint and replays nothing twice)
-  dds help";
+  dds help
+(--threads 0 or omitted on exact/stream/shard auto-detects the host parallelism; the resolved
+ count is printed in each command's stats footer, marked \"(auto)\" when detected)";
 
 /// Entry point shared by `main` and the tests.
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -127,6 +129,18 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<&str>) -> Re
     let v = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
     v.parse()
         .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
+}
+
+/// Resolve a `--threads` flag for the commands that auto-detect: an
+/// explicit positive count is taken as given; `0` or an omitted flag
+/// picks the host parallelism ([`dds_core::auto_threads`]). The second
+/// element is a footer suffix so auto-picked counts are visible in the
+/// stats output.
+fn resolve_threads(flag: Option<usize>) -> (usize, &'static str) {
+    match flag {
+        Some(t) if t > 0 => (t, ""),
+        _ => (dds_core::auto_threads(), " (auto)"),
+    }
 }
 
 fn write_solution(out: &mut dyn Write, sol: &DdsSolution) -> Result<(), CliError> {
@@ -233,7 +247,7 @@ fn cmd_exact<'a>(
     let mut opts = ExactOptions::default();
     let mut baseline = false;
     let mut verbose = false;
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
     while let Some(flag) = it.next() {
         match flag {
             "--baseline" => baseline = true,
@@ -242,16 +256,12 @@ fn cmd_exact<'a>(
             "--no-tie" => opts.tie_pruning = false,
             "--no-warm" => opts.warm_start = false,
             "--no-dc" => opts.divide_and_conquer = false,
-            "--threads" => {
-                threads = parse_flag_value("--threads", it.next())?;
-                if threads == 0 {
-                    return Err(CliError::Usage("--threads must be positive".into()));
-                }
-            }
+            "--threads" => threads = Some(parse_flag_value("--threads", it.next())?),
             "--verbose" => verbose = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
+    let (threads, threads_auto) = resolve_threads(threads);
     let report = if baseline {
         FlowExact.solve(&g)
     } else if threads > 1 {
@@ -262,6 +272,7 @@ fn cmd_exact<'a>(
     };
     write_solution(out, &report.solution)?;
     write_solve_totals(out, "solve totals", &report.stats())?;
+    writeln!(out, "threads              {threads}{threads_auto}")?;
     writeln!(
         out,
         "pruned (structural)  {}",
@@ -589,7 +600,7 @@ fn cmd_stream<'a>(
     let mut log_every = 0usize;
     let mut window: Option<u64> = None;
     let mut escalate = true;
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
     let mut sketch = false;
     let mut sketch_min_m = 50_000usize;
     let mut sketch_flags_used = false;
@@ -603,12 +614,7 @@ fn cmd_stream<'a>(
         }
         match flag {
             "--follow" => follow = true,
-            "--threads" => {
-                threads = parse_flag_value("--threads", it.next())?;
-                if threads == 0 {
-                    return Err(CliError::Usage("--threads must be positive".into()));
-                }
-            }
+            "--threads" => threads = Some(parse_flag_value("--threads", it.next())?),
             "--sketch" => sketch = true,
             "--sketch-min-m" => {
                 sketch_min_m = parse_flag_value("--sketch-min-m", it.next())?;
@@ -677,6 +683,7 @@ fn cmd_stream<'a>(
             "--sketch-min-m/--sketch-bound require --sketch".into(),
         ));
     }
+    let (threads, threads_auto) = resolve_threads(threads);
     serving.validate(follow)?;
     obs.validate()?;
     if serving.checkpoint.is_some() && !follow {
@@ -718,7 +725,16 @@ fn cmd_stream<'a>(
             threads,
             sketch: tier,
         };
-        return stream_follow(out, path, config, batch, log_every, &serving, &obs);
+        return stream_follow(
+            out,
+            path,
+            config,
+            batch,
+            log_every,
+            threads_auto,
+            &serving,
+            &obs,
+        );
     }
     let events = dds_stream::load_events(path)?;
     if let Some(w) = window {
@@ -740,6 +756,7 @@ fn cmd_stream<'a>(
             },
             batch_by,
             log_every,
+            threads_auto,
             &obs,
         );
     }
@@ -756,6 +773,7 @@ fn cmd_stream<'a>(
     let registry = obs.registry();
     if let Some(reg) = &registry {
         engine.attach_obs(reg);
+        dds_core::WorkerPool::global().attach_obs(reg);
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
@@ -808,6 +826,7 @@ fn cmd_stream<'a>(
         resolves,
         incremental,
     )?;
+    writeln!(out, "threads {threads}{threads_auto}")?;
     writeln!(
         out,
         "max certified factor {max_factor:.4} (tolerance {tolerance}, slack {slack})"
@@ -863,18 +882,21 @@ fn stream_window(
     config: WindowConfig,
     batch_by: BatchBy,
     log_every: usize,
+    threads_auto: &str,
     obs: &ObsFlags,
 ) -> Result<(), CliError> {
-    let (window, tolerance, slack, escalate) = (
+    let (window, tolerance, slack, escalate, threads) = (
         config.window,
         config.tolerance,
         config.slack,
         config.exact_escalation,
+        config.threads,
     );
     let mut engine = WindowEngine::new(config);
     let registry = obs.registry();
     if let Some(reg) = &registry {
         engine.attach_obs(reg);
+        dds_core::WorkerPool::global().attach_obs(reg);
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
@@ -955,6 +977,7 @@ fn stream_window(
         engine.expired(),
         engine.repairs(),
     )?;
+    writeln!(out, "threads {threads}{threads_auto}")?;
     if let Some(stats) = engine.sketch_stats() {
         write_sketch_tier(
             out,
@@ -1271,15 +1294,18 @@ fn run_serving_loop<E>(
 /// The `dds stream --follow` serving loop: tail the event file, apply
 /// each sealed batch, and checkpoint the engine (with the stream cursor)
 /// so a restart resumes with nothing replayed twice.
+#[allow(clippy::too_many_arguments)] // parsed CLI flags + borrowed sinks
 fn stream_follow(
     out: &mut dyn Write,
     path: &str,
     config: StreamConfig,
     batch: usize,
     log_every: usize,
+    threads_auto: &str,
     serving: &ServingFlags,
     obs: &ObsFlags,
 ) -> Result<(), CliError> {
+    let threads = config.threads;
     let (mut engine, cursor) = match &serving.checkpoint {
         Some(ck) if serving.resume && std::path::Path::new(ck).exists() => {
             let (engine, cursor) = StreamEngine::restore_from(config, ck)?;
@@ -1296,6 +1322,7 @@ fn stream_follow(
     let registry = obs.registry();
     if let Some(reg) = &registry {
         engine.attach_obs(reg);
+        dds_core::WorkerPool::global().attach_obs(reg);
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
@@ -1341,6 +1368,7 @@ fn stream_follow(
         bounds.upper,
         outcome.cursor,
     )?;
+    writeln!(out, "threads {threads}{threads_auto}")?;
     tracer.flush()?;
     Ok(())
 }
@@ -1391,13 +1419,7 @@ fn cmd_shard<'a>(
                 }
             }
             "--seed" => seed = parse_flag_value("--seed", it.next())?,
-            "--threads" => {
-                let t: usize = parse_flag_value("--threads", it.next())?;
-                if t == 0 {
-                    return Err(CliError::Usage("--threads must be positive".into()));
-                }
-                threads = Some(t);
-            }
+            "--threads" => threads = Some(parse_flag_value("--threads", it.next())?),
             "--drift" => {
                 drift = parse_flag_value("--drift", it.next())?;
                 if drift.is_nan() || drift <= 0.0 {
@@ -1411,9 +1433,10 @@ fn cmd_shard<'a>(
     }
     serving.validate(follow)?;
     obs.validate()?;
+    let (threads, threads_auto) = resolve_threads(threads);
     let config = ShardConfig {
         shards,
-        threads: threads.unwrap_or(shards),
+        threads,
         refresh_drift: drift,
         sketch: SketchConfig {
             state_bound: bound,
@@ -1437,12 +1460,13 @@ fn cmd_shard<'a>(
     let registry = obs.registry();
     if let Some(reg) = &registry {
         engine.attach_obs(reg);
+        dds_core::WorkerPool::global().attach_obs(reg);
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
     writeln!(
         out,
-        "{} {path} across {shards} shards ({} apply workers, batch {batch}, bound {bound}/shard)",
+        "{} {path} across {shards} shards ({} apply workers{threads_auto}, batch {batch}, bound {bound}/shard)",
         if follow { "following" } else { "replaying" },
         config.threads,
     )?;
@@ -1503,6 +1527,7 @@ fn cmd_shard<'a>(
         stats.apply,
         stats.certify,
     )?;
+    writeln!(out, "threads {threads}{threads_auto}")?;
     if stats.solve.ratios_solved > 0 {
         write_solve_totals(out, "escalated solve totals", &stats.solve)?;
     }
@@ -1734,10 +1759,16 @@ mod tests {
         assert!(ablated.contains("network nodes"), "{ablated}");
         let par = run_ok(&["exact", &path, "--threads", "2"]);
         assert!(par.contains("6/√(2·3)"), "{par}");
-        assert!(matches!(
-            run_err(&["exact", &path, "--threads", "0"]),
-            CliError::Usage(_)
-        ));
+        assert!(par.contains("threads              2\n"), "{par}");
+        // --threads 0 (and an omitted flag) auto-detect the host; the
+        // footer marks the resolved count so runs stay reproducible.
+        let auto = run_ok(&["exact", &path, "--threads", "0"]);
+        assert!(auto.contains("6/√(2·3)"), "{auto}");
+        assert!(auto.contains("(auto)"), "{auto}");
+        assert!(
+            out.contains("(auto)"),
+            "omitted --threads is auto too: {out}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -2001,10 +2032,9 @@ mod tests {
             run_err(&["stream", &path, "--sketch", "--sketch-bound", "0"]),
             CliError::Usage(_)
         ));
-        assert!(matches!(
-            run_err(&["stream", &path, "--threads", "0"]),
-            CliError::Usage(_)
-        ));
+        // --threads 0 auto-detects rather than erroring.
+        let auto = run_ok(&["stream", &path, "--threads", "0", "--batch", "3"]);
+        assert!(auto.contains("(auto)"), "{auto}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -2047,6 +2077,10 @@ mod tests {
         let path = temp_events();
         let out = run_ok(&["shard", &path, "--shards", "3", "--batch", "2"]);
         assert!(out.contains("across 3 shards"), "{out}");
+        assert!(
+            out.contains("(auto)"),
+            "omitted --threads auto-detects: {out}"
+        );
         assert!(out.contains("MERGED REFRESH"), "{out}");
         assert!(out.contains("merged refreshes"), "{out}");
         assert!(out.contains("final density"), "{out}");
@@ -2102,7 +2136,6 @@ mod tests {
             vec!["shard", &path, "--shards", "0"],
             vec!["shard", &path, "--batch", "0"],
             vec!["shard", &path, "--bound", "0"],
-            vec!["shard", &path, "--threads", "0"],
             vec!["shard", &path, "--drift", "0"],
             vec!["shard", &path, "--resume"],
             vec!["shard", &path, "--poll-ms", "50"],
@@ -2236,6 +2269,10 @@ mod tests {
         assert!(
             parsed.get("dds_stream_inserts_total") >= Some(&4.0),
             "{text}"
+        );
+        assert!(
+            parsed.contains_key("dds_pool_tasks_total"),
+            "worker-pool counters ride the same exposition: {text}"
         );
         assert!(
             std::fs::metadata(format!("{metrics}.jsonl")).unwrap().len() > 0,

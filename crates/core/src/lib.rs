@@ -83,6 +83,7 @@ mod approx;
 mod exact;
 pub mod parallel;
 mod peel;
+pub mod pool;
 mod refine;
 mod result;
 mod topk;
@@ -92,6 +93,7 @@ pub use approx::{core_approx, CoreApproxResult, ExhaustivePeel, GridPeel, PeelRe
 pub use exact::{DcExact, ExactOptions, ExactReport, FlowExact, SolveContext};
 pub use parallel::exact_on_sketch;
 pub use peel::{peel_at_f64_ratio, peel_at_rational_ratio};
+pub use pool::{auto_threads, PoolScope, PoolStats, WorkerPool};
 pub use refine::refine_to_component;
 pub use result::{DdsSolution, SolveStats};
 pub use topk::{top_k_dense_pairs, TopKSolver};

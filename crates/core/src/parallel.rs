@@ -1,8 +1,8 @@
 //! Parallel variants of the solvers.
 //!
 //! The paper notes that both the peeling sweeps and the core computations
-//! parallelise naturally; this module provides scoped-thread
-//! implementations (no extra dependencies) of:
+//! parallelise naturally; this module provides implementations (no extra
+//! dependencies) of:
 //!
 //! * [`dc_exact_parallel`] — the exact divide-and-conquer search with its
 //!   ratio-interval work queue consumed by `threads` workers. Workers share
@@ -19,14 +19,15 @@
 //!   peeling for independence);
 //! * [`for_each_mut`] — the bare work queue itself, generic over mutable
 //!   items: `dds-shard` drives its edge-partitioned shards' batch applies
-//!   through it.
+//!   through it, and the two helpers above are thin wrappers over it.
 //!
-//! All return results identical to their sequential counterparts (tested),
-//! so callers choose purely on wall-clock grounds (experiments E11, E13).
+//! Every helper here executes on the process-wide persistent
+//! [`WorkerPool`](crate::pool::WorkerPool) — no per-call thread spawns —
+//! and all return results identical to their sequential counterparts
+//! (tested), so callers choose purely on wall-clock grounds (experiments
+//! E11, E13, E17).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::thread;
 
 use dds_graph::{DiGraph, StMask};
 use dds_num::isqrt;
@@ -38,15 +39,16 @@ use crate::peel::peel_at_f64_ratio;
 use crate::{DdsSolution, ExactOptions, ExactReport, GridPeel, SolveContext};
 
 /// Runs `f` once over every item of `items` — each call getting exclusive
-/// `&mut` access — with the calls spread across up to `threads` scoped
-/// workers consuming an atomic work queue (the same discipline as the
-/// ratio-interval queue: workers claim the next unclaimed index, so an
-/// uneven workload never idles a worker while items remain). Results come
-/// back in item order. With `threads == 1` (or a single item) everything
-/// runs inline on the caller's thread — no spawn, no locks on the hot
-/// path — which is what makes this usable as the *only* apply path of
-/// `dds-shard`'s edge-partitioned engine: `K = 1` is the serial baseline,
-/// not a separate code path.
+/// `&mut` access — with the calls spread across up to `threads` lanes of
+/// the persistent [`WorkerPool`](crate::pool::WorkerPool) consuming an
+/// atomic work queue (the same discipline as the ratio-interval queue:
+/// workers claim the next unclaimed index, so an uneven workload never
+/// idles a worker while items remain). Results come back in item order.
+/// With `threads == 1` (or a single item) everything runs inline on the
+/// caller's thread — no tasks, no locks on the hot path — which is what
+/// makes this usable as the *only* apply path of `dds-shard`'s
+/// edge-partitioned engine: `K = 1` is the serial baseline, not a
+/// separate code path.
 ///
 /// # Panics
 /// Panics if `threads == 0`, or if `f` panics on any worker.
@@ -66,23 +68,14 @@ where
             .collect();
     }
     // Each item sits behind its own mutex purely to hand `&mut` across the
-    // scope safely; the atomic queue guarantees every index is claimed by
-    // exactly one worker, so the locks are uncontended by construction.
+    // pool safely; the atomic queue guarantees every index is claimed by
+    // exactly one lane, so the locks are uncontended by construction.
     let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
     let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
-                }
-                let mut item = slots[i].lock().expect("slot poisoned");
-                let out = f(i, &mut item);
-                *results[i].lock().expect("result poisoned") = Some(out);
-            });
-        }
+    crate::pool::WorkerPool::global().run_indexed(workers, slots.len(), &|i| {
+        let mut item = slots[i].lock().expect("slot poisoned");
+        let out = f(i, &mut item);
+        *results[i].lock().expect("result poisoned") = Some(out);
     });
     results
         .into_iter()
@@ -162,23 +155,13 @@ pub fn grid_peel_parallel(g: &DiGraph, epsilon: f64, threads: usize) -> PeelResu
     }
     let workers = threads.min(grid.len());
     let chunk_size = grid.len().div_ceil(workers);
-    let mut locals: Vec<DdsSolution> = Vec::with_capacity(workers);
-    thread::scope(|scope| {
-        let handles: Vec<_> = grid
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut best = DdsSolution::empty();
-                    for &c in chunk {
-                        best.improve_to(peel_at_f64_ratio(g, c));
-                    }
-                    best
-                })
-            })
-            .collect();
-        for h in handles {
-            locals.push(h.join().expect("peel worker panicked"));
+    let mut chunks: Vec<&[f64]> = grid.chunks(chunk_size).collect();
+    let locals = for_each_mut(&mut chunks, workers, |_, chunk| {
+        let mut best = DdsSolution::empty();
+        for &c in chunk.iter() {
+            best.improve_to(peel_at_f64_ratio(g, c));
         }
+        best
     });
     let mut best = DdsSolution::empty();
     for local in locals {
@@ -248,20 +231,9 @@ pub fn core_approx_parallel(g: &DiGraph, threads: usize) -> CoreApproxResult {
         tasks.push((true, lo, hi));
     }
 
-    let mut results: Vec<Option<(bool, u64, u64, StMask)>> = Vec::new();
-    thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .iter()
-            .map(|&(reversed, lo, hi)| {
-                let graph = if reversed { &rev } else { g };
-                scope.spawn(move || {
-                    sweep_chunk(graph, lo, hi).map(|(x, y, mask)| (reversed, x, y, mask))
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("sweep worker panicked"));
-        }
+    let results = for_each_mut(&mut tasks, threads, |_, &mut (reversed, lo, hi)| {
+        let graph = if reversed { &rev } else { g };
+        sweep_chunk(graph, lo, hi).map(|(x, y, mask)| (reversed, x, y, mask))
     });
 
     let mut best: Option<(u64, u64, StMask)> = None;

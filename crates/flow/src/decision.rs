@@ -32,6 +32,7 @@
 use dds_graph::{DiGraph, Pair, StMask, VertexId};
 use dds_num::Frac;
 
+use crate::executor::{FlowExecutor, SerialExecutor};
 use crate::FlowArena;
 
 /// Outcome of one guess of the per-ratio search.
@@ -95,6 +96,28 @@ pub fn decide_in(
     a: u64,
     b: u64,
     beta: Frac,
+) -> (Decision, DecisionStats) {
+    decide_in_with(arena, g, alive, a, b, beta, &SerialExecutor)
+}
+
+/// [`decide_in`] with the max-flow phases run on `exec`'s workers (see
+/// [`FlowNetwork::max_flow_with`]): identical decisions and identical
+/// recovered pairs — min-cut sides are invariant across maximum flows —
+/// with the per-guess wall time divided across the executor's width on
+/// networks above the parallel threshold.
+///
+/// [`FlowNetwork::max_flow_with`]: crate::FlowNetwork::max_flow_with
+///
+/// # Panics
+/// Same conditions as [`decide`].
+pub fn decide_in_with(
+    arena: &mut FlowArena,
+    g: &DiGraph,
+    alive: &StMask,
+    a: u64,
+    b: u64,
+    beta: Frac,
+    exec: &dyn FlowExecutor,
 ) -> (Decision, DecisionStats) {
     assert!(a > 0 && b > 0, "ratio components must be positive");
     assert!(
@@ -190,7 +213,7 @@ pub fn decide_in(
     let budget = u128::from(m_alive)
         .checked_mul(k)
         .expect("K·m overflowed u128");
-    let flow = net.max_flow(0, 1);
+    let flow = net.max_flow_with(0, 1, exec);
     debug_assert!(flow <= budget, "cut can never exceed the trivial {{s}} cut");
 
     let extract = |side: &[bool]| -> Pair {

@@ -1,0 +1,69 @@
+//! The executor seam between the flow kernel and whoever owns threads.
+//!
+//! `dds-flow` sits *below* `dds-core` in the crate graph, so it cannot
+//! name the worker pool that `dds-core` builds on top of it. Instead the
+//! parallel Dinic phases ([`FlowNetwork::max_flow_with`]) are written
+//! against this two-method trait: "run `tasks` closures, each told its
+//! index, and return when all have finished". The serial implementation
+//! below is the default everywhere; `dds-core`'s persistent work-stealing
+//! pool implements the trait and threads itself through the decision
+//! procedure ([`decide_in_with`]), which is how per-ratio parallelism
+//! reaches the flow inner loop without a dependency cycle.
+//!
+//! [`FlowNetwork::max_flow_with`]: crate::FlowNetwork::max_flow_with
+//! [`decide_in_with`]: crate::decision::decide_in_with
+
+/// A fork/join primitive: run `tasks` instances of `f` (each receiving its
+/// task index in `0..tasks`) and return once **all** of them completed.
+///
+/// Implementations may run the closures on any threads in any order, but
+/// must provide the usual fork/join guarantees: every index is executed
+/// exactly once, all effects of the closures happen-before `run` returns,
+/// and a panic in any closure propagates out of `run` (after all tasks
+/// stopped).
+pub trait FlowExecutor: Sync {
+    /// Upper bound on how many closures can make progress simultaneously
+    /// (`1` means serial). Callers use this to size task counts and to
+    /// skip parallel code paths that cannot pay off.
+    fn width(&self) -> usize;
+
+    /// Executes `f(0), f(1), …, f(tasks - 1)`, possibly concurrently, and
+    /// joins them all.
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// The do-it-on-this-thread executor: `width() == 1`, tasks run in index
+/// order on the caller's stack. With this executor every "parallel" code
+/// path in the crate is *exactly* its serial counterpart.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExecutor;
+
+impl FlowExecutor for SerialExecutor {
+    fn width(&self) -> usize {
+        1
+    }
+
+    fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..tasks {
+            f(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_runs_every_index_in_order() {
+        let log = std::sync::Mutex::new(Vec::new());
+        SerialExecutor.run(5, &|i| log.lock().unwrap().push(i));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(SerialExecutor.width(), 1);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        SerialExecutor.run(0, &|_| panic!("must not run"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Pinning the pool-backed parallel paths to their serial counterparts.
+//!
+//! The parallelism contract of the worker pool: scheduling changes,
+//! answers do not. The pool-backed divide-and-conquer engine must return
+//! the same exact density (and a witness certifying it) as the serial
+//! engine at every thread count, and the parallel Dinic must compute the
+//! same max-flow value and the same *canonical* min-cut sides as the
+//! serial implementation — the minimal cut (residual-reachable from `s`)
+//! and the maximal cut (residual-coreachable to `t`) are invariant
+//! across all maximum flows, so they must match bit-for-bit no matter
+//! how the augmentations interleaved.
+
+use dds_core::{parallel, DcExact, ExactOptions, SolveContext, WorkerPool};
+use dds_flow::{FlowNetwork, PARALLEL_EDGE_THRESHOLD};
+use dds_graph::GraphBuilder;
+use proptest::prelude::*;
+
+fn graph_strategy(max_n: u32, max_m: usize) -> impl Strategy<Value = dds_graph::DiGraph> {
+    prop::collection::vec((0..max_n, 0..max_n), 0..max_m).prop_map(move |edges| {
+        let mut b = GraphBuilder::with_min_vertices(max_n as usize);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    })
+}
+
+/// A layered `s → A → B → t` network wide enough to cross
+/// [`PARALLEL_EDGE_THRESHOLD`], with proptest-chosen capacities tiled
+/// over the middle bipartite block so the min cut lands in different
+/// places on different cases.
+fn layered_network(caps: &[u128], side: u128, k: usize) -> (FlowNetwork, usize, usize) {
+    let n = 2 * k + 2;
+    let (s, t) = (0, 1);
+    let mut net = FlowNetwork::new(n);
+    for i in 0..k {
+        net.add_edge(s, 2 + i, side + (i as u128 % 7));
+        net.add_edge(2 + k + i, t, side + (i as u128 % 5));
+    }
+    for i in 0..k {
+        for j in 0..k {
+            let cap = caps[(i * k + j) % caps.len()];
+            net.add_edge(2 + i, 2 + k + j, cap);
+        }
+    }
+    assert!(net.num_edges() >= PARALLEL_EDGE_THRESHOLD);
+    (net, s, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pool-backed divide-and-conquer equals the serial engine: same
+    /// exact density at every thread count, and the parallel witness
+    /// certifies the density it claims.
+    #[test]
+    fn pool_backed_engine_matches_serial(
+        g in graph_strategy(10, 40),
+        threads in 1usize..5,
+    ) {
+        let serial = DcExact::new().solve(&g);
+        let mut ctx = SolveContext::new();
+        let par = parallel::dc_exact_parallel_with(&mut ctx, &g, ExactOptions::default(), threads);
+        prop_assert_eq!(par.solution.density, serial.solution.density);
+        prop_assert_eq!(par.solution.pair.density(&g), serial.solution.density);
+    }
+
+    /// Speculation and per-ratio parallelism are answer-preserving too:
+    /// every lever combination lands on the serial density.
+    #[test]
+    fn parallel_levers_are_answer_preserving(
+        g in graph_strategy(9, 32),
+        per_ratio in any::<bool>(),
+        speculation in any::<bool>(),
+    ) {
+        let serial = DcExact::new().solve(&g);
+        let opts = ExactOptions { per_ratio_parallel: per_ratio, speculation, ..ExactOptions::default() };
+        let mut ctx = SolveContext::new();
+        let par = parallel::dc_exact_parallel_with(&mut ctx, &g, opts, 3);
+        prop_assert_eq!(par.solution.density, serial.solution.density);
+        prop_assert_eq!(par.solution.pair.density(&g), serial.solution.density);
+    }
+}
+
+proptest! {
+    // Each case builds two ≥4096-edge networks; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel Dinic through a real multi-worker pool is bit-identical
+    /// to the serial solver: same flow value, same canonical cut sides.
+    #[test]
+    fn parallel_dinic_matches_serial_flow_and_cuts(
+        caps in prop::collection::vec(1u128..60, 32),
+        side in 8u128..64,
+    ) {
+        let k = 66; // 66² + 2·66 = 4488 ≥ PARALLEL_EDGE_THRESHOLD
+        let (mut serial, s, t) = layered_network(&caps, side, k);
+        let (mut par, _, _) = layered_network(&caps, side, k);
+        let pool = WorkerPool::with_workers(3);
+        let want = serial.max_flow(s, t);
+        let got = par.max_flow_with(s, t, &pool);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(par.min_cut_source_side(s), serial.min_cut_source_side(s));
+        prop_assert_eq!(par.max_cut_source_side(t), serial.max_cut_source_side(t));
+    }
+}
