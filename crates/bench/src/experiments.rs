@@ -1,6 +1,7 @@
-//! The experiment suite (E1–E17): one function per table/figure of the
+//! The experiment suite (E1–E18): one function per table/figure of the
 //! reconstructed evaluation (`DESIGN.md §4`; E12–E16 cover the streaming
-//! subsystems, E17 the persistent worker pool). Each prints an aligned
+//! subsystems, E17 the persistent worker pool, E18 the query-serving
+//! tier). Each prints an aligned
 //! table to stdout, writes the same
 //! data to `bench_results/<id>.csv`, and states the *expected shape* so
 //! `EXPERIMENTS.md` can record measured-vs-expected.
@@ -14,7 +15,7 @@ use dds_xycore::{max_product_core, skyline};
 use crate::report::{fmt_duration, time, Table};
 use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e17`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e18`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -38,14 +39,15 @@ pub fn run(id: &str, quick: bool) {
         "e15" => e15_sketch_tier(quick),
         "e16" => e16_shard_scaling(quick),
         "e17" => e17_pool_parallel(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e17)"),
+        "e18" => e18_serve(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e18)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -1405,6 +1407,209 @@ pub fn e17_pool_parallel(quick: bool) {
         pool_after.steals - pool_before.steals,
         pool_after.parks - pool_before.parks,
     );
+}
+
+/// E18 — the query-serving tier under churn: client threads hammer a
+/// live `dds-serve` front end with mixed `DENSITY`/`MEMBER`/`CORE`/`TOPK`
+/// queries **while** the main thread replays the churn workload and
+/// publishes one immutable snapshot per sealed epoch through the
+/// arc-swap cell. Two operating points — 1 client / 1 reader and
+/// 4 clients / 4 readers — share the stream; after every publish the
+/// driver's own oracle connection re-queries `DENSITY` and asserts the
+/// byte-exact answer for that epoch (per-epoch oracle confirmation).
+/// The harness asserts zero stale-epoch violations (a connection never
+/// sees an epoch id go backwards), zero bracket violations, and zero
+/// `ERR` responses once an epoch is published; with ≥ 4 real cores and
+/// full workloads the 4-client aggregate throughput must beat the
+/// 1-client run by ≥ 1.5x (readers scale on snapshots, never on engine
+/// locks) — on fewer cores the table still records the honest numbers
+/// and the assertion is skipped, as in E16/E17.
+pub fn e18_serve(quick: bool) {
+    use crate::serve_load::{percentile, run_clients, ClientPlan, ClientReport};
+    use dds_serve::{EpochFacts, PublishOptions, Publisher, ServeMetrics, Server, SnapshotCell};
+    use dds_stream::{Batch, SolverKind, StreamConfig, StreamEngine};
+    use std::io::{BufRead, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    println!(
+        "\n=== E18: query serving under churn (expected: zero stale/bracket/ERR violations, 4-client qps >= 1.5x 1-client with >= 4 cores)"
+    );
+    const CORE_X: u64 = 1;
+    const CORE_Y: u64 = 1;
+    let (n, bg, block, events, batch) = if quick {
+        (300, 1_500, (48, 48), 20_000usize, 100)
+    } else {
+        (400, 4_000, (32, 32), 100_000usize, 100)
+    };
+    let stream = crate::stream_workloads::churn(n, bg, block, events, 0xDD5);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "{} events, n = {n}, background m = {bg}, block {}x{}, batch = {batch}, core [{CORE_X},{CORE_Y}], top-2 ({cores} core(s))",
+        stream.len(),
+        block.0,
+        block.1,
+    );
+
+    let mut t = Table::new(
+        "concurrent readers vs churn ingestion",
+        &[
+            "clients",
+            "readers",
+            "epochs",
+            "publishes",
+            "queries",
+            "err>0",
+            "stale",
+            "brk_bad",
+            "p50_us",
+            "p99_us",
+            "qps",
+            "wall",
+        ],
+    );
+    let mut qps_by_clients: Vec<(usize, f64)> = Vec::new();
+    // A connection occupies its reader for the connection's lifetime, so
+    // the pool must cover every concurrent connection: the N load clients
+    // plus the driver's own oracle connection.
+    for (clients, readers) in [(1usize, 2usize), (4, 5)] {
+        let mut engine = StreamEngine::new(StreamConfig {
+            tolerance: 0.25,
+            slack: 2.0,
+            solver: SolverKind::CoreApprox,
+            ..Default::default()
+        });
+        let cell = Arc::new(SnapshotCell::new());
+        let metrics = Arc::new(ServeMetrics::new());
+        let mut publisher = Publisher::new(
+            Arc::clone(&cell),
+            PublishOptions {
+                core: Some((CORE_X, CORE_Y)),
+                top_k: 2,
+            },
+            Arc::clone(&metrics),
+        );
+        let server = Server::start(
+            "127.0.0.1:0",
+            Arc::clone(&cell),
+            readers,
+            Arc::clone(&metrics),
+        )
+        .expect("bind ephemeral port");
+        let stop = Arc::new(AtomicBool::new(false));
+        let plan = ClientPlan {
+            addr: server.addr(),
+            queries: None,
+            stop: Arc::clone(&stop),
+            core: Some((CORE_X, CORE_Y)),
+            top_k: 2,
+        };
+        let load = {
+            let plan = plan.clone();
+            std::thread::spawn(move || run_clients(clients, &plan))
+        };
+
+        // The driver's oracle connection: one DENSITY per publish, checked
+        // byte for byte against the engine's own report for that epoch.
+        let oracle = std::net::TcpStream::connect(server.addr()).expect("oracle connect");
+        let mut oracle_reader =
+            std::io::BufReader::new(oracle.try_clone().expect("clone oracle stream"));
+        let mut oracle = oracle;
+
+        let t0 = std::time::Instant::now();
+        let mut epochs = 0u64;
+        for chunk in stream.chunks(batch) {
+            let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+            publisher.publish(
+                EpochFacts {
+                    epoch: r.epoch,
+                    n: r.n,
+                    m: r.m as u64,
+                    density: r.density.to_f64(),
+                    lower: r.lower,
+                    upper: r.upper,
+                    witness: engine.witness(),
+                    resolved: r.resolved,
+                },
+                || engine.materialize(),
+            );
+            epochs += 1;
+            oracle.write_all(b"DENSITY\n").expect("oracle query");
+            let mut line = String::new();
+            oracle_reader.read_line(&mut line).expect("oracle response");
+            assert_eq!(
+                line.trim_end(),
+                format!(
+                    "OK DENSITY epoch={} n={} m={} density={:.6} lower={:.6} upper={:.6}",
+                    r.epoch,
+                    r.n,
+                    r.m,
+                    r.density.to_f64(),
+                    r.lower,
+                    r.upper
+                ),
+                "oracle mismatch at epoch {}",
+                r.epoch
+            );
+        }
+        let wall = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let reports = load.join().expect("load clients");
+        drop(server); // shuts down on drop
+
+        let mut total = ClientReport::default();
+        for r in &reports {
+            total.merge(r);
+        }
+        assert_eq!(total.stale_violations, 0, "epoch ids went backwards");
+        assert_eq!(total.bracket_violations, 0, "a served bracket inverted");
+        assert_eq!(
+            total.errors_after_epoch0, 0,
+            "valid queries errored after publication started"
+        );
+        assert!(
+            total.max_epoch > 0,
+            "clients never saw a published epoch — serving did not overlap ingestion"
+        );
+        assert_eq!(metrics.publishes.get(), epochs, "one publish per epoch");
+        let qps = total.queries as f64 / wall.as_secs_f64().max(1e-9);
+        qps_by_clients.push((clients, qps));
+        t.row(vec![
+            clients.to_string(),
+            readers.to_string(),
+            epochs.to_string(),
+            metrics.publishes.get().to_string(),
+            total.queries.to_string(),
+            total.errors_after_epoch0.to_string(),
+            total.stale_violations.to_string(),
+            total.bracket_violations.to_string(),
+            percentile(&total.latencies_us, 50.0).to_string(),
+            percentile(&total.latencies_us, 99.0).to_string(),
+            format!("{qps:.0}"),
+            fmt_duration(wall),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e18_serve");
+
+    let one = qps_by_clients[0].1;
+    let four = qps_by_clients[1].1;
+    if !quick && cores >= 4 {
+        assert!(
+            four >= 1.5 * one,
+            "4 clients ({four:.0} qps) must beat 1 client ({one:.0} qps) by >= 1.5x on {cores} cores"
+        );
+    } else {
+        println!(
+            "throughput assertion skipped ({}): 4-client/1-client qps = {:.2}x",
+            if quick {
+                "quick mode"
+            } else {
+                "fewer than 4 cores"
+            },
+            four / one.max(1e-9),
+        );
+    }
 }
 
 #[cfg(test)]

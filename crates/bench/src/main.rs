@@ -12,8 +12,8 @@
 use dds_bench::{experiments, perf, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e17)... [--quick]
-  dds-bench full [--quick] [--dir D]     write BENCH_E12..E17.json perf records
+  dds-bench (all | e1..e18)... [--quick]
+  dds-bench full [--quick] [--dir D]     write BENCH_E12..E18.json perf records
   dds-bench compare [--dir D]            diff a fresh run against the committed records
   dds-bench smoke
   dds-bench window-smoke
@@ -22,6 +22,7 @@ const USAGE: &str = "usage:
   dds-bench snapshot-smoke
   dds-bench obs-smoke
   dds-bench pool-smoke
+  dds-bench serve-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -61,6 +62,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("pool-smoke") {
         smoke_pool();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve-smoke") {
+        smoke_serve();
         return;
     }
     if args.first().map(String::as_str) == Some("full") {
@@ -746,6 +751,141 @@ fn smoke_pool() {
         stats.steals,
         stats.parks,
     );
+}
+
+/// CI serve smoke: a seeded 100k-event churn stream is written to a real
+/// event file and replayed through the `dds-stream` follow loop — the
+/// same tail path `dds serve` runs — publishing one immutable snapshot
+/// per sealed epoch through the arc-swap cell, while two load-generator
+/// clients hammer the TCP front end with the mixed
+/// `DENSITY`/`MEMBER`/`CORE`/`TOPK` rotation. The gate asserts the
+/// serving contracts: every event replayed, one publish per epoch, zero
+/// stale-epoch violations (epoch ids never go backwards on a
+/// connection), zero bracket violations on served `DENSITY` answers,
+/// zero `ERR` responses once publication started, and the whole drill
+/// inside a generous wall budget (the snapshot path exists to be cheap;
+/// a 10x publish regression should fail the build even if it stays
+/// correct).
+fn smoke_serve() {
+    use dds_bench::serve_load::{percentile, run_clients, ClientPlan, ClientReport};
+    use dds_serve::{EpochFacts, PublishOptions, Publisher, ServeMetrics, Server, SnapshotCell};
+    use dds_stream::{follow_events, FollowConfig, SolverKind, StreamConfig, StreamEngine};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const WALL_BUDGET_S: f64 = 60.0;
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), 100_000, 0xDD5);
+    let path = std::env::temp_dir().join(format!("dds_serve_smoke_{}.events", std::process::id()));
+    dds_stream::save_events(&events, &path).expect("write event file");
+
+    let mut engine = StreamEngine::new(StreamConfig {
+        solver: SolverKind::CoreApprox,
+        ..StreamConfig::default()
+    });
+    let cell = Arc::new(SnapshotCell::new());
+    let metrics = Arc::new(ServeMetrics::new());
+    let mut publisher = Publisher::new(
+        Arc::clone(&cell),
+        PublishOptions {
+            core: Some((1, 1)),
+            top_k: 2,
+        },
+        Arc::clone(&metrics),
+    );
+    let server = Server::start("127.0.0.1:0", Arc::clone(&cell), 2, Arc::clone(&metrics))
+        .expect("bind ephemeral port");
+    let stop = Arc::new(AtomicBool::new(false));
+    let plan = ClientPlan {
+        addr: server.addr(),
+        queries: None,
+        stop: Arc::clone(&stop),
+        core: Some((1, 1)),
+        top_k: 2,
+    };
+    let load = {
+        let plan = plan.clone();
+        std::thread::spawn(move || run_clients(2, &plan))
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut epochs = 0u64;
+    let outcome = follow_events(
+        &path,
+        FollowConfig {
+            batch: 100,
+            poll: Duration::from_millis(1),
+            idle_exit: Some(Duration::ZERO),
+            cursor: 0,
+        },
+        |batch, _| {
+            let r = engine.apply(&batch);
+            publisher.publish(
+                EpochFacts {
+                    epoch: r.epoch,
+                    n: r.n,
+                    m: r.m as u64,
+                    density: r.density.to_f64(),
+                    lower: r.lower,
+                    upper: r.upper,
+                    witness: engine.witness(),
+                    resolved: r.resolved,
+                },
+                || engine.materialize(),
+            );
+            epochs += 1;
+            std::ops::ControlFlow::Continue(())
+        },
+    )
+    .expect("follow");
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let reports = load.join().expect("load clients");
+    drop(server);
+    std::fs::remove_file(&path).ok();
+
+    let mut total = ClientReport::default();
+    for r in &reports {
+        total.merge(r);
+    }
+    println!(
+        "serve-smoke: {} events, {epochs} epochs in {elapsed:?}: {} publishes, \
+         {} queries answered (p50 {} us, p99 {} us), max epoch seen {}",
+        outcome.events,
+        metrics.publishes.get(),
+        total.queries,
+        percentile(&total.latencies_us, 50.0),
+        percentile(&total.latencies_us, 99.0),
+        total.max_epoch,
+    );
+    assert_eq!(
+        outcome.events,
+        events.len() as u64,
+        "the tail must replay every event"
+    );
+    assert_eq!(
+        metrics.publishes.get(),
+        epochs,
+        "one publish per sealed epoch"
+    );
+    assert_eq!(
+        total.stale_violations, 0,
+        "epoch ids went backwards on a connection"
+    );
+    assert_eq!(total.bracket_violations, 0, "a served bracket inverted");
+    assert_eq!(
+        total.errors_after_epoch0, 0,
+        "valid queries errored after publication started"
+    );
+    assert!(
+        total.max_epoch > 0 && total.queries > 0,
+        "the load generator never overlapped a published epoch"
+    );
+    assert!(
+        elapsed.as_secs_f64() < WALL_BUDGET_S,
+        "wall budget exceeded: {elapsed:?} > {WALL_BUDGET_S}s"
+    );
+    println!("serve-smoke: OK (budget {WALL_BUDGET_S}s wall)");
 }
 
 /// CI smoke: the n = 500 planted-block exact solve, with a hard budget on

@@ -1,8 +1,9 @@
 //! Machine-readable perf trajectory for the streaming experiments.
 //!
 //! `dds-bench full [--quick] [--dir D]` measures the perf-tracked
-//! experiments (the streaming suite E12–E16 plus the worker-pool exact
-//! kernel E17) and writes one `BENCH_<EXP>.json` per
+//! experiments (the streaming suite E12–E16, the worker-pool exact
+//! kernel E17, and the query-serving tier E18) and writes one
+//! `BENCH_<EXP>.json` per
 //! experiment; `dds-bench compare [--dir D]` re-measures each experiment
 //! in the mode its committed baseline records and diffs the counters,
 //! failing on regressions past tolerance. The JSON is deliberately flat
@@ -25,7 +26,7 @@ use crate::report::time;
 use crate::{stream_workloads, workloads};
 
 /// The experiments `full`/`compare` cover, in order.
-pub const EXPERIMENTS: [&str; 6] = ["e12", "e13", "e14", "e15", "e16", "e17"];
+pub const EXPERIMENTS: [&str; 7] = ["e12", "e13", "e14", "e15", "e16", "e17", "e18"];
 
 /// Relative tolerance on deterministic counters when comparing runs.
 /// The streams are seeded and the engines deterministic, so counters
@@ -46,7 +47,7 @@ pub const WALL_SLACK_MS: u64 = 1_000;
 /// One experiment's measured perf record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
-    /// Experiment id (`e12`…`e17`).
+    /// Experiment id (`e12`…`e18`).
     pub exp: String,
     /// Workload mode: `quick` or `full`.
     pub mode: String,
@@ -183,7 +184,8 @@ pub fn measure(exp: &str, quick: bool) -> BenchRecord {
         "e15" => measure_e15(quick),
         "e16" => measure_e16(quick),
         "e17" => measure_e17(quick),
-        other => panic!("unknown experiment {other:?} (expected e12..e17)"),
+        "e18" => measure_e18(quick),
+        other => panic!("unknown experiment {other:?} (expected e12..e18)"),
     };
     BenchRecord {
         exp: exp.to_string(),
@@ -416,6 +418,98 @@ fn measure_e17(quick: bool) -> Measurement {
             "parallel_vs_serial_density",
             par.solution.density.to_f64() / serial.solution.density.to_f64().max(f64::MIN_POSITIVE),
         )]),
+    )
+}
+
+/// E18 — the query-serving tier: a churn replay publishing one snapshot
+/// per epoch while fixed-count client threads hammer the TCP front end.
+/// Every counter is deterministic: the stream is seeded (epochs,
+/// publishes, engine re-solves) and each client issues *exactly* its
+/// budgeted query count before exiting, so the total served query count
+/// is a constant regardless of how ingestion and serving interleave.
+/// Wall-clock-sensitive numbers (latency percentiles, qps) belong to the
+/// E18 table, not this record.
+fn measure_e18(quick: bool) -> Measurement {
+    use crate::serve_load::{run_clients, ClientPlan};
+    use dds_serve::{EpochFacts, PublishOptions, Publisher, ServeMetrics, Server, SnapshotCell};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let events = stream_workloads::churn(
+        400,
+        4_000,
+        (32, 32),
+        if quick { 20_000 } else { 100_000 },
+        0xDD5,
+    );
+    let clients = 2usize;
+    let per_client = if quick { 200u64 } else { 1_000u64 };
+    let mut engine = StreamEngine::new(StreamConfig {
+        solver: dds_stream::SolverKind::CoreApprox,
+        ..StreamConfig::default()
+    });
+    let cell = Arc::new(SnapshotCell::new());
+    let metrics = Arc::new(ServeMetrics::new());
+    let mut publisher = Publisher::new(
+        Arc::clone(&cell),
+        PublishOptions {
+            core: Some((1, 1)),
+            top_k: 2,
+        },
+        Arc::clone(&metrics),
+    );
+    let server = Server::start("127.0.0.1:0", Arc::clone(&cell), 2, Arc::clone(&metrics))
+        .expect("bind ephemeral port");
+    let plan = ClientPlan {
+        addr: server.addr(),
+        queries: Some(per_client),
+        stop: Arc::new(AtomicBool::new(false)),
+        core: Some((1, 1)),
+        top_k: 2,
+    };
+    let mut max_factor = 1.0f64;
+    let (reports, wall) = time(|| {
+        let load = {
+            let plan = plan.clone();
+            std::thread::spawn(move || run_clients(clients, &plan))
+        };
+        let mut epoch_reports = Vec::new();
+        for chunk in events.chunks(100) {
+            let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+            publisher.publish(
+                EpochFacts {
+                    epoch: r.epoch,
+                    n: r.n,
+                    m: r.m as u64,
+                    density: r.density.to_f64(),
+                    lower: r.lower,
+                    upper: r.upper,
+                    witness: engine.witness(),
+                    resolved: r.resolved,
+                },
+                || engine.materialize(),
+            );
+            epoch_reports.push(r);
+        }
+        let client_reports = load.join().expect("load clients");
+        (epoch_reports, client_reports)
+    });
+    let (epoch_reports, client_reports) = reports;
+    drop(server);
+    for r in &epoch_reports {
+        max_factor = max_factor.max(r.certified_factor);
+    }
+    let stale: u64 = client_reports.iter().map(|r| r.stale_violations).sum();
+    assert_eq!(stale, 0, "epoch ids went backwards under load");
+    (
+        wall.as_millis() as u64,
+        counter_map([
+            ("epochs", epoch_reports.len() as u64),
+            ("publishes", metrics.publishes.get()),
+            ("resolves", engine.resolves()),
+            ("client_queries", clients as u64 * per_client),
+        ]),
+        factor_map([("max_certified", max_factor)]),
     )
 }
 

@@ -1,0 +1,38 @@
+//! Concurrent query serving for the DDS stack: **readers scale on
+//! snapshots, writers own the engines**.
+//!
+//! The `--follow` serving loop (PR 5) ingests and certifies, but nothing
+//! answered queries. This crate is the read path:
+//!
+//! * [`EpochSnapshot`] — everything a query can ask about one sealed
+//!   epoch (certified bracket, witness sides as bitsets, optional
+//!   `[x, y]`-core, optional top-k list), immutable once built;
+//! * [`SnapshotCell`] — the hand-rolled arc-swap (`Mutex<Arc<_>>`
+//!   writes, lock-then-clone reads) the ingestion loop swaps once per
+//!   sealed epoch;
+//! * [`Publisher`] — the writer-side glue turning an engine's epoch
+//!   report into a published snapshot, materializing the graph only when
+//!   core/top-k serving needs it;
+//! * [`Server`] — a `std::net::TcpListener` accept loop fanning
+//!   connections over a dedicated reader thread pool, speaking the
+//!   line protocol in [`protocol`] (`DENSITY`, `MEMBER v`, `CORE x y v`,
+//!   `TOPK k`);
+//! * [`ServeMetrics`] — `dds_serve_*` counters and latency histograms,
+//!   exported through `dds-obs`.
+//!
+//! A query costs one mutex-guarded `Arc` clone plus bitset lookups — no
+//! query ever blocks on ingestion, a refresh, or an exact solve, and
+//! every response names the epoch it answered from so clients can check
+//! that served epochs never move backwards.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+mod publish;
+mod server;
+mod snapshot;
+
+pub use protocol::{answer, parse_query, respond, Query};
+pub use publish::{EpochFacts, PublishOptions, Publisher};
+pub use server::{ServeMetrics, Server};
+pub use snapshot::{Bitset, CoreSnapshot, EpochSnapshot, SnapshotCell, TopKEntry};

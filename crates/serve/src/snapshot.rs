@@ -1,0 +1,299 @@
+//! Immutable per-epoch snapshots and the hand-rolled arc-swap cell.
+//!
+//! The serving design splits the world in two: **writers** (the ingestion
+//! loop) own the engines and may take milliseconds per epoch; **readers**
+//! (query threads) only ever see an immutable [`EpochSnapshot`] published
+//! once per sealed epoch. A reader's whole interaction with shared state
+//! is one short mutex hold to clone an `Arc` — it never waits on a
+//! refresh, a solve, or another query.
+
+use std::sync::{Arc, Mutex};
+
+use dds_graph::{Pair, StMask, VertexId};
+
+/// A compact membership set over vertex ids `0..len`.
+///
+/// One bit per vertex: 64 vertices per word. Queries against a snapshot
+/// test membership millions of times while the witness itself rarely
+/// exceeds a few thousand vertices, so the dense bitset is both smaller
+/// and faster than a hash set at every size we serve.
+#[derive(Clone, Debug, Default)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// An empty set over `len` vertex ids.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Bitset {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds the set `{ids}` over the id space `0..len`.
+    ///
+    /// # Panics
+    /// Panics if any id is `>= len`.
+    #[must_use]
+    pub fn from_ids(len: usize, ids: &[VertexId]) -> Self {
+        let mut set = Bitset::new(len);
+        for &v in ids {
+            set.insert(v);
+        }
+        set
+    }
+
+    /// Builds the set of indices where `flags` is `true`.
+    #[must_use]
+    pub fn from_flags(flags: &[bool]) -> Self {
+        let mut set = Bitset::new(flags.len());
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                set.insert(i as VertexId);
+            }
+        }
+        set
+    }
+
+    /// Adds `v` to the set.
+    ///
+    /// # Panics
+    /// Panics if `v >= len`.
+    pub fn insert(&mut self, v: VertexId) {
+        let i = v as usize;
+        assert!(i < self.len, "vertex {v} outside bitset of {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// `true` iff `v` is in the set. Ids outside `0..len` are never
+    /// members (a query for a vertex the graph has not seen is a valid
+    /// question with answer "no").
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let i = v as usize;
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The id-space size this set was built over.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` iff no vertex is a member.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// The maintained `[x, y]`-core, frozen at publish time.
+#[derive(Clone, Debug)]
+pub struct CoreSnapshot {
+    /// Out-degree threshold `x` of the maintained core.
+    pub x: u64,
+    /// In-degree threshold `y` of the maintained core.
+    pub y: u64,
+    /// Source-side membership of the core.
+    pub s: Bitset,
+    /// Sink-side membership of the core.
+    pub t: Bitset,
+}
+
+/// One entry of the published top-k list: the shape and density of one
+/// vertex-disjoint dense pair (the pair's members are not shipped — the
+/// `TOPK` query reports the ranking, `MEMBER` answers membership for the
+/// certified top-1 witness).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopKEntry {
+    /// Exact density of the pair.
+    pub density: f64,
+    /// `|S|` of the pair.
+    pub s_size: usize,
+    /// `|T|` of the pair.
+    pub t_size: usize,
+}
+
+/// Everything a reader may be asked about one sealed epoch, immutable.
+///
+/// Built by [`crate::Publisher`] from the ingesting engine's own report,
+/// then swapped into the [`SnapshotCell`]. Readers clone the `Arc`, so a
+/// snapshot stays alive exactly as long as some query still holds it.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    /// 1-based epoch id; 0 is the pre-ingestion empty snapshot.
+    pub epoch: u64,
+    /// Vertex-id space size at publish time.
+    pub n: usize,
+    /// Live edge count at publish time.
+    pub m: u64,
+    /// Reported density (exact density of the certified witness).
+    pub density: f64,
+    /// Certified lower bound on the optimum.
+    pub lower: f64,
+    /// Certified upper bound on the optimum.
+    pub upper: f64,
+    /// Source side `S` of the certified witness pair.
+    pub witness_s: Bitset,
+    /// Sink side `T` of the certified witness pair.
+    pub witness_t: Bitset,
+    /// The maintained `[x, y]`-core, when core serving is enabled.
+    pub core: Option<CoreSnapshot>,
+    /// Top-k vertex-disjoint dense pairs, best first (empty when top-k
+    /// serving is disabled).
+    pub top_k: Vec<TopKEntry>,
+}
+
+impl EpochSnapshot {
+    /// The pre-ingestion snapshot: epoch 0, empty graph, empty witness.
+    #[must_use]
+    pub fn empty() -> Self {
+        EpochSnapshot {
+            epoch: 0,
+            n: 0,
+            m: 0,
+            density: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+            witness_s: Bitset::default(),
+            witness_t: Bitset::default(),
+            core: None,
+            top_k: Vec::new(),
+        }
+    }
+
+    /// Builds the witness bitsets from a pair over id space `0..n`.
+    #[must_use]
+    pub fn witness_sets(n: usize, witness: Option<&Pair>) -> (Bitset, Bitset) {
+        match witness {
+            Some(p) => (Bitset::from_ids(n, p.s()), Bitset::from_ids(n, p.t())),
+            None => (Bitset::new(n), Bitset::new(n)),
+        }
+    }
+
+    /// Builds a [`CoreSnapshot`] from an `[x, y]`-core membership mask.
+    #[must_use]
+    pub fn core_from_mask(x: u64, y: u64, mask: &StMask) -> CoreSnapshot {
+        CoreSnapshot {
+            x,
+            y,
+            s: Bitset::from_flags(&mask.in_s),
+            t: Bitset::from_flags(&mask.in_t),
+        }
+    }
+}
+
+/// The hand-rolled arc-swap: one mutex-guarded `Arc` slot.
+///
+/// `publish` (writer side, once per sealed epoch) replaces the `Arc`;
+/// `load` (reader side, once per query) clones it. The mutex is held only
+/// for the pointer swap / clone — never across snapshot construction or
+/// query evaluation — so the critical section is a handful of
+/// instructions and readers effectively never contend with the writer.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    slot: Mutex<Arc<EpochSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// A cell holding the empty epoch-0 snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapshotCell {
+            slot: Mutex::new(Arc::new(EpochSnapshot::empty())),
+        }
+    }
+
+    /// Atomically replaces the published snapshot.
+    ///
+    /// # Panics
+    /// Panics if `snap.epoch` does not advance the published epoch —
+    /// monotone epoch ids are the invariant the stale-read checks in the
+    /// oracle and E18 rely on, so a regression here must be loud.
+    pub fn publish(&self, snap: EpochSnapshot) {
+        // Poison recovery is sound here: the slot is a single `Arc` that
+        // is only ever replaced whole, so a writer that panicked (on the
+        // monotonicity assert below) left the previous snapshot intact.
+        let mut slot = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(
+            snap.epoch > slot.epoch || (snap.epoch == 0 && slot.epoch == 0),
+            "epoch must advance: published {} after {}",
+            snap.epoch,
+            slot.epoch
+        );
+        *slot = Arc::new(snap);
+    }
+
+    /// Clones the currently published snapshot (lock-then-clone read).
+    #[must_use]
+    pub fn load(&self) -> Arc<EpochSnapshot> {
+        self.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        SnapshotCell::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_membership_and_counts() {
+        let set = Bitset::from_ids(130, &[0, 63, 64, 129]);
+        assert!(set.contains(0) && set.contains(63) && set.contains(64) && set.contains(129));
+        assert!(!set.contains(1) && !set.contains(128));
+        assert!(!set.contains(130), "out-of-space ids are non-members");
+        assert!(!set.contains(100_000));
+        assert_eq!(set.count(), 4);
+        assert!(!set.is_empty());
+        assert!(Bitset::new(7).is_empty());
+    }
+
+    #[test]
+    fn bitset_from_flags_matches_ids() {
+        let flags = [false, true, true, false, true];
+        let set = Bitset::from_flags(&flags);
+        assert_eq!(set.count(), 3);
+        for (i, &f) in flags.iter().enumerate() {
+            assert_eq!(set.contains(i as VertexId), f);
+        }
+    }
+
+    #[test]
+    fn cell_swaps_atomically_and_rejects_stale_epochs() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.load().epoch, 0);
+        let snap = EpochSnapshot {
+            epoch: 3,
+            ..EpochSnapshot::empty()
+        };
+        cell.publish(snap);
+        assert_eq!(cell.load().epoch, 3);
+        let old = EpochSnapshot {
+            epoch: 3,
+            ..EpochSnapshot::empty()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cell.publish(old)));
+        assert!(err.is_err(), "replaying an epoch must panic");
+        assert_eq!(cell.load().epoch, 3);
+    }
+}

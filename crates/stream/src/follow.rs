@@ -336,6 +336,60 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// The resume contract after an idle-exit on an unterminated final
+    /// line. The flush gives that line a cursor *excluding* its eventual
+    /// trailing newline (it has not been written yet). When the producer
+    /// later appends `\n` + more events and the follower resumes from the
+    /// stored cursor, the first byte it reads is that stray `\n`: an empty
+    /// line, which `parse_event_line` skips like any blank — so the tail
+    /// event is neither replayed nor does the resume error. Only the
+    /// (documented, cursor-relative) line numbering shifts by one.
+    #[test]
+    fn resume_after_unterminated_tail_neither_double_counts_nor_errors() {
+        let path = temp_path("resume_unterminated");
+        let head = "0 + 1 2\n1 + 3 4"; // no trailing newline
+        std::fs::write(&path, head).unwrap();
+        let mut seen = Vec::new();
+        let outcome = follow_events(&path, quick(10, 0), |batch, _| {
+            seen.extend(batch.events.iter().map(|ev| ev.event));
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(outcome.events, 2, "the unterminated tail line flushes");
+        assert_eq!(seen, vec![Event::Insert(1, 2), Event::Insert(3, 4)]);
+        assert_eq!(
+            outcome.cursor,
+            head.len() as u64,
+            "cursor stops before the missing newline"
+        );
+
+        // The producer finishes the line and appends one more event.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        write!(f, "\n2 + 5 6\n").unwrap();
+        drop(f);
+
+        let mut resumed = Vec::new();
+        let outcome2 = follow_events(&path, quick(10, outcome.cursor), |batch, _| {
+            resumed.extend(batch.events.iter().map(|ev| ev.event));
+            ControlFlow::Continue(())
+        })
+        .expect("the stray newline must not be a tail error");
+        assert_eq!(
+            outcome2.events, 1,
+            "exactly the new event, nothing replayed"
+        );
+        assert_eq!(resumed, vec![Event::Insert(5, 6)]);
+        assert_eq!(
+            outcome2.cursor,
+            head.len() as u64 + "\n2 + 5 6\n".len() as u64,
+            "resumed cursor reaches the new EOF"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn parse_errors_surface_with_line_numbers() {
         let path = temp_path("bad");

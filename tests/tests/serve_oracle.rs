@@ -1,0 +1,237 @@
+//! The differential oracle for `EpochSnapshot` publication (ISSUE-8): a
+//! random churn stream replays through a [`StreamEngine`] in lockstep
+//! with a live [`dds_serve::Server`]; after **every** publish, real TCP
+//! queries (`DENSITY`, `MEMBER`, `CORE`, `TOPK`) are checked against the
+//! engine's own report for that epoch:
+//!
+//! * every `DENSITY` answer reproduces the epoch's bracket and counters
+//!   exactly (same `format!` the server uses — not an epsilon match);
+//! * every `MEMBER` answer agrees with the engine's witness pair;
+//! * every `CORE` answer agrees with a fresh [`xy_core`] of the
+//!   materialized graph;
+//! * answers are internally consistent (no torn reads: one response
+//!   never mixes fields from two epochs, pinned by the epoch id each
+//!   response carries) and epoch ids are strictly monotone across
+//!   publishes.
+//!
+//! Concurrency (readers hammering *during* ingestion) is E18's job; this
+//! oracle is deliberately lockstep so every served answer has exactly one
+//! correct value to compare against.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use dds_serve::{EpochFacts, PublishOptions, Publisher, ServeMetrics, Server, SnapshotCell};
+use dds_stream::{Batch, SolverKind, StreamConfig, StreamEngine};
+use dds_xycore::xy_core;
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to serve front end");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn query(&mut self, q: &str) -> String {
+        self.stream
+            .write_all(format!("{q}\n").as_bytes())
+            .expect("send query");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(
+            line.ends_with('\n'),
+            "response must be a full line: {line:?}"
+        );
+        line.trim_end().to_string()
+    }
+}
+
+/// Pulls `epoch=N` out of a response line.
+fn epoch_of(response: &str) -> u64 {
+    response
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("epoch="))
+        .unwrap_or_else(|| panic!("response carries no epoch: {response}"))
+        .parse()
+        .expect("epoch id parses")
+}
+
+#[test]
+fn served_answers_match_the_engine_report_for_every_epoch() {
+    const CORE_X: u64 = 1;
+    const CORE_Y: u64 = 1;
+    let events = dds_bench::churn(100, 600, (8, 8), 3_000, 0x5EED);
+
+    let mut engine = StreamEngine::new(StreamConfig {
+        tolerance: 0.25,
+        slack: 2.0,
+        solver: SolverKind::Exact,
+        threads: 1,
+        sketch: None,
+    });
+    let cell = Arc::new(SnapshotCell::new());
+    let metrics = Arc::new(ServeMetrics::new());
+    let mut publisher = Publisher::new(
+        Arc::clone(&cell),
+        PublishOptions {
+            core: Some((CORE_X, CORE_Y)),
+            top_k: 2,
+        },
+        Arc::clone(&metrics),
+    );
+    let server = Server::start("127.0.0.1:0", Arc::clone(&cell), 2, Arc::clone(&metrics))
+        .expect("bind ephemeral port");
+    let mut client = Client::connect(server.addr());
+
+    // Epoch 0: the pre-ingestion snapshot answers (emptily) too.
+    let blank = client.query("DENSITY");
+    assert_eq!(
+        blank,
+        "OK DENSITY epoch=0 n=0 m=0 density=0.000000 lower=0.000000 upper=0.000000"
+    );
+
+    let mut last_epoch = 0u64;
+    for chunk in events.chunks(50) {
+        let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+        publisher.publish(
+            EpochFacts {
+                epoch: r.epoch,
+                n: r.n,
+                m: r.m as u64,
+                density: r.density.to_f64(),
+                lower: r.lower,
+                upper: r.upper,
+                witness: engine.witness(),
+                resolved: r.resolved,
+            },
+            || engine.materialize(),
+        );
+
+        // Monotone epoch ids across publishes.
+        assert!(
+            r.epoch > last_epoch,
+            "epoch must advance: {} -> {}",
+            last_epoch,
+            r.epoch
+        );
+        last_epoch = r.epoch;
+
+        // DENSITY: byte-for-byte the engine's numbers for this epoch.
+        let density = client.query("DENSITY");
+        assert_eq!(
+            density,
+            format!(
+                "OK DENSITY epoch={} n={} m={} density={:.6} lower={:.6} upper={:.6}",
+                r.epoch,
+                r.n,
+                r.m,
+                r.density.to_f64(),
+                r.lower,
+                r.upper
+            ),
+            "epoch {}",
+            r.epoch
+        );
+
+        // MEMBER: sampled vertices agree with the engine's witness pair.
+        let witness = engine.witness().cloned();
+        for v in (0..r.n as u32).step_by((r.n / 7).max(1)) {
+            let response = client.query(&format!("MEMBER {v}"));
+            assert_eq!(epoch_of(&response), r.epoch, "torn read: {response}");
+            let in_s = witness.as_ref().is_some_and(|p| p.s().contains(&v));
+            let in_t = witness.as_ref().is_some_and(|p| p.t().contains(&v));
+            let want = match (in_s, in_t) {
+                (true, true) => "BOTH",
+                (true, false) => "S",
+                (false, true) => "T",
+                (false, false) => "NONE",
+            };
+            assert_eq!(
+                response,
+                format!("OK MEMBER epoch={} v={v} side={want}", r.epoch),
+                "epoch {}",
+                r.epoch
+            );
+        }
+
+        // CORE: sampled vertices agree with a fresh xy_core of the
+        // materialized graph (the publisher's own recompute path).
+        let graph = engine.materialize();
+        let mask = xy_core(&graph, CORE_X, CORE_Y);
+        for v in (0..r.n).step_by((r.n / 5).max(1)) {
+            let response = client.query(&format!("CORE {CORE_X} {CORE_Y} {v}"));
+            assert_eq!(epoch_of(&response), r.epoch, "torn read: {response}");
+            let in_s = mask.in_s.get(v).copied().unwrap_or(false);
+            let in_t = mask.in_t.get(v).copied().unwrap_or(false);
+            let want = match (in_s, in_t) {
+                (true, true) => "BOTH",
+                (true, false) => "S",
+                (false, true) => "T",
+                (false, false) => "NONE",
+            };
+            assert_eq!(
+                response,
+                format!(
+                    "OK CORE epoch={} x={CORE_X} y={CORE_Y} v={v} side={want}",
+                    r.epoch
+                ),
+                "epoch {}",
+                r.epoch
+            );
+        }
+
+        // TOPK: the served list is non-increasing and epoch-consistent.
+        let topk = client.query("TOPK 2");
+        assert_eq!(epoch_of(&topk), r.epoch, "torn read: {topk}");
+        assert!(topk.starts_with("OK TOPK "), "{topk}");
+        let densities: Vec<f64> = topk
+            .split_whitespace()
+            .skip(4)
+            .map(|entry| {
+                entry
+                    .split(':')
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .expect("top-k density parses")
+            })
+            .collect();
+        assert!(densities.len() <= 2, "{topk}");
+        assert!(
+            densities.windows(2).all(|w| w[0] >= w[1]),
+            "top-k densities must be non-increasing: {topk}"
+        );
+
+        // A core the publisher does not maintain is an ERR naming the
+        // served one — never a silent wrong answer.
+        let mismatch = client.query(&format!("CORE {} {} 0", CORE_X + 7, CORE_Y));
+        assert!(
+            mismatch.starts_with(&format!("ERR epoch={}", r.epoch)),
+            "{mismatch}"
+        );
+        assert!(
+            mismatch.contains(&format!("serving [{CORE_X},{CORE_Y}]")),
+            "{mismatch}"
+        );
+    }
+
+    assert!(last_epoch >= 10, "the stream must produce real epochs");
+    assert_eq!(
+        metrics.publishes.get(),
+        last_epoch,
+        "one publish per sealed epoch"
+    );
+    assert_eq!(
+        metrics.query_errors.get(),
+        last_epoch,
+        "exactly the one deliberate core-mismatch ERR per epoch"
+    );
+    drop(client);
+    drop(server); // shuts down on drop
+}
