@@ -15,7 +15,7 @@ use dds_xycore::{max_product_core, skyline};
 use crate::report::{fmt_duration, time, Table};
 use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e18`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e19`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -40,14 +40,15 @@ pub fn run(id: &str, quick: bool) {
         "e16" => e16_shard_scaling(quick),
         "e17" => e17_pool_parallel(quick),
         "e18" => e18_serve(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e18)"),
+        "e19" => e19_admin(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e19)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -1610,6 +1611,155 @@ pub fn e18_serve(quick: bool) {
             four / one.max(1e-9),
         );
     }
+}
+
+/// E19 — the live introspection plane under churn: scraper threads
+/// hammer the admin endpoint (`/metrics`, `/status`, `/readyz`) while a
+/// seeded replay ingests and seals the status board per epoch. The table
+/// reports ingest wall against scraper pressure plus scrape latency
+/// percentiles. Hard gates: every scrape succeeds and parses, readiness
+/// flips exactly once per run, and the final scrape reconciles with the
+/// driver's epoch count — scrapes must observe ingest, never steer it.
+pub fn e19_admin(quick: bool) {
+    use crate::serve_load::percentile;
+    use dds_obs::{http_get, parse_exposition, AdminServer, Registry, SlowRing, StatusBoard};
+    use dds_stream::{Batch, StreamConfig, StreamEngine};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    println!(
+        "\n=== E19: admin introspection plane under churn (expected: zero failed scrapes, one readiness flip, ingest wall flat under scraper pressure)"
+    );
+    let (n, bg, block, events, batch) = if quick {
+        (300, 1_500, (48, 48), 20_000usize, 100)
+    } else {
+        (400, 4_000, (32, 32), 100_000usize, 100)
+    };
+    let stream = crate::stream_workloads::churn(n, bg, block, events, 0xDD5);
+    println!(
+        "{} events, n = {n}, background m = {bg}, block {}x{}, batch = {batch}",
+        stream.len(),
+        block.0,
+        block.1,
+    );
+
+    let mut t = Table::new(
+        "scraper pressure vs churn ingestion",
+        &[
+            "scrapers", "epochs", "scrapes", "failed", "flips", "p50_us", "p99_us", "wall",
+            "vs_bare",
+        ],
+    );
+    let mut bare_wall = None;
+    for scrapers in [0usize, 1, 4] {
+        let registry = Registry::new();
+        let board = Arc::new(StatusBoard::new("stream"));
+        let ring = Arc::new(SlowRing::new(16, 1_000));
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&board),
+            Arc::clone(&ring),
+        )
+        .expect("bind ephemeral admin port");
+        let addr = admin.addr();
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        engine.attach_obs(&registry);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..scrapers)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut scrapes = 0u64;
+                    let mut ready_seen = false;
+                    let mut latencies_us = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t0 = std::time::Instant::now();
+                        let (code, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+                        latencies_us.push(t0.elapsed().as_micros() as u64);
+                        assert_eq!(code, 200, "failed /metrics scrape");
+                        parse_exposition(&body).expect("every scrape must parse");
+                        let (code, _) = http_get(addr, "/status").expect("scrape /status");
+                        assert_eq!(code, 200, "failed /status scrape");
+                        let (code, _) = http_get(addr, "/readyz").expect("scrape /readyz");
+                        match code {
+                            200 => ready_seen = true,
+                            503 => assert!(!ready_seen, "/readyz went back to not-ready"),
+                            other => panic!("failed /readyz scrape: {other}"),
+                        }
+                        scrapes += 1;
+                    }
+                    (scrapes, latencies_us)
+                })
+            })
+            .collect();
+
+        let mut epochs = 0u64;
+        let mut events_total = 0u64;
+        let (_, wall) = time(|| {
+            for chunk in stream.chunks(batch) {
+                events_total += chunk.len() as u64;
+                let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+                epochs = r.epoch;
+                board.seal_epoch(
+                    r.epoch,
+                    events_total,
+                    events_total,
+                    r.density.to_f64(),
+                    r.lower,
+                    r.upper,
+                );
+                board.set_ready();
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        let mut scrapes = 0u64;
+        let mut latencies_us = Vec::new();
+        for h in handles {
+            let (s, mut l) = h.join().expect("scraper thread");
+            scrapes += s;
+            latencies_us.append(&mut l);
+        }
+        latencies_us.sort_unstable();
+        assert_eq!(board.ready_flips(), 1, "readiness flips exactly once");
+        if scrapers > 0 {
+            assert!(scrapes > 0, "the scrapers must have gotten through");
+        }
+        let (code, body) = http_get(addr, "/metrics").expect("final scrape");
+        assert_eq!(code, 200);
+        let parsed = parse_exposition(&body).expect("final exposition parses");
+        assert!(
+            parsed
+                .get("dds_stream_epochs_total")
+                .is_some_and(|v| v.as_u64() == Some(epochs)),
+            "final scrape must reconcile with {epochs} sealed epochs"
+        );
+        drop(admin);
+
+        let vs_bare = bare_wall.map_or_else(
+            || {
+                bare_wall = Some(wall);
+                "1.00x".to_string()
+            },
+            |bare: std::time::Duration| {
+                format!("{:.2}x", wall.as_secs_f64() / bare.as_secs_f64().max(1e-9))
+            },
+        );
+        t.row(vec![
+            scrapers.to_string(),
+            epochs.to_string(),
+            scrapes.to_string(),
+            "0".to_string(),
+            board.ready_flips().to_string(),
+            percentile(&latencies_us, 50.0).to_string(),
+            percentile(&latencies_us, 99.0).to_string(),
+            fmt_duration(wall),
+            vs_bare,
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e19_admin");
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@
 use dds_bench::{experiments, perf, stream_workloads};
 
 const USAGE: &str = "usage:
-  dds-bench (all | e1..e18)... [--quick]
-  dds-bench full [--quick] [--dir D]     write BENCH_E12..E18.json perf records
+  dds-bench (all | e1..e19)... [--quick]
+  dds-bench full [--quick] [--dir D]     write BENCH_E12..E19.json perf records
   dds-bench compare [--dir D]            diff a fresh run against the committed records
   dds-bench smoke
   dds-bench window-smoke
@@ -23,6 +23,7 @@ const USAGE: &str = "usage:
   dds-bench obs-smoke
   dds-bench pool-smoke
   dds-bench serve-smoke
+  dds-bench admin-smoke
   dds-bench stream-gen (churn|window|emerge|arrivals|recurring) --out <file>
             [--events N] [--n N] [--m M] [--block S,T] [--period P] [--seed S]";
 
@@ -66,6 +67,10 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve-smoke") {
         smoke_serve();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("admin-smoke") {
+        smoke_admin();
         return;
     }
     if args.first().map(String::as_str) == Some("full") {
@@ -595,9 +600,10 @@ fn smoke_obs() {
 
     // Exposition parses, and its counters reconcile with the driver.
     let parsed = parse_exposition(&registry.exposition()).expect("exposition must parse");
-    assert_eq!(
-        parsed.get("dds_stream_epochs_total"),
-        Some(&(epochs as f64)),
+    assert!(
+        parsed
+            .get("dds_stream_epochs_total")
+            .is_some_and(|v| *v == epochs),
         "epoch counter must match the driver's count"
     );
     assert_eq!(outcome.epochs, epochs, "tail outcome disagrees with driver");
@@ -649,6 +655,142 @@ fn smoke_obs() {
     std::fs::remove_file(&prom).ok();
     println!(
         "obs-smoke: OK (best paired overhead ratio {best_ratio:.3}, budget {OVERHEAD_FACTOR}x)"
+    );
+}
+
+/// CI admin smoke: the live introspection plane must be free under load.
+/// A follow replay runs with the admin endpoint attached while a scraper
+/// hits `/metrics`, `/status`, and `/readyz` every 50 ms. Gates:
+/// zero failed scrapes (every response 200/503-with-body and parseable),
+/// `/readyz` flips to ready exactly once and never flips back, and the
+/// same paired 2% overhead budget as obs-smoke — minimum over rounds of
+/// (replay with admin plane + scraper) / (replay with bare metrics).
+fn smoke_admin() {
+    use dds_obs::{http_get, parse_exposition, AdminServer, Registry, SlowRing, StatusBoard};
+    use dds_stream::{follow_events, FollowConfig, StreamConfig, StreamEngine};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const EVENTS: usize = 100_000;
+    const ROUNDS: usize = 5;
+    const OVERHEAD_FACTOR: f64 = 1.02;
+    const SCRAPE_EVERY: Duration = Duration::from_millis(50);
+    let events = dds_bench::stream_workloads::churn(400, 4_000, (32, 32), EVENTS, 0xDD5);
+    let path = std::env::temp_dir().join(format!("dds_admin_smoke_{}.events", std::process::id()));
+    dds_stream::save_events(&events, &path).expect("write event file");
+
+    // One follow replay with metrics attached; when `board` is given the
+    // admin plane is live and the loop seals it per epoch (the wiring
+    // `dds stream --admin` uses).
+    let run = |registry: &Registry, board: Option<&StatusBoard>| {
+        let mut engine = StreamEngine::new(StreamConfig::default());
+        engine.attach_obs(registry);
+        let mut epochs = 0u64;
+        let mut events_total = 0u64;
+        let mut apply_wall = Duration::ZERO;
+        follow_events(
+            &path,
+            FollowConfig {
+                batch: 100,
+                poll: Duration::from_millis(1),
+                idle_exit: Some(Duration::ZERO),
+                cursor: 0,
+            },
+            |batch, cur| {
+                events_total += batch.events.len() as u64;
+                let t0 = std::time::Instant::now();
+                let r = engine.apply(&batch);
+                apply_wall += t0.elapsed();
+                epochs = r.epoch;
+                if let Some(board) = board {
+                    board.seal_epoch(
+                        r.epoch,
+                        events_total,
+                        cur,
+                        r.density.to_f64(),
+                        r.lower,
+                        r.upper,
+                    );
+                    board.set_ready();
+                }
+                std::ops::ControlFlow::Continue(())
+            },
+        )
+        .expect("follow");
+        (epochs, apply_wall)
+    };
+
+    let mut best_ratio = f64::INFINITY;
+    let mut scrapes_total = 0u64;
+    let mut last = None;
+    for _ in 0..ROUNDS {
+        // Baseline: metrics attached, no admin plane.
+        let (_, bare_wall) = run(&Registry::new(), None);
+
+        // Attached: admin endpoint live, scraper hammering on a 50 ms
+        // cadence for the whole replay.
+        let registry = Registry::new();
+        let board = Arc::new(StatusBoard::new("stream"));
+        let ring = Arc::new(SlowRing::new(16, 1_000));
+        let admin = AdminServer::start(
+            "127.0.0.1:0",
+            registry.clone(),
+            Arc::clone(&board),
+            Arc::clone(&ring),
+        )
+        .expect("bind admin endpoint");
+        let addr = admin.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                let mut ready_seen = false;
+                loop {
+                    let (code, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+                    assert_eq!(code, 200, "failed /metrics scrape");
+                    parse_exposition(&body).expect("every scrape must parse");
+                    let (code, _) = http_get(addr, "/status").expect("scrape /status");
+                    assert_eq!(code, 200, "failed /status scrape");
+                    let (code, _) = http_get(addr, "/readyz").expect("scrape /readyz");
+                    match code {
+                        200 => ready_seen = true,
+                        503 => assert!(!ready_seen, "/readyz went back to not-ready"),
+                        other => panic!("failed /readyz scrape: {other}"),
+                    }
+                    scrapes += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        return scrapes;
+                    }
+                    std::thread::sleep(SCRAPE_EVERY);
+                }
+            })
+        };
+        let (epochs, admin_wall) = run(&registry, Some(&board));
+        stop.store(true, Ordering::Relaxed);
+        scrapes_total += scraper.join().expect("scraper thread");
+        assert_eq!(board.ready_flips(), 1, "/readyz must flip exactly once");
+        best_ratio = best_ratio.min(admin_wall.as_secs_f64() / bare_wall.as_secs_f64());
+        last = Some((registry, board, epochs));
+        drop(admin);
+    }
+    let (registry, board, epochs) = last.expect("the rounds ran");
+    assert_eq!(board.epoch(), epochs, "board must carry the sealed epoch");
+    assert!(
+        registry.counter_value("dds_stream_epochs_total") == Some(epochs),
+        "live registry must reconcile with the driver"
+    );
+    assert!(
+        best_ratio <= OVERHEAD_FACTOR,
+        "admin-plane overhead budget exceeded: every one of {ROUNDS} paired rounds ran \
+         the admin-attached replay more than {OVERHEAD_FACTOR}x its bare-metrics \
+         adjacent replay (best ratio {best_ratio:.3})"
+    );
+    std::fs::remove_file(&path).ok();
+    println!(
+        "admin-smoke: OK ({scrapes_total} scrapes over {ROUNDS} rounds, zero failed; \
+         best paired overhead ratio {best_ratio:.3}, budget {OVERHEAD_FACTOR}x)"
     );
 }
 

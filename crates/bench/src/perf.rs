@@ -2,7 +2,8 @@
 //!
 //! `dds-bench full [--quick] [--dir D]` measures the perf-tracked
 //! experiments (the streaming suite E12–E16, the worker-pool exact
-//! kernel E17, and the query-serving tier E18) and writes one
+//! kernel E17, the query-serving tier E18, and the admin introspection
+//! plane E19) and writes one
 //! `BENCH_<EXP>.json` per
 //! experiment; `dds-bench compare [--dir D]` re-measures each experiment
 //! in the mode its committed baseline records and diffs the counters,
@@ -26,7 +27,7 @@ use crate::report::time;
 use crate::{stream_workloads, workloads};
 
 /// The experiments `full`/`compare` cover, in order.
-pub const EXPERIMENTS: [&str; 7] = ["e12", "e13", "e14", "e15", "e16", "e17", "e18"];
+pub const EXPERIMENTS: [&str; 8] = ["e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"];
 
 /// Relative tolerance on deterministic counters when comparing runs.
 /// The streams are seeded and the engines deterministic, so counters
@@ -47,7 +48,7 @@ pub const WALL_SLACK_MS: u64 = 1_000;
 /// One experiment's measured perf record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
-    /// Experiment id (`e12`…`e18`).
+    /// Experiment id (`e12`…`e19`).
     pub exp: String,
     /// Workload mode: `quick` or `full`.
     pub mode: String,
@@ -185,7 +186,8 @@ pub fn measure(exp: &str, quick: bool) -> BenchRecord {
         "e16" => measure_e16(quick),
         "e17" => measure_e17(quick),
         "e18" => measure_e18(quick),
-        other => panic!("unknown experiment {other:?} (expected e12..e18)"),
+        "e19" => measure_e19(quick),
+        other => panic!("unknown experiment {other:?} (expected e12..e19)"),
     };
     BenchRecord {
         exp: exp.to_string(),
@@ -508,6 +510,116 @@ fn measure_e18(quick: bool) -> Measurement {
             ("publishes", metrics.publishes.get()),
             ("resolves", engine.resolves()),
             ("client_queries", clients as u64 * per_client),
+        ]),
+        factor_map([("max_certified", max_factor)]),
+    )
+}
+
+/// E19 — the admin introspection plane: a churn replay seals the status
+/// board per epoch and feeds the slow-op ring while scraper threads hit
+/// `/metrics`, `/status`, and `/readyz`. Every counter is deterministic:
+/// the stream is seeded (epochs, engine re-solves), each scraper issues
+/// *exactly* its budgeted scrape count before exiting, every scrape must
+/// succeed and parse (failures panic, so the record pins them at zero),
+/// and readiness flips exactly once. The slow-op ring is fed one seal
+/// per epoch to exercise the plane, but ring acceptance keeps the N
+/// slowest by real duration, so — like scrape latencies — it belongs to
+/// the E19 table, not this record.
+fn measure_e19(quick: bool) -> Measurement {
+    use dds_obs::{http_get, parse_exposition, AdminServer, Registry, SlowRing, StatusBoard};
+    use std::sync::Arc;
+
+    let events = stream_workloads::churn(
+        400,
+        4_000,
+        (32, 32),
+        if quick { 20_000 } else { 100_000 },
+        0xDD5,
+    );
+    let scrapers = 2u64;
+    let per_scraper = if quick { 100u64 } else { 500u64 };
+    let registry = Registry::new();
+    let board = Arc::new(StatusBoard::new("stream"));
+    let ring = Arc::new(SlowRing::new(16, 0));
+    let admin = AdminServer::start(
+        "127.0.0.1:0",
+        registry.clone(),
+        Arc::clone(&board),
+        Arc::clone(&ring),
+    )
+    .expect("bind ephemeral admin port");
+    let addr = admin.addr();
+    let mut engine = StreamEngine::new(StreamConfig::default());
+    engine.attach_obs(&registry);
+
+    let mut epochs = 0u64;
+    let mut events_total = 0u64;
+    let mut max_factor = 1.0f64;
+    let (_, wall) = time(|| {
+        let load: Vec<_> = (0..scrapers)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut ready_seen = false;
+                    for _ in 0..per_scraper {
+                        let (code, body) = http_get(addr, "/metrics").expect("scrape /metrics");
+                        assert_eq!(code, 200, "failed /metrics scrape");
+                        parse_exposition(&body).expect("every scrape must parse");
+                        let (code, _) = http_get(addr, "/status").expect("scrape /status");
+                        assert_eq!(code, 200, "failed /status scrape");
+                        let (code, _) = http_get(addr, "/readyz").expect("scrape /readyz");
+                        match code {
+                            200 => ready_seen = true,
+                            503 => assert!(!ready_seen, "/readyz went back to not-ready"),
+                            other => panic!("failed /readyz scrape: {other}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for chunk in events.chunks(100) {
+            events_total += chunk.len() as u64;
+            let t0 = std::time::Instant::now();
+            let r = engine.apply(&Batch::from_events(chunk.to_vec()));
+            epochs = r.epoch;
+            max_factor = max_factor.max(r.certified_factor);
+            ring.record(
+                "epoch.seal",
+                t0.elapsed().as_micros() as u64,
+                &format!("epoch={}", r.epoch),
+            );
+            board.seal_epoch(
+                r.epoch,
+                events_total,
+                events_total,
+                r.density.to_f64(),
+                r.lower,
+                r.upper,
+            );
+            board.set_ready();
+        }
+        for t in load {
+            t.join().expect("scraper thread");
+        }
+    });
+    assert_eq!(board.ready_flips(), 1, "readiness flips exactly once");
+    let (code, body) = http_get(addr, "/metrics").expect("final scrape");
+    assert_eq!(code, 200, "final scrape failed");
+    let parsed = parse_exposition(&body).expect("final exposition parses");
+    assert!(
+        parsed
+            .get("dds_stream_epochs_total")
+            .is_some_and(|v| v.as_u64() == Some(epochs)),
+        "final scrape must reconcile with {epochs} sealed epochs"
+    );
+    drop(admin);
+    (
+        wall.as_millis() as u64,
+        counter_map([
+            ("epochs", epochs),
+            ("scrapes", scrapers * per_scraper),
+            ("scrape_failures", 0),
+            ("ready_flips", board.ready_flips()),
+            ("resolves", engine.resolves()),
         ]),
         factor_map([("max_certified", max_factor)]),
     )

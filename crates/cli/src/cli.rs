@@ -9,7 +9,7 @@ use dds_core::{
 };
 use dds_graph::io::{load_edge_list, save_edge_list, ParseOptions};
 use dds_graph::{gen, DiGraph, GraphStats};
-use dds_obs::{Registry, Tracer};
+use dds_obs::{AdminServer, LagGauges, Registry, SlowRing, StatusBoard, TraceProfile, Tracer};
 use dds_serve::{EpochFacts, PublishOptions, Publisher, ServeMetrics, Server, SnapshotCell};
 use dds_shard::{ShardConfig, ShardedEngine};
 use dds_sketch::{SketchConfig, SketchEngine, SketchStats};
@@ -73,6 +73,7 @@ impl From<std::io::Error> for CliError {
 const USAGE: &str = "usage:
   dds stats   <edge-list>
   dds exact   <edge-list> [--baseline] [--no-core] [--no-gamma] [--no-tie] [--no-warm] [--no-dc] [--threads N] [--verbose]
+              [--metrics FILE] (write a Prometheus-style exposition of the dds_exact_* solve counters at exit)
   dds approx  <edge-list> [--algo core|grid|exhaustive] [--epsilon E] [--threads N]
   dds core    <edge-list> (--xy X,Y | --max-product | --skyline)
   dds peel    <edge-list> --ratio A/B
@@ -82,27 +83,32 @@ const USAGE: &str = "usage:
   dds stream  <event-file> [--batch N | --time-window T] [--tolerance T] [--slack S] [--solver exact|approx] [--log-every K]
               [--threads N] [--window W [--no-escalate]] [--sketch [--sketch-min-m M] [--sketch-bound B]]
               [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
-              [--metrics FILE [--metrics-every E]] [--trace FILE]
+              [--metrics FILE [--metrics-every E]] [--trace FILE] [--admin ADDR] [--slow-us N]
               (--window: expire edges W ticks after arrival; --sketch: re-certify via exact-on-sketch past M live edges;
                --follow: tail the growing event file, sealing epochs every N events and checkpointing to FILE
                (composes with --window, except --checkpoint: the window engine has no snapshot);
                --metrics: keep a Prometheus-style exposition file fresh every E epochs, plus FILE.jsonl at exit;
-               --trace: stream deterministic span JSONL — identical replays diff byte-for-byte)
+               --trace: stream deterministic span JSONL — identical replays diff byte-for-byte;
+               --admin: live HTTP introspection on ADDR (/metrics /healthz /readyz /status /slow);
+               --slow-us: record epoch seals slower than N µs in the slow-op ring, drained at exit and by /slow)
   dds sketch  <event-file> [--batch N | --time-window T] [--bound B] [--drift F] [--threads N] [--seed S] [--log-every K]
               (standalone sublinear sketch replay: certified bracket + (1+eps) estimate per epoch)
   dds shard   <event-file> [--shards K] [--batch N] [--bound B] [--seed S] [--threads N] [--drift F] [--log-every K]
               [--follow [--poll-ms P] [--idle-ms T]] [--checkpoint FILE [--checkpoint-every E]] [--resume]
-              [--metrics FILE [--metrics-every E]] [--trace FILE]
+              [--metrics FILE [--metrics-every E]] [--trace FILE] [--admin ADDR] [--slow-us N]
               (edge-partitioned parallel ingestion over K shards with merged certification; --resume restarts
                from the checkpoint and replays nothing twice)
   dds serve   <event-file> --listen ADDR [--readers R] [--core X,Y] [--topk K] [--shards K] [--batch N]
               [--tolerance T] [--slack S] [--solver exact|approx] [--threads N] [--log-every K]
               [--poll-ms P] [--idle-ms T] [--checkpoint FILE [--checkpoint-every E]] [--resume]
-              [--metrics FILE [--metrics-every E]] [--trace FILE]
-              (follow the event file AND answer DENSITY / MEMBER v / CORE x y v / TOPK k queries over TCP,
-               one line each, from an immutable snapshot published once per sealed epoch — readers never
+              [--metrics FILE [--metrics-every E]] [--trace FILE] [--admin ADDR] [--slow-us N]
+              (follow the event file AND answer DENSITY / MEMBER v / CORE x y v / TOPK k / STATS queries over
+               TCP, one line each, from an immutable snapshot published once per sealed epoch — readers never
                block on ingestion; --shards K ingests through the sharded engine, --core/--topk enable
                the derived query types; --listen 127.0.0.1:0 picks a free port and prints it)
+  dds trace-report <trace-jsonl> [--folded FILE]
+              (aggregate a --trace file into a per-span count/total/self-time table; --folded also writes
+               flamegraph-ready folded stacks — weights are self-µs for timed traces, span counts otherwise)
   dds help
 (--threads 0 or omitted on exact/stream/shard auto-detects the host parallelism; the resolved
  count is printed in each command's stats footer, marked \"(auto)\" when detected)";
@@ -127,6 +133,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("sketch") => cmd_sketch(&mut it, out),
         Some("shard") => cmd_shard(&mut it, out),
         Some("serve") => cmd_serve(&mut it, out),
+        Some("trace-report") => cmd_trace_report(&mut it, out),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -259,6 +266,7 @@ fn cmd_exact<'a>(
     let mut baseline = false;
     let mut verbose = false;
     let mut threads: Option<usize> = None;
+    let mut metrics: Option<String> = None;
     while let Some(flag) = it.next() {
         match flag {
             "--baseline" => baseline = true,
@@ -269,17 +277,30 @@ fn cmd_exact<'a>(
             "--no-dc" => opts.divide_and_conquer = false,
             "--threads" => threads = Some(parse_flag_value("--threads", it.next())?),
             "--verbose" => verbose = true,
+            "--metrics" => metrics = Some(parse_flag_value("--metrics", it.next())?),
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
+    if baseline && metrics.is_some() {
+        return Err(CliError::Usage(
+            "--metrics does not apply with --baseline (no dds_exact_* counters)".into(),
+        ));
+    }
     let (threads, threads_auto) = resolve_threads(threads);
+    let registry = metrics.as_ref().map(|_| Registry::new());
     let report = if baseline {
         FlowExact.solve(&g)
-    } else if threads > 1 {
-        let mut ctx = dds_core::SolveContext::new();
-        parallel::dc_exact_parallel_with(&mut ctx, &g, opts, threads)
     } else {
-        DcExact::with_options(opts).solve(&g)
+        let mut ctx = dds_core::SolveContext::new();
+        if let Some(reg) = &registry {
+            ctx.attach_obs(reg);
+            dds_core::WorkerPool::global().attach_obs(reg);
+        }
+        if threads > 1 {
+            parallel::dc_exact_parallel_with(&mut ctx, &g, opts, threads)
+        } else {
+            DcExact::with_options(opts).solve_with(&mut ctx, &g)
+        }
     };
     write_solution(out, &report.solution)?;
     write_solve_totals(out, "solve totals", &report.stats())?;
@@ -300,6 +321,39 @@ fn cmd_exact<'a>(
             "network nodes per decision: {:?}",
             report.network_nodes
         )?;
+    }
+    if let (Some(reg), Some(path)) = (&registry, &metrics) {
+        reg.write_exposition_file(path)?;
+        writeln!(out, "metrics exposition at {path}")?;
+    }
+    Ok(())
+}
+
+/// `dds trace-report`: aggregate a `--trace` JSONL file into a per-span
+/// count/total/self-time table, optionally emitting flamegraph-ready
+/// folded stacks. Works on both timed and deterministic traces (the
+/// latter fall back to span counts as weights).
+fn cmd_trace_report<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <trace-jsonl> path".into()))?;
+    let mut folded: Option<String> = None;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--folded" => folded = Some(parse_flag_value("--folded", it.next())?),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let text = std::fs::read_to_string(path)?;
+    let profile = TraceProfile::from_jsonl(&text)
+        .map_err(|e| CliError::Usage(format!("bad trace {path}: {e}")))?;
+    write!(out, "{}", dds_obs::render_table(&profile))?;
+    if let Some(folded_path) = &folded {
+        std::fs::write(folded_path, dds_obs::render_folded(&profile))?;
+        writeln!(out, "folded stacks at {folded_path}")?;
     }
     Ok(())
 }
@@ -1078,6 +1132,7 @@ fn stream_follow_window(
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
+    let admin = obs.admin_rig(out, "stream", registry.as_ref(), &tracer)?;
     writeln!(
         out,
         "following {path} from byte 0 (batch {batch}, window {window})"
@@ -1093,7 +1148,10 @@ fn stream_follow_window(
         out,
         &setup,
         serving,
-        obs.sink(registry.as_ref()).as_ref(),
+        &LoopObs {
+            metrics: obs.sink(registry.as_ref()).as_ref(),
+            admin: admin.as_ref(),
+        },
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
@@ -1131,6 +1189,9 @@ fn stream_follow_window(
         engine.repairs(),
     )?;
     writeln!(out, "threads {threads}{threads_auto}")?;
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
+    }
     tracer.flush()?;
     Ok(())
 }
@@ -1231,7 +1292,14 @@ struct ObsFlags {
     metrics: Option<String>,
     metrics_every: Option<u64>,
     trace: Option<String>,
+    admin: Option<String>,
+    slow_us: Option<u64>,
 }
+
+/// Slots in the slow-op ring (`--slow-us` / `--admin`).
+const SLOW_RING_CAPACITY: usize = 32;
+/// Default slow-op threshold when `--admin` is on but `--slow-us` unset.
+const DEFAULT_SLOW_US: u64 = 1_000;
 
 impl ObsFlags {
     /// Tries to consume `flag`; returns whether it was one of ours.
@@ -1250,6 +1318,8 @@ impl ObsFlags {
                 self.metrics_every = Some(every);
             }
             "--trace" => self.trace = Some(parse_flag_value("--trace", it.next())?),
+            "--admin" => self.admin = Some(parse_flag_value("--admin", it.next())?),
+            "--slow-us" => self.slow_us = Some(parse_flag_value("--slow-us", it.next())?),
             _ => return Ok(false),
         }
         Ok(true)
@@ -1262,9 +1332,58 @@ impl ObsFlags {
         Ok(())
     }
 
-    /// A fresh registry when `--metrics` asked for one.
+    /// A fresh registry when `--metrics` or `--admin` asked for one (the
+    /// admin plane scrapes it live over `/metrics`, no file needed).
     fn registry(&self) -> Option<Registry> {
-        self.metrics.as_ref().map(|_| Registry::new())
+        (self.metrics.is_some() || self.admin.is_some()).then(Registry::new)
+    }
+
+    /// The live introspection plane, when `--admin`/`--slow-us` asked for
+    /// one. Everything clock-shaped in the serving loops is gated on this
+    /// returning `Some` — without it a replay never reads the wall clock,
+    /// so `--trace` output stays byte-identical across runs.
+    fn admin_rig(
+        &self,
+        out: &mut dyn Write,
+        role: &'static str,
+        registry: Option<&Registry>,
+        tracer: &Tracer,
+    ) -> Result<Option<AdminRig>, CliError> {
+        if self.admin.is_none() && self.slow_us.is_none() {
+            return Ok(None);
+        }
+        let board = std::sync::Arc::new(StatusBoard::new(role));
+        let ring = std::sync::Arc::new(SlowRing::new(
+            SLOW_RING_CAPACITY,
+            self.slow_us.unwrap_or(DEFAULT_SLOW_US),
+        ));
+        tracer.attach_slow_ring(std::sync::Arc::clone(&ring));
+        let mut lag = LagGauges::standalone();
+        if let Some(reg) = registry {
+            lag.attach_obs(reg);
+        }
+        let server = match &self.admin {
+            Some(addr) => {
+                let registry = registry.expect("--admin implies a registry").clone();
+                let server = AdminServer::start(
+                    addr,
+                    registry,
+                    std::sync::Arc::clone(&board),
+                    std::sync::Arc::clone(&ring),
+                )
+                .map_err(CliError::Io)?;
+                writeln!(out, "admin endpoint on {}", server.addr())?;
+                Some(server)
+            }
+            None => None,
+        };
+        Ok(Some(AdminRig {
+            board,
+            ring,
+            lag,
+            _server: server,
+            last_seal: std::cell::Cell::new(None),
+        }))
     }
 
     /// A live tracer when `--trace` asked for one, detached otherwise.
@@ -1316,6 +1435,74 @@ impl MetricsSink<'_> {
     }
 }
 
+/// The live introspection plane behind `--admin`/`--slow-us`: the status
+/// board the HTTP routes read, the slow-op ring, and the `dds_lag_*`
+/// staleness gauges. Only constructed when asked for; its absence is the
+/// serving loops' license to never touch the wall clock.
+struct AdminRig {
+    board: std::sync::Arc<StatusBoard>,
+    ring: std::sync::Arc<SlowRing>,
+    lag: LagGauges,
+    /// Held for its lifetime — dropping it shuts the listener down.
+    _server: Option<AdminServer>,
+    /// When the previous epoch sealed, for the follow-idle gauge.
+    last_seal: std::cell::Cell<Option<std::time::Instant>>,
+}
+
+impl AdminRig {
+    /// Folds one sealed epoch into the board and staleness gauges, and
+    /// records the seal in the slow-op ring if it was over threshold.
+    /// `events` is cumulative; `sealed_at` is when `apply` started.
+    fn on_seal(
+        &self,
+        path: &str,
+        row: &EpochRow,
+        events: u64,
+        cursor: u64,
+        sealed_at: std::time::Instant,
+    ) {
+        let now = std::time::Instant::now();
+        let us = u64::try_from(now.duration_since(sealed_at).as_micros()).unwrap_or(u64::MAX);
+        self.ring
+            .record("epoch.seal", us, &format!("epoch={}", row.epoch));
+        if let Some(prev) = self.last_seal.get() {
+            let idle = sealed_at.saturating_duration_since(prev);
+            self.lag
+                .follow_idle_ms
+                .set(u64::try_from(idle.as_millis()).unwrap_or(u64::MAX));
+        }
+        self.last_seal.set(Some(now));
+        self.board
+            .seal_epoch(row.epoch, events, cursor, row.density, row.lower, row.upper);
+        self.board.set_ready();
+        let len = std::fs::metadata(path).map_or(cursor, |m| m.len());
+        let behind = len.saturating_sub(cursor);
+        self.board.set_tail_bytes(behind);
+        self.lag.tail_bytes.set(behind);
+        self.lag
+            .snapshot_age_epochs
+            .set(self.board.snapshot_age_epochs());
+    }
+
+    /// Records a durable snapshot (a checkpoint, or a published query
+    /// snapshot for `dds serve`) as the staleness reference point.
+    fn on_snapshot(&self, epoch: u64) {
+        self.board.publish_snapshot(epoch);
+        self.lag
+            .snapshot_age_epochs
+            .set(self.board.snapshot_age_epochs());
+    }
+
+    /// Exit drain: the slowest recorded operations, if any.
+    fn finish(&self, out: &mut dyn Write) -> Result<(), CliError> {
+        let table = self.ring.render_table();
+        if !table.is_empty() {
+            write!(out, "{table}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One epoch's loggable facts, engine-agnostic — what the shared serving
 /// loop prints per row.
 struct EpochRow {
@@ -1340,6 +1527,14 @@ struct ServingSetup<'a> {
     cursor: u64,
 }
 
+/// The serving loop's optional observability hooks: the `--metrics`
+/// exposition sink and the `--admin`/`--slow-us` introspection rig.
+#[derive(Clone, Copy)]
+struct LoopObs<'a> {
+    metrics: Option<&'a MetricsSink<'a>>,
+    admin: Option<&'a AdminRig>,
+}
+
 /// The serving loop shared by `dds stream --follow` and `dds shard`:
 /// tail the event file, apply each sealed batch through `apply`, print
 /// the per-epoch row, checkpoint via `save` every `--checkpoint-every`
@@ -1351,11 +1546,12 @@ fn run_serving_loop<E>(
     out: &mut dyn Write,
     setup: &ServingSetup<'_>,
     serving: &ServingFlags,
-    metrics: Option<&MetricsSink<'_>>,
+    hooks: &LoopObs<'_>,
     engine: &mut E,
     mut apply: impl FnMut(&mut E, &dds_stream::Batch) -> EpochRow,
     save: impl Fn(&E, &str, u64) -> Result<(), dds_stream::SnapshotError>,
 ) -> Result<(dds_stream::FollowOutcome, std::time::Duration), CliError> {
+    let LoopObs { metrics, admin } = *hooks;
     let every = serving.checkpoint_every();
     let log_every = setup.log_every as u64;
     writeln!(
@@ -1363,13 +1559,19 @@ fn run_serving_loop<E>(
         "epoch      m    density      [lower, upper]      factor  mode"
     )?;
     let mut checkpoints = 0u64;
+    let mut events_total = 0u64;
     let mut deferred: Option<CliError> = None;
     let started = std::time::Instant::now();
     let outcome = follow_events(
         setup.path,
         serving.follow_config(setup.follow, setup.batch, setup.cursor),
         |batch, cur| {
+            let sealed_at = admin.map(|_| std::time::Instant::now());
             let row = apply(engine, &batch);
+            if let (Some(rig), Some(t0)) = (admin, sealed_at) {
+                events_total += batch.events.len() as u64;
+                rig.on_seal(setup.path, &row, events_total, cur, t0);
+            }
             if row.mode.is_some() || (log_every > 0 && row.epoch.is_multiple_of(log_every)) {
                 let mode = row.mode.as_deref().unwrap_or("incremental");
                 if let Err(e) = writeln!(
@@ -1384,7 +1586,16 @@ fn run_serving_loop<E>(
             if let Some(ck) = &serving.checkpoint {
                 if row.epoch.is_multiple_of(every) {
                     match save(engine, ck, cur) {
-                        Ok(()) => checkpoints += 1,
+                        Ok(()) => {
+                            checkpoints += 1;
+                            // Without a query tier, the checkpoint is the
+                            // durable snapshot staleness is measured from.
+                            if let Some(rig) = admin {
+                                if rig.board.snapshot_epoch() < row.epoch {
+                                    rig.on_snapshot(row.epoch);
+                                }
+                            }
+                        }
                         Err(e) => {
                             deferred = Some(e.into());
                             return std::ops::ControlFlow::Break(());
@@ -1452,6 +1663,7 @@ fn stream_follow(
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
+    let admin = obs.admin_rig(out, "stream", registry.as_ref(), &tracer)?;
     writeln!(out, "following {path} from byte {cursor} (batch {batch})")?;
     let setup = ServingSetup {
         path,
@@ -1464,7 +1676,10 @@ fn stream_follow(
         out,
         &setup,
         serving,
-        obs.sink(registry.as_ref()).as_ref(),
+        &LoopObs {
+            metrics: obs.sink(registry.as_ref()).as_ref(),
+            admin: admin.as_ref(),
+        },
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
@@ -1495,6 +1710,9 @@ fn stream_follow(
         outcome.cursor,
     )?;
     writeln!(out, "threads {threads}{threads_auto}")?;
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
+    }
     tracer.flush()?;
     Ok(())
 }
@@ -1590,6 +1808,7 @@ fn cmd_shard<'a>(
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
+    let admin = obs.admin_rig(out, "shard", registry.as_ref(), &tracer)?;
     writeln!(
         out,
         "{} {path} across {shards} shards ({} apply workers{threads_auto}, batch {batch}, bound {bound}/shard)",
@@ -1607,7 +1826,10 @@ fn cmd_shard<'a>(
         out,
         &setup,
         &serving,
-        obs.sink(registry.as_ref()).as_ref(),
+        &LoopObs {
+            metrics: obs.sink(registry.as_ref()).as_ref(),
+            admin: admin.as_ref(),
+        },
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
@@ -1673,6 +1895,9 @@ fn cmd_shard<'a>(
             pair.s().len(),
             pair.t().len()
         )?;
+    }
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
     }
     tracer.flush()?;
     Ok(())
@@ -1840,13 +2065,22 @@ impl ServeRig {
         out: &mut dyn Write,
         opts: &ServeOpts,
         registry: Option<&Registry>,
+        admin: Option<&AdminRig>,
     ) -> Result<ServeRig, CliError> {
         let cell = std::sync::Arc::new(SnapshotCell::new());
         let mut metrics = ServeMetrics::new();
         if let Some(reg) = registry {
             metrics.attach_obs(reg);
         }
+        if let Some(rig) = admin {
+            // Share the staleness gauges with the admin plane so `STATS`
+            // answers from the same atomics `/metrics` exports.
+            metrics.lag = rig.lag.clone();
+        }
         let metrics = std::sync::Arc::new(metrics);
+        if let Some(rig) = admin {
+            metrics.attach_slow_ring(std::sync::Arc::clone(&rig.ring));
+        }
         let server = Server::start(
             &opts.listen,
             std::sync::Arc::clone(&cell),
@@ -1924,7 +2158,8 @@ fn serve_stream(
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
-    let rig = ServeRig::start(out, opts, registry.as_ref())?;
+    let admin = obs.admin_rig(out, "serve", registry.as_ref(), &tracer)?;
+    let rig = ServeRig::start(out, opts, registry.as_ref(), admin.as_ref())?;
     let mut publisher = Publisher::new(
         std::sync::Arc::clone(&rig.cell),
         PublishOptions {
@@ -1950,6 +2185,10 @@ fn serve_stream(
             },
             || engine.materialize(),
         );
+        if let Some(rig) = &admin {
+            rig.on_snapshot(engine.epoch());
+            rig.board.set_ready();
+        }
     }
     writeln!(out, "following {path} from byte {cursor} (batch {batch})")?;
     let setup = ServingSetup {
@@ -1963,10 +2202,14 @@ fn serve_stream(
         out,
         &setup,
         serving,
-        obs.sink(registry.as_ref()).as_ref(),
+        &LoopObs {
+            metrics: obs.sink(registry.as_ref()).as_ref(),
+            admin: admin.as_ref(),
+        },
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
+            let sealed_at = admin.as_ref().map(|_| std::time::Instant::now());
             publisher.publish(
                 EpochFacts {
                     epoch: r.epoch,
@@ -1980,6 +2223,12 @@ fn serve_stream(
                 },
                 || engine.materialize(),
             );
+            if let (Some(rig), Some(t0)) = (admin.as_ref(), sealed_at) {
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                rig.lag.seal_publish_us.set(us);
+                rig.on_snapshot(r.epoch);
+                rig.board.set_ready();
+            }
             EpochRow {
                 epoch: r.epoch,
                 m: r.m as u64,
@@ -2008,6 +2257,9 @@ fn serve_stream(
     )?;
     writeln!(out, "threads {threads}{threads_auto}")?;
     rig.finish(out)?;
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
+    }
     tracer.flush()?;
     Ok(())
 }
@@ -2048,7 +2300,8 @@ fn serve_shard(
     }
     let tracer = obs.tracer()?;
     engine.attach_tracer(tracer.clone());
-    let rig = ServeRig::start(out, opts, registry.as_ref())?;
+    let admin = obs.admin_rig(out, "serve", registry.as_ref(), &tracer)?;
+    let rig = ServeRig::start(out, opts, registry.as_ref(), admin.as_ref())?;
     let mut publisher = Publisher::new(
         std::sync::Arc::clone(&rig.cell),
         PublishOptions {
@@ -2072,6 +2325,10 @@ fn serve_shard(
             },
             || engine.materialize(),
         );
+        if let Some(rig) = &admin {
+            rig.on_snapshot(engine.epoch());
+            rig.board.set_ready();
+        }
     }
     writeln!(
         out,
@@ -2088,10 +2345,14 @@ fn serve_shard(
         out,
         &setup,
         serving,
-        obs.sink(registry.as_ref()).as_ref(),
+        &LoopObs {
+            metrics: obs.sink(registry.as_ref()).as_ref(),
+            admin: admin.as_ref(),
+        },
         &mut engine,
         |engine, batch| {
             let r = engine.apply(batch);
+            let sealed_at = admin.as_ref().map(|_| std::time::Instant::now());
             publisher.publish(
                 EpochFacts {
                     epoch: r.epoch,
@@ -2105,6 +2366,12 @@ fn serve_shard(
                 },
                 || engine.materialize(),
             );
+            if let (Some(rig), Some(t0)) = (admin.as_ref(), sealed_at) {
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                rig.lag.seal_publish_us.set(us);
+                rig.on_snapshot(r.epoch);
+                rig.board.set_ready();
+            }
             EpochRow {
                 epoch: r.epoch,
                 m: r.m,
@@ -2138,6 +2405,9 @@ fn serve_shard(
     )?;
     writeln!(out, "threads {threads}{threads_auto}")?;
     rig.finish(out)?;
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
+    }
     tracer.flush()?;
     Ok(())
 }
@@ -3098,9 +3368,16 @@ mod tests {
         let parsed = dds_obs::parse_exposition(&text).unwrap();
         // 6 events at batch 2 seal exactly 3 epochs; the counter must
         // reconcile with the replay's own epoch count.
-        assert_eq!(parsed.get("dds_stream_epochs_total"), Some(&3.0), "{text}");
         assert!(
-            parsed.get("dds_stream_inserts_total") >= Some(&4.0),
+            parsed
+                .get("dds_stream_epochs_total")
+                .is_some_and(|v| *v == 3u64),
+            "{text}"
+        );
+        assert!(
+            parsed
+                .get("dds_stream_inserts_total")
+                .is_some_and(|v| v.as_u64() >= Some(4)),
             "{text}"
         );
         assert!(
@@ -3145,7 +3422,12 @@ mod tests {
         assert!(out.contains("followed 6 events"), "{out}");
         let text = std::fs::read_to_string(&metrics).unwrap();
         let parsed = dds_obs::parse_exposition(&text).unwrap();
-        assert_eq!(parsed.get("dds_stream_epochs_total"), Some(&2.0), "{text}");
+        assert!(
+            parsed
+                .get("dds_stream_epochs_total")
+                .is_some_and(|v| *v == 2u64),
+            "{text}"
+        );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&metrics).ok();
         std::fs::remove_file(format!("{metrics}.jsonl")).ok();
@@ -3171,7 +3453,12 @@ mod tests {
         assert!(out.contains("metrics exposition at"), "{out}");
         let text = std::fs::read_to_string(&metrics).unwrap();
         let parsed = dds_obs::parse_exposition(&text).unwrap();
-        assert_eq!(parsed.get("dds_shard_epochs_total"), Some(&3.0), "{text}");
+        assert!(
+            parsed
+                .get("dds_shard_epochs_total")
+                .is_some_and(|v| *v == 3u64),
+            "{text}"
+        );
         assert!(
             parsed.contains_key("dds_sketch_refreshes_total"),
             "merged sketch refreshes must sum into the shared registry: {text}"
@@ -3201,6 +3488,232 @@ mod tests {
         ] {
             assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn exact_metrics_exports_solve_counters() {
+        let path = temp_graph();
+        let metrics = temp_path("exact_metrics.prom");
+        let out = run_ok(&["exact", &path, "--metrics", &metrics]);
+        assert!(out.contains("metrics exposition at"), "{out}");
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let parsed = dds_obs::parse_exposition(&text).unwrap();
+        assert!(
+            parsed
+                .get("dds_exact_ratios_solved_total")
+                .is_some_and(|v| v.as_u64() > Some(0)),
+            "{text}"
+        );
+        assert!(
+            matches!(
+                run_err(&["exact", &path, "--baseline", "--metrics", &metrics]),
+                CliError::Usage(_)
+            ),
+            "--baseline has no context counters to export"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn trace_report_reproduces_the_committed_golden() {
+        let fixtures = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+        let fixture = format!("{fixtures}/trace_fixture.jsonl");
+        let folded_out = temp_path("trace_report.folded");
+        let out = run_ok(&["trace-report", &fixture, "--folded", &folded_out]);
+        let golden_table =
+            std::fs::read_to_string(format!("{fixtures}/trace_report_table.golden")).unwrap();
+        assert_eq!(
+            out,
+            format!("{golden_table}folded stacks at {folded_out}\n"),
+            "trace-report table must reproduce the golden byte-for-byte"
+        );
+        let golden_folded =
+            std::fs::read_to_string(format!("{fixtures}/trace_report_folded.golden")).unwrap();
+        assert_eq!(std::fs::read_to_string(&folded_out).unwrap(), golden_folded);
+        assert!(matches!(
+            run_err(&["trace-report", "/definitely/not/here.jsonl"]),
+            CliError::Io(_)
+        ));
+        std::fs::remove_file(&folded_out).ok();
+    }
+
+    #[test]
+    fn replays_stay_byte_identical_without_admin() {
+        // The determinism pin for this PR: with `--admin` unset the trace
+        // path never reads the wall clock, so identical replays produce
+        // byte-identical trace files (stdout still reports elapsed time).
+        let path = temp_events();
+        let trace_a = temp_path("det_a.jsonl");
+        let trace_b = temp_path("det_b.jsonl");
+        run_ok(&["stream", &path, "--batch", "2", "--trace", &trace_a]);
+        run_ok(&["stream", &path, "--batch", "2", "--trace", &trace_b]);
+        assert_eq!(
+            std::fs::read(&trace_a).unwrap(),
+            std::fs::read(&trace_b).unwrap(),
+            "deterministic traces must be byte-identical"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace_a).ok();
+        std::fs::remove_file(&trace_b).ok();
+    }
+
+    /// A stdout sink the test can inspect while `run` is still inside the
+    /// follow loop — how the admin tests learn the ephemeral port.
+    #[derive(Clone, Default)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Polls the shared buffer until `prefix` appears, returning the rest
+    /// of that line (e.g. the bound address it announces).
+    fn wait_for_line(buf: &SharedOut, prefix: &str) -> String {
+        for _ in 0..400 {
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            if let Some(line) = text.lines().find(|l| l.starts_with(prefix)) {
+                return line[prefix.len()..].trim().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("never saw {prefix:?} in the output");
+    }
+
+    #[test]
+    fn serve_admin_answers_all_routes_and_stats() {
+        use std::io::{BufRead, BufReader};
+        let path = temp_events();
+        let buf = SharedOut::default();
+        let handle = {
+            let args: Vec<String> = [
+                "serve",
+                &path,
+                "--listen",
+                "127.0.0.1:0",
+                "--batch",
+                "2",
+                "--idle-ms",
+                "1500",
+                "--poll-ms",
+                "10",
+                "--admin",
+                "127.0.0.1:0",
+                "--slow-us",
+                "0",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            let mut out = buf.clone();
+            std::thread::spawn(move || run(&args, &mut out))
+        };
+        let admin_addr = wait_for_line(&buf, "admin endpoint on ");
+        let serve_addr = wait_for_line(&buf, "serving on ");
+        let serve_addr = serve_addr.split_whitespace().next().unwrap().to_string();
+
+        // Readiness flips once the first snapshot publishes.
+        for _ in 0..400 {
+            let (code, _) = dds_obs::http_get(&admin_addr, "/readyz").unwrap();
+            if code == 200 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let (code, body) = dds_obs::http_get(&admin_addr, "/healthz").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+        let (code, metrics) = dds_obs::http_get(&admin_addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        let parsed = dds_obs::parse_exposition(&metrics).unwrap();
+        assert!(parsed.contains_key("dds_serve_readers"), "{metrics}");
+        let (code, status) = dds_obs::http_get(&admin_addr, "/status").unwrap();
+        assert_eq!(code, 200);
+        assert!(status.contains("\"role\":\"serve\""), "{status}");
+        assert!(status.contains("\"readers\":4"), "{status}");
+        let (code, _) = dds_obs::http_get(&admin_addr, "/slow").unwrap();
+        assert_eq!(code, 200);
+        let (code, _) = dds_obs::http_get(&admin_addr, "/nope").unwrap();
+        assert_eq!(code, 404);
+
+        // The STATS verb answers from the same live counters over TCP.
+        let mut stream = std::net::TcpStream::connect(&serve_addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(b"STATS\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK STATS epoch="), "{line}");
+        assert!(line.contains("readers=4"), "{line}");
+        stream.write_all(b"QUIT\n").unwrap();
+        drop(stream);
+
+        handle.join().unwrap().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("slow ops (threshold 0 us"),
+            "a zero-threshold ring must drain at exit: {text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_follow_admin_tracks_readiness_and_staleness() {
+        let path = temp_events();
+        let buf = SharedOut::default();
+        let handle = {
+            let args: Vec<String> = [
+                "stream",
+                &path,
+                "--follow",
+                "--batch",
+                "2",
+                "--idle-ms",
+                "1500",
+                "--poll-ms",
+                "10",
+                "--admin",
+                "127.0.0.1:0",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            let mut out = buf.clone();
+            std::thread::spawn(move || run(&args, &mut out))
+        };
+        let admin_addr = wait_for_line(&buf, "admin endpoint on ");
+        let mut ready_body = String::new();
+        for _ in 0..400 {
+            let (code, body) = dds_obs::http_get(&admin_addr, "/readyz").unwrap();
+            if code == 200 {
+                ready_body = body;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(ready_body.starts_with("ready"), "{ready_body}");
+        let (code, status) = dds_obs::http_get(&admin_addr, "/status").unwrap();
+        assert_eq!(code, 200);
+        assert!(status.contains("\"role\":\"stream\""), "{status}");
+        assert!(status.contains("\"ready\":true"), "{status}");
+        let (_, metrics) = dds_obs::http_get(&admin_addr, "/metrics").unwrap();
+        let parsed = dds_obs::parse_exposition(&metrics).unwrap();
+        assert!(
+            parsed.contains_key("dds_lag_tail_bytes"),
+            "staleness gauges must ride the live exposition: {metrics}"
+        );
+        assert!(
+            parsed
+                .get("dds_stream_epochs_total")
+                .is_some_and(|v| v.as_u64() >= Some(1)),
+            "{metrics}"
+        );
+        handle.join().unwrap().unwrap();
         std::fs::remove_file(&path).ok();
     }
 }

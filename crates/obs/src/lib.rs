@@ -24,8 +24,14 @@
 //! for gauges. See the README's Observability section for the full
 //! taxonomy.
 
+mod http;
+mod profile;
+mod slow;
 mod trace;
 
+pub use http::{http_get, AdminServer, StatusBoard};
+pub use profile::{render_folded, render_table, TraceProfile};
+pub use slow::{SlowOp, SlowRing};
 pub use trace::{Span, Tracer};
 
 use std::collections::BTreeMap;
@@ -113,10 +119,65 @@ impl Gauge {
         self.cell.store(value, Ordering::Relaxed);
     }
 
+    /// Adds 1 (occupancy gauges: a reader going busy).
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1, saturating at 0. Must pair with [`Gauge::inc`]; the
+    /// saturation only guards against a missed increment turning the
+    /// gauge into a u64 wraparound.
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
         self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// The staleness/lag gauge family (`dds_lag_*`): how far a serving
+/// process trails its input and its readers. Starts as standalone cells
+/// (engine pattern); [`LagGauges::attach_obs`] re-homes the handles into
+/// a registry so scrapes and the serve `STATS` verb see live values.
+#[derive(Clone, Debug, Default)]
+pub struct LagGauges {
+    /// Epochs between the last sealed epoch and the last published
+    /// query snapshot (serve mode; 0 when publish keeps up).
+    pub snapshot_age_epochs: Gauge,
+    /// Bytes of the event file trailing the ingest cursor (follow mode).
+    pub tail_bytes: Gauge,
+    /// Last seal→publish latency in µs (serve mode).
+    pub seal_publish_us: Gauge,
+    /// Cumulative follow-loop idle time (waiting for new events), ms.
+    pub follow_idle_ms: Gauge,
+}
+
+impl LagGauges {
+    /// Fresh standalone gauges.
+    #[must_use]
+    pub fn standalone() -> Self {
+        LagGauges::default()
+    }
+
+    /// Re-homes the handles into `registry` under the `dds_lag_*` names,
+    /// carrying the current values over.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        let transfer = |old: &mut Gauge, name: &str| {
+            let new = registry.gauge(name);
+            new.set(old.get());
+            *old = new;
+        };
+        transfer(&mut self.snapshot_age_epochs, "dds_lag_snapshot_age_epochs");
+        transfer(&mut self.tail_bytes, "dds_lag_tail_bytes");
+        transfer(&mut self.seal_publish_us, "dds_lag_seal_publish_us");
+        transfer(&mut self.follow_idle_ms, "dds_lag_follow_idle_ms");
     }
 }
 
@@ -448,14 +509,69 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
+/// One parsed exposition sample: counters, gauges, and histogram series
+/// are rendered as unsigned integers and parse back **exactly** (an `f64`
+/// round-trip would silently corrupt counters past 2^53); only genuinely
+/// non-integer samples fall back to `Float`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// An exactly-parsed non-negative integer sample.
+    Int(u64),
+    /// A non-integer (or out-of-`u64`-range) sample.
+    Float(f64),
+}
+
+impl MetricValue {
+    /// The sample as an `f64` (lossy past 2^53 for `Int`).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            MetricValue::Int(v) => v as f64,
+            MetricValue::Float(v) => v,
+        }
+    }
+
+    /// The exact integer sample, if this is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            MetricValue::Int(v) => Some(v),
+            MetricValue::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq<u64> for MetricValue {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(*self, MetricValue::Int(v) if v == *other)
+    }
+}
+
+impl PartialEq<f64> for MetricValue {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == *other
+    }
+}
+
+impl std::fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MetricValue::Int(v) => write!(f, "{v}"),
+            MetricValue::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
 /// Parses a text exposition back into `name → value` samples (histogram
 /// series appear under their full sample names, e.g. `foo_count`).
 /// This is the smoke-test side of [`Registry::exposition`]: it validates
 /// the format strictly enough that a torn or malformed file fails.
+/// Integer samples parse exactly ([`MetricValue::Int`]); `f64` is only
+/// the fallback for non-integer fields.
 ///
 /// # Errors
 /// Returns a description of the first malformed line.
-pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, MetricValue>, String> {
     let mut out = BTreeMap::new();
     for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -476,9 +592,14 @@ pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
         let (name_part, value_part) = line
             .rsplit_once(' ')
             .ok_or_else(|| format!("line {}: no sample value", idx + 1))?;
-        let value: f64 = value_part
-            .parse()
-            .map_err(|_| format!("line {}: bad sample value {value_part:?}", idx + 1))?;
+        let value = match value_part.parse::<u64>() {
+            Ok(v) => MetricValue::Int(v),
+            Err(_) => MetricValue::Float(
+                value_part
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {}: bad sample value {value_part:?}", idx + 1))?,
+            ),
+        };
         let name = match name_part.split_once('{') {
             Some((base, labels)) => {
                 let labels = labels
@@ -591,20 +712,45 @@ mod tests {
         h.observe_us(900);
         let text = reg.exposition();
         let samples = parse_exposition(&text).expect("own exposition must parse");
-        assert_eq!(samples["dds_stream_epochs_total"], 42.0);
-        assert_eq!(samples["dds_sketch_level"], 3.0);
-        assert_eq!(samples["dds_stream_apply_latency_us_count"], 2.0);
-        assert_eq!(samples["dds_stream_apply_latency_us_sum"], 907.0);
+        assert_eq!(samples["dds_stream_epochs_total"], 42u64);
+        assert_eq!(samples["dds_sketch_level"], 3u64);
+        assert_eq!(samples["dds_stream_apply_latency_us_count"], 2u64);
+        assert_eq!(samples["dds_stream_apply_latency_us_sum"], 907u64);
         assert_eq!(
             samples["dds_stream_apply_latency_us_bucket{le=\"+Inf\"}"],
-            2.0
+            2u64
         );
         // Cumulative buckets: everything ≤ 1024 covers both samples.
         assert_eq!(
             samples["dds_stream_apply_latency_us_bucket{le=\"1024\"}"],
-            2.0
+            2u64
         );
-        assert_eq!(samples["dds_stream_apply_latency_us_bucket{le=\"8\"}"], 1.0);
+        assert_eq!(
+            samples["dds_stream_apply_latency_us_bucket{le=\"8\"}"],
+            1u64
+        );
+    }
+
+    #[test]
+    fn parser_keeps_counters_past_f64_precision_exact() {
+        // 2^53 + 1 is the first integer an f64 cannot represent: the old
+        // f64 round-trip silently mapped it to 2^53. The parser must hand
+        // the exact integer back.
+        let big = (1u64 << 53) + 1;
+        let reg = Registry::new();
+        reg.counter("dds_test_big_total").add(big);
+        let samples = parse_exposition(&reg.exposition()).expect("parse");
+        assert_eq!(samples["dds_test_big_total"], MetricValue::Int(big));
+        assert_eq!(samples["dds_test_big_total"].as_u64(), Some(big));
+        assert_ne!(
+            samples["dds_test_big_total"],
+            MetricValue::Int(1u64 << 53),
+            "the exact value must survive, not the f64 rounding"
+        );
+        // Non-integer samples still parse, as the f64 fallback.
+        let parsed = parse_exposition("name 1.5\n").expect("float sample");
+        assert_eq!(parsed["name"], MetricValue::Float(1.5));
+        assert_eq!(parsed["name"].as_u64(), None);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Trace profiling: aggregate a span JSONL file (the [`crate::Tracer`]
+//! output) into a per-span count / total / self-time table and a
+//! folded-stacks rendering (`a;b;c weight` — the flamegraph input
+//! format).
+//!
+//! Works on both trace modes. A timing trace (`dur_us` per span) yields
+//! microsecond totals with self time = a span's duration minus its
+//! children's; a deterministic trace has no durations, so weights fall
+//! back to span counts (the table's `total_us`/`self_us` columns read 0
+//! and the folded stacks carry one sample per occurrence). Both
+//! renderings are fully deterministic for a given input file — the
+//! golden test diffs them byte-for-byte.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed span line.
+#[derive(Clone, Debug)]
+struct SpanRec {
+    name: String,
+    parent: Option<u64>,
+    dur_us: Option<u64>,
+}
+
+/// An aggregated trace: per-span rows plus folded stacks.
+#[derive(Clone, Debug)]
+pub struct TraceProfile {
+    /// `name → (count, total_us, self_us)`, extracted in render order.
+    rows: Vec<(String, u64, u64, u64)>,
+    /// `stack path → weight` (self µs when timed, samples otherwise).
+    folded: BTreeMap<String, u64>,
+    timed: bool,
+    spans: usize,
+}
+
+impl TraceProfile {
+    /// Aggregates a span JSONL document (one object per line, the
+    /// [`crate::Tracer`] format).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<TraceProfile, String> {
+        let mut recs: BTreeMap<u64, SpanRec> = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // The registry snapshot appended after spans uses "metric"
+            // keys; skip anything that is not a span line.
+            if !line.contains("\"span\":") {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}", idx + 1);
+            let fields = parse_flat_object(line).map_err(|e| err(&e))?;
+            let mut seq = None;
+            let mut name = None;
+            let mut parent = None;
+            let mut dur_us = None;
+            for (key, value) in fields {
+                match (key.as_str(), value) {
+                    ("seq", JsonScalar::Int(v)) => seq = Some(v),
+                    ("span", JsonScalar::Str(s)) => name = Some(s),
+                    ("parent", JsonScalar::Int(v)) => parent = Some(v),
+                    ("dur_us", JsonScalar::Int(v)) => dur_us = Some(v),
+                    _ => {} // depth + payload fields don't shape the profile
+                }
+            }
+            let seq = seq.ok_or_else(|| err("span line without seq"))?;
+            let name = name.ok_or_else(|| err("span line without name"))?;
+            recs.insert(
+                seq,
+                SpanRec {
+                    name,
+                    parent,
+                    dur_us,
+                },
+            );
+        }
+        Ok(TraceProfile::aggregate(&recs))
+    }
+
+    fn aggregate(recs: &BTreeMap<u64, SpanRec>) -> TraceProfile {
+        let timed = recs.values().any(|r| r.dur_us.is_some());
+        // Children's duration per parent seq, for self time.
+        let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+        for rec in recs.values() {
+            if let (Some(parent), Some(dur)) = (rec.parent, rec.dur_us) {
+                if recs.contains_key(&parent) {
+                    *child_us.entry(parent).or_insert(0) += dur;
+                }
+            }
+        }
+        let stack_of = |seq: u64| -> String {
+            let mut names = Vec::new();
+            let mut cursor = Some(seq);
+            while let Some(s) = cursor {
+                let Some(rec) = recs.get(&s) else { break };
+                names.push(rec.name.as_str());
+                // A parent missing from the file (truncated trace) makes
+                // this span a root.
+                cursor = rec.parent.filter(|p| recs.contains_key(p));
+            }
+            names.reverse();
+            names.join(";")
+        };
+        let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for (&seq, rec) in recs {
+            let total = rec.dur_us.unwrap_or(0);
+            let self_us = total.saturating_sub(child_us.get(&seq).copied().unwrap_or(0));
+            let row = by_name.entry(rec.name.as_str()).or_insert((0, 0, 0));
+            row.0 += 1;
+            row.1 += total;
+            row.2 += self_us;
+            let weight = if timed { self_us } else { 1 };
+            if weight > 0 {
+                *folded.entry(stack_of(seq)).or_insert(0) += weight;
+            }
+        }
+        let mut rows: Vec<(String, u64, u64, u64)> = by_name
+            .into_iter()
+            .map(|(name, (count, total, selfs))| (name.to_string(), count, total, selfs))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.2.cmp(&a.2) // total_us desc
+                .then(b.1.cmp(&a.1)) // count desc
+                .then(a.0.cmp(&b.0)) // name asc
+        });
+        TraceProfile {
+            rows,
+            folded,
+            timed,
+            spans: recs.len(),
+        }
+    }
+
+    /// Number of spans aggregated.
+    #[must_use]
+    pub fn spans(&self) -> usize {
+        self.spans
+    }
+
+    /// Whether the trace carried wall-clock durations.
+    #[must_use]
+    pub fn timed(&self) -> bool {
+        self.timed
+    }
+}
+
+/// Renders the per-span table: name, count, total µs, self µs — widest
+/// totals first. Byte-deterministic for a given trace file.
+#[must_use]
+pub fn render_table(profile: &TraceProfile) -> String {
+    let name_w = profile
+        .rows
+        .iter()
+        .map(|r| r.0.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>12}\n",
+        "span", "count", "total_us", "self_us"
+    );
+    for (name, count, total, selfs) in &profile.rows {
+        let _ = writeln!(out, "{name:<name_w$}  {count:>8}  {total:>12}  {selfs:>12}");
+    }
+    let _ = writeln!(
+        out,
+        "# {} spans, {}",
+        profile.spans,
+        if profile.timed {
+            "timed (us)"
+        } else {
+            "deterministic (no wall clock; folded weights are span counts)"
+        }
+    );
+    out
+}
+
+/// Renders folded stacks (`root;child;leaf weight`, lexicographic order)
+/// — the input format flamegraph tools consume. Weights are self µs on a
+/// timing trace and occurrence counts on a deterministic one.
+#[must_use]
+pub fn render_folded(profile: &TraceProfile) -> String {
+    let mut out = String::new();
+    for (stack, weight) in &profile.folded {
+        let _ = writeln!(out, "{stack} {weight}");
+    }
+    out
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum JsonScalar {
+    Int(u64),
+    Str(String),
+    Other,
+}
+
+/// Parses one flat JSON object (`{"k":v,...}`, scalar values only) into
+/// its key/value pairs. Handles string escapes; nested containers are
+/// rejected.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        // Key.
+        match chars.peek() {
+            None => break,
+            Some('"') => {}
+            Some(c) => return Err(format!("expected key, found {c:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("missing colon after key {key:?}"));
+        }
+        // Value.
+        let value = match chars.peek() {
+            Some('"') => JsonScalar::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut num = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        num.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                num.parse::<u64>()
+                    .map_or(JsonScalar::Other, JsonScalar::Int)
+            }
+            Some('t' | 'f' | 'n') => {
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_alphabetic() {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonScalar::Other
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        out.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("expected comma, found {c:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected string".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let v = u32::from_str_radix(&code, 16)
+                        .map_err(|_| format!("bad \\u escape {code:?}"))?;
+                    out.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMED: &str = concat!(
+        "{\"seq\":2,\"span\":\"stream.resolve\",\"depth\":1,\"parent\":1,\"dur_us\":300}\n",
+        "{\"seq\":1,\"span\":\"stream.apply\",\"depth\":0,\"epoch\":1,\"dur_us\":500}\n",
+        "{\"seq\":4,\"span\":\"stream.resolve\",\"depth\":1,\"parent\":3,\"dur_us\":100}\n",
+        "{\"seq\":3,\"span\":\"stream.apply\",\"depth\":0,\"epoch\":2,\"dur_us\":150}\n",
+    );
+
+    #[test]
+    fn timed_traces_aggregate_totals_and_self_time() {
+        let p = TraceProfile::from_jsonl(TIMED).unwrap();
+        assert!(p.timed());
+        assert_eq!(p.spans(), 4);
+        let table = render_table(&p);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("span"));
+        // apply: count 2, total 650, self 650-400=250; resolve: 2/400/400.
+        assert!(lines[1].contains("stream.apply"), "{table}");
+        assert!(lines[1].contains("650"), "{table}");
+        assert!(lines[1].contains("250"), "{table}");
+        assert!(lines[2].contains("stream.resolve"), "{table}");
+        let folded = render_folded(&p);
+        assert_eq!(
+            folded,
+            "stream.apply 250\nstream.apply;stream.resolve 400\n"
+        );
+    }
+
+    #[test]
+    fn deterministic_traces_fall_back_to_counts() {
+        let text = "{\"seq\":2,\"span\":\"b\",\"depth\":1,\"parent\":1}\n\
+                    {\"seq\":1,\"span\":\"a\",\"depth\":0}\n\
+                    {\"seq\":3,\"span\":\"a\",\"depth\":0}\n";
+        let p = TraceProfile::from_jsonl(text).unwrap();
+        assert!(!p.timed());
+        assert_eq!(render_folded(&p), "a 2\na;b 1\n");
+        let table = render_table(&p);
+        assert!(table.contains("deterministic"), "{table}");
+    }
+
+    #[test]
+    fn non_span_lines_are_skipped_and_garbage_rejected() {
+        let mixed = "{\"seq\":1,\"span\":\"a\",\"depth\":0}\n\
+                     {\"metric\":\"dds_a_total\",\"type\":\"counter\",\"value\":1}\n";
+        let p = TraceProfile::from_jsonl(mixed).unwrap();
+        assert_eq!(p.spans(), 1);
+        assert!(TraceProfile::from_jsonl("{\"span\":\"x\" garbage}\n").is_err());
+        assert!(
+            TraceProfile::from_jsonl("{\"span\":\"x\"}\n").is_err(),
+            "seq required"
+        );
+    }
+
+    #[test]
+    fn truncated_parents_become_roots() {
+        // Parent seq 99 never closed (still open when the file ended).
+        let text = "{\"seq\":2,\"span\":\"child\",\"depth\":1,\"parent\":99,\"dur_us\":10}\n";
+        let p = TraceProfile::from_jsonl(text).unwrap();
+        assert_eq!(render_folded(&p), "child 10\n");
+    }
+}

@@ -12,6 +12,9 @@
 //! MEMBER v           -> OK MEMBER epoch=E v=V side=S|T|BOTH|NONE
 //! CORE x y v         -> OK CORE epoch=E x=X y=Y v=V side=S|T|BOTH|NONE
 //! TOPK k             -> OK TOPK epoch=E k=K [d:|S|:|T| ...]
+//! STATS              -> OK STATS epoch=E queries=Q errors=R connections=C
+//!                       publishes=P readers=N busy=B age_epochs=A
+//!                       tail_bytes=T seal_publish_us=S idle_ms=I
 //! QUIT               -> (connection closes, no response)
 //! anything else      -> ERR epoch=E <message>
 //! ```
@@ -21,7 +24,11 @@
 //! publisher maintains exactly the `[x, y]`-core; asking for a different
 //! core is an `ERR` naming the one being served, not a silent wrong
 //! answer. `TOPK k` serves the publish-time top-k list truncated to `k`.
+//! `STATS` reports the serving-side counters plus the `dds_lag_*` gauges
+//! (see [`ServeMetrics`]); `queries` counts queries *answered before*
+//! this one.
 
+use crate::server::ServeMetrics;
 use crate::snapshot::{Bitset, EpochSnapshot};
 
 /// A parsed query line.
@@ -35,6 +42,8 @@ pub enum Query {
     Core(u64, u64, u32),
     /// `TOPK k`: the best `k` published dense pairs.
     TopK(usize),
+    /// `STATS`: serving-side counters and lag gauges.
+    Stats,
     /// `QUIT`: close the connection.
     Quit,
 }
@@ -56,6 +65,7 @@ pub fn parse_query(line: &str) -> Result<Query, String> {
             Query::Core(x, y, v)
         }
         "TOPK" => Query::TopK(field(it.next(), "TOPK needs k")?),
+        "STATS" => Query::Stats,
         "QUIT" => Query::Quit,
         other => return Err(format!("unknown query {other:?}")),
     };
@@ -126,21 +136,64 @@ pub fn answer(snap: &EpochSnapshot, query: Query) -> Result<String, String> {
             }
             Ok(line)
         }
+        Query::Stats => Err("stats are not served on this endpoint".into()),
         Query::Quit => unreachable!("QUIT is handled by the connection loop"),
     }
 }
 
+/// Answers `STATS` from the live serving metrics (relaxed atomic loads
+/// only — the same lock-free read discipline as the admin plane).
+#[must_use]
+pub fn answer_stats(snap: &EpochSnapshot, metrics: &ServeMetrics) -> String {
+    format!(
+        "OK STATS epoch={} queries={} errors={} connections={} publishes={} \
+         readers={} busy={} age_epochs={} tail_bytes={} seal_publish_us={} idle_ms={}",
+        snap.epoch,
+        metrics.queries.get(),
+        metrics.query_errors.get(),
+        metrics.connections.get(),
+        metrics.publishes.get(),
+        metrics.readers.get(),
+        metrics.readers_busy.get(),
+        metrics.lag.snapshot_age_epochs.get(),
+        metrics.lag.tail_bytes.get(),
+        metrics.lag.seal_publish_us.get(),
+        metrics.lag.follow_idle_ms.get(),
+    )
+}
+
 /// Parses and answers one raw line. Returns the response text and whether
 /// it is an error response; `None` means the client asked to `QUIT`.
-pub fn respond(snap: &EpochSnapshot, line: &str) -> Option<(String, bool)> {
+/// `STATS` answers from `metrics` when given and is an `ERR` otherwise
+/// (endpoints that only have a snapshot to serve).
+pub fn respond_with(
+    snap: &EpochSnapshot,
+    metrics: Option<&ServeMetrics>,
+    line: &str,
+) -> Option<(String, bool)> {
     match parse_query(line) {
         Ok(Query::Quit) => None,
+        Ok(Query::Stats) => Some(match metrics {
+            Some(m) => (answer_stats(snap, m), false),
+            None => (
+                format!(
+                    "ERR epoch={} stats are not served on this endpoint",
+                    snap.epoch
+                ),
+                true,
+            ),
+        }),
         Ok(query) => Some(match answer(snap, query) {
             Ok(ok) => (ok, false),
             Err(msg) => (format!("ERR epoch={} {msg}", snap.epoch), true),
         }),
         Err(msg) => Some((format!("ERR epoch={} {msg}", snap.epoch), true)),
     }
+}
+
+/// [`respond_with`] without a metrics source.
+pub fn respond(snap: &EpochSnapshot, line: &str) -> Option<(String, bool)> {
+    respond_with(snap, None, line)
 }
 
 #[cfg(test)]

@@ -23,9 +23,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dds_obs::{Counter, Histogram, Registry};
+use dds_obs::{Counter, Gauge, Histogram, LagGauges, Registry, SlowRing};
 
-use crate::protocol::respond;
+use crate::protocol::respond_with;
 use crate::snapshot::SnapshotCell;
 
 /// How often a blocked reader wakes to re-check the shutdown flag.
@@ -46,10 +46,19 @@ pub struct ServeMetrics {
     pub connections: Counter,
     /// Snapshots published.
     pub publishes: Counter,
+    /// Reader-pool size (the concurrent-connection capacity).
+    pub readers: Gauge,
+    /// Readers currently serving a connection (saturation signal).
+    pub readers_busy: Gauge,
+    /// Staleness gauges (`dds_lag_*`), fed by the serving loop.
+    pub lag: LagGauges,
     /// Per-query latency (parse + answer + write), µs.
     pub query_latency: Histogram,
     /// Per-publish latency (snapshot build + swap), µs.
     pub publish_latency: Histogram,
+    /// Slow-query sink: over-threshold queries are recorded with their
+    /// query line as detail. Set once via [`ServeMetrics::attach_slow_ring`].
+    slow: std::sync::OnceLock<Arc<SlowRing>>,
 }
 
 impl ServeMetrics {
@@ -71,8 +80,21 @@ impl ServeMetrics {
         transfer(&mut self.query_errors, "dds_serve_query_errors_total");
         transfer(&mut self.connections, "dds_serve_connections_total");
         transfer(&mut self.publishes, "dds_serve_publish_total");
+        let regauge = |old: &mut Gauge, name: &str| {
+            let new = registry.gauge(name);
+            new.set(old.get());
+            *old = new;
+        };
+        regauge(&mut self.readers, "dds_serve_readers");
+        regauge(&mut self.readers_busy, "dds_serve_readers_busy");
+        self.lag.attach_obs(registry);
         self.query_latency = registry.histogram("dds_serve_query_latency_us");
         self.publish_latency = registry.histogram("dds_serve_publish_latency_us");
+    }
+
+    /// Records over-threshold queries into `ring` (first ring wins).
+    pub fn attach_slow_ring(&self, ring: Arc<SlowRing>) {
+        let _ = self.slow.set(ring);
     }
 }
 
@@ -105,6 +127,7 @@ impl Server {
         metrics: Arc<ServeMetrics>,
     ) -> std::io::Result<Server> {
         assert!(readers > 0, "a server needs at least one reader thread");
+        metrics.readers.set(readers as u64);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -208,7 +231,11 @@ fn reader_loop(
             guard.recv_timeout(READ_POLL)
         };
         match conn {
-            Ok(stream) => serve_connection(stream, cell, stop, metrics),
+            Ok(stream) => {
+                metrics.readers_busy.inc();
+                serve_connection(stream, cell, stop, metrics);
+                metrics.readers_busy.dec();
+            }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -244,7 +271,7 @@ fn serve_connection(
                     start += nl + 1;
                     let t0 = Instant::now();
                     let snap = cell.load();
-                    let Some((response, is_err)) = respond(&snap, &line) else {
+                    let Some((response, is_err)) = respond_with(&snap, Some(metrics), &line) else {
                         return; // QUIT
                     };
                     metrics.queries.inc();
@@ -257,7 +284,12 @@ fn serve_connection(
                     {
                         return;
                     }
-                    metrics.query_latency.observe(t0.elapsed());
+                    let elapsed = t0.elapsed();
+                    metrics.query_latency.observe(elapsed);
+                    if let Some(ring) = metrics.slow.get() {
+                        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+                        ring.record("serve.query", us, line.trim());
+                    }
                 }
                 carry.drain(..start);
             }
@@ -339,6 +371,40 @@ mod tests {
         assert_eq!(metrics.queries.get(), 6);
         assert_eq!(metrics.query_errors.get(), 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn stats_answers_live_counters_and_saturation() {
+        let cell = Arc::new(SnapshotCell::new());
+        let metrics = Arc::new(ServeMetrics::new());
+        let ring = Arc::new(dds_obs::SlowRing::new(4, 0));
+        metrics.attach_slow_ring(Arc::clone(&ring));
+        let mut server =
+            Server::start("127.0.0.1:0", Arc::clone(&cell), 2, Arc::clone(&metrics)).unwrap();
+
+        let mut snap = EpochSnapshot::empty();
+        snap.epoch = 3;
+        cell.publish(snap);
+        metrics.publishes.inc();
+        metrics.lag.snapshot_age_epochs.set(1);
+        metrics.lag.tail_bytes.set(640);
+
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        let first = query(&mut stream, &mut reader, "DENSITY");
+        assert!(first.contains("epoch=3"), "{first}");
+        let stats = query(&mut stream, &mut reader, "STATS");
+        // `queries` counts queries answered before this one (the DENSITY).
+        assert_eq!(
+            stats,
+            "OK STATS epoch=3 queries=1 errors=0 connections=1 publishes=1 \
+             readers=2 busy=1 age_epochs=1 tail_bytes=640 seal_publish_us=0 idle_ms=0"
+        );
+        // A zero-threshold ring sees every answered query.
+        server.shutdown();
+        let slow: Vec<String> = ring.snapshot().into_iter().map(|op| op.detail).collect();
+        assert!(slow.contains(&"DENSITY".to_string()), "{slow:?}");
+        assert!(slow.contains(&"STATS".to_string()), "{slow:?}");
     }
 
     #[test]
