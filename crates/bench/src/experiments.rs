@@ -1,7 +1,8 @@
-//! The experiment suite (E1–E18): one function per table/figure of the
+//! The experiment suite (E1–E20): one function per table/figure of the
 //! reconstructed evaluation (`DESIGN.md §4`; E12–E16 cover the streaming
 //! subsystems, E17 the persistent worker pool, E18 the query-serving
-//! tier). Each prints an aligned
+//! tier, E19 the admin plane, E20 the cross-process cluster tier). Each
+//! prints an aligned
 //! table to stdout, writes the same
 //! data to `bench_results/<id>.csv`, and states the *expected shape* so
 //! `EXPERIMENTS.md` can record measured-vs-expected.
@@ -15,7 +16,7 @@ use dds_xycore::{max_product_core, skyline};
 use crate::report::{fmt_duration, time, Table};
 use crate::workloads::{exact_ladder, planted_block, registry, Scale};
 
-/// Runs one experiment by id (`e1`…`e19`); `quick` shrinks workloads for
+/// Runs one experiment by id (`e1`…`e20`); `quick` shrinks workloads for
 /// smoke tests.
 ///
 /// # Panics
@@ -41,14 +42,15 @@ pub fn run(id: &str, quick: bool) {
         "e17" => e17_pool_parallel(quick),
         "e18" => e18_serve(quick),
         "e19" => e19_admin(quick),
-        other => panic!("unknown experiment {other:?} (expected e1..e19)"),
+        "e20" => e20_cluster(quick),
+        other => panic!("unknown experiment {other:?} (expected e1..e20)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// E1 — dataset statistics table (the paper's "Table: datasets").
@@ -1760,6 +1762,118 @@ pub fn e19_admin(quick: bool) {
     }
     println!("{}", t.render());
     t.write_csv("e19_admin");
+}
+
+/// E20 — the cross-process cluster tier: digest traffic vs raw stream
+/// bytes as the shard count grows. K worker state machines (the exact
+/// state `dds cluster-shard` processes run) digest the churn workload
+/// and the coordinator core merges and certifies every epoch; the table
+/// reports what the wire would carry. Expected shape: digest bytes grow
+/// mildly with K (fixed per-digest counter overhead per shard per
+/// epoch) but stay well under the 5% budget against raw event bytes,
+/// with the certified factor flat across K — partitioning is free
+/// soundness-wise, it only spends wire bytes.
+pub fn e20_cluster(quick: bool) {
+    use dds_cluster::{ClusterConfig, ClusterCore, Frame, WorkerConfig, WorkerState};
+    use dds_sketch::SketchConfig;
+    use dds_stream::{Batch, Event};
+
+    println!(
+        "\n=== E20: cluster digest traffic vs shard count (expected: ratio well under the 5% budget, flat certified factor)"
+    );
+    let (events_len, batch) = if quick {
+        (20_000, 1_000)
+    } else {
+        (100_000, 1_000)
+    };
+    let stream = crate::stream_workloads::churn(400, 4_000, (32, 32), events_len, 0xDD5);
+    let raw_bytes: u64 = stream
+        .iter()
+        .map(|ev| {
+            let (sign, u, v) = match ev.event {
+                Event::Insert(u, v) => ('+', u, v),
+                Event::Delete(u, v) => ('-', u, v),
+            };
+            format!("{} {sign} {u} {v}\n", ev.time).len() as u64
+        })
+        .sum();
+    println!(
+        "{} events ({raw_bytes} raw B), batch = {batch}, state bound = 250/shard",
+        stream.len(),
+    );
+
+    let mut t = Table::new(
+        "digest traffic vs shard count",
+        &[
+            "K",
+            "epochs",
+            "digest_B",
+            "ratio",
+            "refreshes",
+            "escalated",
+            "max_cert",
+            "wall",
+        ],
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let config = ClusterConfig {
+            shards,
+            batch,
+            refresh_drift: 0.25,
+            sketch: SketchConfig {
+                state_bound: 250,
+                ..SketchConfig::default()
+            },
+        };
+        let mut core = ClusterCore::new(config);
+        let mut workers: Vec<WorkerState> = (0..shards)
+            .map(|shard| {
+                let mut w = WorkerState::new(WorkerConfig {
+                    shard,
+                    shards,
+                    batch,
+                    sketch: config.sketch,
+                });
+                w.sync_baseline();
+                w
+            })
+            .collect();
+        let mut max_factor = 1.0f64;
+        let mut epochs = 0u64;
+        let ((), wall) = time(|| {
+            for chunk in stream.chunks(batch) {
+                let b = Batch::from_events(chunk.to_vec());
+                for worker in &mut workers {
+                    let tallies = worker.apply_batch(&b);
+                    let digest = worker.digest(tallies, 0, 0, false);
+                    let payload = Frame::Digest(digest.clone()).encode().len() as u64;
+                    core.offer(digest, payload).expect("offer digest");
+                }
+                let epoch = core
+                    .seal_next(false)
+                    .expect("seal")
+                    .expect("complete frontier");
+                max_factor = max_factor.max(epoch.certified_factor());
+                epochs += 1;
+            }
+        });
+        assert_eq!(core.degraded_seals(), 0, "strict merge must never degrade");
+        t.row(vec![
+            shards.to_string(),
+            epochs.to_string(),
+            core.digest_bytes().to_string(),
+            format!(
+                "{:.3}%",
+                core.digest_bytes() as f64 * 100.0 / raw_bytes as f64
+            ),
+            core.refreshes().to_string(),
+            core.escalations().to_string(),
+            format!("{max_factor:.3}"),
+            fmt_duration(wall),
+        ]);
+    }
+    println!("{}", t.render());
+    t.write_csv("e20_cluster");
 }
 
 #[cfg(test)]

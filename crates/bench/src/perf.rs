@@ -2,8 +2,8 @@
 //!
 //! `dds-bench full [--quick] [--dir D]` measures the perf-tracked
 //! experiments (the streaming suite E12–E16, the worker-pool exact
-//! kernel E17, the query-serving tier E18, and the admin introspection
-//! plane E19) and writes one
+//! kernel E17, the query-serving tier E18, the admin introspection
+//! plane E19, and the cross-process cluster tier E20) and writes one
 //! `BENCH_<EXP>.json` per
 //! experiment; `dds-bench compare [--dir D]` re-measures each experiment
 //! in the mode its committed baseline records and diffs the counters,
@@ -27,7 +27,9 @@ use crate::report::time;
 use crate::{stream_workloads, workloads};
 
 /// The experiments `full`/`compare` cover, in order.
-pub const EXPERIMENTS: [&str; 8] = ["e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19"];
+pub const EXPERIMENTS: [&str; 9] = [
+    "e12", "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
+];
 
 /// Relative tolerance on deterministic counters when comparing runs.
 /// The streams are seeded and the engines deterministic, so counters
@@ -48,7 +50,7 @@ pub const WALL_SLACK_MS: u64 = 1_000;
 /// One experiment's measured perf record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
-    /// Experiment id (`e12`…`e19`).
+    /// Experiment id (`e12`…`e20`).
     pub exp: String,
     /// Workload mode: `quick` or `full`.
     pub mode: String,
@@ -187,7 +189,8 @@ pub fn measure(exp: &str, quick: bool) -> BenchRecord {
         "e17" => measure_e17(quick),
         "e18" => measure_e18(quick),
         "e19" => measure_e19(quick),
-        other => panic!("unknown experiment {other:?} (expected e12..e19)"),
+        "e20" => measure_e20(quick),
+        other => panic!("unknown experiment {other:?} (expected e12..e20)"),
     };
     BenchRecord {
         exp: exp.to_string(),
@@ -622,6 +625,101 @@ fn measure_e19(quick: bool) -> Measurement {
             ("resolves", engine.resolves()),
         ]),
         factor_map([("max_certified", max_factor)]),
+    )
+}
+
+/// E20 — the cross-process cluster tier, measured through its
+/// deterministic merge core: K = 4 worker state machines digest the E16
+/// churn workload batch by batch and the coordinator core folds, seals,
+/// and certifies every epoch exactly as the TCP runtime does (the
+/// `cluster_oracle` integration test pins the two byte-identical). Every
+/// counter is deterministic — seeded stream, canonical digest encoding —
+/// including `digest_bytes`, the cluster's wire-cost claim:
+/// `factor.digest_ratio` is per-epoch digest payload over raw
+/// event-file bytes, the number the ISSUE budgets at 5%.
+fn measure_e20(quick: bool) -> Measurement {
+    use dds_cluster::{ClusterConfig, ClusterCore, Frame, WorkerConfig, WorkerState};
+
+    const SHARDS: usize = 4;
+    // The cluster's operating point: 1 000-event epochs amortise the
+    // fixed per-digest counter block under the 5% wire budget.
+    const BATCH: usize = 1_000;
+    let events = stream_workloads::churn(
+        400,
+        4_000,
+        (32, 32),
+        if quick { 20_000 } else { 100_000 },
+        0xDD5,
+    );
+    // The raw-byte denominator: what each event costs in the on-disk
+    // format workers tail (`{time} + {u} {v}\n`).
+    let line_bytes = |ev: &dds_stream::TimedEvent| -> u64 {
+        let (sign, u, v) = match ev.event {
+            Event::Insert(u, v) => ('+', u, v),
+            Event::Delete(u, v) => ('-', u, v),
+        };
+        format!("{} {sign} {u} {v}\n", ev.time).len() as u64
+    };
+    let config = ClusterConfig {
+        shards: SHARDS,
+        batch: BATCH,
+        refresh_drift: 0.25,
+        sketch: SketchConfig {
+            state_bound: 250,
+            ..SketchConfig::default()
+        },
+    };
+    let mut core = ClusterCore::new(config);
+    let mut workers: Vec<WorkerState> = (0..SHARDS)
+        .map(|shard| {
+            let mut w = WorkerState::new(WorkerConfig {
+                shard,
+                shards: SHARDS,
+                batch: BATCH,
+                sketch: config.sketch,
+            });
+            w.sync_baseline(); // mirror the fresh handshake: digests are deltas
+            w
+        })
+        .collect();
+    let mut max_factor = 1.0f64;
+    let mut cursor = 0u64;
+    let (epochs, wall) = time(|| {
+        let mut epochs = 0u64;
+        for chunk in events.chunks(BATCH) {
+            let batch = Batch::from_events(chunk.to_vec());
+            cursor += chunk.iter().map(line_bytes).sum::<u64>();
+            for worker in &mut workers {
+                let tallies = worker.apply_batch(&batch);
+                let digest = worker.digest(tallies, cursor, 0, false);
+                let payload = Frame::Digest(digest.clone()).encode().len() as u64;
+                core.offer(digest, payload).expect("offer digest");
+            }
+            let epoch = core
+                .seal_next(false)
+                .expect("seal")
+                .expect("the frontier is complete, the epoch must seal");
+            max_factor = max_factor.max(epoch.certified_factor());
+            epochs += 1;
+        }
+        epochs
+    });
+    assert_eq!(core.degraded_seals(), 0, "strict in-process merge degraded");
+    (
+        wall.as_millis() as u64,
+        counter_map([
+            ("epochs", epochs),
+            ("refreshes", core.refreshes()),
+            ("escalations", core.escalations()),
+            ("digest_bytes", core.digest_bytes()),
+        ]),
+        factor_map([
+            ("max_certified", max_factor),
+            (
+                "digest_ratio",
+                core.digest_bytes() as f64 / core.max_cursor() as f64,
+            ),
+        ]),
     )
 }
 

@@ -30,6 +30,8 @@ pub enum CliError {
     Stream(dds_stream::StreamError),
     /// Failure reading/writing an engine snapshot.
     Snapshot(dds_stream::SnapshotError),
+    /// Cluster wire-protocol or digest-merge failure.
+    Cluster(dds_cluster::WireError),
     /// Output stream failure.
     Io(std::io::Error),
 }
@@ -41,6 +43,7 @@ impl fmt::Display for CliError {
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Stream(e) => write!(f, "{e}"),
             CliError::Snapshot(e) => write!(f, "{e}"),
+            CliError::Cluster(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -67,6 +70,12 @@ impl From<dds_graph::GraphError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<dds_cluster::WireError> for CliError {
+    fn from(e: dds_cluster::WireError) -> Self {
+        CliError::Cluster(e)
     }
 }
 
@@ -106,6 +115,18 @@ const USAGE: &str = "usage:
                TCP, one line each, from an immutable snapshot published once per sealed epoch — readers never
                block on ingestion; --shards K ingests through the sharded engine, --core/--topk enable
                the derived query types; --listen 127.0.0.1:0 picks a free port and prints it)
+  dds cluster-shard <event-file> --connect ADDR --shard-id I/K [--batch N] [--bound B] [--seed S]
+              [--poll-ms P] [--idle-ms T] [--checkpoint FILE [--compact-every E]] [--resume]
+              (one cluster worker process: ingest the I-th edge partition of the shared event file and ship
+               per-epoch digests to the coordinator at ADDR; --checkpoint maintains an incremental DDSD delta
+               chain and --resume restores from it, re-admitting through the digest-cursor handshake)
+  dds cluster-coordinator --listen ADDR --shards K [--batch N] [--bound B] [--seed S] [--drift F]
+              [--straggler-ms T] [--log-every K] [--serve ADDR [--readers R]]
+              [--metrics FILE [--metrics-every E]] [--trace FILE] [--admin ADDR] [--slow-us N]
+              (merge K workers' digests into globally certified epochs; --straggler-ms forces sound but wider
+               degraded seals when a shard lags past T ms; --serve publishes each sealed epoch to the query
+               tier (DENSITY/MEMBER/STATS); --admin adds a per-shard shards[] array to /status;
+               --listen 127.0.0.1:0 picks a free port and prints it)
   dds trace-report <trace-jsonl> [--folded FILE]
               (aggregate a --trace file into a per-span count/total/self-time table; --folded also writes
                flamegraph-ready folded stacks — weights are self-µs for timed traces, span counts otherwise)
@@ -133,6 +154,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         Some("sketch") => cmd_sketch(&mut it, out),
         Some("shard") => cmd_shard(&mut it, out),
         Some("serve") => cmd_serve(&mut it, out),
+        Some("cluster-shard") => cmd_cluster_shard(&mut it, out),
+        Some("cluster-coordinator") => cmd_cluster_coordinator(&mut it, out),
         Some("trace-report") => cmd_trace_report(&mut it, out),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -2412,6 +2435,368 @@ fn serve_shard(
     Ok(())
 }
 
+/// `dds cluster-shard`: one worker process of the cross-process sharded
+/// tier. Ingests its routed partition of the shared event file, ships
+/// per-epoch digests to the coordinator over the DDSC wire protocol,
+/// and (with `--checkpoint`) maintains an incremental DDSD delta chain
+/// it can `--resume` from after a crash — re-admission goes through the
+/// digest-cursor handshake, so nothing is double-counted.
+fn cmd_cluster_shard<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let path = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing <event-file> path".into()))?;
+    let mut connect: Option<String> = None;
+    let mut shard_id: Option<(usize, usize)> = None;
+    let mut batch = 100usize;
+    let mut bound = SketchConfig::default().state_bound;
+    let mut seed = SketchConfig::default().seed;
+    let mut poll_ms = 20u64;
+    let mut idle_ms = 2000u64;
+    let mut checkpoint: Option<String> = None;
+    let mut compact_every = 8u32;
+    let mut resume = false;
+    while let Some(flag) = it.next() {
+        match flag {
+            "--connect" => connect = Some(parse_flag_value("--connect", it.next())?),
+            "--shard-id" => {
+                let v: String = parse_flag_value("--shard-id", it.next())?;
+                let (i, k) = v
+                    .split_once('/')
+                    .ok_or_else(|| CliError::Usage("--shard-id expects I/K".into()))?;
+                let i: usize = i
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad shard index {i:?}")))?;
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad shard count {k:?}")))?;
+                if k == 0 || i >= k {
+                    return Err(CliError::Usage(format!(
+                        "--shard-id {i}/{k} is out of range (need I < K)"
+                    )));
+                }
+                shard_id = Some((i, k));
+            }
+            "--batch" => {
+                batch = parse_flag_value("--batch", it.next())?;
+                if batch == 0 {
+                    return Err(CliError::Usage("--batch must be positive".into()));
+                }
+            }
+            "--bound" => {
+                bound = parse_flag_value("--bound", it.next())?;
+                if bound == 0 {
+                    return Err(CliError::Usage("--bound must be positive".into()));
+                }
+            }
+            "--seed" => seed = parse_flag_value("--seed", it.next())?,
+            "--poll-ms" => {
+                poll_ms = parse_flag_value("--poll-ms", it.next())?;
+                if poll_ms == 0 {
+                    return Err(CliError::Usage("--poll-ms must be positive".into()));
+                }
+            }
+            "--idle-ms" => {
+                idle_ms = parse_flag_value("--idle-ms", it.next())?;
+                if idle_ms == 0 {
+                    return Err(CliError::Usage("--idle-ms must be positive".into()));
+                }
+            }
+            "--checkpoint" => checkpoint = Some(parse_flag_value("--checkpoint", it.next())?),
+            "--compact-every" => compact_every = parse_flag_value("--compact-every", it.next())?,
+            "--resume" => resume = true,
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let connect = connect
+        .ok_or_else(|| CliError::Usage("dds cluster-shard requires --connect ADDR".into()))?;
+    let (shard, shards) = shard_id
+        .ok_or_else(|| CliError::Usage("dds cluster-shard requires --shard-id I/K".into()))?;
+    if checkpoint.is_none() && resume {
+        return Err(CliError::Usage("--resume requires --checkpoint".into()));
+    }
+    let config = dds_cluster::WorkerConfig {
+        shard,
+        shards,
+        batch,
+        sketch: SketchConfig {
+            state_bound: bound,
+            seed,
+            ..SketchConfig::default()
+        },
+    };
+    let opts = dds_cluster::WorkerOptions {
+        poll: std::time::Duration::from_millis(poll_ms),
+        idle_exit: Some(std::time::Duration::from_millis(idle_ms)),
+        checkpoint: checkpoint.map(std::path::PathBuf::from),
+        compact_every,
+        resume,
+    };
+    writeln!(
+        out,
+        "shard {shard}/{shards} ingesting {path} for {connect} (batch {batch}, bound {bound})"
+    )?;
+    let summary = dds_cluster::run_worker(config, std::path::Path::new(path), &connect, &opts)?;
+    writeln!(out, "{summary}")?;
+    Ok(())
+}
+
+/// `dds cluster-coordinator`: the merge side of the cross-process tier.
+/// Accepts K worker connections, folds their digests into per-slot
+/// replicas, and seals one certified epoch per global batch — degrading
+/// soundly (wider bracket, stale shard named) when `--straggler-ms`
+/// expires on a laggard. `--serve` republishes every sealed epoch to
+/// the `dds serve` query tier; `--admin` exposes the per-shard lag on
+/// `/status` and `dds_cluster_shard_lag_epochs` gauges.
+fn cmd_cluster_coordinator<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut listen: Option<String> = None;
+    let mut shards = 0usize;
+    let mut batch = 100usize;
+    let mut bound = SketchConfig::default().state_bound;
+    let mut seed = SketchConfig::default().seed;
+    let mut drift = 0.25f64;
+    let mut straggler_ms: Option<u64> = None;
+    let mut log_every = 0u64;
+    let mut serve_addr: Option<String> = None;
+    let mut readers: Option<usize> = None;
+    let mut obs = ObsFlags::default();
+    while let Some(flag) = it.next() {
+        if obs.parse(flag, it)? {
+            continue;
+        }
+        match flag {
+            "--listen" => listen = Some(parse_flag_value("--listen", it.next())?),
+            "--shards" => {
+                shards = parse_flag_value("--shards", it.next())?;
+                if shards == 0 {
+                    return Err(CliError::Usage("--shards must be positive".into()));
+                }
+            }
+            "--batch" => {
+                batch = parse_flag_value("--batch", it.next())?;
+                if batch == 0 {
+                    return Err(CliError::Usage("--batch must be positive".into()));
+                }
+            }
+            "--bound" => {
+                bound = parse_flag_value("--bound", it.next())?;
+                if bound == 0 {
+                    return Err(CliError::Usage("--bound must be positive".into()));
+                }
+            }
+            "--seed" => seed = parse_flag_value("--seed", it.next())?,
+            "--drift" => {
+                drift = parse_flag_value("--drift", it.next())?;
+                if drift.is_nan() || drift <= 0.0 {
+                    return Err(CliError::Usage("--drift must be positive".into()));
+                }
+            }
+            "--straggler-ms" => {
+                let ms: u64 = parse_flag_value("--straggler-ms", it.next())?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--straggler-ms must be positive".into()));
+                }
+                straggler_ms = Some(ms);
+            }
+            "--log-every" => log_every = parse_flag_value("--log-every", it.next())?,
+            "--serve" => serve_addr = Some(parse_flag_value("--serve", it.next())?),
+            "--readers" => {
+                let r: usize = parse_flag_value("--readers", it.next())?;
+                if r == 0 {
+                    return Err(CliError::Usage("--readers must be positive".into()));
+                }
+                readers = Some(r);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let listen = listen
+        .ok_or_else(|| CliError::Usage("dds cluster-coordinator requires --listen ADDR".into()))?;
+    if shards == 0 {
+        return Err(CliError::Usage(
+            "dds cluster-coordinator requires --shards K".into(),
+        ));
+    }
+    if serve_addr.is_none() && readers.is_some() {
+        return Err(CliError::Usage("--readers requires --serve".into()));
+    }
+    obs.validate()?;
+    let registry = obs.registry();
+    let tracer = obs.tracer()?;
+    let admin = obs.admin_rig(out, "cluster", registry.as_ref(), &tracer)?;
+    let config = dds_cluster::ClusterConfig {
+        shards,
+        batch,
+        refresh_drift: drift,
+        sketch: SketchConfig {
+            state_bound: bound,
+            seed,
+            ..SketchConfig::default()
+        },
+    };
+    // The coordinator holds sample replicas, not the full graph, so the
+    // query tier serves the snapshot-backed types only (DENSITY / MEMBER
+    // / STATS) — no --core/--topk, and the publisher therefore never
+    // asks us to materialize.
+    let serve_rig = match &serve_addr {
+        Some(addr) => Some(ServeRig::start(
+            out,
+            &ServeOpts {
+                listen: addr.clone(),
+                readers: readers.unwrap_or(4),
+                core: None,
+                top_k: 0,
+            },
+            registry.as_ref(),
+            admin.as_ref(),
+        )?),
+        None => None,
+    };
+    let mut publisher = serve_rig.as_ref().map(|rig| {
+        Publisher::new(
+            std::sync::Arc::clone(&rig.cell),
+            PublishOptions {
+                core: None,
+                top_k: 0,
+            },
+            std::sync::Arc::clone(&rig.metrics),
+        )
+    });
+    let listener = std::net::TcpListener::bind(&listen).map_err(|e| {
+        CliError::Io(std::io::Error::new(
+            e.kind(),
+            format!("binding coordinator listener on {listen}: {e}"),
+        ))
+    })?;
+    writeln!(
+        out,
+        "coordinating {shards} shards on {} (batch {batch}, bound {bound}{})",
+        listener.local_addr()?,
+        straggler_ms.map_or_else(
+            || ", strict seals".to_string(),
+            |ms| format!(", straggler limit {ms} ms")
+        ),
+    )?;
+    writeln!(
+        out,
+        "epoch      m    density      [lower, upper]      factor  mode"
+    )?;
+    let opts = dds_cluster::CoordinatorOptions {
+        straggler: straggler_ms.map(std::time::Duration::from_millis),
+        registry: registry.clone(),
+        status: admin.as_ref().map(|rig| std::sync::Arc::clone(&rig.board)),
+    };
+    let sink = obs.sink(registry.as_ref());
+    let mut deferred: Option<CliError> = None;
+    let started = std::time::Instant::now();
+    let report = dds_cluster::run_coordinator(config, listener, &opts, |epoch| {
+        if deferred.is_some() {
+            return;
+        }
+        let mode = if epoch.degraded {
+            Some(format!(
+                "DEGRADED ({} fresh, stale {:?})",
+                epoch.fresh, epoch.stale
+            ))
+        } else if epoch.refreshed {
+            Some(format!(
+                "MERGED REFRESH (retained {}, level {})",
+                epoch.retained, epoch.merged_level
+            ))
+        } else {
+            None
+        };
+        if mode.is_some() || (log_every > 0 && epoch.epoch.is_multiple_of(log_every)) {
+            let mode = mode.as_deref().unwrap_or("incremental");
+            if let Err(e) = writeln!(
+                out,
+                "{:>5} {:>6}   {:>8.4}   [{:>8.4}, {:>8.4}]   {:>6.3}  {mode}",
+                epoch.epoch,
+                epoch.m,
+                epoch.lower,
+                epoch.lower,
+                epoch.upper,
+                epoch.certified_factor(),
+            ) {
+                deferred = Some(e.into());
+            }
+        }
+        if let Some(publisher) = publisher.as_mut() {
+            publisher.publish(
+                EpochFacts {
+                    epoch: epoch.epoch,
+                    n: epoch.n as usize,
+                    m: epoch.m,
+                    density: epoch.lower,
+                    lower: epoch.lower,
+                    upper: epoch.upper,
+                    witness: epoch.witness.as_ref(),
+                    resolved: epoch.refreshed,
+                },
+                || unreachable!("no derived query types are configured"),
+            );
+        }
+        if let Some(sink) = &sink {
+            if epoch.epoch.is_multiple_of(sink.every) {
+                if let Err(e) = sink.refresh() {
+                    deferred = Some(e.into());
+                }
+            }
+        }
+    })?;
+    if let Some(e) = deferred {
+        return Err(e);
+    }
+    let elapsed = started.elapsed();
+    writeln!(out)?;
+    writeln!(
+        out,
+        "sealed {} epochs ({elapsed:.2?}): {} degraded, {} merged refreshes ({} escalated)",
+        report.epochs, report.degraded, report.refreshes, report.escalations,
+    )?;
+    let pct = if report.raw_bytes > 0 {
+        100.0 * report.digest_bytes as f64 / report.raw_bytes as f64
+    } else {
+        0.0
+    };
+    writeln!(
+        out,
+        "digest traffic {} B over {} raw event bytes ({pct:.2}%)",
+        report.digest_bytes, report.raw_bytes,
+    )?;
+    if let Some(last) = &report.last {
+        writeln!(
+            out,
+            "final bracket [{:.4}, {:.4}] over n = {}, m = {}, retained {}",
+            last.lower, last.upper, last.n, last.m, last.retained,
+        )?;
+        if let Some(pair) = &last.witness {
+            writeln!(
+                out,
+                "witness |S| = {}, |T| = {}",
+                pair.s().len(),
+                pair.t().len()
+            )?;
+        }
+    }
+    if let Some(sink) = &sink {
+        sink.finish(out)?;
+    }
+    if let Some(rig) = serve_rig {
+        rig.finish(out)?;
+    }
+    if let Some(rig) = &admin {
+        rig.finish(out)?;
+    }
+    tracer.flush()?;
+    Ok(())
+}
+
 /// `dds sketch`: standalone sublinear-sketch replay. A full
 /// [`DynamicGraph`] mirror canonicalises the event file (the sketch's
 /// turnstile contract: only *applied* mutations reach it — in production
@@ -3000,6 +3385,270 @@ mod tests {
             vec!["shard", &path, "--resume"],
             vec!["shard", &path, "--poll-ms", "50"],
             vec!["shard", &path, "--frobnicate"],
+        ] {
+            assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_resume_rejects_mismatched_identity() {
+        let path = temp_events();
+        let ck = std::env::temp_dir().join(format!(
+            "dds_cli_shard_idck_{}_{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let ck_str = ck.to_string_lossy().into_owned();
+        run_ok(&[
+            "shard",
+            &path,
+            "--shards",
+            "2",
+            "--batch",
+            "2",
+            "--checkpoint",
+            &ck_str,
+        ]);
+        // Resuming under a different shard count must fail loudly: edge
+        // routing is derived from it, so a silent resume would re-hash
+        // edges onto different shards.
+        let err = run_err(&[
+            "shard",
+            &path,
+            "--shards",
+            "3",
+            "--batch",
+            "2",
+            "--checkpoint",
+            &ck_str,
+            "--resume",
+        ]);
+        let msg = err.to_string();
+        assert!(msg.contains("checkpoint identity mismatch"), "{msg}");
+        assert!(msg.contains("shard count"), "{msg}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ck).ok();
+    }
+
+    /// An output sink the test can inspect while the command still runs
+    /// — how the cluster tests learn the coordinator's bound port.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+        }
+    }
+
+    #[test]
+    fn cluster_round_trip_certifies_over_tcp() {
+        let path = temp_events();
+        let ckdir = std::env::temp_dir().join(format!(
+            "dds_cli_cluster_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&ckdir).unwrap();
+        let ck = ckdir.join("shard0.snap").to_string_lossy().into_owned();
+
+        let coord_out = SharedBuf::default();
+        let coordinator = {
+            let mut sink = coord_out.clone();
+            std::thread::spawn(move || {
+                let args: Vec<String> = [
+                    "cluster-coordinator",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--shards",
+                    "2",
+                    "--batch",
+                    "2",
+                    "--straggler-ms",
+                    "5000",
+                    "--log-every",
+                    "1",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+                run(&args, &mut sink).expect("coordinator should succeed");
+            })
+        };
+        // The coordinator prints its resolved address before accepting.
+        let addr = loop {
+            let text = coord_out.contents();
+            if let Some(line) = text.lines().find(|l| l.starts_with("coordinating")) {
+                let addr = line
+                    .split(" on ")
+                    .nth(1)
+                    .and_then(|rest| rest.split(' ').next())
+                    .expect("address in the banner");
+                break addr.to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let workers: Vec<_> = (0..2)
+            .map(|k| {
+                let path = path.clone();
+                let addr = addr.clone();
+                let ck = ck.clone();
+                std::thread::spawn(move || {
+                    let mut args = vec![
+                        "cluster-shard".to_string(),
+                        path,
+                        "--connect".to_string(),
+                        addr,
+                        "--shard-id".to_string(),
+                        format!("{k}/2"),
+                        "--batch".to_string(),
+                        "2".to_string(),
+                        "--idle-ms".to_string(),
+                        "300".to_string(),
+                    ];
+                    if k == 0 {
+                        args.push("--checkpoint".to_string());
+                        args.push(ck);
+                    }
+                    let mut buf = Vec::new();
+                    run(&args, &mut buf).expect("worker should succeed");
+                    String::from_utf8(buf).unwrap()
+                })
+            })
+            .collect();
+        for (k, worker) in workers.into_iter().enumerate() {
+            let out = worker.join().unwrap();
+            assert!(out.contains(&format!("shard {k} epoch 3")), "{out}");
+        }
+        coordinator.join().unwrap();
+        let out = coord_out.contents();
+        assert!(out.contains("sealed 3 epochs"), "{out}");
+        assert!(out.contains("0 degraded"), "{out}");
+        assert!(out.contains("MERGED REFRESH"), "{out}");
+        assert!(out.contains("digest traffic"), "{out}");
+
+        // Satellite: resuming the worker checkpoint under different
+        // identity flags fails before it ever dials the coordinator.
+        let err = run_err(&[
+            "cluster-shard",
+            &path,
+            "--connect",
+            "127.0.0.1:9",
+            "--shard-id",
+            "0/2",
+            "--batch",
+            "7",
+            "--checkpoint",
+            &ck,
+            "--resume",
+        ]);
+        let msg = err.to_string();
+        assert!(msg.contains("checkpoint identity mismatch"), "{msg}");
+        assert!(
+            msg.contains("batch size (checkpoint 2, requested 7)"),
+            "{msg}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&ckdir).ok();
+    }
+
+    #[test]
+    fn cluster_usage_errors() {
+        let path = temp_events();
+        for bad in [
+            vec!["cluster-shard"],
+            vec!["cluster-shard", &path],
+            vec!["cluster-shard", &path, "--connect", "x:1"],
+            vec![
+                "cluster-shard",
+                &path,
+                "--connect",
+                "x:1",
+                "--shard-id",
+                "3",
+            ],
+            vec![
+                "cluster-shard",
+                &path,
+                "--connect",
+                "x:1",
+                "--shard-id",
+                "2/2",
+            ],
+            vec![
+                "cluster-shard",
+                &path,
+                "--connect",
+                "x:1",
+                "--shard-id",
+                "0/0",
+            ],
+            vec![
+                "cluster-shard",
+                &path,
+                "--connect",
+                "x:1",
+                "--shard-id",
+                "0/2",
+                "--resume",
+            ],
+            vec![
+                "cluster-shard",
+                &path,
+                "--connect",
+                "x:1",
+                "--shard-id",
+                "0/2",
+                "--batch",
+                "0",
+            ],
+            vec!["cluster-coordinator", "--shards", "2"],
+            vec!["cluster-coordinator", "--listen", "127.0.0.1:0"],
+            vec![
+                "cluster-coordinator",
+                "--listen",
+                "127.0.0.1:0",
+                "--shards",
+                "0",
+            ],
+            vec![
+                "cluster-coordinator",
+                "--listen",
+                "127.0.0.1:0",
+                "--shards",
+                "2",
+                "--straggler-ms",
+                "0",
+            ],
+            vec![
+                "cluster-coordinator",
+                "--listen",
+                "127.0.0.1:0",
+                "--shards",
+                "2",
+                "--readers",
+                "4",
+            ],
+            vec![
+                "cluster-coordinator",
+                "--listen",
+                "127.0.0.1:0",
+                "--shards",
+                "2",
+                "--nope",
+            ],
         ] {
             assert!(matches!(run_err(&bad), CliError::Usage(_)), "{bad:?}");
         }

@@ -1,0 +1,541 @@
+//! DDSC v1 — the length-prefixed digest wire format between cluster
+//! workers and the coordinator.
+//!
+//! A connection opens with a fixed preamble (`"DDSC"` magic + `u32` LE
+//! version, mirroring the DDSS snapshot header discipline: unknown
+//! versions are rejected up front, never skipped over). After the
+//! preamble the stream is a sequence of *frames*: a `u32` LE payload
+//! length followed by the payload, whose first byte is the frame kind.
+//! All integers inside payloads are unsigned LEB128 varints — digests
+//! are dominated by small per-epoch deltas, so varints are what keep
+//! digest traffic a few percent of the raw event bytes.
+//!
+//! Frame kinds:
+//!
+//! | kind | frame      | direction            |
+//! |------|------------|----------------------|
+//! | 1    | `Hello`    | worker → coordinator |
+//! | 2    | `HelloAck` | coordinator → worker |
+//! | 3    | `Digest`   | worker → coordinator |
+//! | 4    | `Bye`      | worker → coordinator |
+//!
+//! Encoding is **canonical**: a [`ShardDigest`]'s edge lists are sorted
+//! before writing, so the same logical digest always serialises to the
+//! same bytes — this is what makes the digest-traffic byte counters
+//! deterministic across runs and lets the cluster oracle compare a TCP
+//! coordinator against an in-process one byte for byte.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use dds_graph::VertexId;
+
+/// Connection preamble magic.
+pub const WIRE_MAGIC: [u8; 4] = *b"DDSC";
+/// Wire format version; bump on any layout change.
+pub const WIRE_VERSION: u32 = 1;
+/// Upper bound on a single frame's payload, as a corruption backstop —
+/// far above any real digest (a full-sample rebase at the default state
+/// bound is a few tens of kilobytes).
+pub const MAX_FRAME_BYTES: u32 = 1 << 26;
+
+/// Errors crossing the cluster wire (and the worker/coordinator logic
+/// built on it).
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file I/O failed.
+    Io(io::Error),
+    /// The peer violated the protocol (bad magic, unknown version or
+    /// kind, malformed payload, or a digest the merge logic rejects).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "cluster wire i/o: {e}"),
+            WireError::Protocol(msg) => write!(f, "cluster protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn protocol(msg: impl Into<String>) -> WireError {
+    WireError::Protocol(msg.into())
+}
+
+/// Appends `value` as an unsigned LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A cursor over a frame payload that decodes varints and enforces
+/// exact consumption.
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        PayloadReader { bytes, pos: 0 }
+    }
+
+    /// Decodes one unsigned LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| protocol("truncated varint"))?;
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(protocol("varint overflows u64"));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Decodes a varint that must fit `u32`.
+    pub fn varint_u32(&mut self) -> Result<u32, WireError> {
+        u32::try_from(self.varint()?).map_err(|_| protocol("varint exceeds u32"))
+    }
+
+    /// Rejects any unconsumed trailing bytes.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(protocol(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_edges(out: &mut Vec<u8>, edges: &[(VertexId, VertexId)]) {
+    put_varint(out, edges.len() as u64);
+    for &(u, v) in edges {
+        put_varint(out, u64::from(u));
+        put_varint(out, u64::from(v));
+    }
+}
+
+fn take_edges(r: &mut PayloadReader<'_>) -> Result<Vec<(VertexId, VertexId)>, WireError> {
+    let count = r.varint()?;
+    let count = usize::try_from(count).map_err(|_| protocol("edge count exceeds usize"))?;
+    if count > MAX_FRAME_BYTES as usize {
+        return Err(protocol("edge list longer than the frame could hold"));
+    }
+    let mut edges = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        edges.push((r.varint_u32()?, r.varint_u32()?));
+    }
+    Ok(edges)
+}
+
+/// A worker's opening frame: its identity (slot, topology, admission
+/// seed, state bound, batch size) plus the epoch its checkpoint replayed
+/// to, so the coordinator can compute where digest shipping resumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// This worker's shard slot, `0..shards`.
+    pub shard: u32,
+    /// Total shard count `K` the worker was launched with.
+    pub shards: u32,
+    /// Edge-routing / sample-admission seed.
+    pub seed: u64,
+    /// Per-shard sketch state bound.
+    pub state_bound: u64,
+    /// Events per epoch (global batch size `B`).
+    pub batch: u64,
+    /// The epoch the worker's local state currently sits at (0 when
+    /// starting fresh).
+    pub last_epoch: u64,
+}
+
+/// One shard's per-epoch digest: exact counter summary, sample delta
+/// since the last shipped epoch, and lag health.
+///
+/// Counters are *absolute* (live `m`, degree maxima with their
+/// count-of-counts multiplicity, cumulative sample mutations) — the
+/// coordinator overwrites, never accumulates them, which is what makes
+/// a rebase digest (`rebase = true`, `added` = the full retained set)
+/// indistinguishable from a fresh fold. Only the edge lists are deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardDigest {
+    /// Shard slot this digest is from.
+    pub shard: u32,
+    /// Global epoch this digest seals on the worker.
+    pub epoch: u64,
+    /// When set, `added` is the worker's **entire** retained set and the
+    /// coordinator replaces its replica wholesale (restart recovery).
+    pub rebase: bool,
+    /// Events routed to this shard during the epoch.
+    pub events: u64,
+    /// Applied insertions during the epoch.
+    pub inserts: u64,
+    /// Applied deletions during the epoch.
+    pub deletes: u64,
+    /// Ignored events (self-loops, duplicate inserts, absent deletes).
+    pub ignored: u64,
+    /// Vertex-id space size observed by this shard.
+    pub n: u64,
+    /// Live edge count of this shard's partition.
+    pub m: u64,
+    /// Maximum out-degree within the partition.
+    pub out_max: u64,
+    /// How many vertices sit at `out_max` (count-of-counts summary).
+    pub out_mult: u64,
+    /// Maximum in-degree within the partition.
+    pub in_max: u64,
+    /// How many vertices sit at `in_max`.
+    pub in_mult: u64,
+    /// Subsampling level of the worker's retained set.
+    pub level: u32,
+    /// Cumulative retained-set mutations (drift input; resets only when
+    /// the worker restarts, so the coordinator diffs against a baseline).
+    pub mutations: u64,
+    /// Byte offset into the event file just past this epoch.
+    pub cursor: u64,
+    /// Bytes between `cursor` and the end of the event file at send
+    /// time (ingestion lag).
+    pub tail_bytes: u64,
+    /// Edges admitted into the retained set since the last shipped
+    /// epoch (or the whole set when `rebase`).
+    pub added: Vec<(VertexId, VertexId)>,
+    /// Edges dropped from the retained set since the last shipped epoch
+    /// (must be empty when `rebase`).
+    pub dropped: Vec<(VertexId, VertexId)>,
+}
+
+/// One parsed frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker introduction (expects a [`Frame::HelloAck`] back).
+    Hello(Hello),
+    /// Coordinator's answer: the epoch digests should resume *after*.
+    HelloAck {
+        /// Worker ships digests for epochs `> resume_from`.
+        resume_from: u64,
+    },
+    /// One per-epoch digest.
+    Digest(ShardDigest),
+    /// Clean end-of-stream from a worker.
+    Bye {
+        /// Shard slot signing off.
+        shard: u32,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_DIGEST: u8 = 3;
+const KIND_BYE: u8 = 4;
+
+impl Frame {
+    /// Serialises the frame payload (kind byte + body, no length
+    /// prefix). Digest edge lists are sorted first: encoding is
+    /// canonical.
+    #[must_use]
+    pub fn encode(mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &mut self {
+            Frame::Hello(h) => {
+                out.push(KIND_HELLO);
+                put_varint(&mut out, u64::from(h.shard));
+                put_varint(&mut out, u64::from(h.shards));
+                put_varint(&mut out, h.seed);
+                put_varint(&mut out, h.state_bound);
+                put_varint(&mut out, h.batch);
+                put_varint(&mut out, h.last_epoch);
+            }
+            Frame::HelloAck { resume_from } => {
+                out.push(KIND_HELLO_ACK);
+                put_varint(&mut out, *resume_from);
+            }
+            Frame::Digest(d) => {
+                d.added.sort_unstable();
+                d.dropped.sort_unstable();
+                out.push(KIND_DIGEST);
+                put_varint(&mut out, u64::from(d.shard));
+                put_varint(&mut out, d.epoch);
+                out.push(u8::from(d.rebase));
+                put_varint(&mut out, d.events);
+                put_varint(&mut out, d.inserts);
+                put_varint(&mut out, d.deletes);
+                put_varint(&mut out, d.ignored);
+                put_varint(&mut out, d.n);
+                put_varint(&mut out, d.m);
+                put_varint(&mut out, d.out_max);
+                put_varint(&mut out, d.out_mult);
+                put_varint(&mut out, d.in_max);
+                put_varint(&mut out, d.in_mult);
+                put_varint(&mut out, u64::from(d.level));
+                put_varint(&mut out, d.mutations);
+                put_varint(&mut out, d.cursor);
+                put_varint(&mut out, d.tail_bytes);
+                put_edges(&mut out, &d.added);
+                put_edges(&mut out, &d.dropped);
+            }
+            Frame::Bye { shard } => {
+                out.push(KIND_BYE);
+                put_varint(&mut out, u64::from(*shard));
+            }
+        }
+        out
+    }
+
+    /// Parses one frame payload, rejecting unknown kinds and trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let (&kind, body) = payload
+            .split_first()
+            .ok_or_else(|| protocol("empty frame"))?;
+        let mut r = PayloadReader::new(body);
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello(Hello {
+                shard: r.varint_u32()?,
+                shards: r.varint_u32()?,
+                seed: r.varint()?,
+                state_bound: r.varint()?,
+                batch: r.varint()?,
+                last_epoch: r.varint()?,
+            }),
+            KIND_HELLO_ACK => Frame::HelloAck {
+                resume_from: r.varint()?,
+            },
+            KIND_DIGEST => {
+                let shard = r.varint_u32()?;
+                let epoch = r.varint()?;
+                let rebase = match r.varint()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(protocol(format!("bad rebase flag {other}"))),
+                };
+                Frame::Digest(ShardDigest {
+                    shard,
+                    epoch,
+                    rebase,
+                    events: r.varint()?,
+                    inserts: r.varint()?,
+                    deletes: r.varint()?,
+                    ignored: r.varint()?,
+                    n: r.varint()?,
+                    m: r.varint()?,
+                    out_max: r.varint()?,
+                    out_mult: r.varint()?,
+                    in_max: r.varint()?,
+                    in_mult: r.varint()?,
+                    level: r.varint_u32()?,
+                    mutations: r.varint()?,
+                    cursor: r.varint()?,
+                    tail_bytes: r.varint()?,
+                    added: take_edges(&mut r)?,
+                    dropped: take_edges(&mut r)?,
+                })
+            }
+            KIND_BYE => Frame::Bye {
+                shard: r.varint_u32()?,
+            },
+            other => return Err(protocol(format!("unknown frame kind {other}"))),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Writes the connection preamble (worker side, immediately after
+/// connecting).
+pub fn write_preamble(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(&WIRE_MAGIC)?;
+    w.write_all(&WIRE_VERSION.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and validates the connection preamble (coordinator side).
+pub fn read_preamble(r: &mut impl Read) -> Result<(), WireError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != WIRE_MAGIC {
+        return Err(protocol("bad preamble magic (not a DDSC connection)"));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != WIRE_VERSION {
+        return Err(protocol(format!(
+            "unsupported DDSC version {version} (this side speaks {WIRE_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Length-prefixes and writes one frame; returns the payload byte count
+/// (the digest-traffic unit the 5 % budget is measured in).
+pub fn write_frame(w: &mut impl Write, frame: Frame) -> Result<u64, WireError> {
+    let payload = frame.encode();
+    let len = u32::try_from(payload.len()).map_err(|_| protocol("frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol("frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(u64::from(len))
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, WireError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((Frame::decode(&payload)?, u64::from(len))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest() -> ShardDigest {
+        ShardDigest {
+            shard: 2,
+            epoch: 17,
+            rebase: false,
+            events: 100,
+            inserts: 80,
+            deletes: 15,
+            ignored: 5,
+            n: 4096,
+            m: 70_000,
+            out_max: 19,
+            out_mult: 3,
+            in_max: 22,
+            in_mult: 1,
+            level: 4,
+            mutations: 9_001,
+            cursor: 123_456,
+            tail_bytes: 789,
+            added: vec![(5, 9), (1, 2), (5, 3)],
+            dropped: vec![(7, 7), (0, 1)],
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_encode_canonically() {
+        let frames = vec![
+            Frame::Hello(Hello {
+                shard: 1,
+                shards: 4,
+                seed: 0x5EED_CA5E,
+                state_bound: 4096,
+                batch: 400,
+                last_epoch: 12,
+            }),
+            Frame::HelloAck { resume_from: 12 },
+            Frame::Digest(digest()),
+            Frame::Bye { shard: 3 },
+        ];
+        for frame in frames {
+            let bytes = frame.clone().encode();
+            let back = Frame::decode(&bytes).expect("round trip");
+            if let (Frame::Digest(orig), Frame::Digest(dec)) = (&frame, &back) {
+                // Edge lists come back sorted regardless of input order.
+                let mut sorted = orig.clone();
+                sorted.added.sort_unstable();
+                sorted.dropped.sort_unstable();
+                assert_eq!(dec, &sorted);
+                // Canonical: shuffled input, identical bytes.
+                let mut shuffled = orig.clone();
+                shuffled.added.reverse();
+                shuffled.dropped.reverse();
+                assert_eq!(Frame::Digest(shuffled).encode(), bytes);
+            } else {
+                assert_eq!(back, frame);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        let d1 = write_frame(&mut buf, Frame::Digest(digest())).unwrap();
+        let d2 = write_frame(&mut buf, Frame::Bye { shard: 2 }).unwrap();
+        assert!(d1 > d2);
+        let mut r = &buf[..];
+        read_preamble(&mut r).unwrap();
+        let (f1, n1) = read_frame(&mut r).unwrap().expect("digest frame");
+        assert!(matches!(f1, Frame::Digest(_)));
+        assert_eq!(n1, d1);
+        let (f2, _) = read_frame(&mut r).unwrap().expect("bye frame");
+        assert_eq!(f2, Frame::Bye { shard: 2 });
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        // Unknown kind.
+        assert!(matches!(Frame::decode(&[99]), Err(WireError::Protocol(_))));
+        // Trailing bytes.
+        let mut bytes = (Frame::Bye { shard: 1 }).encode();
+        bytes.push(0);
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::Protocol(_))));
+        // Truncated digest.
+        let digest_bytes = Frame::Digest(digest()).encode();
+        assert!(Frame::decode(&digest_bytes[..digest_bytes.len() - 1]).is_err());
+        // Bad preamble.
+        let mut r: &[u8] = b"DDSX\x01\x00\x00\x00";
+        assert!(read_preamble(&mut r).is_err());
+        let mut r: &[u8] = b"DDSC\x09\x00\x00\x00";
+        assert!(read_preamble(&mut r).is_err());
+    }
+
+    #[test]
+    fn varints_cover_the_u64_range() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            let mut r = PayloadReader::new(&buf);
+            assert_eq!(r.varint().unwrap(), value);
+            r.finish().unwrap();
+        }
+        // Overflow: 11-byte varint.
+        let mut r = PayloadReader::new(&[0xff; 11]);
+        assert!(r.varint().is_err());
+    }
+}

@@ -25,9 +25,9 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use crate::slow::escape_json;
 use crate::{Registry, SlowRing};
@@ -55,6 +55,18 @@ pub struct StatusBoard {
     lower_bits: AtomicU64,
     upper_bits: AtomicU64,
     snapshot_epoch: AtomicU64,
+    /// Per-shard digest facts, present only on a cluster coordinator
+    /// ([`StatusBoard::init_shards`]); sized once, cells updated with
+    /// relaxed stores like everything else on the board.
+    shards: OnceLock<Vec<ShardCell>>,
+}
+
+/// One remote shard's live digest facts on a coordinator's board.
+#[derive(Debug, Default)]
+struct ShardCell {
+    epoch: AtomicU64,
+    bytes_behind: AtomicU64,
+    last_digest_unix_ms: AtomicU64,
 }
 
 impl StatusBoard {
@@ -74,7 +86,41 @@ impl StatusBoard {
             lower_bits: AtomicU64::new(0f64.to_bits()),
             upper_bits: AtomicU64::new(0f64.to_bits()),
             snapshot_epoch: AtomicU64::new(0),
+            shards: OnceLock::new(),
         }
+    }
+
+    /// Declares this board a cluster coordinator over `count` shards:
+    /// `/status` grows a `shards[]` array. Idempotent; only the first
+    /// call sizes the cells.
+    pub fn init_shards(&self, count: usize) {
+        let _ = self
+            .shards
+            .set((0..count).map(|_| ShardCell::default()).collect());
+    }
+
+    /// Records one shard's latest digest facts: its acked epoch, how many
+    /// event bytes it trails the stream head, and the wall-clock moment
+    /// (ms since the UNIX epoch) the digest arrived. Out-of-range shard
+    /// ids and boards without [`StatusBoard::init_shards`] are no-ops.
+    pub fn shard_seen(&self, shard: usize, epoch: u64, bytes_behind: u64, at_unix_ms: u64) {
+        let Some(cell) = self.shards.get().and_then(|cells| cells.get(shard)) else {
+            return;
+        };
+        cell.epoch.store(epoch, Ordering::Relaxed);
+        cell.bytes_behind.store(bytes_behind, Ordering::Relaxed);
+        cell.last_digest_unix_ms
+            .store(at_unix_ms, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the UNIX epoch right now — the timestamp feed
+    /// for [`StatusBoard::shard_seen`].
+    #[must_use]
+    pub fn unix_ms() -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
     }
 
     /// Records a sealed epoch: id, cumulative applied events, the byte
@@ -170,6 +216,28 @@ impl StatusBoard {
             registry.gauge_value("dds_serve_readers_busy"),
         ) {
             out.push_str(&format!(",\"readers\":{readers},\"readers_busy\":{busy}"));
+        }
+        if let Some(cells) = self.shards.get() {
+            let now = Self::unix_ms();
+            out.push_str(",\"shards\":[");
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let at = cell.last_digest_unix_ms.load(Ordering::Relaxed);
+                let age = if at == 0 {
+                    "null".to_string()
+                } else {
+                    now.saturating_sub(at).to_string()
+                };
+                out.push_str(&format!(
+                    "{{\"shard\":{i},\"epoch\":{},\"bytes_behind\":{},\
+                     \"last_digest_age_ms\":{age}}}",
+                    cell.epoch.load(Ordering::Relaxed),
+                    cell.bytes_behind.load(Ordering::Relaxed),
+                ));
+            }
+            out.push(']');
         }
         out.push_str("}\n");
         out
@@ -472,6 +540,33 @@ mod tests {
         assert_eq!(body, "ready readers_busy=2/4\n");
         let (_, body) = http_get(server.addr(), "/status").unwrap();
         assert!(body.contains("\"readers\":4,\"readers_busy\":2"), "{body}");
+    }
+
+    #[test]
+    fn status_renders_shard_array_for_coordinators() {
+        let (server, _registry, status, _slow) = rig();
+        // Plain boards have no shards key at all.
+        let (_, body) = http_get(server.addr(), "/status").unwrap();
+        assert!(!body.contains("\"shards\""), "{body}");
+        status.init_shards(2);
+        status.shard_seen(0, 7, 1234, StatusBoard::unix_ms());
+        status.shard_seen(9, 1, 1, 1); // out of range: ignored
+        let (_, body) = http_get(server.addr(), "/status").unwrap();
+        assert!(
+            body.contains("{\"shard\":0,\"epoch\":7,\"bytes_behind\":1234,"),
+            "{body}"
+        );
+        // Shard 1 never reported: age is null.
+        assert!(
+            body.contains(
+                "{\"shard\":1,\"epoch\":0,\"bytes_behind\":0,\"last_digest_age_ms\":null}"
+            ),
+            "{body}"
+        );
+        // Re-init is a no-op, not a resize.
+        status.init_shards(5);
+        let (_, body) = http_get(server.addr(), "/status").unwrap();
+        assert!(!body.contains("\"shard\":2"), "{body}");
     }
 
     #[test]

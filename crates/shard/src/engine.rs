@@ -9,6 +9,7 @@ use dds_graph::{DiGraph, GraphBuilder, Pair, VertexId};
 use dds_num::Density;
 use dds_obs::{span, Counter, Gauge, Histogram, Registry, Tracer};
 use dds_sketch::{MaxTracker, SketchConfig, SketchEngine};
+use dds_stream::delta::{replay_chain_edges, DeltaChain, DeltaFrame};
 use dds_stream::snapshot::{
     read_snapshot_file, write_snapshot_file, SnapshotError, SnapshotKind, SnapshotReader,
     SnapshotWriter,
@@ -202,6 +203,66 @@ impl Shard {
     }
 }
 
+/// A decoded snapshot payload, identity not yet checked.
+#[derive(Debug)]
+struct ShardSnapshotParts {
+    shards: usize,
+    seed: u64,
+    state_bound: usize,
+    n: usize,
+    epoch: u64,
+    refreshes: u64,
+    escalations: u64,
+    cold_escalations: u64,
+    inserts: u64,
+    deletes: u64,
+    ignored: u64,
+    merged_level: u32,
+    escalate_next: bool,
+    levels: Vec<(u32, u64)>,
+    edges: Vec<(VertexId, VertexId)>,
+    witness: Option<Pair>,
+}
+
+impl ShardSnapshotParts {
+    /// Rejects a checkpoint whose identity fields (shard count, admission
+    /// seed, state bound) disagree with `config`, naming each mismatched
+    /// field. Partitioning and admission are pure functions of these, so
+    /// restoring across a mismatch would silently re-hash every edge onto
+    /// different shards — the failure `dds shard --resume` must surface as
+    /// an error, never absorb.
+    fn check_identity(&self, config: ShardConfig) -> Result<(), SnapshotError> {
+        let mut wrong = Vec::new();
+        if self.shards != config.shards {
+            wrong.push(format!(
+                "shard count (checkpoint {}, requested {})",
+                self.shards, config.shards
+            ));
+        }
+        if self.seed != config.sketch.seed {
+            wrong.push(format!(
+                "admission seed (checkpoint {:#x}, requested {:#x})",
+                self.seed, config.sketch.seed
+            ));
+        }
+        if self.state_bound != config.sketch.state_bound {
+            wrong.push(format!(
+                "state bound (checkpoint {}, requested {})",
+                self.state_bound, config.sketch.state_bound
+            ));
+        }
+        if wrong.is_empty() {
+            return Ok(());
+        }
+        Err(SnapshotError::Format(format!(
+            "checkpoint identity mismatch: {} — edge routing and sample admission are derived \
+             from these, so resuming would silently re-hash edges onto different shards; rerun \
+             with the checkpoint's flags or start fresh without --resume",
+            wrong.join(", ")
+        )))
+    }
+}
+
 /// Edge-partitioned parallel DDS maintenance (see the crate docs).
 #[derive(Debug)]
 pub struct ShardedEngine {
@@ -287,6 +348,21 @@ fn route_hash(seed: u64, u: VertexId, v: VertexId) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Which of `shards` partitions owns the edge `u → v` under `seed`.
+///
+/// This is the same deterministic router [`ShardedEngine`] uses
+/// internally, exposed so out-of-process ingesters (`dds-cluster` worker
+/// processes) can claim exactly the partition an in-process engine would
+/// hand them — identical placement is what makes their digests mergeable.
+///
+/// # Panics
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn route_edge(seed: u64, u: VertexId, v: VertexId, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    (route_hash(seed, u, v) % shards as u64) as usize
 }
 
 impl ShardedEngine {
@@ -681,6 +757,19 @@ impl ShardedEngine {
     /// a follow loop should resume from.
     #[must_use]
     pub fn snapshot(&self, cursor: u64) -> Vec<u8> {
+        self.encode_snapshot(cursor, true)
+    }
+
+    /// The snapshot **meta** payload: [`ShardedEngine::snapshot`] with an
+    /// empty edge list — everything a restore needs besides the edge set.
+    /// This is what rides inside a `DDSD` delta frame, whose edge diffs
+    /// reconstruct the set the meta omits.
+    #[must_use]
+    pub fn snapshot_meta(&self, cursor: u64) -> Vec<u8> {
+        self.encode_snapshot(cursor, false)
+    }
+
+    fn encode_snapshot(&self, cursor: u64, with_edges: bool) -> Vec<u8> {
         let mut w = SnapshotWriter::new(SnapshotKind::Shard, cursor);
         w.put_u32(self.config.shards as u32);
         w.put_u64(self.config.sketch.seed);
@@ -699,7 +788,11 @@ impl ShardedEngine {
             w.put_u32(shard.sketch.level());
             w.put_u64(shard.sketch.sample_mutations());
         }
-        let mut edges: Vec<(VertexId, VertexId)> = self.edges().collect();
+        let mut edges: Vec<(VertexId, VertexId)> = if with_edges {
+            self.edges().collect()
+        } else {
+            Vec::new()
+        };
         w.put_edges(&mut edges);
         w.put_pair(self.witness.as_ref());
         w.finish()
@@ -715,20 +808,69 @@ impl ShardedEngine {
     /// Returns [`SnapshotError::Format`] on malformed bytes or an
     /// identity mismatch.
     pub fn restore(config: ShardConfig, bytes: &[u8]) -> Result<(Self, u64), SnapshotError> {
+        let (parts, cursor) = Self::decode_parts(bytes)?;
+        parts.check_identity(config)?;
+        Ok((Self::from_parts(config, parts)?, cursor))
+    }
+
+    /// Reconstructs an engine from a **delta checkpoint chain**: the base
+    /// snapshot plus consecutive `DDSD` frames ([`dds_stream::delta`]).
+    /// The edge diffs replay over the base edge set; the last adopted
+    /// frame's embedded meta supplies everything else, so the result is
+    /// bit-identical to restoring a full snapshot taken at that epoch.
+    /// Returns the engine and the final checkpoint's stream cursor.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] on malformed bytes, an identity
+    /// mismatch, or a broken chain (diff or epoch linkage).
+    pub fn restore_chain(
+        config: ShardConfig,
+        base: &[u8],
+        frames: &[DeltaFrame],
+    ) -> Result<(Self, u64), SnapshotError> {
+        let (base_parts, base_cursor) = Self::decode_parts(base)?;
+        base_parts.check_identity(config)?;
+        let (edges, adopted, _) = replay_chain_edges(
+            base_parts.epoch,
+            base_cursor,
+            base_parts.edges.clone(),
+            frames,
+        )?;
+        if adopted == 0 {
+            return Ok((Self::from_parts(config, base_parts)?, base_cursor));
+        }
+        let (mut parts, cursor) = Self::decode_parts(&frames[adopted - 1].meta)?;
+        parts.check_identity(config)?;
+        if !parts.edges.is_empty() {
+            return Err(SnapshotError::Format(
+                "delta frame meta must carry an empty edge list".to_string(),
+            ));
+        }
+        parts.edges = edges;
+        Ok((Self::from_parts(config, parts)?, cursor))
+    }
+
+    /// Loads a delta checkpoint chain from disk ([`DeltaChain`]) and
+    /// [`ShardedEngine::restore_chain`]s from it.
+    ///
+    /// # Errors
+    /// Propagates read and format errors.
+    pub fn restore_chain_from(
+        config: ShardConfig,
+        chain: &DeltaChain,
+    ) -> Result<(Self, u64), SnapshotError> {
+        let (base, frames) = chain.load(SnapshotKind::Shard)?;
+        ShardedEngine::restore_chain(config, &base, &frames)
+    }
+
+    /// Decodes a snapshot payload into its parts without building an
+    /// engine (no identity check — callers run
+    /// [`ShardSnapshotParts::check_identity`] against their config).
+    fn decode_parts(bytes: &[u8]) -> Result<(ShardSnapshotParts, u64), SnapshotError> {
         let (mut r, cursor) = SnapshotReader::open(bytes, SnapshotKind::Shard)?;
         let shards = r.take_u32()? as usize;
         let seed = r.take_u64()?;
         let state_bound = r.take_u64()? as usize;
-        if shards != config.shards
-            || seed != config.sketch.seed
-            || state_bound != config.sketch.state_bound
-        {
-            return Err(SnapshotError::Format(format!(
-                "snapshot identity (shards {shards}, seed {seed:#x}, bound {state_bound}) does \
-                 not match the requested config (shards {}, seed {:#x}, bound {})",
-                config.shards, config.sketch.seed, config.sketch.state_bound
-            )));
-        }
         let n = r.take_u64()? as usize;
         let epoch = r.take_u64()?;
         let refreshes = r.take_u64()?;
@@ -756,7 +898,48 @@ impl ShardedEngine {
         let edges = r.take_edges()?;
         let witness = r.take_pair()?;
         r.finish()?;
+        Ok((
+            ShardSnapshotParts {
+                shards,
+                seed,
+                state_bound,
+                n,
+                epoch,
+                refreshes,
+                escalations,
+                cold_escalations,
+                inserts,
+                deletes,
+                ignored,
+                merged_level,
+                escalate_next,
+                levels,
+                edges,
+                witness,
+            },
+            cursor,
+        ))
+    }
 
+    /// Builds an engine from decoded (and identity-checked) parts.
+    fn from_parts(config: ShardConfig, parts: ShardSnapshotParts) -> Result<Self, SnapshotError> {
+        let ShardSnapshotParts {
+            shards,
+            n,
+            epoch,
+            refreshes,
+            escalations,
+            cold_escalations,
+            inserts,
+            deletes,
+            ignored,
+            merged_level,
+            escalate_next,
+            levels,
+            edges,
+            witness,
+            ..
+        } = parts;
         // Untrusted ids must be range-checked against the stored vertex
         // count before anything sizes a bitmap to it — a flipped byte
         // must be a Format error, not an index panic.
@@ -818,7 +1001,7 @@ impl ShardedEngine {
         engine.merged_level = merged_level;
         engine.escalate_next = escalate_next;
         engine.adopt_witness(witness);
-        Ok((engine, cursor))
+        Ok(engine)
     }
 
     /// Writes [`ShardedEngine::snapshot`] to `path` atomically.
@@ -1108,14 +1291,84 @@ mod tests {
     fn restore_rejects_identity_mismatches() {
         let engine = ShardedEngine::new(config(3));
         let bytes = engine.snapshot(0);
-        assert!(ShardedEngine::restore(config(4), &bytes).is_err(), "shards");
+        let err = ShardedEngine::restore(config(4), &bytes).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("shard count (checkpoint 3, requested 4)"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("re-hash"), "{err}");
         let mut other = config(3);
         other.sketch.seed = 99;
-        assert!(ShardedEngine::restore(other, &bytes).is_err(), "seed");
+        let err = ShardedEngine::restore(other, &bytes).unwrap_err();
+        assert!(err.to_string().contains("admission seed"), "{err}");
         let mut other = config(3);
         other.sketch.state_bound = 128;
-        assert!(ShardedEngine::restore(other, &bytes).is_err(), "bound");
+        let err = ShardedEngine::restore(other, &bytes).unwrap_err();
+        assert!(err.to_string().contains("state bound"), "{err}");
         assert!(ShardedEngine::restore(config(3), b"junk").is_err());
+    }
+
+    /// The delta-chain restore must land bit-identically on the state a
+    /// full snapshot at the same epoch would produce — the property that
+    /// lets `dds-cluster` workers checkpoint diffs instead of blobs.
+    #[test]
+    fn restore_chain_matches_restore_full() {
+        use dds_stream::delta::DeltaTracker;
+        let g = gen::planted(40, 160, 5, 5, 1.0, 17).graph;
+        let all: Vec<(u32, u32)> = g.edges().collect();
+        let cfg = config(3);
+        let mut engine = ShardedEngine::new(cfg);
+        let base = std::env::temp_dir().join(format!(
+            "dds_shard_chain_{}_{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut tracker = DeltaTracker::new(&base, SnapshotKind::Shard, 4);
+        let mut cursor = 0u64;
+        for chunk in all.chunks(20) {
+            insert_all(&mut engine, chunk);
+            cursor += 100;
+            let edges: Vec<_> = engine.edges().collect();
+            tracker
+                .save(
+                    engine.epoch(),
+                    cursor,
+                    edges,
+                    || engine.snapshot(cursor),
+                    || engine.snapshot_meta(cursor),
+                )
+                .unwrap();
+        }
+        assert!(tracker.chain().delta_count() > 0, "chain must have deltas");
+        let (restored, got_cursor) =
+            ShardedEngine::restore_chain_from(cfg, tracker.chain()).unwrap();
+        assert_eq!(got_cursor, cursor);
+        assert_eq!(
+            restored.snapshot(cursor),
+            engine.snapshot(cursor),
+            "chain restore must be bit-identical to the live engine"
+        );
+        // And identical to restoring a freshly taken full snapshot.
+        let (full, _) = ShardedEngine::restore(cfg, &engine.snapshot(cursor)).unwrap();
+        assert_eq!(full.snapshot(cursor), restored.snapshot(cursor));
+        for i in 1..=tracker.chain().delta_count() {
+            std::fs::remove_file(tracker.chain().delta_path(i)).ok();
+        }
+        std::fs::remove_file(&base).ok();
+    }
+
+    #[test]
+    fn route_edge_matches_shard_of() {
+        let engine = ShardedEngine::new(config(4));
+        for u in 0..30u32 {
+            for v in 30..60u32 {
+                assert_eq!(
+                    route_edge(engine.config.sketch.seed, u, v, 4),
+                    engine.shard_of(u, v)
+                );
+            }
+        }
     }
 
     #[test]

@@ -62,4 +62,4 @@
 
 mod engine;
 
-pub use engine::{replay_sharded, ShardConfig, ShardReport, ShardStats, ShardedEngine};
+pub use engine::{replay_sharded, route_edge, ShardConfig, ShardReport, ShardStats, ShardedEngine};

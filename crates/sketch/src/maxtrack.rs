@@ -34,6 +34,18 @@ impl MaxTracker {
         self.count.get(id).copied().unwrap_or(0)
     }
 
+    /// How many ids currently sit at the maximum (0 when empty) — the
+    /// count-of-counts summary a `dds-cluster` digest ships instead of
+    /// the whole table.
+    #[must_use]
+    pub fn max_multiplicity(&self) -> u64 {
+        if self.max == 0 {
+            0
+        } else {
+            self.freq[self.max as usize] as u64
+        }
+    }
+
     fn freq_slot(&mut self, c: u32) -> &mut usize {
         let c = c as usize;
         if self.freq.len() <= c {
@@ -141,6 +153,22 @@ mod tests {
             t.decr(0);
         }
         assert_eq!(t.max(), 1, "max must fall past the emptied levels");
+    }
+
+    #[test]
+    fn max_multiplicity_counts_ids_at_max() {
+        let mut t = MaxTracker::default();
+        assert_eq!(t.max_multiplicity(), 0);
+        t.incr(0);
+        t.incr(1);
+        assert_eq!((t.max(), t.max_multiplicity()), (1, 2));
+        t.incr(1);
+        assert_eq!((t.max(), t.max_multiplicity()), (2, 1));
+        t.decr(1);
+        assert_eq!((t.max(), t.max_multiplicity()), (1, 2));
+        t.decr(0);
+        t.decr(1);
+        assert_eq!(t.max_multiplicity(), 0);
     }
 
     #[test]

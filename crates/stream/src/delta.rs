@@ -1,0 +1,552 @@
+//! Incremental snapshot deltas (`DDSD` v1).
+//!
+//! A full `DDSS` snapshot is `O(m)` — almost all of it the canonical
+//! edge list. Checkpointing every epoch therefore rewrites megabytes to
+//! say "three edges changed". The delta format fixes that asymmetry: a
+//! checkpoint **chain** is one full base snapshot plus one small `DDSD`
+//! frame per subsequent checkpoint, each frame carrying only the edge
+//! *diff* since the previous checkpoint plus a complete copy of the
+//! engine's (small) non-edge state — counters, levels, witness, cursor —
+//! encoded as a `DDSS` payload with an empty edge list. Restoring a
+//! chain replays the diffs over the base edge set and adopts the last
+//! frame's meta wholesale, so `restore(base + deltas)` is **byte-
+//! identical** to restoring a full snapshot taken at the same epoch
+//! (the property `tests/tests/cluster_oracle.rs` pins with proptests).
+//!
+//! Every `compact_every` deltas the chain compacts: the base is
+//! rewritten in full (atomic tmp + rename) and the stale frames are
+//! deleted. A crash between those two steps can leave old frames beside
+//! a fresh base; the epoch linkage makes them harmless — a frame whose
+//! `parent_epoch` does not continue the chain but whose `epoch` is not
+//! ahead of it is a recognized leftover and ends the walk, while a frame
+//! claiming *future* epochs is corruption and fails the restore.
+//!
+//! # Frame format (version 1)
+//!
+//! ```text
+//! magic        4 bytes  "DDSD"
+//! version      u32      1
+//! kind         u8       the SnapshotKind of the chain's engine
+//! cursor       u64      source-stream byte offset at this checkpoint
+//! parent_epoch u64      engine epoch of the previous link (base or delta)
+//! epoch        u64      engine epoch of this checkpoint
+//! removed      edges    canonical sorted list of edges deleted since parent
+//! added        edges    canonical sorted list of edges inserted since parent
+//! meta         u64 len + bytes   full DDSS snapshot with an empty edge list
+//! ```
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use dds_graph::VertexId;
+
+use crate::snapshot::{
+    read_snapshot_file, write_snapshot_file, SnapshotError, SnapshotKind, SnapshotReader,
+    SnapshotWriter,
+};
+
+/// The four magic bytes opening every delta frame.
+pub const DELTA_MAGIC: [u8; 4] = *b"DDSD";
+
+/// The current delta format version.
+pub const DELTA_VERSION: u32 = 1;
+
+/// One decoded checkpoint delta: the edge diff since the previous chain
+/// link plus the complete non-edge engine state at this checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaFrame {
+    /// Which engine kind the chain belongs to.
+    pub kind: SnapshotKind,
+    /// Source-stream byte offset to resume tailing from.
+    pub cursor: u64,
+    /// Engine epoch of the previous link — the chain's integrity key.
+    pub parent_epoch: u64,
+    /// Engine epoch at this checkpoint.
+    pub epoch: u64,
+    /// Edges live at the parent but gone now.
+    pub removed: Vec<(VertexId, VertexId)>,
+    /// Edges absent at the parent but live now.
+    pub added: Vec<(VertexId, VertexId)>,
+    /// A full `DDSS` snapshot of this checkpoint with an **empty** edge
+    /// list — everything the engine restores besides the edge set.
+    pub meta: Vec<u8>,
+}
+
+impl DeltaFrame {
+    /// Encodes the frame (edge lists are sorted in place into canonical
+    /// order, so identical diffs always produce identical bytes).
+    #[must_use]
+    pub fn encode(mut self) -> Vec<u8> {
+        let mut w = SnapshotWriter::raw();
+        let mut bytes = Vec::from(DELTA_MAGIC);
+        w.put_u32(DELTA_VERSION);
+        w.put_u8(self.kind as u8);
+        w.put_u64(self.cursor);
+        w.put_u64(self.parent_epoch);
+        w.put_u64(self.epoch);
+        w.put_edges(&mut self.removed);
+        w.put_edges(&mut self.added);
+        w.put_u64(self.meta.len() as u64);
+        bytes.extend_from_slice(&w.finish());
+        bytes.extend_from_slice(&self.meta);
+        bytes
+    }
+
+    /// Decodes a frame, validating magic, version, and `kind`.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] on malformed bytes or a kind
+    /// mismatch.
+    pub fn decode(bytes: &[u8], kind: SnapshotKind) -> Result<Self, SnapshotError> {
+        if bytes.len() < 4 || bytes[..4] != DELTA_MAGIC {
+            return Err(SnapshotError::Format(
+                "bad magic (not a dds delta frame)".to_string(),
+            ));
+        }
+        let mut r = SnapshotReader::raw(&bytes[4..]);
+        let version = r.take_u32()?;
+        if version != DELTA_VERSION {
+            return Err(SnapshotError::Format(format!(
+                "unsupported delta version {version} (this build reads {DELTA_VERSION})"
+            )));
+        }
+        let raw_kind = r.take_u8()?;
+        let found = SnapshotKind::from_u8(raw_kind)
+            .ok_or_else(|| SnapshotError::Format(format!("unknown engine kind {raw_kind}")))?;
+        if found != kind {
+            return Err(SnapshotError::Format(format!(
+                "delta frame was written by a {found:?} engine, expected {kind:?}"
+            )));
+        }
+        let cursor = r.take_u64()?;
+        let parent_epoch = r.take_u64()?;
+        let epoch = r.take_u64()?;
+        let removed = r.take_edges()?;
+        let added = r.take_edges()?;
+        let meta_len = r.take_u64()? as usize;
+        let meta = r.take_bytes(meta_len)?;
+        r.finish()?;
+        Ok(DeltaFrame {
+            kind,
+            cursor,
+            parent_epoch,
+            epoch,
+            removed,
+            added,
+            meta,
+        })
+    }
+}
+
+/// The on-disk layout of a checkpoint chain rooted at one base path `P`:
+/// the full base snapshot at `P`, frames at `P.d000001`, `P.d000002`, …
+/// (frame numbering restarts at 1 after every compaction).
+#[derive(Clone, Debug)]
+pub struct DeltaChain {
+    base: PathBuf,
+}
+
+impl DeltaChain {
+    /// A chain rooted at `base` (nothing is touched until a save).
+    #[must_use]
+    pub fn new(base: impl Into<PathBuf>) -> Self {
+        DeltaChain { base: base.into() }
+    }
+
+    /// The base snapshot path.
+    #[must_use]
+    pub fn base_path(&self) -> &Path {
+        &self.base
+    }
+
+    /// The path of the `index`-th delta frame (1-based).
+    #[must_use]
+    pub fn delta_path(&self, index: u32) -> PathBuf {
+        let mut name = self.base.as_os_str().to_owned();
+        name.push(format!(".d{index:06}"));
+        PathBuf::from(name)
+    }
+
+    /// Whether a base snapshot exists on disk.
+    #[must_use]
+    pub fn base_exists(&self) -> bool {
+        self.base.exists()
+    }
+
+    /// How many consecutive delta frames follow the base on disk.
+    #[must_use]
+    pub fn delta_count(&self) -> u32 {
+        let mut i = 0u32;
+        while self.delta_path(i + 1).exists() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Writes a full base snapshot atomically, then deletes every delta
+    /// frame it supersedes. A crash between the two steps leaves stale
+    /// frames that the epoch linkage recognizes and skips on load.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] on write failure.
+    pub fn save_full(&self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let stale = self.delta_count();
+        write_snapshot_file(bytes, &self.base)?;
+        for i in 1..=stale {
+            std::fs::remove_file(self.delta_path(i)).ok();
+        }
+        Ok(())
+    }
+
+    /// Appends the `index`-th delta frame (1-based) atomically.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] on write failure.
+    pub fn append(&self, index: u32, frame: DeltaFrame) -> Result<(), SnapshotError> {
+        write_snapshot_file(&frame.encode(), self.delta_path(index))
+    }
+
+    /// Loads the chain: the base snapshot bytes plus every consecutive
+    /// delta frame, decoded and kind-checked. Epoch-linkage validation is
+    /// the engine's job (`restore_chain` — it knows the base's epoch).
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] if the base is unreadable, or
+    /// [`SnapshotError::Format`] if a frame is malformed.
+    pub fn load(&self, kind: SnapshotKind) -> Result<(Vec<u8>, Vec<DeltaFrame>), SnapshotError> {
+        let base = read_snapshot_file(&self.base)?;
+        let mut frames = Vec::new();
+        for i in 1..=self.delta_count() {
+            let bytes = read_snapshot_file(self.delta_path(i))?;
+            frames.push(DeltaFrame::decode(&bytes, kind)?);
+        }
+        Ok((base, frames))
+    }
+}
+
+/// What one [`DeltaTracker::save`] wrote.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaSave {
+    /// A full base snapshot (first save, or a compaction).
+    Full,
+    /// One delta frame of this many removed/added edges.
+    Delta(usize, usize),
+}
+
+/// The checkpoint-side driver of a [`DeltaChain`]: remembers the edge
+/// set at the last checkpoint so each save can emit a diff, and rewrites
+/// the base (compaction) every `compact_every` deltas. Engine-agnostic —
+/// the engine supplies its full-snapshot and meta encoders as closures.
+#[derive(Debug)]
+pub struct DeltaTracker {
+    chain: DeltaChain,
+    kind: SnapshotKind,
+    compact_every: u32,
+    deltas: u32,
+    last: Option<(u64, HashSet<(VertexId, VertexId)>)>,
+}
+
+impl DeltaTracker {
+    /// A tracker over the chain at `base`. `compact_every` is the number
+    /// of delta frames allowed between base rewrites; `0` disables deltas
+    /// entirely (every save is a full snapshot).
+    #[must_use]
+    pub fn new(base: impl Into<PathBuf>, kind: SnapshotKind, compact_every: u32) -> Self {
+        DeltaTracker {
+            chain: DeltaChain::new(base),
+            kind,
+            compact_every,
+            deltas: 0,
+            last: None,
+        }
+    }
+
+    /// The underlying chain (paths, load).
+    #[must_use]
+    pub fn chain(&self) -> &DeltaChain {
+        &self.chain
+    }
+
+    /// Primes the tracker to continue an existing on-disk chain after a
+    /// restore: the restored engine's epoch and edge set become the diff
+    /// baseline and `deltas_on_disk` continues the frame numbering.
+    pub fn prime(
+        &mut self,
+        epoch: u64,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+        deltas_on_disk: u32,
+    ) {
+        self.last = Some((epoch, edges.into_iter().collect()));
+        self.deltas = deltas_on_disk;
+    }
+
+    /// Checkpoints the engine state passed in: a full base snapshot when
+    /// the chain is cold or due for compaction, otherwise one delta frame
+    /// diffing `edges` against the previous save.
+    ///
+    /// `full` must encode the complete snapshot (edges included); `meta`
+    /// must encode the same snapshot with an **empty** edge list. Both
+    /// are only invoked when their branch is taken.
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Io`] on write failure.
+    pub fn save(
+        &mut self,
+        epoch: u64,
+        cursor: u64,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+        full: impl FnOnce() -> Vec<u8>,
+        meta: impl FnOnce() -> Vec<u8>,
+    ) -> Result<DeltaSave, SnapshotError> {
+        let now: HashSet<(VertexId, VertexId)> = edges.into_iter().collect();
+        let compact = self.last.is_none() || self.deltas >= self.compact_every;
+        let save = if compact {
+            self.chain.save_full(&full())?;
+            self.deltas = 0;
+            DeltaSave::Full
+        } else {
+            let (parent_epoch, last) = self.last.as_ref().expect("checked above");
+            let removed: Vec<_> = last.difference(&now).copied().collect();
+            let added: Vec<_> = now.difference(last).copied().collect();
+            let frame = DeltaFrame {
+                kind: self.kind,
+                cursor,
+                parent_epoch: *parent_epoch,
+                epoch,
+                removed,
+                added,
+                meta: meta(),
+            };
+            let (r, a) = (frame.removed.len(), frame.added.len());
+            self.chain.append(self.deltas + 1, frame)?;
+            self.deltas += 1;
+            DeltaSave::Delta(r, a)
+        };
+        self.last = Some((epoch, now));
+        Ok(save)
+    }
+}
+
+/// The outcome of [`replay_chain_edges`]: the final canonical edge set,
+/// how many frames were adopted (0 = base only), and the final
+/// `(epoch, cursor)` position of the chain.
+pub type ChainReplay = (Vec<(VertexId, VertexId)>, usize, (u64, u64));
+
+/// Replays a chain's edge diffs over the base edge set, validating the
+/// epoch linkage, and returns the final edge set, the last adopted
+/// frame's index (0 = base only), and the final `(epoch, cursor)`.
+/// Stale leftover frames from an interrupted compaction (parent epoch
+/// broken, epoch not ahead of the chain) end the walk; a frame claiming
+/// future epochs past a broken link is corruption.
+///
+/// # Errors
+/// Returns [`SnapshotError::Format`] on a broken diff (removing an edge
+/// the chain does not hold, adding one it already does) or linkage.
+pub fn replay_chain_edges(
+    base_epoch: u64,
+    base_cursor: u64,
+    base_edges: Vec<(VertexId, VertexId)>,
+    frames: &[DeltaFrame],
+) -> Result<ChainReplay, SnapshotError> {
+    let mut edges: HashSet<(VertexId, VertexId)> = base_edges.into_iter().collect();
+    let mut epoch = base_epoch;
+    let mut cursor = base_cursor;
+    let mut adopted = 0usize;
+    for (i, frame) in frames.iter().enumerate() {
+        if frame.parent_epoch != epoch {
+            if frame.epoch <= epoch {
+                break; // stale leftover from an interrupted compaction
+            }
+            return Err(SnapshotError::Format(format!(
+                "delta frame {} expects parent epoch {} but the chain is at {}",
+                i + 1,
+                frame.parent_epoch,
+                epoch
+            )));
+        }
+        for &(u, v) in &frame.removed {
+            if !edges.remove(&(u, v)) {
+                return Err(SnapshotError::Format(format!(
+                    "delta frame {} removes edge {u} -> {v} the chain does not hold",
+                    i + 1
+                )));
+            }
+        }
+        for &(u, v) in &frame.added {
+            if !edges.insert((u, v)) {
+                return Err(SnapshotError::Format(format!(
+                    "delta frame {} adds edge {u} -> {v} the chain already holds",
+                    i + 1
+                )));
+            }
+        }
+        epoch = frame.epoch;
+        cursor = frame.cursor;
+        adopted = i + 1;
+    }
+    let mut out: Vec<_> = edges.into_iter().collect();
+    out.sort_unstable();
+    Ok((out, adopted, (epoch, cursor)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_base(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "dds_delta_{tag}_{}_{:?}.snap",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn cleanup(chain: &DeltaChain) {
+        for i in 1..=chain.delta_count() {
+            std::fs::remove_file(chain.delta_path(i)).ok();
+        }
+        std::fs::remove_file(chain.base_path()).ok();
+    }
+
+    #[test]
+    fn frame_round_trips_canonically() {
+        let frame = DeltaFrame {
+            kind: SnapshotKind::Shard,
+            cursor: 999,
+            parent_epoch: 4,
+            epoch: 5,
+            removed: vec![(3, 4), (1, 2)],
+            added: vec![(9, 8), (5, 6)],
+            meta: vec![0xAB, 0xCD],
+        };
+        let bytes = frame.clone().encode();
+        let decoded = DeltaFrame::decode(&bytes, SnapshotKind::Shard).unwrap();
+        // Lists come back sorted — the canonical form.
+        assert_eq!(decoded.removed, vec![(1, 2), (3, 4)]);
+        assert_eq!(decoded.added, vec![(5, 6), (9, 8)]);
+        assert_eq!(
+            (decoded.cursor, decoded.parent_epoch, decoded.epoch),
+            (999, 4, 5)
+        );
+        assert_eq!(decoded.meta, vec![0xAB, 0xCD]);
+        // Kind mismatch is an error, not a silent cross-engine restore.
+        assert!(DeltaFrame::decode(&bytes, SnapshotKind::Stream).is_err());
+        // Same diff in any input order → same bytes.
+        let mut shuffled = frame;
+        shuffled.removed.reverse();
+        shuffled.added.reverse();
+        assert_eq!(shuffled.encode(), bytes);
+    }
+
+    #[test]
+    fn tracker_alternates_full_and_deltas_with_compaction() {
+        let base = temp_base("tracker");
+        let mut tracker = DeltaTracker::new(&base, SnapshotKind::Shard, 2);
+        let full = || vec![1u8, 2, 3];
+        let meta = || vec![9u8];
+
+        // Cold chain: full.
+        let s = tracker.save(1, 10, [(0, 1), (2, 3)], full, meta).unwrap();
+        assert_eq!(s, DeltaSave::Full);
+        // Two deltas ride on the base…
+        let s = tracker.save(2, 20, [(0, 1), (4, 5)], full, meta).unwrap();
+        assert_eq!(s, DeltaSave::Delta(1, 1));
+        let s = tracker.save(3, 30, [(0, 1)], full, meta).unwrap();
+        assert_eq!(s, DeltaSave::Delta(1, 0));
+        assert_eq!(tracker.chain().delta_count(), 2);
+        // …then the third save compacts: base rewritten, frames gone.
+        let s = tracker.save(4, 40, [(0, 1), (6, 7)], full, meta).unwrap();
+        assert_eq!(s, DeltaSave::Full);
+        assert_eq!(tracker.chain().delta_count(), 0);
+        cleanup(tracker.chain());
+    }
+
+    #[test]
+    fn chain_replay_validates_diffs_and_linkage() {
+        let frames = vec![
+            DeltaFrame {
+                kind: SnapshotKind::Shard,
+                cursor: 20,
+                parent_epoch: 1,
+                epoch: 2,
+                removed: vec![(2, 3)],
+                added: vec![(4, 5)],
+                meta: vec![],
+            },
+            DeltaFrame {
+                kind: SnapshotKind::Shard,
+                cursor: 30,
+                parent_epoch: 2,
+                epoch: 3,
+                removed: vec![],
+                added: vec![(6, 7)],
+                meta: vec![],
+            },
+        ];
+        let (edges, adopted, (epoch, cursor)) =
+            replay_chain_edges(1, 10, vec![(0, 1), (2, 3)], &frames).unwrap();
+        assert_eq!(edges, vec![(0, 1), (4, 5), (6, 7)]);
+        assert_eq!((adopted, epoch, cursor), (2, 3, 30));
+
+        // A stale leftover (epoch behind the chain) ends the walk quietly.
+        let mut stale = frames.clone();
+        stale.push(DeltaFrame {
+            kind: SnapshotKind::Shard,
+            cursor: 5,
+            parent_epoch: 0,
+            epoch: 1,
+            removed: vec![],
+            added: vec![],
+            meta: vec![],
+        });
+        let (_, adopted, _) = replay_chain_edges(1, 10, vec![(0, 1), (2, 3)], &stale).unwrap();
+        assert_eq!(adopted, 2, "stale frame must not be adopted");
+
+        // A future frame past a broken link is corruption.
+        let mut gap = frames;
+        gap[1].parent_epoch = 9;
+        gap[1].epoch = 10;
+        assert!(replay_chain_edges(1, 10, vec![(0, 1), (2, 3)], &gap).is_err());
+
+        // Broken diffs are errors.
+        let bad = vec![DeltaFrame {
+            kind: SnapshotKind::Shard,
+            cursor: 20,
+            parent_epoch: 1,
+            epoch: 2,
+            removed: vec![(9, 9)],
+            added: vec![],
+            meta: vec![],
+        }];
+        assert!(replay_chain_edges(1, 10, vec![(0, 1)], &bad).is_err());
+    }
+
+    #[test]
+    fn chain_load_round_trips_from_disk() {
+        let base = temp_base("load");
+        let chain = DeltaChain::new(&base);
+        chain.save_full(b"base-bytes").unwrap();
+        chain
+            .append(
+                1,
+                DeltaFrame {
+                    kind: SnapshotKind::ClusterWorker,
+                    cursor: 7,
+                    parent_epoch: 1,
+                    epoch: 2,
+                    removed: vec![],
+                    added: vec![(1, 2)],
+                    meta: vec![3, 4],
+                },
+            )
+            .unwrap();
+        let (b, frames) = chain.load(SnapshotKind::ClusterWorker).unwrap();
+        assert_eq!(b, b"base-bytes");
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].added, vec![(1, 2)]);
+        // save_full purges the frames it supersedes.
+        chain.save_full(b"base2").unwrap();
+        assert_eq!(chain.delta_count(), 0);
+        cleanup(&chain);
+    }
+}

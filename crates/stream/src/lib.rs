@@ -115,6 +115,7 @@
 #![warn(missing_docs)]
 
 mod bounds;
+pub mod delta;
 mod engine;
 mod events;
 mod follow;

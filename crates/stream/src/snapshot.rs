@@ -53,13 +53,16 @@ pub enum SnapshotKind {
     Stream = 0,
     /// A `dds-shard` `ShardedEngine` snapshot.
     Shard = 1,
+    /// A `dds-cluster` worker-partition snapshot.
+    ClusterWorker = 2,
 }
 
 impl SnapshotKind {
-    fn from_u8(v: u8) -> Option<Self> {
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
         match v {
             0 => Some(SnapshotKind::Stream),
             1 => Some(SnapshotKind::Shard),
+            2 => Some(SnapshotKind::ClusterWorker),
             _ => None,
         }
     }
@@ -108,6 +111,13 @@ impl SnapshotWriter {
         w.put_u8(kind as u8);
         w.put_u64(cursor);
         w
+    }
+
+    /// A headerless writer — the shared primitive encoders without the
+    /// `DDSS` header, for sibling formats (the `DDSD` delta frames) that
+    /// open with their own magic.
+    pub(crate) fn raw() -> Self {
+        SnapshotWriter { bytes: Vec::new() }
     }
 
     /// Appends one byte.
@@ -232,6 +242,13 @@ impl<'a> SnapshotReader<'a> {
         Ok((r, cursor))
     }
 
+    /// A headerless reader over `bytes` — the shared primitive decoders
+    /// without the `DDSS` header check, for sibling formats (the `DDSD`
+    /// delta frames) that validate their own magic.
+    pub(crate) fn raw(bytes: &'a [u8]) -> Self {
+        SnapshotReader { bytes, pos: 0 }
+    }
+
     fn need(&self, len: usize) -> Result<(), SnapshotError> {
         // Checked: `len` can come straight from a corrupt length prefix
         // near usize::MAX, and overflow here must be a Format error, not
@@ -289,6 +306,18 @@ impl<'a> SnapshotReader<'a> {
     /// Returns [`SnapshotError::Format`] past end of input.
     pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads `len` raw bytes (an embedded blob whose length prefix the
+    /// caller already consumed).
+    ///
+    /// # Errors
+    /// Returns [`SnapshotError::Format`] past end of input.
+    pub fn take_bytes(&mut self, len: usize) -> Result<Vec<u8>, SnapshotError> {
+        self.need(len)?;
+        let v = self.bytes[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(v)
     }
 
     /// Reads an edge list.
